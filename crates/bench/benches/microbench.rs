@@ -1,0 +1,99 @@
+//! Microbenchmarks of the hot on-line kernels: real wall-clock cost of the
+//! operations the paper charges per transaction (model build, path
+//! estimation, runtime tracking, storage ops).
+
+use bench::collect_trace;
+use common::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use houdini::{train, CatalogRule, TrainingConfig};
+use markov::{estimate_path, EstimateConfig, PathTracker};
+use std::hint::black_box;
+use storage::{Database, Schema, UndoLog};
+use trace::{PartitionResolver as _, TraceRecord};
+use workloads::Bench;
+
+fn storage_ops(c: &mut Criterion) {
+    let schemas = vec![Schema::new("T", &["ID", "V"], &[0], Some(0))];
+    let mut db = Database::new(schemas, 4, &[]);
+    let mut undo = UndoLog::new();
+    for i in 0..10_000i64 {
+        let p = db.partition_for_value(&Value::Int(i));
+        db.insert(p, 0, vec![Value::Int(i), Value::Int(0)], &mut undo)
+            .unwrap();
+    }
+    undo.clear();
+    let mut group = c.benchmark_group("storage");
+    group.bench_function("point_get", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            let p = db.partition_for_value(&Value::Int(i));
+            black_box(db.get(p, 0, &[Value::Int(i)]).is_some())
+        })
+    });
+    group.bench_function("update_with_undo", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 11) % 10_000;
+            let p = db.partition_for_value(&Value::Int(i));
+            db.update(p, 0, &[Value::Int(i)], |r| r[1] = Value::Int(i), &mut undo)
+                .unwrap();
+            undo.clear();
+        })
+    });
+    group.finish();
+}
+
+fn tatp_estimation(c: &mut Criterion) {
+    // Table 4's rightmost column: TATP estimates land around 0.01-0.07 ms.
+    let parts = 16;
+    let (catalog, wl) = collect_trace(Bench::Tatp, parts, 2000, 9);
+    let preds = train(&catalog, parts, &wl, &TrainingConfig::default());
+    let proc = catalog.proc_id("GetSubscriber").unwrap();
+    let pred = &preds[proc as usize];
+    let rule = CatalogRule::new(&catalog, proc, parts);
+    let cfg = EstimateConfig::default();
+    c.bench_function("estimate/tatp_get_subscriber", |b| {
+        let mut s = 0i64;
+        b.iter(|| {
+            s = (s + 13) % 3200;
+            let args = vec![Value::Int(s)];
+            let idx = pred.models.select(&args);
+            black_box(
+                estimate_path(pred.models.model(idx), &rule, &pred.mapping, &args, &cfg)
+                    .touched,
+            )
+        })
+    });
+}
+
+fn runtime_tracking(c: &mut Criterion) {
+    // §4.4's per-query update cost: advancing the tracker through a model.
+    let parts = 4;
+    let (catalog, wl) = collect_trace(Bench::Tpcc, parts, 1000, 9);
+    let resolver = engine::CatalogResolver::new(&catalog, parts);
+    let records: Vec<&TraceRecord> = wl.for_proc(1);
+    let mut model = markov::build_model(1, &records, &resolver);
+    let replay: Vec<TraceRecord> = records.iter().take(32).map(|r| (*r).clone()).collect();
+    c.bench_function("tracker/replay_neworder", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let rec = &replay[i % replay.len()];
+            i += 1;
+            let mut t = PathTracker::new(&model);
+            for q in &rec.queries {
+                let parts = resolver.partitions(1, q.query, &q.params);
+                t.advance(&mut model, q.query, parts, &resolver);
+            }
+            t.finish(&mut model, !rec.aborted);
+            black_box(t.path().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = storage_ops, tatp_estimation, runtime_tracking
+}
+criterion_main!(micro);

@@ -1,0 +1,27 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `experiments [--full] <id>...` where ids are `fig3 fig4 fig5 fig7
+//! fig8 fig9 fig10 table3 fig11 table4 fig12 fig13` or `all`. `--full` uses
+//! the larger trace sizes and longer simulated windows recorded in
+//! EXPERIMENTS.md; the default quick scale finishes in seconds per
+//! experiment.
+
+use bench::experiments::run_experiment;
+use bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|all>..."
+        );
+        std::process::exit(2);
+    }
+    for id in ids {
+        print!("{}", run_experiment(id, scale));
+        println!();
+    }
+}

@@ -1,0 +1,484 @@
+//! One function per paper artifact (tables and figures). Each returns the
+//! formatted rows it prints, so the `experiments` binary and EXPERIMENTS.md
+//! stay in sync.
+
+use crate::setup::{
+    collect_trace, new_order_generator, run_sim, sim_config, trained_houdini, Scale,
+};
+use common::Value;
+use engine::baselines::{AssumeDistributed, AssumeSinglePartition, Oracle};
+use engine::{Bucket, CostModel, Simulation, TxnAdvisor};
+use houdini::{
+    evaluate_accuracy, train, AccuracyReport, CatalogRule, Houdini, HoudiniConfig, ModelSet,
+    TrainingConfig,
+};
+use mapping::ParamSource;
+use markov::{estimate_path, to_dot, EstimateConfig, QueryKind};
+use std::fmt::Write as _;
+use trace::TraceRecord;
+use workloads::Bench;
+
+/// Cluster sizes of Figs. 3 and 12.
+pub const CLUSTER_SIZES: [u32; 5] = [4, 8, 16, 32, 64];
+
+/// Table 4 procedure letters, keyed by (benchmark, registry index).
+pub fn proc_letter(bench: Bench, proc: usize) -> char {
+    let base = match bench {
+        Bench::Tatp => b'A',
+        Bench::Tpcc => b'H',
+        Bench::AuctionMark => b'M',
+    };
+    (base + proc as u8) as char
+}
+
+fn new_order_trace(parts: u32, n: usize, seed: u64) -> (engine::Catalog, trace::Workload) {
+    let mut db = Bench::Tpcc.database(parts);
+    let reg = Bench::Tpcc.registry();
+    let catalog = reg.catalog();
+    let mut gen = new_order_generator(parts, seed);
+    use engine::RequestGenerator;
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let (proc, args) = gen.next_request(i as u64 % 8);
+        let out = engine::run_offline(&mut db, &reg, &catalog, proc, &args, true)
+            .expect("offline NewOrder");
+        records.push(out.record);
+    }
+    (catalog, trace::Workload { records })
+}
+
+/// Fig. 3 — NewOrder throughput vs partitions under the three §2.1
+/// execution strategies.
+pub fn fig3(scale: Scale) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Fig. 3: NewOrder throughput (txn/s) vs partitions\n\
+         parts  proper-selection  assume-single-partition  assume-distributed"
+    );
+    for parts in CLUSTER_SIZES {
+        let mut row = format!("{parts:5}");
+        for advisor_id in 0..3 {
+            let tps = {
+                let mut db = Bench::Tpcc.database(parts);
+                let reg = Bench::Tpcc.registry();
+                let mut gen = new_order_generator(parts, 11);
+                let cfg = sim_config(parts, scale, 17);
+                let mut oracle;
+                let mut asp;
+                let mut adist;
+                let advisor: &mut dyn TxnAdvisor = match advisor_id {
+                    0 => {
+                        oracle = Oracle::new();
+                        &mut oracle
+                    }
+                    1 => {
+                        asp = AssumeSinglePartition::new();
+                        &mut asp
+                    }
+                    _ => {
+                        adist = AssumeDistributed::new();
+                        &mut adist
+                    }
+                };
+                let sim =
+                    Simulation::new(&mut db, &reg, advisor, &mut gen, CostModel::default(), cfg);
+                let (m, _) = sim.run().expect("fig3 sim");
+                m.throughput_tps()
+            };
+            let _ = write!(row, "  {tps:16.0}");
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Fig. 4 — the global NewOrder Markov model for a 2-partition database
+/// (DOT plus structural stats).
+pub fn fig4() -> String {
+    let (catalog, wl) = new_order_trace(2, 2_000, 4);
+    let resolver = engine::CatalogResolver::new(&catalog, 2);
+    let records = wl.for_proc(1);
+    let model = markov::build_model(1, &records, &resolver);
+    let states = model.len();
+    let edges: usize = model.vertices().iter().map(|v| v.edges.len()).sum();
+    let mut out = format!(
+        "# Fig. 4: global NewOrder Markov model, 2 partitions\n\
+         states = {states} (incl. begin/commit/abort), edges = {edges}\n"
+    );
+    let _ = writeln!(
+        out,
+        "begin successors = {} (one GetWarehouse state per partition)",
+        model.vertex(model.begin()).edges.len()
+    );
+    out.push_str(&to_dot(&model, "NewOrder"));
+    out
+}
+
+/// Fig. 5 — the probability table of a first GetWarehouse state.
+pub fn fig5() -> String {
+    let (catalog, wl) = new_order_trace(2, 2_000, 4);
+    let resolver = engine::CatalogResolver::new(&catalog, 2);
+    let records = wl.for_proc(1);
+    let model = markov::build_model(1, &records, &resolver);
+    // Find GetWarehouse counter 0 at partition 0 with empty previous.
+    let v = model
+        .vertices()
+        .iter()
+        .find(|v| {
+            v.name == "GetWarehouse"
+                && v.key.counter == 0
+                && v.key.partitions == common::PartitionSet::single(0)
+        })
+        .expect("GetWarehouse state");
+    let mut out = String::from("# Fig. 5: probability table of GetWarehouse (partition 0)\n");
+    let _ = writeln!(out, "Single-Partitioned: {:.2}", v.table.single_partition);
+    let _ = writeln!(out, "Abort:              {:.2}", v.table.abort);
+    let _ = writeln!(out, "partition  read  write  finish");
+    for (p, pp) in v.table.partitions.iter().enumerate() {
+        let _ = writeln!(out, "{p:9}  {:.2}  {:.2}   {:.2}", pp.read, pp.write, pp.finish);
+    }
+    out
+}
+
+/// Fig. 7 — the NewOrder parameter mapping.
+pub fn fig7() -> String {
+    let (catalog, wl) = new_order_trace(2, 2_000, 4);
+    let records = wl.for_proc(1);
+    let mapping = mapping::build_mapping(&records, &mapping::MappingConfig::default());
+    let mut out = String::from("# Fig. 7: NewOrder parameter mapping\n");
+    let proc = catalog.proc(1);
+    for ((q, j), m) in mapping.entries() {
+        let src = match m.source {
+            ParamSource::Scalar(k) => format!("proc param {k}"),
+            ParamSource::ArrayElement(k) => format!("proc param {k}[n]"),
+        };
+        let _ = writeln!(
+            out,
+            "{}.param[{j}] <- {src}  (coefficient {:.2})",
+            proc.query(q).name,
+            m.coefficient
+        );
+    }
+    out
+}
+
+/// Fig. 8 — the initial execution-path estimate for one NewOrder request.
+pub fn fig8() -> String {
+    let (catalog, wl) = new_order_trace(2, 2_000, 4);
+    let resolver = engine::CatalogResolver::new(&catalog, 2);
+    let records = wl.for_proc(1);
+    let model = markov::build_model(1, &records, &resolver);
+    let mapping = mapping::build_mapping(&records, &mapping::MappingConfig::default());
+    // The paper's Fig. 8 example: w_id=0, i_ids=[1001,1002], i_w_ids=[0,1].
+    let args = vec![
+        Value::Int(0),
+        Value::Int(777_000),
+        Value::Int(1),
+        Value::Array(vec![Value::Int(101), Value::Int(102)]),
+        Value::Array(vec![Value::Int(0), Value::Int(1)]),
+        Value::Array(vec![Value::Int(2), Value::Int(7)]),
+    ];
+    let rule = CatalogRule::new(&catalog, 1, 2);
+    let est = estimate_path(&model, &rule, &mapping, &args, &EstimateConfig::default());
+    let mut out = String::from(
+        "# Fig. 8: initial path estimate for NewOrder(w_id=0, i_w_ids=[0,1])\n",
+    );
+    for &v in &est.vertices {
+        let vx = model.vertex(v);
+        match vx.key.kind {
+            QueryKind::Query(_) => {
+                let _ = writeln!(
+                    out,
+                    "  {} counter={} partitions={} previous={}",
+                    vx.name, vx.key.counter, vx.key.partitions, vx.key.previous
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "  [{}]", vx.name);
+            }
+        }
+    }
+    let _ = writeln!(out, "confidence = {:.3}", est.confidence);
+    let _ = writeln!(out, "touched = {} (base = {:?})", est.touched, est.best_base());
+    let _ = writeln!(out, "abort probability = {:.3}", est.abort_prob);
+    out
+}
+
+/// Fig. 9 — partitioned NewOrder models and their decision tree.
+pub fn fig9() -> String {
+    let (catalog, wl) = new_order_trace(2, 3_000, 4);
+    let cfg = TrainingConfig::default();
+    let preds = train(&catalog, 2, &wl, &cfg);
+    let pred = &preds[1];
+    let mut out = String::from("# Fig. 9: partitioned NewOrder models\n");
+    match &pred.models {
+        ModelSet::Global { model, .. } => {
+            let _ = writeln!(
+                out,
+                "clustering did not beat the global model on this trace: {} states",
+                model.len()
+            );
+        }
+        ModelSet::Partitioned { selected, schema, models, tree, .. } => {
+            let feats: Vec<String> = selected
+                .iter()
+                .map(|&i| format!("{}(param {})", schema[i].category.label(), schema[i].param))
+                .collect();
+            let _ = writeln!(out, "selected features: {feats:?}");
+            let _ = writeln!(out, "decision tree: {} splits, depth {}", tree.splits, tree.depth());
+            for (c, m) in models.iter().enumerate() {
+                let _ = writeln!(out, "cluster {c}: {} states", m.len());
+            }
+            let total: usize = models.iter().map(markov::MarkovModel::len).sum();
+            let (catalog2, wl2) = new_order_trace(2, 3_000, 4);
+            let resolver = engine::CatalogResolver::new(&catalog2, 2);
+            let global = markov::build_model(1, &wl2.for_proc(1), &resolver);
+            let _ = writeln!(
+                out,
+                "global model {} states vs {} clustered states across {} models \
+                 (each cluster model is simpler than the global one)",
+                global.len(),
+                total,
+                models.len()
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 10 — example models from each benchmark at 4 partitions.
+pub fn fig10() -> String {
+    let mut out = String::from("# Fig. 10: example Markov models, 4 partitions\n");
+    let cases: [(Bench, &str); 3] = [
+        (Bench::Tatp, "InsertCallFwrd"),
+        (Bench::Tpcc, "Payment"),
+        (Bench::AuctionMark, "GetUserInfo"),
+    ];
+    for (bench, proc_name) in cases {
+        let (catalog, wl) = collect_trace(bench, 4, 3_000, 10);
+        let proc = catalog.proc_id(proc_name).expect("proc exists");
+        let resolver = engine::CatalogResolver::new(&catalog, 4);
+        let records = wl.for_proc(proc);
+        let model = markov::build_model(proc, &records, &resolver);
+        let _ = writeln!(
+            out,
+            "{} {}: {} states, begin out-degree {}",
+            bench.name(),
+            proc_name,
+            model.len(),
+            model.vertex(model.begin()).edges.len()
+        );
+        // First-query states show the access pattern (broadcast vs single).
+        for e in &model.vertex(model.begin()).edges {
+            let v = model.vertex(e.to);
+            let _ = writeln!(
+                out,
+                "  begin -> {} partitions={} (p={:.2})",
+                v.name, v.key.partitions, e.prob
+            );
+        }
+    }
+    out
+}
+
+/// Table 3 — global vs partitioned model accuracy per optimization.
+pub fn table3(scale: Scale) -> String {
+    let parts = 16;
+    let n = scale.trace_len() * 2;
+    let mut out = String::from(
+        "# Table 3: model accuracy (%), 16 partitions, train on first half / test on second\n\
+         benchmark    variant      OP1    OP2    OP3    OP4    Total\n",
+    );
+    for bench in Bench::ALL {
+        let (catalog, wl) = collect_trace(bench, parts, n, 23);
+        let (train_recs, test_recs) = wl.records.split_at(n / 2);
+        let train_wl = trace::Workload { records: train_recs.to_vec() };
+        for partitioned in [false, true] {
+            let cfg = TrainingConfig { partitioned, ..Default::default() };
+            let preds = train(&catalog, parts, &train_wl, &cfg);
+            let mut agg = AccuracyReport::default();
+            for (proc, pred) in preds.iter().enumerate() {
+                let test: Vec<&TraceRecord> =
+                    test_recs.iter().filter(|r| r.proc == proc as u32).collect();
+                let rep =
+                    evaluate_accuracy(pred, &catalog, parts, proc as u32, &test, 0.5);
+                agg.merge(&rep);
+            }
+            let _ = writeln!(
+                out,
+                "{:<12} {:<11} {:5.1}  {:5.1}  {:5.1}  {:5.1}  {:5.1}",
+                bench.name(),
+                if partitioned { "partitioned" } else { "global" },
+                agg.op1_pct(),
+                agg.op2_pct(),
+                agg.op3_pct(),
+                agg.op4_pct(),
+                agg.total_pct()
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 11 — per-procedure transaction-time breakdown under Houdini
+/// (partitioned models, 16 partitions).
+pub fn fig11(scale: Scale) -> String {
+    let parts = 16;
+    let mut out = String::from(
+        "# Fig. 11: % of transaction time per bucket (partitioned models, 16 partitions)\n\
+         proc                      estim   exec   plan  coord  other\n",
+    );
+    for bench in Bench::ALL {
+        let mut houdini =
+            trained_houdini(bench, parts, scale.trace_len(), true, 0.5, 31);
+        let (_, profiler) = run_sim(bench, parts, &mut houdini, scale, 37);
+        let catalog = bench.registry().catalog();
+        for proc in profiler.procs() {
+            let name = &catalog.proc(proc).name;
+            let letter = proc_letter(bench, proc as usize);
+            let _ = writeln!(
+                out,
+                "{letter} {:<22}  {:5.1}  {:5.1}  {:5.1}  {:5.1}  {:5.1}",
+                name,
+                100.0 * profiler.share(proc, Bucket::Estimation),
+                100.0 * profiler.share(proc, Bucket::Execution),
+                100.0 * profiler.share(proc, Bucket::Planning),
+                100.0 * profiler.share(proc, Bucket::Coordination),
+                100.0 * profiler.share(proc, Bucket::Other),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} overall estimation share: {:.1}%",
+            bench.name(),
+            100.0 * profiler.overall_share(Bucket::Estimation)
+        );
+    }
+    out
+}
+
+/// Table 4 — % of transactions where each optimization was enabled at run
+/// time, plus the mean estimation time per transaction.
+pub fn table4(scale: Scale) -> String {
+    let parts = 16;
+    let mut out = String::from(
+        "# Table 4: runtime optimization success (%, partitioned models, 16 partitions)\n\
+         proc                       OP1     OP2     OP3     OP4   est(ms)\n",
+    );
+    for bench in Bench::ALL {
+        let mut houdini =
+            trained_houdini(bench, parts, scale.trace_len(), true, 0.5, 41);
+        let (metrics, profiler) = run_sim(bench, parts, &mut houdini, scale, 43);
+        let catalog = bench.registry().catalog();
+        let mut procs: Vec<u32> = metrics.ops.keys().copied().collect();
+        procs.sort_unstable();
+        for proc in procs {
+            let ops = &metrics.ops[&proc];
+            let letter = proc_letter(bench, proc as usize);
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:6.1}"),
+                None => "     -".to_string(),
+            };
+            let est_ms = profiler.mean_us(proc, Bucket::Estimation) / 1000.0;
+            let _ = writeln!(
+                out,
+                "{letter} {:<22} {}  {}  {}  {}  {:7.3}",
+                catalog.proc(proc).name,
+                fmt(ops.op1_pct()),
+                fmt(ops.op2_pct()),
+                fmt(ops.op3_pct()),
+                fmt(ops.op4_pct()),
+                est_ms
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 12 — throughput vs partitions: Houdini-partitioned, Houdini-global,
+/// assume-single-partition, for all three benchmarks.
+pub fn fig12(scale: Scale) -> String {
+    let mut out = String::from(
+        "# Fig. 12: throughput (txn/s) vs partitions\n\
+         bench        parts  houdini-part  houdini-global  assume-single-part\n",
+    );
+    for bench in Bench::ALL {
+        for parts in CLUSTER_SIZES {
+            let tps_part = {
+                let mut h = trained_houdini(bench, parts, scale.trace_len(), true, 0.5, 51);
+                run_sim(bench, parts, &mut h, scale, 53).0.throughput_tps()
+            };
+            let tps_glob = {
+                let mut h = trained_houdini(bench, parts, scale.trace_len(), false, 0.5, 51);
+                run_sim(bench, parts, &mut h, scale, 53).0.throughput_tps()
+            };
+            let tps_asp = {
+                let mut a = AssumeSinglePartition::new();
+                run_sim(bench, parts, &mut a, scale, 53).0.throughput_tps()
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {parts:5}  {tps_part:12.0}  {tps_glob:14.0}  {tps_asp:19.0}",
+                bench.name()
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 13 — throughput vs the confidence-coefficient threshold.
+pub fn fig13(scale: Scale) -> String {
+    let parts = 16;
+    let thresholds = [0.0, 0.06, 0.1, 0.2, 0.3, 0.4, 0.5, 0.66, 0.8, 0.9, 1.0];
+    let mut out = String::from(
+        "# Fig. 13: throughput (txn/s) vs confidence threshold, 16 partitions\n\
+         threshold     TATP    TPC-C  AuctionMark\n",
+    );
+    // Train once per benchmark; rebuild the advisor per threshold.
+    let mut rows = vec![String::new(); thresholds.len()];
+    for (ti, &t) in thresholds.iter().enumerate() {
+        rows[ti] = format!("{t:9.2}");
+    }
+    for bench in Bench::ALL {
+        let (catalog, wl) = collect_trace(bench, parts, scale.trace_len(), 61);
+        let cfg = TrainingConfig::default();
+        let preds = train(&catalog, parts, &wl, &cfg);
+        for (ti, &t) in thresholds.iter().enumerate() {
+            let hcfg = HoudiniConfig { threshold: t, ..Default::default() };
+            let mut h = Houdini::new(preds.clone(), catalog.clone(), parts, hcfg);
+            let (m, _) = run_sim(bench, parts, &mut h, scale, 67);
+            let _ = write!(rows[ti], "  {:7.0}", m.throughput_tps());
+        }
+    }
+    for r in rows {
+        let _ = writeln!(out, "{r}");
+    }
+    out
+}
+
+/// Runs one experiment by id (`fig3`, `table3`, ...; `all` runs everything).
+pub fn run_experiment(id: &str, scale: Scale) -> String {
+    match id {
+        "fig3" => fig3(scale),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "table3" => table3(scale),
+        "fig11" => fig11(scale),
+        "table4" => table4(scale),
+        "fig12" => fig12(scale),
+        "fig13" => fig13(scale),
+        "all" => {
+            let ids = [
+                "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "table3", "fig11",
+                "table4", "fig12", "fig13",
+            ];
+            ids.iter().map(|i| run_experiment(i, scale) + "\n").collect()
+        }
+        other => format!("unknown experiment id: {other}\n"),
+    }
+}

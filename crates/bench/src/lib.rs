@@ -1,0 +1,11 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! `cargo run -p bench --release --bin experiments -- <id>` prints the rows
+//! for one experiment (`all` runs everything); the criterion benches under
+//! `benches/` exercise the same kernels at reduced scale.
+
+pub mod experiments;
+pub mod setup;
+
+pub use setup::{collect_trace, new_order_generator, run_sim, sim_config, trained_houdini, Scale};

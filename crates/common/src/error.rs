@@ -1,0 +1,71 @@
+//! Shared error type for the workspace.
+
+use std::fmt;
+
+/// Errors surfaced across crate boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table, procedure, query, or column name was not found in a catalog.
+    NotFound(String),
+    /// A value had the wrong type for the operation.
+    TypeMismatch { expected: &'static str, got: String },
+    /// An operation violated a storage invariant (e.g. duplicate primary key).
+    Constraint(String),
+    /// A transaction touched a partition it did not lock; the engine aborts
+    /// and restarts it (paper §2 OP2).
+    PartitionViolation { txn: u64, partition: u32 },
+    /// A transaction aborted after undo logging was disabled: unrecoverable
+    /// (paper §2 OP3 — "the node must halt").
+    UnrecoverableAbort { txn: u64 },
+    /// User/control-code-initiated abort (e.g. TPC-C invalid item).
+    UserAbort(String),
+    /// Trace or model (de)serialization failure.
+    Serde(String),
+    /// Anything else.
+    Other(String),
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            Error::Constraint(msg) => write!(f, "constraint violation: {msg}"),
+            Error::PartitionViolation { txn, partition } => {
+                write!(f, "txn {txn} accessed unlocked partition {partition}")
+            }
+            Error::UnrecoverableAbort { txn } => {
+                write!(f, "txn {txn} aborted without undo log: node halt")
+            }
+            Error::UserAbort(msg) => write!(f, "user abort: {msg}"),
+            Error::Serde(msg) => write!(f, "serialization error: {msg}"),
+            Error::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::NotFound("TABLE X".into()).to_string(),
+            "not found: TABLE X"
+        );
+        assert!(Error::PartitionViolation { txn: 9, partition: 3 }
+            .to_string()
+            .contains("partition 3"));
+        assert!(Error::UnrecoverableAbort { txn: 1 }
+            .to_string()
+            .contains("halt"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared primitives for the predictive-OLTP reproduction.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace: SQL-ish [`Value`]s, partition/node identifiers, the
+//! [`PartitionSet`] bitmask, a fast FxHash-style hasher for hot-path maps,
+//! deterministic RNG plumbing, and the shared error type.
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod rng;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{NodeId, PartitionId, PartitionSet, ProcId, QueryId, TxnId};
+pub use rng::{derive_seed, seeded_rng};
+pub use value::Value;

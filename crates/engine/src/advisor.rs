@@ -1,0 +1,165 @@
+//! The advisor interface: where transaction predictions enter the engine.
+//!
+//! Before a transaction starts, the engine asks its [`TxnAdvisor`] for a
+//! [`TxnPlan`] — the base partition (OP1), the partitions to lock (OP2), and
+//! whether to disable undo logging from the start (OP3). While the
+//! transaction runs, the engine reports every executed query back through
+//! [`TxnAdvisor::on_query`], and the advisor may respond with runtime
+//! updates (§4.4): disable undo logging now (OP3) or declare partitions
+//! finished so the engine can send early-prepares and begin speculative
+//! execution there (OP4).
+//!
+//! The paper's baselines implement this trait in [`crate::baselines`];
+//! Houdini implements it in the `houdini` crate.
+
+use crate::catalog::Catalog;
+use crate::exec::ExecutedQuery;
+use crate::procedure::ProcedureRegistry;
+use common::{NodeId, PartitionId, PartitionSet, ProcId, Value};
+use storage::Database;
+
+/// A client's transaction request: pre-defined procedure name (by id) plus
+/// input parameters, arriving at some node.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Stored procedure to invoke.
+    pub proc: ProcId,
+    /// Procedure input parameters.
+    pub args: Vec<Value>,
+    /// Node where the request arrived.
+    pub origin_node: NodeId,
+}
+
+/// The advisor's initial decisions for one transaction.
+#[derive(Debug, Clone)]
+pub struct TxnPlan {
+    /// Partition whose node runs the control code (OP1).
+    pub base_partition: PartitionId,
+    /// Partitions to lock before starting (OP2). Must contain
+    /// `base_partition`.
+    pub lock_set: PartitionSet,
+    /// Start with undo logging off (OP3). The engine re-enables it for
+    /// speculative transactions, as the paper requires (§4.3 OP3).
+    pub disable_undo: bool,
+    /// Whether the advisor will emit finished-partition updates (OP4).
+    pub early_prepare: bool,
+    /// Simulated cost of producing this estimate, charged to the
+    /// "estimation" profiler bucket (Fig. 11).
+    pub estimate_cost_us: f64,
+}
+
+impl TxnPlan {
+    /// A conservative plan: lock everything, keep undo, no early prepare.
+    pub fn lock_all(base: PartitionId, num_partitions: u32) -> Self {
+        TxnPlan {
+            base_partition: base,
+            lock_set: PartitionSet::all(num_partitions),
+            disable_undo: false,
+            early_prepare: false,
+            estimate_cost_us: 0.0,
+        }
+    }
+
+    /// A single-partition plan at `base`.
+    pub fn single(base: PartitionId) -> Self {
+        TxnPlan {
+            base_partition: base,
+            lock_set: PartitionSet::single(base),
+            disable_undo: false,
+            early_prepare: false,
+            estimate_cost_us: 0.0,
+        }
+    }
+}
+
+/// Runtime updates the advisor hands back after observing a query (§4.4).
+#[derive(Debug, Clone, Default)]
+pub struct Updates {
+    /// Partitions the transaction is now predicted to be finished with; the
+    /// engine sends early-prepare there and opens speculation (OP4).
+    pub finished: PartitionSet,
+    /// Disable undo logging from this point on (OP3).
+    pub disable_undo: bool,
+    /// Simulated cost of computing these updates (estimation bucket).
+    pub cost_us: f64,
+}
+
+/// What the advisor can see when planning: the catalog, the registry, the
+/// live database (the Oracle dry-runs against it), and the cluster size.
+pub struct PlanEnv<'a> {
+    /// The live database.
+    pub db: &'a mut Database,
+    /// Procedure implementations.
+    pub registry: &'a ProcedureRegistry,
+    /// Procedure/query metadata.
+    pub catalog: &'a Catalog,
+    /// Number of partitions in the cluster.
+    pub num_partitions: u32,
+    /// Random value in `[0, num_partitions)` the advisor may use for
+    /// random-placement policies; pre-drawn so advisors stay deterministic.
+    pub random_local_partition: PartitionId,
+}
+
+/// How a transaction finished, reported back to the advisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Committed.
+    Committed,
+    /// Control code aborted (user abort); not restarted.
+    UserAborted,
+    /// Gave up after exceeding the restart limit (counted as failed).
+    Failed,
+}
+
+/// The prediction interface. One advisor instance serves a whole simulation;
+/// the simulator processes one transaction at a time, so the advisor may
+/// keep per-transaction scratch state between `plan` and `on_query` calls.
+pub trait TxnAdvisor {
+    /// Advisor name for reports.
+    fn name(&self) -> &str;
+
+    /// Produces the initial plan for a new request.
+    fn plan(&mut self, req: &Request, env: &mut PlanEnv<'_>) -> TxnPlan;
+
+    /// Observes one executed query; returns runtime updates. Default: none.
+    fn on_query(&mut self, _q: &ExecutedQuery) -> Updates {
+        Updates::default()
+    }
+
+    /// Produces a new plan after a mispredict abort. `observed` is the union
+    /// of partitions the transaction touched (or tried to touch) before
+    /// aborting; `attempt` counts restarts so far (first restart = 1).
+    fn replan(
+        &mut self,
+        req: &Request,
+        observed: PartitionSet,
+        attempt: u32,
+        env: &mut PlanEnv<'_>,
+    ) -> TxnPlan;
+
+    /// Transaction finished; advisor may update internal models.
+    fn on_end(&mut self, _outcome: TxnOutcome) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_constructors() {
+        let p = TxnPlan::lock_all(2, 8);
+        assert_eq!(p.lock_set.len(), 8);
+        assert!(p.lock_set.contains(p.base_partition));
+        let s = TxnPlan::single(3);
+        assert!(s.lock_set.is_single());
+        assert_eq!(s.base_partition, 3);
+    }
+
+    #[test]
+    fn updates_default_is_empty() {
+        let u = Updates::default();
+        assert!(u.finished.is_empty());
+        assert!(!u.disable_undo);
+        assert_eq!(u.cost_us, 0.0);
+    }
+}

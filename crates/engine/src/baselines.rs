@@ -1,0 +1,350 @@
+//! The paper's baseline execution strategies (§2.1, §6.4).
+//!
+//! * [`AssumeDistributed`] — every request locks all partitions (Fig. 3
+//!   strategy 1).
+//! * [`AssumeSinglePartition`] — every request runs as a single-partition
+//!   transaction at a random partition on its arrival node, with DB2-style
+//!   redirects/restarts when it deviates (Fig. 3 strategy 2, Fig. 12's
+//!   "Assume Single-Partition").
+//! * [`Oracle`] — the client tells the DBMS exactly which partitions each
+//!   request needs and whether it aborts (Fig. 3's "Proper Selection", the
+//!   best case). It dry-runs the procedure against the live database, which
+//!   in the deterministic simulator yields ground truth.
+
+use crate::advisor::{PlanEnv, Request, TxnAdvisor, TxnPlan, Updates};
+use crate::exec::{run_offline, ExecutedQuery};
+use common::{FxHashMap, PartitionId, PartitionSet};
+
+/// Locks every partition for every transaction.
+#[derive(Debug, Default)]
+pub struct AssumeDistributed;
+
+impl AssumeDistributed {
+    /// New instance.
+    pub fn new() -> Self {
+        AssumeDistributed
+    }
+}
+
+impl TxnAdvisor for AssumeDistributed {
+    fn name(&self) -> &str {
+        "assume-distributed"
+    }
+
+    fn plan(&mut self, _req: &Request, env: &mut PlanEnv<'_>) -> TxnPlan {
+        TxnPlan::lock_all(env.random_local_partition, env.num_partitions)
+    }
+
+    fn replan(
+        &mut self,
+        _req: &Request,
+        _observed: PartitionSet,
+        _attempt: u32,
+        env: &mut PlanEnv<'_>,
+    ) -> TxnPlan {
+        TxnPlan::lock_all(env.random_local_partition, env.num_partitions)
+    }
+}
+
+/// Runs everything single-partition at a random local partition and reacts
+/// to deviations with DB2-style redirects: a transaction that touches one
+/// other partition is restarted there; one that touches several is restarted
+/// as a distributed transaction locking the partitions it tried to access
+/// (escalating to lock-all if it deviates again).
+#[derive(Debug, Default)]
+pub struct AssumeSinglePartition;
+
+impl AssumeSinglePartition {
+    /// New instance.
+    pub fn new() -> Self {
+        AssumeSinglePartition
+    }
+}
+
+impl TxnAdvisor for AssumeSinglePartition {
+    fn name(&self) -> &str {
+        "assume-single-partition"
+    }
+
+    fn plan(&mut self, _req: &Request, env: &mut PlanEnv<'_>) -> TxnPlan {
+        TxnPlan::single(env.random_local_partition)
+    }
+
+    fn replan(
+        &mut self,
+        _req: &Request,
+        observed: PartitionSet,
+        attempt: u32,
+        env: &mut PlanEnv<'_>,
+    ) -> TxnPlan {
+        if attempt == 1 && observed.is_single() {
+            // Wrong node only: redirect there, stay single-partition.
+            TxnPlan::single(observed.first().unwrap())
+        } else if attempt <= 3 && !observed.is_empty() {
+            // Distributed: lock the partitions it tried to access so far
+            // (§2.1); each further violation re-learns and retries.
+            TxnPlan {
+                base_partition: observed.first().unwrap(),
+                lock_set: observed,
+                disable_undo: false,
+                early_prepare: false,
+                estimate_cost_us: 0.0,
+            }
+        } else {
+            TxnPlan::lock_all(
+                observed.first().unwrap_or(env.random_local_partition),
+                env.num_partitions,
+            )
+        }
+    }
+}
+
+/// Perfect information: dry-runs the procedure to learn the exact partitions
+/// it touches, whether it aborts, and when it is finished with each
+/// partition. Zero estimation cost is charged, making this the upper bound
+/// the paper's Fig. 3 calls "Proper Selection".
+#[derive(Debug, Default)]
+pub struct Oracle {
+    /// Per-query remaining-access plan for the in-flight transaction: entry
+    /// `i` is the set of partitions never accessed strictly after query `i`.
+    finish_plan: Vec<PartitionSet>,
+    cursor: usize,
+    base: PartitionId,
+    enable_early_prepare: bool,
+}
+
+impl Oracle {
+    /// New instance.
+    pub fn new() -> Self {
+        Oracle { enable_early_prepare: true, ..Default::default() }
+    }
+
+    /// Disables OP4 finish predictions (for ablations).
+    pub fn without_early_prepare() -> Self {
+        Oracle { enable_early_prepare: false, ..Default::default() }
+    }
+}
+
+impl TxnAdvisor for Oracle {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn plan(&mut self, req: &Request, env: &mut PlanEnv<'_>) -> TxnPlan {
+        let outcome = run_offline(env.db, env.registry, env.catalog, req.proc, &req.args, false)
+            .expect("oracle dry-run");
+        // Count accesses per partition to pick the best base (OP1).
+        let mut counts: FxHashMap<PartitionId, u32> = FxHashMap::default();
+        let mut per_query: Vec<PartitionSet> = Vec::with_capacity(outcome.record.queries.len());
+        for q in &outcome.record.queries {
+            let def = env.catalog.proc(req.proc).query(q.query);
+            let parts = def.estimate_partitions(env.db, &q.params);
+            for p in parts.iter() {
+                *counts.entry(p).or_insert(0) += 1;
+            }
+            per_query.push(parts);
+        }
+        let base = counts
+            .iter()
+            .max_by_key(|(p, c)| (**c, u32::MAX - **p)) // deterministic tiebreak: lowest id
+            .map(|(p, _)| *p)
+            .unwrap_or(env.random_local_partition);
+        // finish_plan[i]: partitions whose last access is query i.
+        let mut later = PartitionSet::EMPTY;
+        let mut finish = vec![PartitionSet::EMPTY; per_query.len()];
+        for i in (0..per_query.len()).rev() {
+            finish[i] = per_query[i].difference(later);
+            later = later.union(per_query[i]);
+        }
+        self.finish_plan = finish;
+        self.cursor = 0;
+        self.base = base;
+        let single = outcome.touched.is_single();
+        TxnPlan {
+            base_partition: base,
+            lock_set: if outcome.touched.is_empty() {
+                PartitionSet::single(base)
+            } else {
+                outcome.touched
+            },
+            // OP3: safe only for committing single-partition transactions.
+            disable_undo: outcome.committed && single,
+            early_prepare: self.enable_early_prepare,
+            estimate_cost_us: 0.0,
+        }
+    }
+
+    fn on_query(&mut self, _q: &ExecutedQuery) -> Updates {
+        let mut upd = Updates::default();
+        if self.enable_early_prepare {
+            if let Some(&fin) = self.finish_plan.get(self.cursor) {
+                let mut fin = fin;
+                fin.remove(self.base);
+                upd.finished = fin;
+            }
+        }
+        self.cursor += 1;
+        upd
+    }
+
+    fn replan(
+        &mut self,
+        req: &Request,
+        _observed: PartitionSet,
+        _attempt: u32,
+        env: &mut PlanEnv<'_>,
+    ) -> TxnPlan {
+        // The oracle only mispredicts if the database changed between the
+        // dry-run and execution, which the sequential simulator precludes;
+        // re-plan from scratch regardless.
+        self.plan(req, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::testing::{kv_database, kv_registry};
+    use common::Value;
+
+    fn env_fixture(parts: u32) -> (storage::Database, crate::ProcedureRegistry, crate::Catalog) {
+        let db = kv_database(parts, 4);
+        let reg = kv_registry();
+        let cat = reg.catalog();
+        (db, reg, cat)
+    }
+
+    #[test]
+    fn oracle_plans_exact_lock_set() {
+        let (mut db, reg, cat) = env_fixture(4);
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &cat,
+            num_partitions: 4,
+            random_local_partition: 0,
+        };
+        let req = Request {
+            proc: 0,
+            args: vec![Value::Array(vec![Value::Int(1), Value::Int(2)])],
+            origin_node: 0,
+        };
+        let mut oracle = Oracle::new();
+        let plan = oracle.plan(&req, &mut env);
+        assert_eq!(plan.lock_set, PartitionSet::from_iter([1u32, 2]));
+        assert!(!plan.disable_undo, "multi-partition keeps undo");
+        assert!(plan.lock_set.contains(plan.base_partition));
+    }
+
+    #[test]
+    fn oracle_disables_undo_for_single_partition() {
+        let (mut db, reg, cat) = env_fixture(4);
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &cat,
+            num_partitions: 4,
+            random_local_partition: 0,
+        };
+        let req = Request {
+            proc: 0,
+            args: vec![Value::Array(vec![Value::Int(1), Value::Int(5)])], // both -> partition 1
+            origin_node: 0,
+        };
+        let plan = Oracle::new().plan(&req, &mut env);
+        assert!(plan.lock_set.is_single());
+        assert!(plan.disable_undo);
+    }
+
+    #[test]
+    fn oracle_keeps_undo_for_aborting_txn() {
+        let (mut db, reg, cat) = env_fixture(4);
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &cat,
+            num_partitions: 4,
+            random_local_partition: 0,
+        };
+        // id 9999 missing -> control code aborts.
+        let req = Request {
+            proc: 0,
+            args: vec![Value::Array(vec![Value::Int(9999)])],
+            origin_node: 0,
+        };
+        let plan = Oracle::new().plan(&req, &mut env);
+        assert!(!plan.disable_undo);
+    }
+
+    #[test]
+    fn oracle_finish_plan_marks_last_access() {
+        let (mut db, reg, cat) = env_fixture(4);
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &cat,
+            num_partitions: 4,
+            random_local_partition: 0,
+        };
+        // ids 1,2: queries are Get(1),Get(2),Bump(1),Bump(2); partition 1's
+        // last access is query 2, partition 2's is query 3.
+        let req = Request {
+            proc: 0,
+            args: vec![Value::Array(vec![Value::Int(1), Value::Int(2)])],
+            origin_node: 0,
+        };
+        let mut oracle = Oracle::new();
+        oracle.plan(&req, &mut env);
+        assert_eq!(oracle.finish_plan.len(), 4);
+        assert!(oracle.finish_plan[0].is_empty());
+        assert!(oracle.finish_plan[1].is_empty());
+        let union = oracle.finish_plan[2].union(oracle.finish_plan[3]);
+        assert_eq!(union, PartitionSet::from_iter([1u32, 2]));
+    }
+
+    #[test]
+    fn assume_sp_redirects_then_escalates() {
+        let (mut db, reg, cat) = env_fixture(4);
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &cat,
+            num_partitions: 4,
+            random_local_partition: 3,
+        };
+        let req = Request { proc: 0, args: vec![], origin_node: 0 };
+        let mut a = AssumeSinglePartition::new();
+        let p0 = a.plan(&req, &mut env);
+        assert_eq!(p0.base_partition, 3);
+        assert!(p0.lock_set.is_single());
+        // Single wrong partition -> redirect.
+        let p1 = a.replan(&req, PartitionSet::single(1), 1, &mut env);
+        assert_eq!(p1.base_partition, 1);
+        assert!(p1.lock_set.is_single());
+        // Multiple -> lock observed.
+        let p2 = a.replan(&req, PartitionSet::from_iter([1u32, 2]), 1, &mut env);
+        assert_eq!(p2.lock_set.len(), 2);
+        // Further deviations keep re-learning the observed set...
+        let p3 = a.replan(&req, PartitionSet::from_iter([1u32, 2, 3]), 2, &mut env);
+        assert_eq!(p3.lock_set.len(), 3);
+        // ...until the escalation cap forces lock-all.
+        let p4 = a.replan(&req, PartitionSet::from_iter([1u32, 2, 3]), 4, &mut env);
+        assert_eq!(p4.lock_set.len(), 4);
+    }
+
+    #[test]
+    fn assume_distributed_locks_all() {
+        let (mut db, reg, cat) = env_fixture(8);
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &cat,
+            num_partitions: 8,
+            random_local_partition: 2,
+        };
+        let req = Request { proc: 0, args: vec![], origin_node: 0 };
+        let plan = AssumeDistributed::new().plan(&req, &mut env);
+        assert_eq!(plan.lock_set.len(), 8);
+        assert_eq!(plan.base_partition, 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! The simulated-time cost model.
+//!
+//! All durations are in microseconds of simulated time. Defaults are
+//! calibrated so that transaction latencies and cluster throughputs land in
+//! the same order of magnitude as the paper's testbed (single-partition
+//! transactions well under a millisecond, TPC-C Delivery tens of
+//! milliseconds, cluster throughput in the thousands of txn/s) — the *shape*
+//! of every curve is what the reproduction targets (DESIGN.md §1).
+
+/// Cost-model parameters, microseconds unless noted.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// CPU to execute one query at a partition (index lookup + row access).
+    pub query_exec_us: f64,
+    /// Extra CPU for a write on top of `query_exec_us`.
+    pub write_extra_us: f64,
+    /// CPU to append one undo record (the OP3 saving; ~30% of write cost,
+    /// echoing the concurrency-control share reported by [14] in §1).
+    pub undo_record_us: f64,
+    /// CPU per control-code step (one batch dispatch) at the base partition.
+    pub control_code_us: f64,
+    /// Per-transaction planning cost at the arrival node.
+    pub planning_us: f64,
+    /// Per-transaction miscellaneous setup ("other" in Fig. 11).
+    pub setup_us: f64,
+    /// One-way message latency between partitions on the same node.
+    pub local_msg_us: f64,
+    /// One-way message latency between nodes.
+    pub remote_msg_us: f64,
+    /// Coordinator CPU per two-phase-commit round.
+    pub twopc_cpu_us: f64,
+    /// Penalty to abort + re-queue a transaction for restart.
+    pub restart_penalty_us: f64,
+    /// CPU to roll back one undo record on abort.
+    pub rollback_record_us: f64,
+    /// Client think time between requests (the paper drives clients with
+    /// zero think time and full queues, §6.4).
+    pub client_think_us: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            query_exec_us: 20.0,
+            write_extra_us: 4.0,
+            undo_record_us: 5.0,
+            control_code_us: 4.0,
+            planning_us: 14.0,
+            setup_us: 10.0,
+            local_msg_us: 3.0,
+            remote_msg_us: 60.0,
+            twopc_cpu_us: 6.0,
+            restart_penalty_us: 350.0,
+            rollback_record_us: 4.0,
+            client_think_us: 0.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// One-way latency between two partitions given the node mapping.
+    pub fn msg_us(&self, node_a: u32, node_b: u32) -> f64 {
+        if node_a == node_b {
+            self.local_msg_us
+        } else {
+            self.remote_msg_us
+        }
+    }
+
+    /// CPU cost of executing one query, including undo logging if enabled.
+    pub fn query_cost_us(&self, is_write: bool, undo_enabled: bool) -> f64 {
+        let mut c = self.query_exec_us;
+        if is_write {
+            c += self.write_extra_us;
+            if undo_enabled {
+                c += self.undo_record_us;
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_cheaper_than_remote() {
+        let c = CostModel::default();
+        assert!(c.msg_us(0, 0) < c.msg_us(0, 1));
+    }
+
+    #[test]
+    fn undo_logging_costs_extra_only_on_writes() {
+        let c = CostModel::default();
+        assert_eq!(c.query_cost_us(false, true), c.query_cost_us(false, false));
+        assert!(c.query_cost_us(true, true) > c.query_cost_us(true, false));
+        assert!(c.query_cost_us(true, false) > c.query_cost_us(false, false));
+    }
+}

@@ -1,0 +1,242 @@
+//! Query execution against storage, shared by the timed simulator and the
+//! offline trace executor.
+
+use crate::catalog::{Catalog, ColumnOp, QueryDef, QueryOp};
+use crate::procedure::{ProcedureRegistry, Step};
+use common::{PartitionSet, ProcId, Result, Value};
+use storage::{Database, Row, UndoLog};
+use trace::{QueryRecord, TraceRecord};
+
+/// A query the transaction actually executed: parameters plus the partitions
+/// it touched. The advisor's runtime-update hook receives these.
+#[derive(Debug, Clone)]
+pub struct ExecutedQuery {
+    /// Query id within the procedure.
+    pub query: common::QueryId,
+    /// Invocation parameters.
+    pub params: Vec<Value>,
+    /// Partitions the invocation touched.
+    pub partitions: PartitionSet,
+    /// True if it wrote.
+    pub is_write: bool,
+}
+
+/// Executes one query invocation against the database, returning the result
+/// rows and the partitions touched. Writes are undo-logged into `undo`.
+///
+/// Missing keys on update/delete affect zero rows (empty result) rather than
+/// erroring; a point select that finds nothing returns an empty result. The
+/// control code decides whether that is an abort condition.
+pub fn execute_query(
+    db: &mut Database,
+    def: &QueryDef,
+    params: &[Value],
+    undo: &mut UndoLog,
+) -> Result<(Vec<Row>, PartitionSet)> {
+    let targets = def.estimate_partitions(db, params);
+    let mut rows = Vec::new();
+    for p in targets.iter() {
+        match &def.op {
+            QueryOp::GetByKey { key_params } => {
+                let key: Vec<Value> =
+                    key_params.iter().map(|&i| params[i].clone()).collect();
+                if let Some(r) = db.get(p, def.table, &key) {
+                    rows.push(r.clone());
+                }
+            }
+            QueryOp::LookupBy { column, param } => {
+                rows.extend(db.lookup_by(p, def.table, *column, &params[*param]));
+            }
+            QueryOp::InsertRow => {
+                db.insert(p, def.table, params.to_vec(), undo)?;
+                rows.push(params.to_vec());
+            }
+            QueryOp::UpdateByKey { key_params, sets } => {
+                let key: Vec<Value> =
+                    key_params.iter().map(|&i| params[i].clone()).collect();
+                if db.get(p, def.table, &key).is_some() {
+                    let sets = sets.clone();
+                    let captured: Vec<Value> = params.to_vec();
+                    db.update(
+                        p,
+                        def.table,
+                        &key,
+                        move |row| apply_sets(row, &sets, &captured),
+                        undo,
+                    )?;
+                    rows.push(db.get(p, def.table, &key).expect("just updated").clone());
+                }
+            }
+            QueryOp::DeleteByKey { key_params } => {
+                let key: Vec<Value> =
+                    key_params.iter().map(|&i| params[i].clone()).collect();
+                if db.get(p, def.table, &key).is_some() {
+                    let before = db.delete(p, def.table, &key, undo)?;
+                    rows.push(before);
+                }
+            }
+        }
+    }
+    Ok((rows, targets))
+}
+
+fn apply_sets(row: &mut Row, sets: &[ColumnOp], params: &[Value]) {
+    for s in sets {
+        match s {
+            ColumnOp::Set { column, param } => row[*column] = params[*param].clone(),
+            ColumnOp::Add { column, param } => {
+                let cur = row[*column].expect_int();
+                row[*column] = Value::Int(cur + params[*param].expect_int());
+            }
+        }
+    }
+}
+
+/// Outcome of an offline (untimed) execution.
+#[derive(Debug, Clone)]
+pub struct OfflineOutcome {
+    /// The trace record: procedure args plus executed queries (paper §3.1).
+    pub record: TraceRecord,
+    /// Partitions the transaction touched, in aggregate.
+    pub touched: PartitionSet,
+    /// True if the transaction committed (false = control-code abort).
+    pub committed: bool,
+}
+
+/// Runs a procedure to completion against the database with no timing — the
+/// workhorse of workload-trace collection and of the Oracle advisor's
+/// dry-runs. If `keep_effects` is false (dry-run) or the control code
+/// aborts, all changes are rolled back.
+pub fn run_offline(
+    db: &mut Database,
+    registry: &ProcedureRegistry,
+    catalog: &Catalog,
+    proc: ProcId,
+    args: &[Value],
+    keep_effects: bool,
+) -> Result<OfflineOutcome> {
+    let mut inst = registry.get(proc).instantiate(args);
+    let mut undo = UndoLog::new();
+    let mut queries = Vec::new();
+    let mut touched = PartitionSet::EMPTY;
+    let mut results: Option<Vec<Vec<Row>>> = None;
+    let committed;
+    'outer: loop {
+        let step = inst.next(results.as_deref());
+        match step {
+            Step::Queries(batch) => {
+                let mut batch_results = Vec::with_capacity(batch.len());
+                for inv in batch {
+                    let def = catalog.proc(proc).query(inv.query);
+                    // Constraint violations abort the transaction like any
+                    // SQL error, mirroring the timed simulator.
+                    let (rows, parts) = match execute_query(db, def, &inv.params, &mut undo) {
+                        Ok(v) => v,
+                        Err(common::Error::Constraint(_)) => {
+                            committed = false;
+                            break 'outer;
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    touched = touched.union(parts);
+                    queries.push(QueryRecord { query: inv.query, params: inv.params });
+                    batch_results.push(rows);
+                }
+                results = Some(batch_results);
+            }
+            Step::Commit => {
+                committed = true;
+                break;
+            }
+            Step::Abort(_) => {
+                committed = false;
+                break;
+            }
+        }
+    }
+    if !committed || !keep_effects {
+        db.rollback(&mut undo)?;
+    }
+    Ok(OfflineOutcome {
+        record: TraceRecord {
+            proc,
+            params: args.to_vec(),
+            queries,
+            aborted: !committed,
+        },
+        touched,
+        committed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::testing::{kv_database, kv_registry};
+
+    #[test]
+    fn offline_commit_mutates_when_keeping_effects() {
+        let mut db = kv_database(4, 4);
+        let reg = kv_registry();
+        let cat = reg.catalog();
+        let args = vec![Value::Array(vec![Value::Int(1), Value::Int(2)])];
+        let out = run_offline(&mut db, &reg, &cat, 0, &args, true).unwrap();
+        assert!(out.committed);
+        assert!(!out.record.aborted);
+        assert_eq!(out.record.queries.len(), 4); // 2 gets + 2 bumps
+        assert_eq!(out.touched, PartitionSet::from_iter([1u32, 2]));
+        assert_eq!(db.get(1, 0, &[Value::Int(1)]).unwrap()[2], Value::Int(1));
+    }
+
+    #[test]
+    fn offline_dry_run_rolls_back() {
+        let mut db = kv_database(4, 4);
+        let reg = kv_registry();
+        let cat = reg.catalog();
+        let args = vec![Value::Array(vec![Value::Int(1)])];
+        let out = run_offline(&mut db, &reg, &cat, 0, &args, false).unwrap();
+        assert!(out.committed);
+        assert_eq!(db.get(1, 0, &[Value::Int(1)]).unwrap()[2], Value::Int(0));
+    }
+
+    #[test]
+    fn offline_abort_rolls_back_and_flags() {
+        let mut db = kv_database(4, 4);
+        let reg = kv_registry();
+        let cat = reg.catalog();
+        // id 999 does not exist -> control code aborts after the read batch.
+        let args = vec![Value::Array(vec![Value::Int(1), Value::Int(999)])];
+        let out = run_offline(&mut db, &reg, &cat, 0, &args, true).unwrap();
+        assert!(!out.committed);
+        assert!(out.record.aborted);
+        assert_eq!(db.get(1, 0, &[Value::Int(1)]).unwrap()[2], Value::Int(0));
+    }
+
+    #[test]
+    fn executed_partitions_match_resolver() {
+        use trace::PartitionResolver;
+        let mut db = kv_database(8, 2);
+        let reg = kv_registry();
+        let cat = reg.catalog();
+        let resolver = crate::catalog::CatalogResolver::new(&cat, 8);
+        let args = vec![Value::Array(vec![Value::Int(3), Value::Int(11)])];
+        let out = run_offline(&mut db, &reg, &cat, 0, &args, true).unwrap();
+        for q in &out.record.queries {
+            let predicted = resolver.partitions(0, q.query, &q.params);
+            assert!(predicted.is_subset(out.touched));
+        }
+    }
+
+    #[test]
+    fn update_on_missing_key_affects_zero_rows() {
+        let mut db = kv_database(2, 2);
+        let reg = kv_registry();
+        let cat = reg.catalog();
+        let def = cat.proc(0).query(1); // BumpKV
+        let mut undo = UndoLog::new();
+        let (rows, _) =
+            execute_query(&mut db, def, &[Value::Int(777), Value::Int(1)], &mut undo).unwrap();
+        assert!(rows.is_empty());
+        assert!(undo.is_empty());
+    }
+}

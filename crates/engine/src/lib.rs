@@ -1,0 +1,42 @@
+//! An H-Store-style parallel main-memory OLTP engine under discrete-event
+//! simulated time.
+//!
+//! Architecture (paper §2, Fig. 1): a cluster of shared-nothing nodes, each
+//! hosting single-threaded execution engines with exclusive access to one
+//! data partition. Clients invoke pre-defined stored procedures; procedures
+//! submit *batches* of parameterized queries and block on their results.
+//!
+//! Everything behavioural is real — queries read and write rows in
+//! [`storage::Database`], partition locks are acquired and released, undo
+//! logs roll back aborts, two-phase commit coordinates distributed
+//! transactions, and the early-prepare/speculative-execution optimizations
+//! (OP4) change when partitions become available. Only *time* is simulated:
+//! a calibrated cost model ([`cost::CostModel`]) charges CPU and network
+//! microseconds, which makes every throughput experiment in the paper
+//! reproducible deterministically on one machine (see DESIGN.md §1 for the
+//! substitution argument).
+//!
+//! The pluggable [`advisor::TxnAdvisor`] decides, per transaction, the base
+//! partition (OP1), the lock set (OP2), whether to run without undo logging
+//! (OP3), and when partitions are finished (OP4). The baseline advisors from
+//! the paper's evaluation live in [`baselines`]; the Houdini advisor lives in
+//! the `houdini` crate.
+
+pub mod advisor;
+pub mod baselines;
+pub mod catalog;
+pub mod cost;
+pub mod exec;
+pub mod metrics;
+pub mod procedure;
+pub mod profiler;
+pub mod sim;
+
+pub use advisor::{PlanEnv, Request, TxnAdvisor, TxnOutcome, TxnPlan, Updates};
+pub use catalog::{Catalog, CatalogResolver, ColumnOp, PartitionHint, ProcDef, QueryDef, QueryOp};
+pub use cost::CostModel;
+pub use exec::{run_offline, ExecutedQuery, OfflineOutcome};
+pub use metrics::{OpCounters, RunMetrics};
+pub use procedure::{Procedure, ProcInstance, ProcedureRegistry, QueryInvocation, Step};
+pub use profiler::{Bucket, Profiler};
+pub use sim::{RequestGenerator, SimConfig, Simulation};

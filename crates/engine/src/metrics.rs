@@ -1,0 +1,166 @@
+//! Run-level metrics: throughput, restarts, and the per-procedure
+//! optimization counters behind Table 4.
+
+use common::{FxHashMap, ProcId};
+
+/// Per-procedure counters of how often each optimization was applied
+/// *successfully at run time* (Table 4's semantics, §6.4):
+///
+/// * **OP1** — the chosen base partition turned out to be (one of) the
+///   partition(s) the transaction accessed most.
+/// * **OP2** — the predicted lock set matched the accessed partitions
+///   exactly: no mispredict restart, no unused locked partition.
+/// * **OP3** — the transaction executed some or all of its work without
+///   undo logging.
+/// * **OP4** — the transaction's early-prepares let other transactions run
+///   speculatively, or the transaction itself executed speculatively.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpCounters {
+    /// Committed transactions observed.
+    pub txns: u64,
+    /// OP1 successes.
+    pub op1: u64,
+    /// Transactions where OP1 was applicable (advisor chose a base).
+    pub op1_applicable: u64,
+    /// OP2 successes.
+    pub op2: u64,
+    /// Transactions where OP2 was applicable.
+    pub op2_applicable: u64,
+    /// OP3 successes (ran at least partly without undo logging).
+    pub op3: u64,
+    /// OP4 successes (speculative execution happened because of this txn's
+    /// early prepare, or this txn ran speculatively).
+    pub op4: u64,
+}
+
+impl OpCounters {
+    fn pct(n: u64, d: u64) -> Option<f64> {
+        if d == 0 {
+            None
+        } else {
+            Some(100.0 * n as f64 / d as f64)
+        }
+    }
+
+    /// OP1 success percentage (None if never applicable — Table 4's "-").
+    pub fn op1_pct(&self) -> Option<f64> {
+        Self::pct(self.op1, self.op1_applicable)
+    }
+
+    /// OP2 success percentage.
+    pub fn op2_pct(&self) -> Option<f64> {
+        Self::pct(self.op2, self.op2_applicable)
+    }
+
+    /// OP3 percentage over committed transactions.
+    pub fn op3_pct(&self) -> Option<f64> {
+        if self.op3 == 0 {
+            None
+        } else {
+            Self::pct(self.op3, self.txns)
+        }
+    }
+
+    /// OP4 percentage over committed transactions.
+    pub fn op4_pct(&self) -> Option<f64> {
+        if self.op4 == 0 {
+            None
+        } else {
+            Self::pct(self.op4, self.txns)
+        }
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Committed transactions inside the measurement window.
+    pub committed: u64,
+    /// Committed transactions per procedure (measurement window).
+    pub committed_by_proc: FxHashMap<ProcId, u64>,
+    /// User aborts (control-code rollbacks).
+    pub user_aborts: u64,
+    /// Mispredict restarts (lock-set or base-partition misses).
+    pub restarts: u64,
+    /// Transactions that executed speculatively.
+    pub speculative: u64,
+    /// Transactions that ran (partly) without undo logging.
+    pub no_undo: u64,
+    /// Distributed (multi-partition) transactions.
+    pub distributed: u64,
+    /// Single-partition transactions.
+    pub single_partition: u64,
+    /// Sum of client-visible latency (µs) over committed txns.
+    pub total_latency_us: f64,
+    /// Partition-µs spent reserved-but-idle by distributed transactions
+    /// (fragment done or never used, waiting for 2PC) — what OP4 recovers.
+    pub reserved_idle_us: f64,
+    /// Per-procedure summed latency (µs) over committed in-window txns.
+    pub latency_by_proc: FxHashMap<ProcId, f64>,
+    /// Simulated length of the measurement window (µs).
+    pub window_us: f64,
+    /// Per-procedure optimization counters.
+    pub ops: FxHashMap<ProcId, OpCounters>,
+}
+
+impl RunMetrics {
+    /// Committed transactions per simulated second.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.window_us <= 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / (self.window_us / 1_000_000.0)
+    }
+
+    /// Mean client-visible latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.total_latency_us / self.committed as f64 / 1000.0
+    }
+
+    /// Counter cell for `proc`, creating it on demand.
+    pub fn ops_mut(&mut self, proc: ProcId) -> &mut OpCounters {
+        self.ops.entry(proc).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let m = RunMetrics {
+            committed: 5000,
+            window_us: 1_000_000.0,
+            ..Default::default()
+        };
+        assert!((m.throughput_tps() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.throughput_tps(), 0.0);
+        assert_eq!(m.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn op_percentages() {
+        let c = OpCounters {
+            txns: 100,
+            op1: 95,
+            op1_applicable: 100,
+            op2: 50,
+            op2_applicable: 50,
+            op3: 0,
+            op4: 10,
+        };
+        assert_eq!(c.op1_pct(), Some(95.0));
+        assert_eq!(c.op2_pct(), Some(100.0));
+        assert_eq!(c.op3_pct(), None, "never applied -> dash");
+        assert_eq!(c.op4_pct(), Some(10.0));
+    }
+}

@@ -1,0 +1,264 @@
+//! Batch-structured stored procedures.
+//!
+//! H-Store control code submits batches of parameterized queries and blocks
+//! for their results (paper §2, Fig. 2). We model each procedure as an
+//! explicit state machine: [`ProcInstance::next`] receives the previous
+//! batch's results and returns either another batch, `Commit`, or `Abort`.
+//! This is deterministic, allocation-light, and drives both the timed
+//! simulator and the offline trace executor with identical semantics.
+
+use crate::catalog::ProcDef;
+use common::{ProcId, QueryId, Value};
+use storage::Row;
+
+/// One query invocation inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryInvocation {
+    /// Query id within the procedure's catalog entry.
+    pub query: QueryId,
+    /// Parameter values for this invocation.
+    pub params: Vec<Value>,
+}
+
+impl QueryInvocation {
+    /// Shorthand constructor.
+    pub fn new(query: QueryId, params: Vec<Value>) -> Self {
+        QueryInvocation { query, params }
+    }
+}
+
+/// What the control code wants to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Execute these queries (conceptually in parallel) and hand back the
+    /// results.
+    Queries(Vec<QueryInvocation>),
+    /// Commit the transaction.
+    Commit,
+    /// Abort the transaction (user/application abort, e.g. TPC-C invalid
+    /// item).
+    Abort(String),
+}
+
+/// A running invocation of a stored procedure: the control code plus its
+/// local variables.
+pub trait ProcInstance {
+    /// Advances the control code. `results` is `None` on the first call;
+    /// afterwards it holds one `Vec<Row>` per query of the previous batch,
+    /// in batch order.
+    fn next(&mut self, results: Option<&[Vec<Row>]>) -> Step;
+}
+
+/// A stored procedure: catalog metadata plus a factory for running
+/// instances.
+pub trait Procedure: Send + Sync {
+    /// The procedure's catalog definition (queries, names, flags).
+    fn def(&self) -> &ProcDef;
+    /// Starts a new invocation with the given input parameters.
+    fn instantiate(&self, args: &[Value]) -> Box<dyn ProcInstance>;
+}
+
+/// The set of procedures a benchmark registers with the engine. Procedure
+/// ids index into this registry and into the matching [`crate::Catalog`].
+pub struct ProcedureRegistry {
+    procs: Vec<Box<dyn Procedure>>,
+}
+
+impl ProcedureRegistry {
+    /// Builds a registry from boxed procedures; their order defines ids.
+    pub fn new(procs: Vec<Box<dyn Procedure>>) -> Self {
+        ProcedureRegistry { procs }
+    }
+
+    /// The procedure registered under `id`.
+    pub fn get(&self, id: ProcId) -> &dyn Procedure {
+        self.procs[id as usize].as_ref()
+    }
+
+    /// Number of procedures.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Builds the [`crate::Catalog`] matching this registry.
+    pub fn catalog(&self) -> crate::Catalog {
+        crate::Catalog {
+            procs: self.procs.iter().map(|p| p.def().clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    //! A tiny single-table benchmark used by engine unit tests.
+
+    use super::*;
+    use crate::catalog::{ColumnOp, PartitionHint, QueryDef, QueryOp};
+    use storage::{Database, Schema};
+
+    /// Builds a 1-table database: `KV(ID, GRP, VAL)` partitioned on `ID`,
+    /// pre-loaded with `rows_per_partition * parts` rows (ID = 0..n).
+    pub fn kv_database(parts: u32, rows_per_partition: u32) -> Database {
+        let schemas = vec![Schema::new("KV", &["ID", "GRP", "VAL"], &[0], Some(0))];
+        let mut db = Database::new(schemas, parts, &[("KV", 1)]);
+        let mut undo = storage::UndoLog::new();
+        let n = parts * rows_per_partition;
+        for i in 0..n {
+            let p = db.partition_for_value(&Value::Int(i as i64));
+            db.insert(
+                p,
+                0,
+                vec![
+                    Value::Int(i as i64),
+                    Value::Int((i % 10) as i64),
+                    Value::Int(0),
+                ],
+                &mut undo,
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// `MultiGet` reads `ids[0..]`, then increments `VAL` on each, then
+    /// commits; aborts instead if any id is missing. Query 0 = `GetKV`,
+    /// query 1 = `BumpKV`.
+    pub struct MultiGetProc {
+        def: ProcDef,
+    }
+
+    impl MultiGetProc {
+        pub fn new() -> Self {
+            MultiGetProc {
+                def: ProcDef {
+                    name: "MultiGet".into(),
+                    queries: vec![
+                        QueryDef {
+                            name: "GetKV".into(),
+                            table: 0,
+                            op: QueryOp::GetByKey { key_params: vec![0] },
+                            hint: PartitionHint::Param(0),
+                        },
+                        QueryDef {
+                            name: "BumpKV".into(),
+                            table: 0,
+                            op: QueryOp::UpdateByKey {
+                                key_params: vec![0],
+                                sets: vec![ColumnOp::Add { column: 2, param: 1 }],
+                            },
+                            hint: PartitionHint::Param(0),
+                        },
+                    ],
+                    read_only: false,
+                    can_abort: true,
+                },
+            }
+        }
+    }
+
+    impl Procedure for MultiGetProc {
+        fn def(&self) -> &ProcDef {
+            &self.def
+        }
+
+        fn instantiate(&self, args: &[Value]) -> Box<dyn ProcInstance> {
+            let ids: Vec<i64> = args[0]
+                .as_array()
+                .expect("arg 0 is id array")
+                .iter()
+                .map(|v| v.expect_int())
+                .collect();
+            Box::new(MultiGetInstance { ids, stage: 0 })
+        }
+    }
+
+    struct MultiGetInstance {
+        ids: Vec<i64>,
+        stage: u8,
+    }
+
+    impl ProcInstance for MultiGetInstance {
+        fn next(&mut self, results: Option<&[Vec<Row>]>) -> Step {
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    Step::Queries(
+                        self.ids
+                            .iter()
+                            .map(|&id| QueryInvocation::new(0, vec![Value::Int(id)]))
+                            .collect(),
+                    )
+                }
+                1 => {
+                    let results = results.unwrap();
+                    if results.iter().any(|r| r.is_empty()) {
+                        return Step::Abort("missing id".into());
+                    }
+                    self.stage = 2;
+                    Step::Queries(
+                        self.ids
+                            .iter()
+                            .map(|&id| {
+                                QueryInvocation::new(1, vec![Value::Int(id), Value::Int(1)])
+                            })
+                            .collect(),
+                    )
+                }
+                _ => Step::Commit,
+            }
+        }
+    }
+
+    /// Registry with just `MultiGet`.
+    pub fn kv_registry() -> ProcedureRegistry {
+        ProcedureRegistry::new(vec![Box::new(MultiGetProc::new())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::*;
+    use super::*;
+
+    #[test]
+    fn registry_and_catalog_agree() {
+        let reg = kv_registry();
+        assert_eq!(reg.len(), 1);
+        let cat = reg.catalog();
+        assert_eq!(cat.proc(0).name, "MultiGet");
+        assert_eq!(cat.proc(0).query_id("BumpKV"), Some(1));
+    }
+
+    #[test]
+    fn state_machine_walkthrough() {
+        let reg = kv_registry();
+        let mut inst = reg
+            .get(0)
+            .instantiate(&[Value::Array(vec![Value::Int(1), Value::Int(2)])]);
+        let s0 = inst.next(None);
+        match s0 {
+            Step::Queries(qs) => assert_eq!(qs.len(), 2),
+            _ => panic!("expected queries"),
+        }
+        // Fake non-empty results.
+        let fake = vec![vec![vec![Value::Int(1)]], vec![vec![Value::Int(2)]]];
+        let s1 = inst.next(Some(&fake));
+        assert!(matches!(s1, Step::Queries(ref qs) if qs[0].query == 1));
+        let s2 = inst.next(Some(&fake));
+        assert_eq!(s2, Step::Commit);
+    }
+
+    #[test]
+    fn abort_on_missing() {
+        let reg = kv_registry();
+        let mut inst = reg.get(0).instantiate(&[Value::Array(vec![Value::Int(1)])]);
+        inst.next(None);
+        let empty = vec![vec![]];
+        assert!(matches!(inst.next(Some(&empty)), Step::Abort(_)));
+    }
+}

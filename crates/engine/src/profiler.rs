@@ -1,0 +1,171 @@
+//! The per-procedure transaction-time profiler behind Fig. 11.
+//!
+//! The paper instruments H-Store to attribute each transaction's wall time
+//! to five buckets: (1) estimating optimizations, (2) executing control code
+//! and queries, (3) planning, (4) coordinating execution, and (5) other
+//! setup operations. Profiling starts when a request arrives at a node and
+//! stops when the result is sent back to the client.
+
+use common::{FxHashMap, ProcId};
+
+/// The five attribution buckets of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// Advisor time: initial path estimate + runtime updates.
+    Estimation,
+    /// Control code + query execution.
+    Execution,
+    /// Query planning.
+    Planning,
+    /// Network, locking, and two-phase-commit coordination.
+    Coordination,
+    /// Miscellaneous setup.
+    Other,
+}
+
+impl Bucket {
+    /// All buckets, in Fig. 11's legend order.
+    pub const ALL: [Bucket; 5] = [
+        Bucket::Estimation,
+        Bucket::Execution,
+        Bucket::Planning,
+        Bucket::Coordination,
+        Bucket::Other,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::Estimation => "Estimation",
+            Bucket::Execution => "Execution",
+            Bucket::Planning => "Planning",
+            Bucket::Coordination => "Coordination",
+            Bucket::Other => "Other",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct ProcTimes {
+    us: [f64; 5],
+    txns: u64,
+}
+
+/// Accumulates simulated microseconds per (procedure, bucket).
+#[derive(Debug, Default)]
+pub struct Profiler {
+    per_proc: FxHashMap<ProcId, ProcTimes>,
+}
+
+impl Profiler {
+    /// Empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Adds `us` microseconds of `bucket` time for `proc`.
+    pub fn add(&mut self, proc: ProcId, bucket: Bucket, us: f64) {
+        debug_assert!(us >= 0.0, "negative time {us}");
+        let entry = self.per_proc.entry(proc).or_default();
+        entry.us[bucket as usize] += us;
+    }
+
+    /// Marks one completed transaction of `proc` (for averaging).
+    pub fn finish_txn(&mut self, proc: ProcId) {
+        self.per_proc.entry(proc).or_default().txns += 1;
+    }
+
+    /// Total recorded microseconds for `proc` across buckets.
+    pub fn total_us(&self, proc: ProcId) -> f64 {
+        self.per_proc
+            .get(&proc)
+            .map(|t| t.us.iter().sum())
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of `proc`'s recorded time in `bucket` (Fig. 11's y-axis).
+    pub fn share(&self, proc: ProcId, bucket: Bucket) -> f64 {
+        let total = self.total_us(proc);
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.per_proc.get(&proc).map(|t| t.us[bucket as usize]).unwrap_or(0.0) / total
+    }
+
+    /// Mean microseconds per transaction of `proc` spent in `bucket`
+    /// (Table 4's rightmost column uses `Estimation`).
+    pub fn mean_us(&self, proc: ProcId, bucket: Bucket) -> f64 {
+        match self.per_proc.get(&proc) {
+            Some(t) if t.txns > 0 => t.us[bucket as usize] / t.txns as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Transactions recorded for `proc`.
+    pub fn txns(&self, proc: ProcId) -> u64 {
+        self.per_proc.get(&proc).map(|t| t.txns).unwrap_or(0)
+    }
+
+    /// Procedures with recorded time, ascending by id.
+    pub fn procs(&self) -> Vec<ProcId> {
+        let mut ids: Vec<ProcId> = self.per_proc.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Weighted-average estimation share across all procedures (the paper's
+    /// headline "5.8% of total execution time", §6.3).
+    pub fn overall_share(&self, bucket: Bucket) -> f64 {
+        let total: f64 = self.per_proc.values().map(|t| t.us.iter().sum::<f64>()).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let b: f64 = self.per_proc.values().map(|t| t.us[bucket as usize]).sum();
+        b / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut p = Profiler::new();
+        p.add(0, Bucket::Estimation, 10.0);
+        p.add(0, Bucket::Execution, 70.0);
+        p.add(0, Bucket::Coordination, 20.0);
+        let sum: f64 = Bucket::ALL.iter().map(|&b| p.share(0, b)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((p.share(0, Bucket::Execution) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_per_txn() {
+        let mut p = Profiler::new();
+        p.add(1, Bucket::Estimation, 30.0);
+        p.finish_txn(1);
+        p.finish_txn(1);
+        p.finish_txn(1);
+        assert!((p.mean_us(1, Bucket::Estimation) - 10.0).abs() < 1e-12);
+        assert_eq!(p.txns(1), 3);
+    }
+
+    #[test]
+    fn empty_proc_is_zero() {
+        let p = Profiler::new();
+        assert_eq!(p.total_us(9), 0.0);
+        assert_eq!(p.share(9, Bucket::Other), 0.0);
+        assert_eq!(p.mean_us(9, Bucket::Other), 0.0);
+    }
+
+    #[test]
+    fn overall_share_weighted() {
+        let mut p = Profiler::new();
+        p.add(0, Bucket::Estimation, 10.0);
+        p.add(0, Bucket::Execution, 90.0);
+        p.add(1, Bucket::Estimation, 0.0);
+        p.add(1, Bucket::Execution, 100.0);
+        assert!((p.overall_share(Bucket::Estimation) - 0.05).abs() < 1e-12);
+    }
+}

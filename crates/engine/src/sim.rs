@@ -1,0 +1,882 @@
+//! The timed cluster simulation.
+//!
+//! Closed-loop clients (the paper uses 4 per partition, §6.4) issue stored
+//! procedure requests against a cluster of `num_partitions` partitions,
+//! `partitions_per_node` per node. Transactions execute for real against
+//! [`storage::Database`]; the simulator tracks *when* each partition is busy
+//! and charges [`crate::CostModel`] microseconds for CPU and messages.
+//!
+//! Concurrency model: each partition is a single-threaded server. A
+//! transaction waits until every partition in its lock set is available,
+//! occupies them while it runs, and releases them at commit — except
+//! partitions the advisor declared *finished* (OP4), which are released
+//! early and opened for speculative execution until the distributed
+//! transaction's two-phase commit completes.
+
+use crate::advisor::{PlanEnv, Request, TxnAdvisor, TxnOutcome, TxnPlan};
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::exec::{execute_query, ExecutedQuery};
+use crate::metrics::RunMetrics;
+use crate::procedure::{ProcedureRegistry, Step};
+use crate::profiler::{Bucket, Profiler};
+use common::{
+    derive_seed, seeded_rng, Error, FxHashMap, PartitionId, PartitionSet, ProcId, Result, Value,
+};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use storage::{Database, Row, UndoLog};
+
+/// Supplies the next request for a given client stream. Implemented by the
+/// benchmark workload generators.
+pub trait RequestGenerator {
+    /// The next (procedure, args) pair for client `client`.
+    fn next_request(&mut self, client: u64) -> (ProcId, Vec<Value>);
+}
+
+impl RequestGenerator for Box<dyn RequestGenerator> {
+    fn next_request(&mut self, client: u64) -> (ProcId, Vec<Value>) {
+        self.as_mut().next_request(client)
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of partitions in the cluster (≤ 64).
+    pub num_partitions: u32,
+    /// Partitions hosted per node (the paper uses 2).
+    pub partitions_per_node: u32,
+    /// Closed-loop clients per partition (the paper uses 4).
+    pub clients_per_partition: u32,
+    /// Simulated warm-up before measurement starts (µs).
+    pub warmup_us: f64,
+    /// Measurement window length (µs).
+    pub measure_us: f64,
+    /// RNG seed (origin-node draws, random-partition policies).
+    pub seed: u64,
+    /// Mispredict restarts before falling back to lock-all.
+    pub max_restarts: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_partitions: 4,
+            partitions_per_node: 2,
+            clients_per_partition: 4,
+            warmup_us: 100_000.0,
+            measure_us: 1_000_000.0,
+            seed: 7,
+            max_restarts: 2,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_partitions.div_ceil(self.partitions_per_node)
+    }
+
+    /// Node hosting partition `p`.
+    pub fn node_of(&self, p: PartitionId) -> u32 {
+        p / self.partitions_per_node
+    }
+}
+
+/// Speculation window on a partition: open between an early release and the
+/// releasing transaction's commit point.
+#[derive(Debug, Clone, Copy)]
+struct SpecWindow {
+    /// When the releasing distributed transaction commits.
+    until: f64,
+    /// Bitmask of table ids the distributed transaction wrote *at this
+    /// partition*; speculative transactions touching these tables defer
+    /// their commit acknowledgement (paper §2 OP4).
+    written_tables: u64,
+}
+
+/// Outcome of one execution attempt.
+enum Attempt {
+    Done(TxnSummary),
+    /// The transaction touched (or was about to touch) a partition outside
+    /// its lock set, or re-touched an early-released partition.
+    Mispredict { observed: PartitionSet, t_fail: f64 },
+}
+
+/// Everything the simulator needs to know about a finished transaction.
+struct TxnSummary {
+    committed: bool,
+    client_done: f64,
+    accessed: PartitionSet,
+    access_counts: FxHashMap<PartitionId, u32>,
+    speculative: bool,
+    undo_disabled_ever: bool,
+    early_released: bool,
+    distributed: bool,
+}
+
+/// The simulation driver. Borrows the database, advisor, and generator; owns
+/// clocks, metrics, and the profiler.
+pub struct Simulation<'a> {
+    db: &'a mut Database,
+    registry: &'a ProcedureRegistry,
+    catalog: Catalog,
+    advisor: &'a mut dyn TxnAdvisor,
+    gen: &'a mut dyn RequestGenerator,
+    costs: CostModel,
+    cfg: SimConfig,
+    avail: Vec<f64>,
+    spec: Vec<Option<SpecWindow>>,
+    profiler: Profiler,
+    metrics: RunMetrics,
+}
+
+/// Heap key: earliest event first. Times are finite by construction.
+#[derive(PartialEq, PartialOrd)]
+struct Tf(f64);
+impl Eq for Tf {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Tf {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite times")
+    }
+}
+
+impl<'a> Simulation<'a> {
+    /// Builds a simulation over `db` using `advisor` and `gen`.
+    pub fn new(
+        db: &'a mut Database,
+        registry: &'a ProcedureRegistry,
+        advisor: &'a mut dyn TxnAdvisor,
+        gen: &'a mut dyn RequestGenerator,
+        costs: CostModel,
+        cfg: SimConfig,
+    ) -> Self {
+        assert_eq!(db.num_partitions(), cfg.num_partitions, "db/config mismatch");
+        let n = cfg.num_partitions as usize;
+        let catalog = registry.catalog();
+        Simulation {
+            db,
+            registry,
+            catalog,
+            advisor,
+            gen,
+            costs,
+            cfg,
+            avail: vec![0.0; n],
+            spec: vec![None; n],
+            profiler: Profiler::new(),
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Runs the closed loop to completion and returns the metrics.
+    /// Errors only on an unrecoverable abort (a transaction aborted after
+    /// its advisor disabled undo logging — "the node must halt", §2 OP3).
+    pub fn run(mut self) -> Result<(RunMetrics, Profiler)> {
+        let end = self.cfg.warmup_us + self.cfg.measure_us;
+        let clients = u64::from(self.cfg.num_partitions * self.cfg.clients_per_partition);
+        let mut heap: BinaryHeap<Reverse<(Tf, u64)>> = BinaryHeap::new();
+        let mut rng = seeded_rng(derive_seed(self.cfg.seed, 0xC11E47));
+        for c in 0..clients {
+            // Slight arrival jitter so clients do not lockstep at t=0.
+            heap.push(Reverse((Tf(c as f64 * 0.1), c)));
+        }
+        while let Some(Reverse((Tf(t), client))) = heap.pop() {
+            if t >= end {
+                break;
+            }
+            let (proc, args) = self.gen.next_request(client);
+            let origin_node = rng.gen_range(0..self.cfg.num_nodes());
+            let local_part = origin_node * self.cfg.partitions_per_node
+                + rng.gen_range(0..self.cfg.partitions_per_node);
+            let local_part = local_part.min(self.cfg.num_partitions - 1);
+            let req = Request { proc, args, origin_node };
+            let summary = self.process_txn(&req, t, local_part)?;
+            heap.push(Reverse((
+                Tf(summary.client_done + self.costs.client_think_us),
+                client,
+            )));
+        }
+        self.metrics.window_us = self.cfg.measure_us;
+        Ok((self.metrics, self.profiler))
+    }
+
+    fn process_txn(
+        &mut self,
+        req: &Request,
+        t_arrive: f64,
+        random_local_partition: PartitionId,
+    ) -> Result<TxnSummary> {
+        let mut plan = {
+            let mut env = PlanEnv {
+                db: self.db,
+                registry: self.registry,
+                catalog: &self.catalog,
+                num_partitions: self.cfg.num_partitions,
+                random_local_partition,
+            };
+            self.advisor.plan(req, &mut env)
+        };
+        let mut t = t_arrive;
+        let mut attempt = 0u32;
+        loop {
+            plan.lock_set.insert(plan.base_partition);
+            match self.try_execute(req, &plan, t, attempt)? {
+                Attempt::Done(summary) => {
+                    self.finish_txn(req, &plan, &summary, t_arrive);
+                    self.advisor.on_end(if summary.committed {
+                        TxnOutcome::Committed
+                    } else {
+                        TxnOutcome::UserAborted
+                    });
+                    return Ok(summary);
+                }
+                Attempt::Mispredict { observed, t_fail } => {
+                    attempt += 1;
+                    self.metrics.restarts += 1;
+                    t = t_fail + self.costs.restart_penalty_us;
+                    plan = if attempt > self.cfg.max_restarts {
+                        TxnPlan::lock_all(
+                            observed.first().unwrap_or(plan.base_partition),
+                            self.cfg.num_partitions,
+                        )
+                    } else {
+                        let mut env = PlanEnv {
+                            db: self.db,
+                            registry: self.registry,
+                            catalog: &self.catalog,
+                            num_partitions: self.cfg.num_partitions,
+                            random_local_partition,
+                        };
+                        self.advisor.replan(req, observed, attempt, &mut env)
+                    };
+                }
+            }
+        }
+    }
+
+    /// Updates run metrics and Table 4 counters for a finished transaction.
+    fn finish_txn(&mut self, req: &Request, plan: &TxnPlan, s: &TxnSummary, t_arrive: f64) {
+        let in_window = s.client_done >= self.cfg.warmup_us
+            && s.client_done < self.cfg.warmup_us + self.cfg.measure_us;
+        self.profiler.finish_txn(req.proc);
+        if !s.committed {
+            self.metrics.user_aborts += 1;
+            return;
+        }
+        if in_window {
+            self.metrics.committed += 1;
+            *self.metrics.committed_by_proc.entry(req.proc).or_insert(0) += 1;
+            self.metrics.total_latency_us += s.client_done - t_arrive;
+            *self.metrics.latency_by_proc.entry(req.proc).or_insert(0.0) +=
+                s.client_done - t_arrive;
+        }
+        if s.distributed {
+            self.metrics.distributed += 1;
+        } else {
+            self.metrics.single_partition += 1;
+        }
+        if s.speculative {
+            self.metrics.speculative += 1;
+        }
+        if s.undo_disabled_ever {
+            self.metrics.no_undo += 1;
+        }
+        let ops = self.metrics.ops_mut(req.proc);
+        ops.txns += 1;
+        // OP1: base partition is among the most-accessed partitions, and the
+        // choice was meaningful (access counts are not uniform over all
+        // partitions — e.g. broadcast-only transactions have no "best" base).
+        let max_count = s.access_counts.values().copied().max().unwrap_or(0);
+        let min_count = if s.accessed.len() == self.cfg.num_partitions {
+            s.access_counts.values().copied().min().unwrap_or(0)
+        } else {
+            0
+        };
+        if max_count > min_count {
+            ops.op1_applicable += 1;
+            if s.access_counts.get(&plan.base_partition).copied().unwrap_or(0) == max_count {
+                ops.op1 += 1;
+            }
+        }
+        // OP2: lock set exactly matched what was accessed.
+        ops.op2_applicable += 1;
+        if plan.lock_set == s.accessed {
+            ops.op2 += 1;
+        }
+        if s.undo_disabled_ever {
+            ops.op3 += 1;
+        }
+        if s.speculative || s.early_released {
+            ops.op4 += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn try_execute(
+        &mut self,
+        req: &Request,
+        plan: &TxnPlan,
+        t0: f64,
+        _attempt: u32,
+    ) -> Result<Attempt> {
+        let proc = req.proc;
+        let base = plan.base_partition;
+        let base_node = self.cfg.node_of(base);
+        let lock_set = plan.lock_set;
+        let distributed = !lock_set.is_single();
+
+        // Arrival-node work: estimation, planning, setup.
+        let mut t = t0;
+        self.profiler.add(proc, Bucket::Estimation, plan.estimate_cost_us);
+        self.profiler.add(proc, Bucket::Planning, self.costs.planning_us);
+        self.profiler.add(proc, Bucket::Other, self.costs.setup_us);
+        t += plan.estimate_cost_us + self.costs.planning_us + self.costs.setup_us;
+        if base_node != req.origin_node {
+            let hop = self.costs.msg_us(req.origin_node, base_node);
+            self.profiler.add(proc, Bucket::Coordination, hop);
+            t += hop;
+        }
+
+        // Lazy lock acquisition (H-Store fragment queues): the control code
+        // starts when the base partition frees; remote partitions are
+        // occupied only when their first fragment arrives, and partitions
+        // that are locked but never used are reserved retroactively until
+        // commit. `held` tracks each used partition's latest fragment
+        // completion.
+        t = t.max(self.avail[base as usize]);
+        let mut held: FxHashMap<PartitionId, f64> = FxHashMap::default();
+        held.insert(base, t);
+
+        // Are we starting inside someone's speculation window?
+        let mut speculative = false;
+        let mut spec_wait_until = 0.0f64;
+        let mut spec_conflict_tables = 0u64;
+        let note_spec = |spec: &[Option<SpecWindow>],
+                             p: PartitionId,
+                             at: f64,
+                             speculative: &mut bool,
+                             wait: &mut f64,
+                             tables: &mut u64| {
+            if let Some(w) = spec[p as usize] {
+                if at < w.until {
+                    *speculative = true;
+                    *wait = wait.max(w.until);
+                    *tables |= w.written_tables;
+                }
+            }
+        };
+        note_spec(
+            &self.spec,
+            base,
+            t,
+            &mut speculative,
+            &mut spec_wait_until,
+            &mut spec_conflict_tables,
+        );
+
+        // Undo decision: speculative transactions always keep undo logging
+        // (paper §4.3 OP3).
+        let start_without_undo = plan.disable_undo && !speculative;
+        let mut undo = if start_without_undo {
+            UndoLog::disabled()
+        } else {
+            UndoLog::new()
+        };
+        let mut undo_disabled_ever = start_without_undo;
+
+        let mut inst = self.registry.get(proc).instantiate(&req.args);
+        let mut results: Option<Vec<Vec<Row>>> = None;
+        let mut accessed = PartitionSet::EMPTY;
+        let mut access_counts: FxHashMap<PartitionId, u32> = FxHashMap::default();
+        let mut touched_tables = 0u64;
+        let mut wrote_by_partition: FxHashMap<PartitionId, u64> = FxHashMap::default();
+        let mut released: FxHashMap<PartitionId, f64> = FxHashMap::default();
+        let mut pending_abort: Option<String> = None;
+
+        loop {
+            let step = match pending_abort.take() {
+                Some(msg) => Step::Abort(msg),
+                None => inst.next(results.as_deref()),
+            };
+            match step {
+                Step::Queries(batch) => {
+                    self.profiler.add(proc, Bucket::Execution, self.costs.control_code_us);
+                    t += self.costs.control_code_us;
+
+                    // Validate targets before touching storage so a
+                    // mispredicted batch can abort cleanly. The transaction
+                    // only learns the partitions of the queries up to and
+                    // including the first offending one — it aborts there,
+                    // like a real engine that discovers the violation when
+                    // the query is dispatched.
+                    let mut seen_targets = PartitionSet::EMPTY;
+                    let mut violation = false;
+                    for inv in &batch {
+                        let def = self.catalog.proc(proc).query(inv.query);
+                        let targets = def.estimate_partitions(self.db, &inv.params);
+                        seen_targets = seen_targets.union(targets);
+                        if !targets.is_subset(lock_set)
+                            || targets.iter().any(|p| released.contains_key(&p))
+                        {
+                            violation = true;
+                            break;
+                        }
+                    }
+                    if violation {
+                        return self.mispredict_abort(
+                            proc,
+                            t,
+                            &mut undo,
+                            lock_set,
+                            accessed.union(seen_targets),
+                            &released,
+                        );
+                    }
+
+                    // Execute: local queries run at the base engine; remote
+                    // queries are shipped once per partition per batch.
+                    let t_batch_start = t;
+                    let mut batch_results = Vec::with_capacity(batch.len());
+                    let mut remote_work: FxHashMap<PartitionId, f64> = FxHashMap::default();
+                    let mut pending_release = PartitionSet::EMPTY;
+                    for inv in batch {
+                        let def = self.catalog.proc(proc).query(inv.query);
+                        let is_write = def.is_write();
+                        // A constraint violation (duplicate key, bad arity)
+                        // aborts the transaction like any SQL error.
+                        let (rows, parts) =
+                            match execute_query(self.db, def, &inv.params, &mut undo) {
+                                Ok(v) => v,
+                                Err(Error::Constraint(msg)) => {
+                                    pending_abort = Some(msg);
+                                    break;
+                                }
+                                Err(e) => return Err(e),
+                            };
+                        accessed = accessed.union(parts);
+                        touched_tables |= 1 << def.table;
+                        if is_write {
+                            for p in parts.iter() {
+                                *wrote_by_partition.entry(p).or_insert(0) |= 1 << def.table;
+                            }
+                        }
+                        let qcost = self.costs.query_cost_us(is_write, undo.is_enabled());
+                        for p in parts.iter() {
+                            *access_counts.entry(p).or_insert(0) += 1;
+                            if p == base {
+                                self.profiler.add(proc, Bucket::Execution, qcost);
+                                t += qcost;
+                            } else {
+                                *remote_work.entry(p).or_insert(0.0) += qcost;
+                            }
+                        }
+                        let upd = self.advisor.on_query(&ExecutedQuery {
+                            query: inv.query,
+                            params: inv.params,
+                            partitions: parts,
+                            is_write,
+                        });
+                        if upd.cost_us > 0.0 {
+                            self.profiler.add(proc, Bucket::Estimation, upd.cost_us);
+                            t += upd.cost_us;
+                        }
+                        if upd.disable_undo && !speculative && undo.is_enabled() {
+                            undo.disable();
+                            undo_disabled_ever = true;
+                        }
+                        if plan.early_prepare {
+                            pending_release = pending_release.union(upd.finished);
+                        }
+                        batch_results.push(rows);
+                    }
+
+                    // Remote fragments overlap: each partition starts its
+                    // fragment when it is free (its queue reaches us) and
+                    // the batch completes when the slowest response returns.
+                    if !remote_work.is_empty() {
+                        let mut batch_done = t;
+                        let mut net_total = 0.0f64;
+                        for (&p, &work) in &remote_work {
+                            let oneway = self.costs.msg_us(base_node, self.cfg.node_of(p));
+                            let arrive = t_batch_start + oneway;
+                            let start = match held.get(&p) {
+                                Some(&last) => last.max(arrive),
+                                None => arrive.max(self.avail[p as usize]),
+                            };
+                            note_spec(
+                                &self.spec,
+                                p,
+                                start,
+                                &mut speculative,
+                                &mut spec_wait_until,
+                                &mut spec_conflict_tables,
+                            );
+                            let done = start + work;
+                            held.insert(p, done);
+                            batch_done = batch_done.max(done + oneway);
+                            net_total += 2.0 * oneway;
+                            self.profiler.add(proc, Bucket::Execution, work);
+                        }
+                        self.profiler.add(proc, Bucket::Coordination, net_total);
+                        t = batch_done;
+                    }
+
+                    // Early release (OP4): the early-prepare piggybacks on
+                    // this batch's dispatch ("the query and the prepare
+                    // message can be combined", §2 OP4), so a released
+                    // partition becomes available as soon as its own last
+                    // fragment completes — not when the whole batch returns
+                    // to the base partition.
+                    for p in pending_release.iter() {
+                        if p != base && lock_set.contains(p) && !released.contains_key(&p) {
+                            let oneway = self.costs.msg_us(base_node, self.cfg.node_of(p));
+                            let done_at = match held.get(&p) {
+                                Some(&last) => last,
+                                None => t_batch_start + oneway,
+                            };
+                            released.insert(p, done_at);
+                            self.avail[p as usize] = self.avail[p as usize].max(done_at);
+                        }
+                    }
+                    results = Some(batch_results);
+                }
+                Step::Commit => {
+                    undo.clear();
+                    let t_commit;
+                    if !distributed {
+                        t += self.costs.twopc_cpu_us; // commit bookkeeping
+                        self.profiler.add(proc, Bucket::Coordination, self.costs.twopc_cpu_us);
+                        self.avail[base as usize] = self.avail[base as usize].max(t);
+                        t_commit = t;
+                    } else {
+                        // Two-phase commit over partitions not already
+                        // early-prepared (early prepare piggybacks the vote
+                        // on the last query — "unsolicited vote", §2 OP4).
+                        // Locked-but-unused partitions still vote: wasted
+                        // locks cost real time (§2 OP2).
+                        let mut prepare_rtt = 0.0f64;
+                        let mut msgs = 0.0f64;
+                        for p in lock_set.iter() {
+                            if p != base && !released.contains_key(&p) {
+                                let oneway = self.costs.msg_us(base_node, self.cfg.node_of(p));
+                                prepare_rtt = prepare_rtt.max(2.0 * oneway);
+                                msgs += 2.0 * oneway;
+                            }
+                        }
+                        t += prepare_rtt + self.costs.twopc_cpu_us;
+                        t_commit = t;
+                        // Commit round: one-way notifications release the
+                        // remaining partitions — including ones the
+                        // transaction locked but never touched, which were
+                        // reserved for its whole lifetime.
+                        for p in lock_set.iter() {
+                            if p == base {
+                                self.avail[p as usize] =
+                                    self.avail[p as usize].max(t_commit);
+                            } else if !released.contains_key(&p) {
+                                let oneway = self.costs.msg_us(base_node, self.cfg.node_of(p));
+                                msgs += oneway;
+                                let release = t_commit + oneway;
+                                let idle_from =
+                                    held.get(&p).copied().unwrap_or(t0).min(release);
+                                self.metrics.reserved_idle_us += release - idle_from;
+                                self.avail[p as usize] =
+                                    self.avail[p as usize].max(release);
+                            }
+                        }
+                        self.profiler
+                            .add(proc, Bucket::Coordination, msgs + self.costs.twopc_cpu_us);
+                        #[cfg(feature = "sim-debug")]
+                        {
+                            let unreleased = lock_set.len() as usize - 1 - released.len();
+                            if unreleased > 8 {
+                                eprintln!(
+                                    "SIMDBG proc={proc} lock={} released={} held={} t0={t0:.0} t_commit={t_commit:.0}",
+                                    lock_set.len(),
+                                    released.len(),
+                                    held.len()
+                                );
+                            }
+                        }
+                        // Close speculation windows on early-released
+                        // partitions: speculative work there becomes final
+                        // once we commit.
+                        for &p in released.keys() {
+                            self.spec[p as usize] = Some(SpecWindow {
+                                until: t_commit,
+                                written_tables: wrote_by_partition
+                                    .get(&p)
+                                    .copied()
+                                    .unwrap_or(0),
+                            });
+                        }
+                    }
+                    // Client acknowledgement. A speculative transaction that
+                    // touched tables the distributed transaction wrote must
+                    // wait for it to commit (paper §2 OP4); read-only
+                    // non-conflicting speculative transactions ack at once.
+                    // The return hop counts towards client latency but not
+                    // the profile — profiling stops when the result is sent
+                    // (§6.3).
+                    let back = self.costs.msg_us(base_node, req.origin_node);
+                    let mut ack = t_commit + back;
+                    if speculative && touched_tables & spec_conflict_tables != 0 {
+                        // We touched tables the distributed transaction
+                        // modified at a partition we used: our result is
+                        // contingent on its commit (§2 OP4).
+                        ack = ack.max(spec_wait_until + back);
+                    }
+                    return Ok(Attempt::Done(TxnSummary {
+                        committed: true,
+                        client_done: ack,
+                        accessed,
+                        access_counts,
+                        speculative,
+                        undo_disabled_ever,
+                        early_released: !released.is_empty(),
+                        distributed,
+                    }));
+                }
+                Step::Abort(_) => {
+                    // User abort: roll back and release.
+                    if !undo.can_rollback() {
+                        return Err(Error::UnrecoverableAbort { txn: u64::from(proc) });
+                    }
+                    let rb = undo.len() as f64 * self.costs.rollback_record_us;
+                    self.profiler.add(proc, Bucket::Execution, rb);
+                    t += rb;
+                    self.db.rollback(&mut undo)?;
+                    for p in lock_set.iter() {
+                        if let Some(&rt) = released.get(&p) {
+                            // Speculative work done after the early release
+                            // is wasted and redone (paper §2 OP4).
+                            self.avail[p as usize] = t + (t - rt).max(0.0);
+                            self.spec[p as usize] = None;
+                        } else {
+                            let end = held.get(&p).copied().unwrap_or(t).max(t);
+                            self.avail[p as usize] = self.avail[p as usize].max(end);
+                        }
+                    }
+                    let back = self.costs.msg_us(base_node, req.origin_node);
+                    return Ok(Attempt::Done(TxnSummary {
+                        committed: false,
+                        client_done: t + back,
+                        accessed,
+                        access_counts,
+                        speculative,
+                        undo_disabled_ever,
+                        early_released: !released.is_empty(),
+                        distributed,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Rolls back a mispredicted transaction and frees its locks.
+    fn mispredict_abort(
+        &mut self,
+        proc: ProcId,
+        t: f64,
+        undo: &mut UndoLog,
+        lock_set: PartitionSet,
+        observed: PartitionSet,
+        released: &FxHashMap<PartitionId, f64>,
+    ) -> Result<Attempt> {
+        if !undo.can_rollback() {
+            eprintln!(
+                "DEBUG mispredict-unrecoverable: proc={proc} lock={lock_set} observed={observed} released={released:?}"
+            );
+            return Err(Error::UnrecoverableAbort { txn: u64::from(proc) + 1000 });
+        }
+        let rb = undo.len() as f64 * self.costs.rollback_record_us;
+        self.profiler.add(proc, Bucket::Execution, rb);
+        let t = t + rb;
+        self.db.rollback(undo)?;
+        for p in lock_set.iter() {
+            if let Some(&rt) = released.get(&p) {
+                self.avail[p as usize] = t + (t - rt).max(0.0);
+                self.spec[p as usize] = None;
+            } else {
+                self.avail[p as usize] = self.avail[p as usize].max(t);
+            }
+        }
+        Ok(Attempt::Mispredict { observed, t_fail: t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{AssumeDistributed, AssumeSinglePartition, Oracle};
+    use crate::procedure::testing::{kv_database, kv_registry};
+    use common::Value;
+
+    /// Generator issuing MultiGet over ids that map to `spread` partitions.
+    struct KvGen {
+        spread: u32,
+        parts: u32,
+        counter: u64,
+    }
+
+    impl RequestGenerator for KvGen {
+        fn next_request(&mut self, client: u64) -> (ProcId, Vec<Value>) {
+            self.counter += 1;
+            let start = (client * 13 + self.counter * 7) % u64::from(self.parts);
+            let ids: Vec<Value> = (0..self.spread)
+                .map(|k| Value::Int(((start + u64::from(k)) % u64::from(self.parts)) as i64))
+                .collect();
+            (0, vec![Value::Array(ids)])
+        }
+    }
+
+    fn run_with<A: TxnAdvisor>(mut advisor: A, spread: u32, parts: u32) -> RunMetrics {
+        let mut db = kv_database(parts, 8);
+        let reg = kv_registry();
+        let mut gen = KvGen { spread, parts, counter: 0 };
+        let cfg = SimConfig {
+            num_partitions: parts,
+            warmup_us: 20_000.0,
+            measure_us: 300_000.0,
+            ..Default::default()
+        };
+        let sim = Simulation::new(
+            &mut db,
+            &reg,
+            &mut advisor,
+            &mut gen,
+            CostModel::default(),
+            cfg,
+        );
+        let (metrics, _) = sim.run().expect("no halts");
+        metrics
+    }
+
+    #[test]
+    fn oracle_single_partition_commits() {
+        let m = run_with(Oracle::new(), 1, 4);
+        assert!(m.committed > 100, "committed = {}", m.committed);
+        assert_eq!(m.restarts, 0, "oracle never mispredicts");
+        assert!(m.single_partition > 0);
+        assert_eq!(m.distributed, 0);
+    }
+
+    #[test]
+    fn oracle_distributed_commits() {
+        let m = run_with(Oracle::new(), 2, 4);
+        assert!(m.committed > 50);
+        assert_eq!(m.restarts, 0);
+        assert!(m.distributed > 0);
+    }
+
+    #[test]
+    fn assume_single_partition_restarts_on_distributed() {
+        let m = run_with(AssumeSinglePartition::new(), 2, 4);
+        assert!(m.committed > 0);
+        assert!(m.restarts > 0, "distributed work must trigger restarts");
+    }
+
+    #[test]
+    fn assume_distributed_never_restarts_but_is_slow() {
+        let dist = run_with(AssumeDistributed::new(), 1, 8);
+        let oracle = run_with(Oracle::new(), 1, 8);
+        assert_eq!(dist.restarts, 0);
+        assert!(
+            oracle.throughput_tps() > 2.0 * dist.throughput_tps(),
+            "oracle {} vs lock-all {}",
+            oracle.throughput_tps(),
+            dist.throughput_tps()
+        );
+    }
+
+    #[test]
+    fn oracle_scales_with_partitions() {
+        let small = run_with(Oracle::new(), 1, 4);
+        let big = run_with(Oracle::new(), 1, 16);
+        assert!(
+            big.throughput_tps() > 2.0 * small.throughput_tps(),
+            "4p {} vs 16p {}",
+            small.throughput_tps(),
+            big.throughput_tps()
+        );
+    }
+
+    #[test]
+    fn lock_all_is_flat_across_cluster_sizes() {
+        let a = run_with(AssumeDistributed::new(), 1, 4);
+        let b = run_with(AssumeDistributed::new(), 1, 16);
+        let ratio = b.throughput_tps() / a.throughput_tps();
+        assert!(
+            ratio < 1.5 && ratio > 0.3,
+            "lock-all should not scale: {} vs {}",
+            a.throughput_tps(),
+            b.throughput_tps()
+        );
+    }
+
+    #[test]
+    fn database_consistent_after_run() {
+        // Sum of VAL equals number of successful bumps; invariant: every
+        // committed MultiGet bumps each of its ids exactly once, and aborted
+        // work is rolled back — so all VALs are non-negative and the DB has
+        // the same row count as loaded.
+        let mut db = kv_database(4, 8);
+        let reg = kv_registry();
+        let mut advisor = Oracle::new();
+        let mut gen = KvGen { spread: 2, parts: 4, counter: 0 };
+        let cfg = SimConfig {
+            num_partitions: 4,
+            warmup_us: 0.0,
+            measure_us: 100_000.0,
+            ..Default::default()
+        };
+        let sim = Simulation::new(
+            &mut db,
+            &reg,
+            &mut advisor,
+            &mut gen,
+            CostModel::default(),
+            cfg,
+        );
+        sim.run().unwrap();
+        assert_eq!(db.total_rows(0), 32);
+    }
+
+    #[test]
+    fn early_prepare_never_hurts_distributed_work() {
+        let with = run_with(Oracle::new(), 3, 8);
+        let without = run_with(Oracle::without_early_prepare(), 3, 8);
+        assert!(
+            with.throughput_tps() >= without.throughput_tps() * 0.95,
+            "OP4 {} vs no-OP4 {}",
+            with.throughput_tps(),
+            without.throughput_tps()
+        );
+        assert!(with.speculative >= without.speculative);
+        assert!(
+            with.reserved_idle_us <= without.reserved_idle_us,
+            "early prepare reclaims reserved-idle time: {} vs {}",
+            with.reserved_idle_us,
+            without.reserved_idle_us
+        );
+    }
+
+    #[test]
+    fn single_partition_work_reserves_nothing() {
+        let m = run_with(Oracle::new(), 1, 4);
+        assert_eq!(m.reserved_idle_us, 0.0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_with(Oracle::new(), 2, 4);
+        let b = run_with(Oracle::new(), 2, 4);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.restarts, b.restarts);
+    }
+}

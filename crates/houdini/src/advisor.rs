@@ -1,0 +1,581 @@
+//! The on-line advisor: Houdini as the engine's [`TxnAdvisor`] (paper §4).
+
+use crate::modelset::{lock_set_for, CatalogRule};
+use crate::train::ProcPredictor;
+use common::{PartitionSet, ProcId, Value};
+use engine::{
+    Catalog, CatalogResolver, ExecutedQuery, PlanEnv, Request, TxnAdvisor, TxnOutcome, TxnPlan,
+    Updates,
+};
+use markov::{estimate_path, EstimateConfig, PathTracker};
+
+/// On-line knobs.
+#[derive(Debug, Clone)]
+pub struct HoudiniConfig {
+    /// The confidence-coefficient threshold of §4.3 / Fig. 13. Estimations
+    /// whose confidence falls below it are pruned (conservative fallback).
+    pub threshold: f64,
+    /// Simulated µs charged per candidate state examined during the initial
+    /// path estimate.
+    pub est_cost_per_state_us: f64,
+    /// Simulated µs charged per runtime update (§4.4).
+    pub update_cost_us: f64,
+    /// Path-estimation knobs.
+    pub estimate: EstimateConfig,
+}
+
+impl Default for HoudiniConfig {
+    fn default() -> Self {
+        HoudiniConfig {
+            threshold: 0.5,
+            est_cost_per_state_us: 1.2,
+            update_cost_us: 4.0,
+            estimate: EstimateConfig::default(),
+        }
+    }
+}
+
+/// Per-transaction scratch state between `plan` and `on_end`.
+struct CurrentTxn {
+    proc: ProcId,
+    model_idx: usize,
+    tracker: PathTracker,
+    lock_set: PartitionSet,
+    declared: PartitionSet,
+    undo_disabled: bool,
+    /// Whether this model's abort estimates are sound (see
+    /// [`ProcPredictor::trust_abort_estimates`]).
+    trust_abort: bool,
+    /// The initial estimate reached commit, every step was validated
+    /// through the parameter mapping, and no feasible alternative branch
+    /// leaves the lock set. Only then are runtime OP3 updates safe: an OP2
+    /// mispredict after disabling undo logging is unrecoverable.
+    est_complete: bool,
+    /// Per-step query ids of the initial estimate (deviation detection).
+    step_queries: Vec<common::QueryId>,
+    /// Per-step finish sets: partitions whose predicted last access is that
+    /// step (the Oracle-style OP4 plan derived from the estimate, §4.4).
+    finish_plan: Vec<PartitionSet>,
+    /// Position along the estimated path; `None` once the transaction has
+    /// deviated from the estimate.
+    est_pos: Option<usize>,
+    /// Houdini switched off (disabled procedure or restart fallback):
+    /// no tracking, no updates.
+    passive: bool,
+}
+
+/// The Houdini advisor: trained predictors plus on-line tracking.
+pub struct Houdini {
+    procs: Vec<ProcPredictor>,
+    catalog: Catalog,
+    num_partitions: u32,
+    /// Knobs.
+    pub cfg: HoudiniConfig,
+    cur: Option<CurrentTxn>,
+    /// Model-maintenance recomputations triggered so far (all models).
+    pub recomputations: u64,
+    /// Plans produced from a complete path estimate.
+    pub plans_estimated: u64,
+    /// Conservative lock-all fallbacks (disabled procedure or dead-ended
+    /// estimate).
+    pub plans_fallback: u64,
+    /// Replans after a mispredict restart.
+    pub plans_replanned: u64,
+    /// Replans per procedure (diagnostics).
+    pub replans_by_proc: common::FxHashMap<ProcId, u64>,
+    /// Fallbacks per procedure (diagnostics).
+    pub fallbacks_by_proc: common::FxHashMap<ProcId, u64>,
+}
+
+impl Houdini {
+    /// Wraps trained predictors for on-line use.
+    pub fn new(
+        procs: Vec<ProcPredictor>,
+        catalog: Catalog,
+        num_partitions: u32,
+        cfg: HoudiniConfig,
+    ) -> Self {
+        Houdini {
+            procs,
+            catalog,
+            num_partitions,
+            cfg,
+            cur: None,
+            recomputations: 0,
+            plans_estimated: 0,
+            plans_fallback: 0,
+            plans_replanned: 0,
+            replans_by_proc: common::FxHashMap::default(),
+            fallbacks_by_proc: common::FxHashMap::default(),
+        }
+    }
+
+    /// The predictor for `proc`.
+    pub fn predictor(&self, proc: ProcId) -> &ProcPredictor {
+        &self.procs[proc as usize]
+    }
+
+    /// Conservative fallback: lock every partition, keep undo logging, but
+    /// still track the model so OP4 can release partitions the tables say
+    /// are finished — a lock-all transaction that never lets go would
+    /// serialize the cluster.
+    fn passive_plan(&mut self, proc: ProcId, args: &[Value], base: u32) -> TxnPlan {
+        let pred = &self.procs[proc as usize];
+        let model_idx = if pred.disabled { 0 } else { pred.models.select(args) };
+        let track = !pred.disabled;
+        self.cur = Some(CurrentTxn {
+            proc,
+            model_idx,
+            tracker: PathTracker::new(pred.models.model(model_idx)),
+            lock_set: PartitionSet::all(self.num_partitions),
+            declared: PartitionSet::EMPTY,
+            undo_disabled: false,
+            trust_abort: false,
+            est_complete: false,
+            step_queries: Vec::new(),
+            finish_plan: Vec::new(),
+            est_pos: None,
+            passive: !track,
+        });
+        TxnPlan {
+            base_partition: base,
+            lock_set: PartitionSet::all(self.num_partitions),
+            disable_undo: false,
+            early_prepare: track,
+            estimate_cost_us: 0.0,
+        }
+    }
+}
+
+impl TxnAdvisor for Houdini {
+    fn name(&self) -> &str {
+        "houdini"
+    }
+
+    fn plan(&mut self, req: &Request, env: &mut PlanEnv<'_>) -> TxnPlan {
+        let proc = req.proc;
+        if self.procs[proc as usize].disabled {
+            self.plans_fallback += 1;
+            return self.passive_plan(proc, &req.args, env.random_local_partition);
+        }
+        let pred = &self.procs[proc as usize];
+        let model_idx = pred.models.select(&req.args);
+        let model = pred.models.model(model_idx);
+        let rule = CatalogRule::new(&self.catalog, proc, self.num_partitions);
+        let est = estimate_path(model, &rule, &pred.mapping, &req.args, &self.cfg.estimate);
+        let cost = f64::from(est.states_examined) * self.cfg.est_cost_per_state_us;
+        if !est.reached_commit && !est.reached_abort {
+            // The walk dead-ended (a state never seen in training, §4.4):
+            // the lock set cannot be trusted. Fall back to lock-all with
+            // tracking rather than gamble on a mispredict restart.
+            self.plans_fallback += 1;
+            *self.fallbacks_by_proc.entry(proc).or_insert(0) += 1;
+            let mut plan =
+                self.passive_plan(proc, &req.args, env.random_local_partition);
+            plan.estimate_cost_us = cost;
+            return plan;
+        }
+        self.plans_estimated += 1;
+
+        // OP2: partitions whose access estimate clears the threshold.
+        let mut lock_set = lock_set_for(&est, model, self.cfg.threshold, self.num_partitions);
+        // OP1: most-accessed partition along the estimate.
+        let base = est
+            .best_base()
+            .filter(|p| lock_set.contains(*p))
+            .or_else(|| est.best_base())
+            .unwrap_or(env.random_local_partition);
+        lock_set.insert(base);
+        // OP3: only committing, never-aborting, single-partition estimates
+        // qualify; the strict comparison stops disabling as the threshold
+        // approaches one (Fig. 13's right edge). A model that never saw an
+        // abort for an aborting procedure is not trusted — mispredicting
+        // here is unrecoverable (§4.3).
+        let trust_abort = pred.trust_abort_estimates(model_idx);
+        let est_complete = est.reached_commit
+            && est.uncertain_steps == 0
+            && est.alt_partitions.is_subset(lock_set);
+        let disable_undo = pred.abort_safe_initial()
+            && trust_abort
+            && est_complete
+            && est.abort_prob < 1e-9
+            && lock_set.is_single()
+            && 1.0 - est.abort_prob > self.cfg.threshold;
+
+        // Oracle-style OP4 plan from the estimate: partitions whose last
+        // predicted access is step i can early-prepare once step i has
+        // executed — provided the transaction follows the estimate.
+        let mut finish_plan = vec![PartitionSet::EMPTY; est.step_partitions.len()];
+        let mut later = PartitionSet::EMPTY;
+        for i in (0..est.step_partitions.len()).rev() {
+            finish_plan[i] = est.step_partitions[i].difference(later);
+            later = later.union(est.step_partitions[i]);
+        }
+        let follow_plan = est_complete && est.confidence >= self.cfg.threshold;
+        self.cur = Some(CurrentTxn {
+            proc,
+            model_idx,
+            tracker: PathTracker::new(model),
+            lock_set,
+            declared: PartitionSet::EMPTY,
+            undo_disabled: disable_undo,
+            trust_abort,
+            est_complete,
+            step_queries: est.step_queries,
+            finish_plan,
+            est_pos: follow_plan.then_some(0),
+            passive: false,
+        });
+        TxnPlan {
+            base_partition: base,
+            lock_set,
+            disable_undo,
+            early_prepare: true,
+            estimate_cost_us: cost,
+        }
+    }
+
+    fn on_query(&mut self, q: &ExecutedQuery) -> Updates {
+        let Some(cur) = self.cur.as_mut() else {
+            return Updates::default();
+        };
+        if cur.passive {
+            return Updates::default();
+        }
+        let pred = &mut self.procs[cur.proc as usize];
+        let can_abort = pred.can_abort;
+        let abort_rate = pred.abort_rate;
+        let unsafe_sigs = &pred.unsafe_signatures;
+        let (model, monitor) = pred.models.model_mut(cur.model_idx);
+        let resolver = CatalogResolver::new(&self.catalog, self.num_partitions);
+        let from = cur.tracker.current();
+        let to = cur.tracker.advance(model, q.query, q.partitions, &resolver);
+        if monitor.observe(model, from, to) {
+            self.recomputations += 1;
+        }
+
+        let mut upd = Updates { cost_us: self.cfg.update_cost_us, ..Default::default() };
+        let table = &model.vertex(to).table;
+        // OP3 runtime update (§4.4): no path from here to the abort state.
+        // Only models that have actually witnessed this procedure's aborts
+        // may assert that no such path exists, the state must be a trained
+        // one (not a live placeholder), the transaction must be
+        // single-partition (§4.3), and no continuation may leave the lock
+        // set — otherwise an OP2 mispredict after disabling undo would be
+        // unrecoverable.
+        let vtx = model.vertex(to);
+        let sig_safe = match vtx.key.kind {
+            markov::QueryKind::Query(q) => {
+                !can_abort
+                    || (abort_rate > 0.0 && !unsafe_sigs.contains(&(q, vtx.key.counter)))
+            }
+            _ => false,
+        };
+        if sig_safe
+            && cur.trust_abort
+            && cur.est_complete
+            && !cur.undo_disabled
+            && cur.lock_set.is_single()
+            && vtx.hits > 0
+            && table.abort < 1e-9
+            && 1.0 - table.abort > self.cfg.threshold
+            && (0..self.num_partitions)
+                .all(|p| cur.lock_set.contains(p) || table.access(p) < 1e-9)
+        {
+            cur.undo_disabled = true;
+            upd.disable_undo = true;
+        }
+        // OP4 (§4.4): partitions whose finish probability clears the
+        // threshold are handed back for early prepare. Trained exact states
+        // use their pre-computed tables; while the transaction follows its
+        // initial estimate, the Oracle-style finish plan derived from the
+        // estimate also applies (and generalizes to partition combinations
+        // the trace never produced).
+        let mut finished = PartitionSet::EMPTY;
+        // A finish table needs real statistical support: a state observed
+        // once or twice (e.g. only in an aborted record) produces finish
+        // probabilities that trigger early prepares the transaction later
+        // violates, and each violation is an abort-and-restart.
+        const MIN_FINISH_HITS: u64 = 4;
+        let finish_table = if vtx.hits >= MIN_FINISH_HITS {
+            Some(to)
+        } else {
+            // Sparse or placeholder state: consult a structurally analogous
+            // well-observed state (same query, counter, and seen-partition
+            // set). Its own partitions differ from ours, but the current
+            // query's partitions are excluded below and the seen-set match
+            // keeps the remaining finish structure sound.
+            let key = vtx.key;
+            model
+                .shape_proxy(key.kind, key.counter, key.seen())
+                .filter(|&p| model.vertex(p).hits >= MIN_FINISH_HITS)
+        };
+        if let Some(ft) = finish_table {
+            let table = &model.vertex(ft).table;
+            for p in cur.lock_set.iter() {
+                if !cur.declared.contains(p)
+                    && !q.partitions.contains(p)
+                    && table.finish(p) > self.cfg.threshold
+                {
+                    finished.insert(p);
+                }
+            }
+        }
+        if let Some(pos) = cur.est_pos {
+            let on_plan = cur
+                .step_queries
+                .get(pos)
+                .is_some_and(|&eq| eq == q.query)
+                && cur
+                    .finish_plan
+                    .get(pos)
+                    .map(|_| true)
+                    .unwrap_or(false);
+            if on_plan {
+                let step_fin = cur.finish_plan[pos];
+                for p in step_fin.iter() {
+                    if cur.lock_set.contains(p) && !cur.declared.contains(p) {
+                        finished.insert(p);
+                    }
+                }
+                cur.est_pos = Some(pos + 1);
+            } else {
+                cur.est_pos = None; // deviated: stop trusting the plan
+            }
+        }
+        cur.declared = cur.declared.union(finished);
+        upd.finished = finished;
+        upd
+    }
+
+    fn replan(
+        &mut self,
+        req: &Request,
+        observed: PartitionSet,
+        _attempt: u32,
+        env: &mut PlanEnv<'_>,
+    ) -> TxnPlan {
+        // A transaction that touched an unpredicted partition restarts as a
+        // multi-partition transaction locking all partitions (§6.4).
+        self.plans_replanned += 1;
+        *self.replans_by_proc.entry(req.proc).or_insert(0) += 1;
+        let base = observed.first().unwrap_or(env.random_local_partition);
+        self.passive_plan(req.proc, &req.args, base)
+    }
+
+    fn on_end(&mut self, outcome: TxnOutcome) {
+        if let Some(mut cur) = self.cur.take() {
+            if cur.passive {
+                return;
+            }
+            let pred = &mut self.procs[cur.proc as usize];
+            let (model, monitor) = pred.models.model_mut(cur.model_idx);
+            let from = cur.tracker.current();
+            cur.tracker
+                .finish(model, matches!(outcome, TxnOutcome::Committed));
+            let to = cur.tracker.current();
+            if monitor.observe(model, from, to) {
+                self.recomputations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train, TrainingConfig};
+    use common::Value;
+    use engine::{run_offline, RequestGenerator};
+    use trace::Workload;
+    use workloads::{tpcc, Bench};
+
+    fn trained(parts: u32, n: usize, partitioned: bool) -> (Houdini, Catalog) {
+        let mut db = Bench::Tpcc.database(parts);
+        let reg = Bench::Tpcc.registry();
+        let catalog = reg.catalog();
+        let mut gen = tpcc::Generator::new(parts, 7);
+        let mut records = Vec::new();
+        for i in 0..n {
+            let (proc, args) = gen.next_request(i as u64 % 8);
+            let out = run_offline(&mut db, &reg, &catalog, proc, &args, true).unwrap();
+            records.push(out.record);
+        }
+        let cfg = TrainingConfig { partitioned, ..Default::default() };
+        let preds = train(&catalog, parts, &Workload { records }, &cfg);
+        (
+            Houdini::new(preds, catalog.clone(), parts, HoudiniConfig::default()),
+            catalog,
+        )
+    }
+
+    fn new_order_req(w: i64, o: i64, item_ws: &[i64]) -> Request {
+        Request {
+            proc: 1,
+            args: vec![
+                Value::Int(w),
+                Value::Int(o),
+                Value::Int(3),
+                Value::Array((0..item_ws.len()).map(|k| Value::Int(k as i64 + 1)).collect()),
+                Value::Array(item_ws.iter().map(|&x| Value::Int(x)).collect()),
+                Value::Array(item_ws.iter().map(|_| Value::Int(1)).collect()),
+            ],
+            origin_node: 0,
+        }
+    }
+
+    #[test]
+    fn plans_local_new_order_single_partition() {
+        let (mut h, catalog) = trained(2, 600, false);
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &catalog,
+            num_partitions: 2,
+            random_local_partition: 0,
+        };
+        let req = new_order_req(1, 90_000, &[1, 1, 1]);
+        let plan = h.plan(&req, &mut env);
+        assert_eq!(plan.base_partition, 1);
+        assert_eq!(plan.lock_set, PartitionSet::single(1));
+        assert!(plan.estimate_cost_us > 0.0);
+    }
+
+    #[test]
+    fn plans_remote_new_order_distributed() {
+        let (mut h, catalog) = trained(2, 600, false);
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &catalog,
+            num_partitions: 2,
+            random_local_partition: 0,
+        };
+        let req = new_order_req(0, 90_001, &[0, 0, 1]);
+        let plan = h.plan(&req, &mut env);
+        assert_eq!(plan.lock_set, PartitionSet::all(2));
+        assert_eq!(plan.base_partition, 0, "home warehouse accessed most");
+    }
+
+    #[test]
+    fn never_disables_undo_for_abortable_path() {
+        // NewOrder can abort (invalid item, ~1%): its estimated abort
+        // probability is nonzero, so OP3 must stay off initially.
+        let (mut h, catalog) = trained(2, 600, false);
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &catalog,
+            num_partitions: 2,
+            random_local_partition: 0,
+        };
+        let req = new_order_req(0, 90_002, &[0, 0, 0]);
+        let plan = h.plan(&req, &mut env);
+        assert!(!plan.disable_undo);
+    }
+
+    #[test]
+    fn replan_locks_all_and_goes_passive() {
+        let (mut h, catalog) = trained(2, 400, false);
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &catalog,
+            num_partitions: 2,
+            random_local_partition: 0,
+        };
+        let req = new_order_req(0, 90_003, &[0, 0, 0]);
+        h.plan(&req, &mut env);
+        let plan = h.replan(&req, PartitionSet::single(1), 1, &mut env);
+        assert_eq!(plan.lock_set, PartitionSet::all(2));
+        assert!(!plan.disable_undo);
+        // The retry keeps undo logging on no matter what it observes.
+        let upd = h.on_query(&ExecutedQuery {
+            query: 0,
+            params: vec![Value::Int(0)],
+            partitions: PartitionSet::single(0),
+            is_write: false,
+        });
+        assert!(!upd.disable_undo);
+    }
+
+    #[test]
+    fn threshold_zero_locks_everything() {
+        let (mut h, catalog) = trained(2, 400, false);
+        h.cfg.threshold = 0.0;
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &catalog,
+            num_partitions: 2,
+            random_local_partition: 0,
+        };
+        let req = new_order_req(1, 90_004, &[1, 1, 1]);
+        let plan = h.plan(&req, &mut env);
+        assert_eq!(
+            plan.lock_set,
+            PartitionSet::all(2),
+            "threshold 0 admits every access estimation (Fig. 13)"
+        );
+        assert!(!plan.disable_undo);
+    }
+
+    #[test]
+    fn runtime_updates_declare_finished_partitions() {
+        let (mut h, catalog) = trained(2, 800, false);
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        // Remote payment: customer at partition 1, warehouse at 0.
+        let req = Request {
+            proc: 3,
+            args: vec![
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(5),
+                Value::Int(100),
+                Value::Int(77_000),
+            ],
+            origin_node: 0,
+        };
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &catalog,
+            num_partitions: 2,
+            random_local_partition: 0,
+        };
+        let plan = h.plan(&req, &mut env);
+        assert_eq!(plan.lock_set.len(), 2, "payment locks buyer+warehouse");
+        // Execute the real queries and feed them back; by the final history
+        // insert, the customer partition should be declared finished.
+        let out = run_offline(&mut db, &reg, &catalog, 3, &req.args, true).unwrap();
+        let resolver = CatalogResolver::new(&catalog, 2);
+        let mut declared = PartitionSet::EMPTY;
+        for q in &out.record.queries {
+            use trace::PartitionResolver as _;
+            let parts = resolver.partitions(3, q.query, &q.params);
+            let upd = h.on_query(&ExecutedQuery {
+                query: q.query,
+                params: q.params.clone(),
+                partitions: parts,
+                is_write: catalog.proc(3).query(q.query).is_write(),
+            });
+            declared = declared.union(upd.finished);
+        }
+        h.on_end(TxnOutcome::Committed);
+        assert!(
+            declared.contains(1),
+            "customer partition declared finished (OP4), declared = {declared}"
+        );
+    }
+}

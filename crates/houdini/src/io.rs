@@ -1,0 +1,121 @@
+//! Trained-predictor persistence.
+//!
+//! The paper's deployment (Fig. 6) generates models off-line and provides
+//! them to the Houdini instance on every node. This module serializes the
+//! complete trained state — model sets (global or partitioned, including
+//! decision trees and selected features), parameter mappings, and the
+//! abort-safety metadata — so training can run once and ship everywhere.
+
+use crate::train::ProcPredictor;
+use common::{Error, Result};
+use std::io::{BufRead, Write};
+
+/// Wire envelope: the cluster size the predictors were trained against plus
+/// the per-procedure predictors.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PredictorBundle {
+    num_partitions: u32,
+    predictors: Vec<ProcPredictor>,
+}
+
+/// Serializes trained predictors as JSON into `w`.
+pub fn save_predictors<W: Write>(
+    predictors: &[ProcPredictor],
+    num_partitions: u32,
+    mut w: W,
+) -> Result<()> {
+    let bundle = PredictorBundle {
+        num_partitions,
+        predictors: predictors.to_vec(),
+    };
+    let json =
+        serde_json::to_string(&bundle).map_err(|e| Error::Serde(e.to_string()))?;
+    w.write_all(json.as_bytes())
+        .map_err(|e| Error::Serde(e.to_string()))
+}
+
+/// Deserializes trained predictors, rebuilding every model's vertex index,
+/// and rejects bundles trained for a different cluster size (models must be
+/// regenerated when the partitioning scheme changes, §3.1).
+pub fn load_predictors<R: BufRead>(
+    mut r: R,
+    expected_partitions: u32,
+) -> Result<Vec<ProcPredictor>> {
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)
+        .map_err(|e| Error::Serde(e.to_string()))?;
+    let mut bundle: PredictorBundle =
+        serde_json::from_str(&buf).map_err(|e| Error::Serde(e.to_string()))?;
+    if bundle.num_partitions != expected_partitions {
+        return Err(Error::Other(format!(
+            "predictors were trained for {} partitions, cluster has {expected_partitions}; \
+             retrain from the trace (§3.1)",
+            bundle.num_partitions
+        )));
+    }
+    for pred in &mut bundle.predictors {
+        pred.models.rebuild_indexes();
+    }
+    Ok(bundle.predictors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train, TrainingConfig};
+    use crate::{evaluate_accuracy, AccuracyReport};
+    use engine::{run_offline, RequestGenerator};
+    use trace::{TraceRecord, Workload};
+    use workloads::Bench;
+
+    fn fixture(parts: u32, n: usize) -> (engine::Catalog, Vec<TraceRecord>) {
+        let mut db = Bench::Tpcc.database(parts);
+        let reg = Bench::Tpcc.registry();
+        let catalog = reg.catalog();
+        let mut gen = Bench::Tpcc.generator(parts, 17);
+        let mut records = Vec::new();
+        for i in 0..n {
+            let (proc, args) = gen.next_request(i as u64 % 8);
+            let out = run_offline(&mut db, &reg, &catalog, proc, &args, true).unwrap();
+            records.push(out.record);
+        }
+        (catalog, records)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let parts = 4;
+        let (catalog, records) = fixture(parts, 1000);
+        let (train_recs, test_recs) = records.split_at(500);
+        let wl = Workload { records: train_recs.to_vec() };
+        let preds = train(&catalog, parts, &wl, &TrainingConfig::default());
+
+        let mut buf = Vec::new();
+        save_predictors(&preds, parts, &mut buf).unwrap();
+        let loaded = load_predictors(&buf[..], parts).unwrap();
+        assert_eq!(loaded.len(), preds.len());
+
+        // Accuracy of the loaded predictors matches the originals exactly.
+        for (proc, (a, b)) in preds.iter().zip(&loaded).enumerate() {
+            let test: Vec<&TraceRecord> =
+                test_recs.iter().filter(|r| r.proc == proc as u32).collect();
+            let ra: AccuracyReport =
+                evaluate_accuracy(a, &catalog, parts, proc as u32, &test, 0.5);
+            let rb: AccuracyReport =
+                evaluate_accuracy(b, &catalog, parts, proc as u32, &test, 0.5);
+            assert_eq!(ra.total, rb.total, "proc {proc}");
+            assert_eq!(ra.op2, rb.op2, "proc {proc}");
+        }
+    }
+
+    #[test]
+    fn wrong_cluster_size_rejected() {
+        let parts = 2;
+        let (catalog, records) = fixture(parts, 200);
+        let wl = Workload { records };
+        let preds = train(&catalog, parts, &wl, &TrainingConfig::default());
+        let mut buf = Vec::new();
+        save_predictors(&preds, parts, &mut buf).unwrap();
+        assert!(load_predictors(&buf[..], 8).is_err());
+    }
+}

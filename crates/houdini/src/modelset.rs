@@ -1,0 +1,215 @@
+//! Model sets: one global Markov model per procedure, or a feature-
+//! partitioned family of models fronted by a decision tree (paper §5).
+
+use common::{PartitionId, PartitionSet, ProcId, QueryId, Value};
+use engine::{Catalog, PartitionHint};
+use markov::{MarkovModel, ModelMonitor, QueryPartitionRule};
+use ml::{DecisionTree, Feature};
+
+/// Adapts the engine catalog into the estimator's partition-rule interface.
+pub struct CatalogRule<'a> {
+    catalog: &'a Catalog,
+    proc: ProcId,
+    num_partitions: u32,
+}
+
+impl<'a> CatalogRule<'a> {
+    /// Rule for `proc` under a cluster of `num_partitions`.
+    pub fn new(catalog: &'a Catalog, proc: ProcId, num_partitions: u32) -> Self {
+        CatalogRule { catalog, proc, num_partitions }
+    }
+}
+
+impl QueryPartitionRule for CatalogRule<'_> {
+    fn partition_param(&self, query: QueryId) -> Option<usize> {
+        match self.catalog.proc(self.proc).query(query).hint {
+            PartitionHint::Param(i) => Some(i),
+            PartitionHint::Broadcast => None,
+        }
+    }
+
+    fn partition_of(&self, v: &Value) -> PartitionId {
+        match v {
+            Value::Int(i) => (i.unsigned_abs() % u64::from(self.num_partitions)) as PartitionId,
+            other => (other.stable_hash() % u64::from(self.num_partitions)) as PartitionId,
+        }
+    }
+
+    fn num_partitions(&self) -> u32 {
+        self.num_partitions
+    }
+}
+
+/// A procedure's models: global, or partitioned by input-parameter features
+/// with a run-time decision tree (§5.3).
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub enum ModelSet {
+    /// One model covers every invocation.
+    Global {
+        /// The model.
+        model: MarkovModel,
+        /// Its maintenance monitor.
+        monitor: ModelMonitor,
+    },
+    /// Per-cluster models selected by feature vector.
+    Partitioned {
+        /// Feature schema (all candidate features, Table 1 × params).
+        schema: Vec<Feature>,
+        /// Indices into `schema` the clusterer/tree actually use.
+        selected: Vec<usize>,
+        /// The run-time router.
+        tree: DecisionTree,
+        /// One model per cluster.
+        models: Vec<MarkovModel>,
+        /// One monitor per cluster model.
+        monitors: Vec<ModelMonitor>,
+        /// Cluster size the features were hashed against.
+        num_partitions: u32,
+    },
+}
+
+impl ModelSet {
+    /// Number of models in the set.
+    pub fn len(&self) -> usize {
+        match self {
+            ModelSet::Global { .. } => 1,
+            ModelSet::Partitioned { models, .. } => models.len(),
+        }
+    }
+
+    /// Always at least one model.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Rebuilds every model's vertex index (after deserialization).
+    pub fn rebuild_indexes(&mut self) {
+        match self {
+            ModelSet::Global { model, .. } => model.rebuild_index(),
+            ModelSet::Partitioned { models, .. } => {
+                for m in models {
+                    m.rebuild_index();
+                }
+            }
+        }
+    }
+
+    /// Total vertices across the set (scalability diagnostics, §4.6).
+    pub fn total_states(&self) -> usize {
+        match self {
+            ModelSet::Global { model, .. } => model.len(),
+            ModelSet::Partitioned { models, .. } => models.iter().map(MarkovModel::len).sum(),
+        }
+    }
+
+    /// Selects the model index for a request's arguments — a decision-tree
+    /// traversal for partitioned sets (§5.3), constant for global sets.
+    pub fn select(&self, args: &[Value]) -> usize {
+        match self {
+            ModelSet::Global { .. } => 0,
+            ModelSet::Partitioned { schema, selected, tree, models, num_partitions, .. } => {
+                let fv = ml::extract_features(schema, args, *num_partitions);
+                let dense = ml::feature::densify(&fv, selected);
+                tree.predict(&dense).min(models.len().saturating_sub(1))
+            }
+        }
+    }
+
+    /// The selected model, immutably.
+    pub fn model(&self, idx: usize) -> &MarkovModel {
+        match self {
+            ModelSet::Global { model, .. } => model,
+            ModelSet::Partitioned { models, .. } => &models[idx],
+        }
+    }
+
+    /// The selected model plus its monitor, mutably (tracking and
+    /// maintenance).
+    pub fn model_mut(&mut self, idx: usize) -> (&mut MarkovModel, &mut ModelMonitor) {
+        match self {
+            ModelSet::Global { model, monitor } => (model, monitor),
+            ModelSet::Partitioned { models, monitors, .. } => {
+                (&mut models[idx], &mut monitors[idx])
+            }
+        }
+    }
+}
+
+/// Derives, for OP2, the partitions whose access estimate clears the
+/// confidence threshold (see `advisor`): partitions on the estimated path
+/// use their first-touch confidence; partitions off the path use the
+/// highest access probability any visited state's table assigns them (the
+/// Fig. 5 "5% chance to touch partition 1" entries).
+pub fn lock_set_for(
+    est: &markov::PathEstimate,
+    model: &MarkovModel,
+    threshold: f64,
+    num_partitions: u32,
+) -> PartitionSet {
+    let mut set = PartitionSet::EMPTY;
+    for p in 0..num_partitions {
+        let conf = match est.partition_confidence.get(&p) {
+            Some(&c) => c,
+            None => est
+                .vertices
+                .iter()
+                .map(|&v| model.vertex(v).table.access(p))
+                .fold(0.0f64, f64::max),
+        };
+        if conf >= threshold {
+            set.insert(p);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{ProcDef, QueryDef, QueryOp};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_proc(ProcDef {
+            name: "P".into(),
+            queries: vec![
+                QueryDef {
+                    name: "A".into(),
+                    table: 0,
+                    op: QueryOp::GetByKey { key_params: vec![0] },
+                    hint: PartitionHint::Param(0),
+                },
+                QueryDef {
+                    name: "B".into(),
+                    table: 0,
+                    op: QueryOp::LookupBy { column: 1, param: 0 },
+                    hint: PartitionHint::Broadcast,
+                },
+            ],
+            read_only: true,
+            can_abort: false,
+        });
+        c
+    }
+
+    #[test]
+    fn catalog_rule_maps_hints() {
+        let c = catalog();
+        let r = CatalogRule::new(&c, 0, 8);
+        assert_eq!(r.partition_param(0), Some(0));
+        assert_eq!(r.partition_param(1), None);
+        assert_eq!(r.partition_of(&Value::Int(10)), 2);
+        assert_eq!(r.num_partitions(), 8);
+    }
+
+    #[test]
+    fn global_set_selects_zero() {
+        let set = ModelSet::Global {
+            model: MarkovModel::new(0, 4),
+            monitor: ModelMonitor::new(),
+        };
+        assert_eq!(set.select(&[Value::Int(9)]), 0);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.total_states(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Graphviz DOT export — regenerates the paper's model figures (Figs. 4, 9,
+//! 10) from any built model.
+
+use crate::model::{MarkovModel, QueryKind};
+use std::fmt::Write;
+
+/// Renders the model as a DOT digraph. Edge labels carry probabilities;
+/// vertex labels show the four-part state identity.
+pub fn to_dot(model: &MarkovModel, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontsize=10];");
+    for (i, v) in model.vertices().iter().enumerate() {
+        let label = match v.key.kind {
+            QueryKind::Begin => "begin".to_string(),
+            QueryKind::Commit => "commit".to_string(),
+            QueryKind::Abort => "abort".to_string(),
+            QueryKind::Query(_) => format!(
+                "{}\\nCounter: {}\\nPartitions: {}\\nPrevious: {}",
+                v.name, v.key.counter, v.key.partitions, v.key.previous
+            ),
+        };
+        let shape = match v.key.kind {
+            QueryKind::Begin | QueryKind::Commit | QueryKind::Abort => ", shape=ellipse",
+            QueryKind::Query(_) => "",
+        };
+        let _ = writeln!(out, "  v{i} [label=\"{label}\"{shape}];");
+    }
+    for (i, v) in model.vertices().iter().enumerate() {
+        for e in &v.edges {
+            let _ = writeln!(out, "  v{i} -> v{} [label=\"{:.2}\"];", e.to, e.prob);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MarkovModel, VertexKey};
+    use common::PartitionSet;
+
+    #[test]
+    fn dot_contains_states_and_edges() {
+        let mut m = MarkovModel::new(0, 2);
+        let q = m.intern(
+            VertexKey {
+                kind: QueryKind::Query(0),
+                counter: 0,
+                partitions: PartitionSet::single(1),
+                previous: PartitionSet::EMPTY,
+            },
+            "GetWarehouse".into(),
+            false,
+        );
+        m.add_transition(m.begin(), q, 1);
+        m.add_transition(q, m.commit(), 1);
+        m.recompute_probabilities();
+        let dot = to_dot(&m, "NewOrder");
+        assert!(dot.contains("digraph \"NewOrder\""));
+        assert!(dot.contains("GetWarehouse"));
+        assert!(dot.contains("Partitions: {1}"));
+        assert!(dot.contains("label=\"1.00\""));
+        assert!(dot.ends_with("}\n"));
+    }
+}

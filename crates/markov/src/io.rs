@@ -1,0 +1,101 @@
+//! Model (de)serialization.
+//!
+//! In the paper's deployment (Fig. 6), Markov models are generated off-line
+//! from a workload trace and shipped to every node in the cluster. This
+//! module provides the JSON wire format for that hand-off. Models embed the
+//! cluster size they were resolved against; loading a model for a different
+//! configuration is rejected, because vertex partition sets are only
+//! meaningful for the partition count they were built with (§3.1).
+
+use crate::model::MarkovModel;
+use common::{Error, Result};
+use std::io::{BufRead, Write};
+
+/// Serializes a model as pretty JSON into `w`.
+pub fn save_model<W: Write>(model: &MarkovModel, mut w: W) -> Result<()> {
+    let json =
+        serde_json::to_string(model).map_err(|e| Error::Serde(e.to_string()))?;
+    w.write_all(json.as_bytes())
+        .map_err(|e| Error::Serde(e.to_string()))
+}
+
+/// Deserializes a model from `r`, rebuilding the vertex index, and checks it
+/// was built for `expected_partitions`.
+pub fn load_model<R: BufRead>(mut r: R, expected_partitions: u32) -> Result<MarkovModel> {
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)
+        .map_err(|e| Error::Serde(e.to_string()))?;
+    let mut model: MarkovModel =
+        serde_json::from_str(&buf).map_err(|e| Error::Serde(e.to_string()))?;
+    if model.num_partitions != expected_partitions {
+        return Err(Error::Other(format!(
+            "model was built for {} partitions, cluster has {expected_partitions}; \
+             regenerate the model from the trace (§3.1)",
+            model.num_partitions
+        )));
+    }
+    model.rebuild_index();
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{QueryKind, VertexKey};
+    use crate::ptable::compute_tables;
+    use common::PartitionSet;
+
+    fn sample_model() -> MarkovModel {
+        let mut m = MarkovModel::new(3, 4);
+        let q = m.intern(
+            VertexKey {
+                kind: QueryKind::Query(0),
+                counter: 0,
+                partitions: PartitionSet::single(2),
+                previous: PartitionSet::EMPTY,
+            },
+            "GetThing".into(),
+            false,
+        );
+        m.add_transition(m.begin(), q, 5);
+        m.add_transition(q, m.commit(), 4);
+        m.add_transition(q, m.abort(), 1);
+        m.recompute_probabilities();
+        compute_tables(&mut m);
+        m
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let m = sample_model();
+        let mut buf = Vec::new();
+        save_model(&m, &mut buf).unwrap();
+        let back = load_model(&buf[..], 4).unwrap();
+        assert_eq!(back.len(), m.len());
+        assert_eq!(back.proc, m.proc);
+        // Probabilities and tables survive.
+        for (a, b) in m.vertices().iter().zip(back.vertices()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.edges.len(), b.edges.len());
+            assert!((a.table.abort - b.table.abort).abs() < 1e-12);
+        }
+        // The rebuilt index still finds vertices by key.
+        let key = m.vertex(3).key;
+        assert_eq!(back.find(&key), Some(3));
+    }
+
+    #[test]
+    fn wrong_partition_count_rejected() {
+        let m = sample_model();
+        let mut buf = Vec::new();
+        save_model(&m, &mut buf).unwrap();
+        let err = load_model(&buf[..], 8).unwrap_err();
+        assert!(err.to_string().contains("regenerate"));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(load_model(&b"not json"[..], 4).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! On-line model maintenance (paper §4.5).
+//!
+//! As transactions execute, Houdini tracks their actual paths through the
+//! model and increments per-edge visit counters. As long as the observed
+//! transition choices stay close to the model's expectations, nothing
+//! happens; once accuracy over the recent window drops below a threshold
+//! (the paper uses 75%), the edge probabilities and probability tables are
+//! recomputed from the live counters — a cheap (≤ 5 ms in the paper)
+//! operation that adapts the model to workload drift without regeneration.
+
+use crate::model::{MarkovModel, QueryKind, VertexId, VertexKey};
+use serde::{Deserialize, Serialize};
+use crate::ptable::compute_tables;
+use common::{FxHashMap, PartitionSet, QueryId, Value};
+use trace::PartitionResolver;
+
+/// Tracks one model's on-line accuracy and triggers recomputation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelMonitor {
+    /// Observed transitions since the last recomputation.
+    observed: u64,
+    /// Of those, how many took the model's argmax edge.
+    matched: u64,
+    /// Accuracy floor below which probabilities are recomputed.
+    pub threshold: f64,
+    /// Minimum observations before accuracy is judged.
+    pub min_window: u64,
+    /// Recomputations performed so far.
+    pub recomputations: u64,
+}
+
+impl Default for ModelMonitor {
+    fn default() -> Self {
+        ModelMonitor {
+            observed: 0,
+            matched: 0,
+            threshold: 0.75,
+            min_window: 200,
+            recomputations: 0,
+        }
+    }
+}
+
+/// A transaction's live walk through its model, used both to detect
+/// deviation from the initial estimate and to feed maintenance counters.
+#[derive(Debug)]
+pub struct PathTracker {
+    cur: VertexId,
+    prev: PartitionSet,
+    counters: FxHashMap<QueryId, u16>,
+    path: Vec<VertexId>,
+}
+
+impl PathTracker {
+    /// Starts a walk at `begin`.
+    pub fn new(model: &MarkovModel) -> Self {
+        PathTracker {
+            cur: model.begin(),
+            prev: PartitionSet::EMPTY,
+            counters: FxHashMap::default(),
+            path: vec![model.begin()],
+        }
+    }
+
+    /// Current vertex.
+    pub fn current(&self) -> VertexId {
+        self.cur
+    }
+
+    /// Vertices visited so far.
+    pub fn path(&self) -> &[VertexId] {
+        &self.path
+    }
+
+    /// Advances the walk with an actually-executed query, creating a
+    /// placeholder vertex if the state was never seen in training (§4.4).
+    /// Returns the new vertex id.
+    pub fn advance(
+        &mut self,
+        model: &mut MarkovModel,
+        query: QueryId,
+        partitions: PartitionSet,
+        resolver: &dyn PartitionResolver,
+    ) -> VertexId {
+        let counter = {
+            let c = self.counters.entry(query).or_insert(0);
+            let cur = *c;
+            *c += 1;
+            cur
+        };
+        let key = VertexKey {
+            kind: QueryKind::Query(query),
+            counter,
+            partitions,
+            previous: self.prev,
+        };
+        let name = resolver.query_name(model.proc, query);
+        let is_write = resolver.is_write(model.proc, query);
+        let next = model.intern(key, name, is_write);
+        model.observe_transition(self.cur, next);
+        self.prev = self.prev.union(partitions);
+        self.path.push(next);
+        self.cur = next;
+        next
+    }
+
+    /// Ends the walk at commit or abort.
+    pub fn finish(&mut self, model: &mut MarkovModel, committed: bool) {
+        let terminal = if committed { model.commit() } else { model.abort() };
+        model.observe_transition(self.cur, terminal);
+        self.path.push(terminal);
+        self.cur = terminal;
+    }
+
+    /// Convenience: resolve a value-bearing query through the resolver and
+    /// advance.
+    pub fn advance_with_params(
+        &mut self,
+        model: &mut MarkovModel,
+        query: QueryId,
+        params: &[Value],
+        resolver: &dyn PartitionResolver,
+    ) -> VertexId {
+        let partitions = resolver.partitions(model.proc, query, params);
+        self.advance(model, query, partitions, resolver)
+    }
+}
+
+impl ModelMonitor {
+    /// Creates a monitor with the paper's 75% threshold.
+    pub fn new() -> Self {
+        ModelMonitor::default()
+    }
+
+    /// Records whether an observed transition matched the model's argmax
+    /// expectation, and recomputes the model if accuracy fell through the
+    /// floor. Returns true if a recomputation happened.
+    pub fn observe(&mut self, model: &mut MarkovModel, from: VertexId, to: VertexId) -> bool {
+        self.observed += 1;
+        let expected = model.vertex(from).argmax_edge().map(|e| e.to);
+        if expected == Some(to) {
+            self.matched += 1;
+        }
+        if self.observed >= self.min_window && self.accuracy() < self.threshold {
+            model.recompute_probabilities();
+            compute_tables(model);
+            self.observed = 0;
+            self.matched = 0;
+            self.recomputations += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Fraction of observed transitions matching the model's expectation.
+    pub fn accuracy(&self) -> f64 {
+        if self.observed == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.observed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_model;
+    use common::ProcId;
+    use trace::{QueryRecord, TraceRecord};
+
+    struct ModResolver {
+        parts: u32,
+    }
+
+    impl PartitionResolver for ModResolver {
+        fn partitions(&self, _p: ProcId, _q: QueryId, params: &[Value]) -> PartitionSet {
+            PartitionSet::single(
+                (params[0].expect_int().unsigned_abs() % u64::from(self.parts)) as u32,
+            )
+        }
+        fn is_write(&self, _p: ProcId, _q: QueryId) -> bool {
+            false
+        }
+        fn query_name(&self, _p: ProcId, q: QueryId) -> String {
+            format!("Q{q}")
+        }
+        fn num_partitions(&self) -> u32 {
+            self.parts
+        }
+    }
+
+    fn model_one_path() -> MarkovModel {
+        let rec = TraceRecord {
+            proc: 0,
+            params: vec![],
+            queries: vec![QueryRecord { query: 0, params: vec![Value::Int(0)] }],
+            aborted: false,
+        };
+        build_model(0, &[&rec], &ModResolver { parts: 2 })
+    }
+
+    #[test]
+    fn tracker_follows_known_path() {
+        let mut model = model_one_path();
+        let r = ModResolver { parts: 2 };
+        let before = model.len();
+        let mut t = PathTracker::new(&model);
+        t.advance_with_params(&mut model, 0, &[Value::Int(0)], &r);
+        t.finish(&mut model, true);
+        assert_eq!(model.len(), before, "no new states for a known path");
+        assert_eq!(t.path().len(), 3);
+    }
+
+    #[test]
+    fn tracker_adds_placeholder_for_new_state() {
+        let mut model = model_one_path();
+        let r = ModResolver { parts: 2 };
+        let before = model.len();
+        let mut t = PathTracker::new(&model);
+        // Partition 1 was never seen in training.
+        t.advance_with_params(&mut model, 0, &[Value::Int(1)], &r);
+        t.finish(&mut model, true);
+        assert_eq!(model.len(), before + 1);
+    }
+
+    #[test]
+    fn monitor_recomputes_on_drift() {
+        let mut model = model_one_path();
+        let r = ModResolver { parts: 2 };
+        let mut mon = ModelMonitor { min_window: 50, ..ModelMonitor::default() };
+        // Drift: every transaction now goes to partition 1's state.
+        let mut recomputed = false;
+        for _ in 0..100 {
+            let mut t = PathTracker::new(&model);
+            let from = t.current();
+            let to = t.advance_with_params(&mut model, 0, &[Value::Int(1)], &r);
+            recomputed |= mon.observe(&mut model, from, to);
+            let cur = t.current();
+            t.finish(&mut model, true);
+            let commit = model.commit();
+            recomputed |= mon.observe(&mut model, cur, commit);
+        }
+        assert!(recomputed, "drifted workload must trigger recomputation");
+        assert!(mon.recomputations >= 1);
+        // After recomputation the argmax from begin points at the new state.
+        let begin = model.begin();
+        let best = model.vertex(begin).argmax_edge().unwrap().to;
+        assert_eq!(model.vertex(best).key.partitions, PartitionSet::single(1));
+    }
+
+    #[test]
+    fn monitor_quiet_when_accurate() {
+        let mut model = model_one_path();
+        let r = ModResolver { parts: 2 };
+        let mut mon = ModelMonitor { min_window: 20, ..ModelMonitor::default() };
+        for _ in 0..100 {
+            let mut t = PathTracker::new(&model);
+            let from = t.current();
+            let to = t.advance_with_params(&mut model, 0, &[Value::Int(0)], &r);
+            assert!(!mon.observe(&mut model, from, to));
+            let cur = t.current();
+            t.finish(&mut model, true);
+            let commit = model.commit();
+            assert!(!mon.observe(&mut model, cur, commit));
+        }
+        assert_eq!(mon.recomputations, 0);
+        assert!(mon.accuracy() > 0.99);
+    }
+}

@@ -1,0 +1,281 @@
+//! The partitioned database: all table slices across all partitions.
+
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use crate::undo::{UndoLog, UndoRecord};
+use common::{Error, FxHashMap, PartitionId, Result, Value};
+
+/// A shared-nothing, horizontally partitioned in-memory database.
+///
+/// Layout is `partitions[partition][table]`. Every mutation takes an
+/// [`UndoLog`] so the caller (the execution engine) can roll back aborts;
+/// loaders pass a throwaway log.
+pub struct Database {
+    schemas: Vec<Schema>,
+    by_name: FxHashMap<String, usize>,
+    partitions: Vec<Vec<Table>>,
+    num_partitions: u32,
+}
+
+impl Database {
+    /// Creates an empty database with the given schemas and partition count.
+    /// `secondary_indexes` lists `(table_name, column)` pairs to index.
+    pub fn new(schemas: Vec<Schema>, num_partitions: u32, secondary_indexes: &[(&str, usize)]) -> Self {
+        assert!((1..=common::PartitionSet::MAX_PARTITIONS).contains(&num_partitions));
+        let by_name: FxHashMap<String, usize> = schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        assert_eq!(by_name.len(), schemas.len(), "duplicate table names");
+        let mut partitions = Vec::with_capacity(num_partitions as usize);
+        for _ in 0..num_partitions {
+            let mut tables: Vec<Table> = (0..schemas.len()).map(|_| Table::new()).collect();
+            for (name, col) in secondary_indexes {
+                let id = by_name[*name];
+                tables[id].add_secondary_index(*col);
+            }
+            partitions.push(tables);
+        }
+        Database { schemas, by_name, partitions, num_partitions }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> u32 {
+        self.num_partitions
+    }
+
+    /// Table id for `name`.
+    pub fn table_id(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    /// Schema of table `id`.
+    pub fn schema(&self, id: usize) -> &Schema {
+        &self.schemas[id]
+    }
+
+    /// All schemas.
+    pub fn schemas(&self) -> &[Schema] {
+        &self.schemas
+    }
+
+    /// Maps a partitioning-column value to its home partition.
+    ///
+    /// Integers map by modulo so that (as in the paper's TPC-C setup, §2.1)
+    /// consecutive warehouse ids spread round-robin over partitions; other
+    /// types map by stable hash. This is the deterministic stand-in for
+    /// H-Store's hash partitioning.
+    pub fn partition_for_value(&self, v: &Value) -> PartitionId {
+        match v {
+            Value::Int(i) => (i.unsigned_abs() % u64::from(self.num_partitions)) as PartitionId,
+            other => (other.stable_hash() % u64::from(self.num_partitions)) as PartitionId,
+        }
+    }
+
+    /// Raw access to one table slice (loaders, assertions).
+    pub fn table(&self, partition: PartitionId, table: usize) -> &Table {
+        &self.partitions[partition as usize][table]
+    }
+
+    /// Inserts `row` into `table` at `partition`, logging undo.
+    pub fn insert(
+        &mut self,
+        partition: PartitionId,
+        table: usize,
+        row: Row,
+        undo: &mut UndoLog,
+    ) -> Result<()> {
+        let schema = &self.schemas[table];
+        let key = self.partitions[partition as usize][table].insert(schema, row)?;
+        undo.record(UndoRecord::Inserted { partition, table, key });
+        Ok(())
+    }
+
+    /// Point read by primary key.
+    pub fn get(&self, partition: PartitionId, table: usize, key: &[Value]) -> Option<&Row> {
+        self.partitions[partition as usize][table].get(key)
+    }
+
+    /// In-place update by primary key, logging the pre-image.
+    pub fn update(
+        &mut self,
+        partition: PartitionId,
+        table: usize,
+        key: &[Value],
+        f: impl FnOnce(&mut Row),
+        undo: &mut UndoLog,
+    ) -> Result<()> {
+        let before = self.partitions[partition as usize][table].update(key, f)?;
+        undo.record(UndoRecord::Updated {
+            partition,
+            table,
+            key: key.to_vec(),
+            before,
+        });
+        Ok(())
+    }
+
+    /// Delete by primary key, logging the pre-image.
+    pub fn delete(
+        &mut self,
+        partition: PartitionId,
+        table: usize,
+        key: &[Value],
+        undo: &mut UndoLog,
+    ) -> Result<Row> {
+        let before = self.partitions[partition as usize][table]
+            .delete(key)
+            .ok_or_else(|| Error::NotFound(format!("key {key:?}")))?;
+        undo.record(UndoRecord::Deleted {
+            partition,
+            table,
+            key: key.to_vec(),
+            before: before.clone(),
+        });
+        Ok(before)
+    }
+
+    /// Equality lookup on an arbitrary column within one partition.
+    pub fn lookup_by(
+        &self,
+        partition: PartitionId,
+        table: usize,
+        column: usize,
+        value: &Value,
+    ) -> Vec<Row> {
+        self.partitions[partition as usize][table]
+            .lookup_by(column, value)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Rolls back every change recorded in `undo`, in reverse order.
+    pub fn rollback(&mut self, undo: &mut UndoLog) -> Result<()> {
+        if !undo.can_rollback() {
+            return Err(Error::UnrecoverableAbort { txn: 0 });
+        }
+        let records: Vec<UndoRecord> = undo.drain_for_rollback().collect();
+        for rec in records {
+            match rec {
+                UndoRecord::Inserted { partition, table, key } => {
+                    self.partitions[partition as usize][table].delete(&key);
+                }
+                UndoRecord::Updated { partition, table, key, before }
+                | UndoRecord::Deleted { partition, table, key, before } => {
+                    self.partitions[partition as usize][table].put(key, before);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total row count of one table across all partitions.
+    pub fn total_rows(&self, table: usize) -> usize {
+        self.partitions.iter().map(|p| p[table].len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let schemas = vec![
+            Schema::new("A", &["ID", "V"], &[0], Some(0)),
+            Schema::new("B", &["ID", "REF", "V"], &[0], Some(1)),
+        ];
+        Database::new(schemas, 4, &[("B", 1)])
+    }
+
+    #[test]
+    fn partition_for_int_is_modulo() {
+        let d = db();
+        assert_eq!(d.partition_for_value(&Value::Int(0)), 0);
+        assert_eq!(d.partition_for_value(&Value::Int(5)), 1);
+        assert_eq!(d.partition_for_value(&Value::Int(7)), 3);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut d = db();
+        let mut undo = UndoLog::new();
+        let t = d.table_id("A").unwrap();
+        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut undo)
+            .unwrap();
+        assert_eq!(d.get(0, t, &[Value::Int(1)]).unwrap()[1], Value::Int(10));
+        assert!(d.get(1, t, &[Value::Int(1)]).is_none(), "other partition empty");
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let mut d = db();
+        let t = d.table_id("A").unwrap();
+        let mut setup = UndoLog::new();
+        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut setup)
+            .unwrap();
+        d.insert(0, t, vec![Value::Int(2), Value::Int(20)], &mut setup)
+            .unwrap();
+
+        let mut undo = UndoLog::new();
+        d.insert(0, t, vec![Value::Int(3), Value::Int(30)], &mut undo)
+            .unwrap();
+        d.update(0, t, &[Value::Int(1)], |r| r[1] = Value::Int(99), &mut undo)
+            .unwrap();
+        d.delete(0, t, &[Value::Int(2)], &mut undo).unwrap();
+
+        d.rollback(&mut undo).unwrap();
+        assert!(d.get(0, t, &[Value::Int(3)]).is_none());
+        assert_eq!(d.get(0, t, &[Value::Int(1)]).unwrap()[1], Value::Int(10));
+        assert_eq!(d.get(0, t, &[Value::Int(2)]).unwrap()[1], Value::Int(20));
+    }
+
+    #[test]
+    fn rollback_without_undo_is_fatal() {
+        let mut d = db();
+        let t = d.table_id("A").unwrap();
+        let mut undo = UndoLog::disabled();
+        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut undo)
+            .unwrap();
+        assert!(matches!(
+            d.rollback(&mut undo),
+            Err(Error::UnrecoverableAbort { .. })
+        ));
+    }
+
+    #[test]
+    fn secondary_lookup() {
+        let mut d = db();
+        let t = d.table_id("B").unwrap();
+        let mut undo = UndoLog::new();
+        for i in 0..6i64 {
+            d.insert(
+                (i % 4) as u32,
+                t,
+                vec![Value::Int(i), Value::Int(i % 2), Value::Int(i)],
+                &mut undo,
+            )
+            .unwrap();
+        }
+        // partition 0 holds ids 0 and 4, both with REF = 0.
+        let rows = d.lookup_by(0, t, 1, &Value::Int(0));
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn total_rows_sums_partitions() {
+        let mut d = db();
+        let t = d.table_id("A").unwrap();
+        let mut undo = UndoLog::new();
+        for i in 0..10i64 {
+            let p = d.partition_for_value(&Value::Int(i));
+            d.insert(p, t, vec![Value::Int(i), Value::Int(0)], &mut undo)
+                .unwrap();
+        }
+        assert_eq!(d.total_rows(t), 10);
+    }
+}

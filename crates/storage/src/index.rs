@@ -1,0 +1,107 @@
+//! Secondary (non-unique) hash indexes.
+
+use crate::table::{Key, Row};
+use common::{FxHashMap, FxHashSet, Value};
+
+/// A non-unique hash index from one column's value to the set of primary
+/// keys holding it. TATP's `SUB_NBR → S_ID` lookup and AuctionMark's
+/// seller-items lookup use these; without one, `lookup_by` falls back to a
+/// partition-local scan.
+#[derive(Debug)]
+pub struct SecondaryIndex {
+    column: usize,
+    map: FxHashMap<Value, FxHashSet<Key>>,
+}
+
+impl SecondaryIndex {
+    /// New empty index on `column`.
+    pub fn new(column: usize) -> Self {
+        SecondaryIndex { column, map: FxHashMap::default() }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Registers `row` (stored under `key`).
+    pub fn insert(&mut self, row: &Row, key: &[Value]) {
+        self.map
+            .entry(row[self.column].clone())
+            .or_default()
+            .insert(key.to_vec());
+    }
+
+    /// Unregisters `row`.
+    pub fn remove(&mut self, row: &Row, key: &[Value]) {
+        if let Some(set) = self.map.get_mut(&row[self.column]) {
+            set.remove(key);
+            if set.is_empty() {
+                self.map.remove(&row[self.column]);
+            }
+        }
+    }
+
+    /// Moves `key` between buckets if the indexed column changed.
+    pub fn update(&mut self, before: &Row, after: &Row, key: &[Value]) {
+        if before[self.column] != after[self.column] {
+            self.remove(before, key);
+            self.insert(after, key);
+        }
+    }
+
+    /// All keys whose indexed column equals `value`.
+    pub fn get(&self, value: &Value) -> Option<impl Iterator<Item = &Key>> {
+        self.map.get(value).map(|s| s.iter())
+    }
+
+    /// Number of distinct indexed values.
+    pub fn cardinality(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: i64) -> Key {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut idx = SecondaryIndex::new(1);
+        let r1 = vec![Value::Int(1), Value::from("a")];
+        let r2 = vec![Value::Int(2), Value::from("a")];
+        idx.insert(&r1, &k(1));
+        idx.insert(&r2, &k(2));
+        assert_eq!(idx.get(&Value::from("a")).unwrap().count(), 2);
+        assert_eq!(idx.cardinality(), 1);
+        idx.remove(&r1, &k(1));
+        assert_eq!(idx.get(&Value::from("a")).unwrap().count(), 1);
+        idx.remove(&r2, &k(2));
+        assert!(idx.get(&Value::from("a")).is_none());
+        assert_eq!(idx.cardinality(), 0);
+    }
+
+    #[test]
+    fn update_moves_buckets() {
+        let mut idx = SecondaryIndex::new(1);
+        let before = vec![Value::Int(1), Value::Int(10)];
+        let after = vec![Value::Int(1), Value::Int(20)];
+        idx.insert(&before, &k(1));
+        idx.update(&before, &after, &k(1));
+        assert!(idx.get(&Value::Int(10)).is_none());
+        assert_eq!(idx.get(&Value::Int(20)).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn update_same_value_is_noop() {
+        let mut idx = SecondaryIndex::new(0);
+        let r = vec![Value::Int(5)];
+        idx.insert(&r, &k(5));
+        idx.update(&r, &r, &k(5));
+        assert_eq!(idx.get(&Value::Int(5)).unwrap().count(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! A single partition's slice of one table.
+
+use crate::index::SecondaryIndex;
+use crate::schema::Schema;
+use common::{Error, FxHashMap, Result, Value};
+
+/// A primary-key value (one `Value` per key column, in schema key order).
+pub type Key = Vec<Value>;
+/// A row (one `Value` per column, in schema order).
+pub type Row = Vec<Value>;
+
+/// One partition's rows for one table, indexed by primary key, plus any
+/// secondary indexes. All access is single-threaded by construction — the
+/// engine guarantees a partition is touched by one transaction at a time,
+/// which is exactly the H-Store execution model the paper builds on.
+#[derive(Debug, Default)]
+pub struct Table {
+    rows: FxHashMap<Key, Row>,
+    secondary: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Creates an empty table slice.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Adds a secondary index on `column`. Must be called before rows are
+    /// inserted (catalog setup time).
+    pub fn add_secondary_index(&mut self, column: usize) {
+        assert!(self.rows.is_empty(), "add indexes before loading");
+        self.secondary.push(SecondaryIndex::new(column));
+    }
+
+    /// Extracts the primary key of `row` under `schema`.
+    pub fn key_of(schema: &Schema, row: &Row) -> Key {
+        schema.primary_key.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Number of rows stored in this slice.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the slice holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row; errors on duplicate primary key.
+    pub fn insert(&mut self, schema: &Schema, row: Row) -> Result<Key> {
+        if row.len() != schema.arity() {
+            return Err(Error::Constraint(format!(
+                "row arity {} != schema arity {} for {}",
+                row.len(),
+                schema.arity(),
+                schema.name
+            )));
+        }
+        let key = Self::key_of(schema, &row);
+        if self.rows.contains_key(&key) {
+            return Err(Error::Constraint(format!(
+                "duplicate primary key {key:?} in {}",
+                schema.name
+            )));
+        }
+        for idx in &mut self.secondary {
+            idx.insert(&row, &key);
+        }
+        self.rows.insert(key.clone(), row);
+        Ok(key)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, key: &[Value]) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Updates a row in place via `f`; returns the pre-image for undo, or
+    /// `NotFound` if the key does not exist. Secondary indexes are kept
+    /// consistent even if `f` modifies indexed columns.
+    pub fn update(
+        &mut self,
+        key: &[Value],
+        f: impl FnOnce(&mut Row),
+    ) -> Result<Row> {
+        let row = self
+            .rows
+            .get_mut(key)
+            .ok_or_else(|| Error::NotFound(format!("key {key:?}")))?;
+        let before = row.clone();
+        f(row);
+        let after = row.clone();
+        for idx in &mut self.secondary {
+            idx.update(&before, &after, key);
+        }
+        Ok(before)
+    }
+
+    /// Overwrites the row stored at `key` (used by undo). Inserts if absent.
+    pub fn put(&mut self, key: Key, row: Row) {
+        if let Some(old) = self.rows.get(&key) {
+            for idx in &mut self.secondary {
+                idx.update(old, &row, &key);
+            }
+        } else {
+            for idx in &mut self.secondary {
+                idx.insert(&row, &key);
+            }
+        }
+        self.rows.insert(key, row);
+    }
+
+    /// Deletes a row; returns the pre-image if present.
+    pub fn delete(&mut self, key: &[Value]) -> Option<Row> {
+        let row = self.rows.remove(key)?;
+        for idx in &mut self.secondary {
+            idx.remove(&row, key);
+        }
+        Some(row)
+    }
+
+    /// Looks up rows whose `column` equals `value`, via a secondary index if
+    /// one exists, otherwise by a full scan of this slice.
+    pub fn lookup_by(&self, column: usize, value: &Value) -> Vec<&Row> {
+        if let Some(idx) = self.secondary.iter().find(|i| i.column() == column) {
+            idx.get(value)
+                .map(|keys| {
+                    let mut keys: Vec<_> = keys.collect();
+                    keys.sort(); // deterministic order
+                    keys.iter().filter_map(|k| self.rows.get(*k)).collect()
+                })
+                .unwrap_or_default()
+        } else {
+            let mut matches: Vec<(&Key, &Row)> = self
+                .rows
+                .iter()
+                .filter(|(_, r)| &r[column] == value)
+                .collect();
+            matches.sort_by(|a, b| a.0.cmp(b.0));
+            matches.into_iter().map(|(_, r)| r).collect()
+        }
+    }
+
+    /// Iterates all rows (test/loader support; deterministic order not
+    /// guaranteed).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Row)> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("T", &["ID", "GRP", "VAL"], &[0], Some(0))
+    }
+
+    fn row(id: i64, grp: i64, val: i64) -> Row {
+        vec![Value::Int(id), Value::Int(grp), Value::Int(val)]
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let s = schema();
+        let mut t = Table::new();
+        t.insert(&s, row(1, 10, 100)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&[Value::Int(1)]).unwrap()[2], Value::Int(100));
+        assert!(t.delete(&[Value::Int(1)]).is_some());
+        assert!(t.is_empty());
+        assert!(t.delete(&[Value::Int(1)]).is_none());
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let s = schema();
+        let mut t = Table::new();
+        t.insert(&s, row(1, 10, 100)).unwrap();
+        assert!(matches!(
+            t.insert(&s, row(1, 11, 101)),
+            Err(Error::Constraint(_))
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let s = schema();
+        let mut t = Table::new();
+        assert!(t.insert(&s, vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn update_returns_preimage() {
+        let s = schema();
+        let mut t = Table::new();
+        t.insert(&s, row(1, 10, 100)).unwrap();
+        let before = t
+            .update(&[Value::Int(1)], |r| r[2] = Value::Int(999))
+            .unwrap();
+        assert_eq!(before[2], Value::Int(100));
+        assert_eq!(t.get(&[Value::Int(1)]).unwrap()[2], Value::Int(999));
+        assert!(t.update(&[Value::Int(7)], |_| {}).is_err());
+    }
+
+    #[test]
+    fn lookup_by_full_scan() {
+        let s = schema();
+        let mut t = Table::new();
+        for i in 0..10 {
+            t.insert(&s, row(i, i % 2, i * 10)).unwrap();
+        }
+        let evens = t.lookup_by(1, &Value::Int(0));
+        assert_eq!(evens.len(), 5);
+    }
+
+    #[test]
+    fn lookup_by_secondary_index_matches_scan() {
+        let s = schema();
+        let mut indexed = Table::new();
+        indexed.add_secondary_index(1);
+        let mut plain = Table::new();
+        for i in 0..20 {
+            indexed.insert(&s, row(i, i % 3, i)).unwrap();
+            plain.insert(&s, row(i, i % 3, i)).unwrap();
+        }
+        for g in 0..3 {
+            let a: Vec<Row> = indexed
+                .lookup_by(1, &Value::Int(g))
+                .into_iter()
+                .cloned()
+                .collect();
+            let b: Vec<Row> = plain
+                .lookup_by(1, &Value::Int(g))
+                .into_iter()
+                .cloned()
+                .collect();
+            assert_eq!(a, b, "group {g}");
+        }
+    }
+
+    #[test]
+    fn index_follows_updates_and_deletes() {
+        let s = schema();
+        let mut t = Table::new();
+        t.add_secondary_index(1);
+        t.insert(&s, row(1, 5, 0)).unwrap();
+        t.update(&[Value::Int(1)], |r| r[1] = Value::Int(6)).unwrap();
+        assert!(t.lookup_by(1, &Value::Int(5)).is_empty());
+        assert_eq!(t.lookup_by(1, &Value::Int(6)).len(), 1);
+        t.delete(&[Value::Int(1)]);
+        assert!(t.lookup_by(1, &Value::Int(6)).is_empty());
+    }
+
+    #[test]
+    fn put_restores_row_and_index() {
+        let s = schema();
+        let mut t = Table::new();
+        t.add_secondary_index(1);
+        t.insert(&s, row(1, 5, 0)).unwrap();
+        let key = vec![Value::Int(1)];
+        let pre = t.get(&key).unwrap().clone();
+        t.update(&key, |r| r[1] = Value::Int(9)).unwrap();
+        t.put(key.clone(), pre);
+        assert_eq!(t.lookup_by(1, &Value::Int(5)).len(), 1);
+        assert!(t.lookup_by(1, &Value::Int(9)).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! On-disk trace format: JSON lines (one transaction record per line).
+//!
+//! JSON keeps traces human-inspectable and diffable — they are the interface
+//! artifact between off-line model generation and the running system.
+
+use crate::record::{TraceRecord, Workload};
+use common::{Error, Result};
+use std::io::{BufRead, Write};
+
+/// Serializes a workload as JSON lines into `w`.
+pub fn write_trace<W: Write>(workload: &Workload, mut w: W) -> Result<()> {
+    for rec in &workload.records {
+        let line =
+            serde_json::to_string(rec).map_err(|e| Error::Serde(e.to_string()))?;
+        writeln!(w, "{line}").map_err(|e| Error::Serde(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines workload from `r`.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Workload> {
+    let mut records = Vec::new();
+    for line in r.lines() {
+        let line = line.map_err(|e| Error::Serde(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord =
+            serde_json::from_str(&line).map_err(|e| Error::Serde(e.to_string()))?;
+        records.push(rec);
+    }
+    Ok(Workload { records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::QueryRecord;
+    use common::Value;
+
+    fn sample() -> Workload {
+        Workload {
+            records: vec![
+                TraceRecord {
+                    proc: 0,
+                    params: vec![Value::Int(1), Value::Array(vec![Value::Int(2)])],
+                    queries: vec![QueryRecord { query: 0, params: vec![Value::Int(1)] }],
+                    aborted: false,
+                },
+                TraceRecord {
+                    proc: 1,
+                    params: vec![Value::Null],
+                    queries: vec![],
+                    aborted: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let w = sample();
+        let mut buf = Vec::new();
+        write_trace(&w, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.records, w.records);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let w = sample();
+        let mut buf = Vec::new();
+        write_trace(&w, &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_trace(&b"not json"[..]).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! The three OLTP benchmarks of the paper's evaluation (§6.1).
+//!
+//! * [`tatp`] — Telecom Application Transaction Processing: 7 procedures, 4
+//!   always single-partition, 3 that open with a broadcast query on a
+//!   non-partitioning column and then work at a single partition.
+//! * [`tpcc`] — TPC-C (simplified to the paper's Fig. 2 shapes): 5
+//!   procedures; the two hottest (NewOrder, Payment) vary between
+//!   single-partition and distributed.
+//! * [`auctionmark`] — AuctionMark: 10 procedures, buyer/seller
+//!   cross-partition transactions, conditional branches, and the >175-query
+//!   maintenance transaction CheckWinningBids for which the paper disables
+//!   Houdini.
+//!
+//! Each benchmark exposes `database(num_partitions)`, `registry()` and a
+//! [`engine::RequestGenerator`]; procedure letters follow Table 4.
+
+pub mod auctionmark;
+pub mod tatp;
+pub mod tpcc;
+
+use engine::{ProcedureRegistry, RequestGenerator};
+use storage::Database;
+
+/// Which benchmark to build — convenience for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bench {
+    /// TATP.
+    Tatp,
+    /// TPC-C.
+    Tpcc,
+    /// AuctionMark.
+    AuctionMark,
+}
+
+impl Bench {
+    /// All benchmarks in the paper's order.
+    pub const ALL: [Bench; 3] = [Bench::Tatp, Bench::Tpcc, Bench::AuctionMark];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bench::Tatp => "TATP",
+            Bench::Tpcc => "TPC-C",
+            Bench::AuctionMark => "AuctionMark",
+        }
+    }
+
+    /// Builds and loads the benchmark database.
+    pub fn database(self, num_partitions: u32) -> Database {
+        match self {
+            Bench::Tatp => tatp::database(num_partitions),
+            Bench::Tpcc => tpcc::database(num_partitions),
+            Bench::AuctionMark => auctionmark::database(num_partitions),
+        }
+    }
+
+    /// Builds the stored-procedure registry.
+    pub fn registry(self) -> ProcedureRegistry {
+        match self {
+            Bench::Tatp => tatp::registry(),
+            Bench::Tpcc => tpcc::registry(),
+            Bench::AuctionMark => auctionmark::registry(),
+        }
+    }
+
+    /// Builds a request generator for a cluster of `num_partitions`.
+    pub fn generator(self, num_partitions: u32, seed: u64) -> Box<dyn RequestGenerator> {
+        match self {
+            Bench::Tatp => Box::new(tatp::Generator::new(num_partitions, seed)),
+            Bench::Tpcc => Box::new(tpcc::Generator::new(num_partitions, seed)),
+            Bench::AuctionMark => Box::new(auctionmark::Generator::new(num_partitions, seed)),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Head-to-head on TPC-C: Houdini versus the paper's baselines on one
+//! cluster size, reporting throughput and the optimization counters that
+//! Table 4 tracks.
+//!
+//! Run with: `cargo run --release --example tpcc_houdini [partitions]`
+
+use engine::baselines::{AssumeDistributed, AssumeSinglePartition, Oracle};
+use engine::{CostModel, RequestGenerator, SimConfig, Simulation, TxnAdvisor};
+use houdini::{train, Houdini, HoudiniConfig, TrainingConfig};
+use trace::Workload;
+use workloads::Bench;
+
+fn run(bench: Bench, parts: u32, advisor: &mut dyn TxnAdvisor) -> engine::RunMetrics {
+    let mut db = bench.database(parts);
+    let registry = bench.registry();
+    let mut gen = bench.generator(parts, 99);
+    let cfg = SimConfig {
+        num_partitions: parts,
+        warmup_us: 100_000.0,
+        measure_us: 500_000.0,
+        ..Default::default()
+    };
+    let sim = Simulation::new(
+        &mut db,
+        &registry,
+        advisor,
+        &mut gen,
+        CostModel::default(),
+        cfg,
+    );
+    sim.run().expect("simulation").0
+}
+
+fn main() {
+    let parts: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    let bench = Bench::Tpcc;
+    println!("TPC-C, {parts} partitions, 0.5 simulated seconds measured\n");
+
+    // Train Houdini from an offline trace (paper §3.2/§4.1/§5).
+    let mut db = bench.database(parts);
+    let registry = bench.registry();
+    let catalog = registry.catalog();
+    let mut gen = bench.generator(parts, 42);
+    let mut records = Vec::new();
+    for i in 0..4000u64 {
+        let (proc, args) = gen.next_request(i % 16);
+        let out = engine::run_offline(&mut db, &registry, &catalog, proc, &args, true)
+            .expect("trace");
+        records.push(out.record);
+    }
+    let preds = train(&catalog, parts, &Workload { records }, &TrainingConfig::default());
+    let mut houdini = Houdini::new(preds, catalog.clone(), parts, HoudiniConfig::default());
+
+    let mut oracle = Oracle::new();
+    let mut asp = AssumeSinglePartition::new();
+    let mut adist = AssumeDistributed::new();
+    let runs: Vec<(&str, &mut dyn TxnAdvisor)> = vec![
+        ("houdini", &mut houdini),
+        ("proper-selection (oracle)", &mut oracle),
+        ("assume-single-partition", &mut asp),
+        ("assume-distributed", &mut adist),
+    ];
+    println!(
+        "{:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "strategy", "txn/s", "lat(ms)", "restarts", "no-undo", "spec"
+    );
+    for (name, advisor) in runs {
+        let m = run(bench, parts, advisor);
+        println!(
+            "{name:<26} {:>9.0} {:>9.2} {:>9} {:>9} {:>9}",
+            m.throughput_tps(),
+            m.mean_latency_ms(),
+            m.restarts,
+            m.no_undo,
+            m.speculative
+        );
+    }
+    println!(
+        "\nHoudini plan mix: {} estimated, {} fallback, {} replanned",
+        houdini.plans_estimated, houdini.plans_fallback, houdini.plans_replanned
+    );
+}

@@ -1,0 +1,99 @@
+//! Workload-drift integration test (paper §4.5): models trained on one
+//! workload keep serving after the workload shifts, and the on-line
+//! maintenance recomputes probabilities from the live counters instead of
+//! requiring regeneration.
+
+use engine::{run_offline, CostModel, RequestGenerator, SimConfig, Simulation};
+use houdini::{train, Houdini, HoudiniConfig, TrainingConfig};
+use trace::Workload;
+use workloads::{tpcc, Bench};
+
+fn tpcc_trace(parts: u32, n: usize, remote_prob: f64, seed: u64) -> (engine::Catalog, Workload) {
+    let mut db = Bench::Tpcc.database(parts);
+    let registry = Bench::Tpcc.registry();
+    let catalog = registry.catalog();
+    let mut gen = tpcc::Generator::new(parts, seed);
+    gen.remote_item_prob = remote_prob;
+    gen.remote_payment_prob = remote_prob;
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let (proc, args) = gen.next_request(i as u64 % 8);
+        let out =
+            run_offline(&mut db, &registry, &catalog, proc, &args, true).expect("trace txn");
+        records.push(out.record);
+    }
+    (catalog, Workload { records })
+}
+
+#[test]
+fn drifted_workload_triggers_recomputation_and_still_commits() {
+    let parts = 4;
+    // Train on an all-local workload...
+    let (catalog, wl) = tpcc_trace(parts, 1200, 0.0, 5);
+    let preds = train(&catalog, parts, &wl, &TrainingConfig::default());
+    let mut houdini = Houdini::new(preds, catalog, parts, HoudiniConfig::default());
+
+    // ...then run a workload where half the items are remote.
+    let mut db = Bench::Tpcc.database(parts);
+    let registry = Bench::Tpcc.registry();
+    let mut gen = tpcc::Generator::new(parts, 7);
+    gen.remote_item_prob = 0.5;
+    gen.remote_payment_prob = 0.5;
+    let cfg = SimConfig {
+        num_partitions: parts,
+        warmup_us: 50_000.0,
+        measure_us: 400_000.0,
+        ..Default::default()
+    };
+    let sim = Simulation::new(
+        &mut db,
+        &registry,
+        &mut houdini,
+        &mut gen,
+        CostModel::default(),
+        cfg,
+    );
+    let (metrics, _) = sim.run().expect("drifted run must not halt");
+
+    assert!(metrics.committed > 200, "committed = {}", metrics.committed);
+    assert!(
+        houdini.recomputations >= 1,
+        "drift must trigger at least one §4.5 recomputation \
+         (got {}, restarts {})",
+        houdini.recomputations,
+        metrics.restarts
+    );
+}
+
+#[test]
+fn stable_workload_does_not_thrash_the_models() {
+    let parts = 4;
+    let (catalog, wl) = tpcc_trace(parts, 1200, 0.02, 5);
+    let preds = train(&catalog, parts, &wl, &TrainingConfig::default());
+    let mut houdini = Houdini::new(preds, catalog, parts, HoudiniConfig::default());
+
+    let mut db = Bench::Tpcc.database(parts);
+    let registry = Bench::Tpcc.registry();
+    let mut gen = tpcc::Generator::new(parts, 7); // same distribution as training
+    let cfg = SimConfig {
+        num_partitions: parts,
+        warmup_us: 50_000.0,
+        measure_us: 300_000.0,
+        ..Default::default()
+    };
+    let sim = Simulation::new(
+        &mut db,
+        &registry,
+        &mut houdini,
+        &mut gen,
+        CostModel::default(),
+        cfg,
+    );
+    let (metrics, _) = sim.run().expect("stable run");
+    assert!(metrics.committed > 200);
+    assert!(
+        houdini.recomputations <= 2,
+        "a matching workload should rarely trip maintenance (got {})",
+        houdini.recomputations
+    );
+}
