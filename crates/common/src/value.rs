@@ -210,7 +210,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = vec![
+        let mut vs = [
             Value::from("b"),
             Value::Int(2),
             Value::Null,

@@ -274,7 +274,7 @@ mod tests {
         let db = Database::new(schemas, 8, &[]);
         for v in [Value::Int(0), Value::Int(13), Value::from("abc")] {
             assert_eq!(
-                r.partitions(0, 0, &[v.clone()]),
+                r.partitions(0, 0, std::slice::from_ref(&v)),
                 PartitionSet::single(db.partition_for_value(&v)),
                 "value {v}"
             );

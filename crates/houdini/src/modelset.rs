@@ -138,8 +138,14 @@ impl ModelSet {
 /// Derives, for OP2, the partitions whose access estimate clears the
 /// confidence threshold (see `advisor`): partitions on the estimated path
 /// use their first-touch confidence; partitions off the path use the
-/// highest access probability any visited state's table assigns them (the
-/// Fig. 5 "5% chance to touch partition 1" entries).
+/// highest access probability any visited *query* state's table assigns
+/// them (the Fig. 5 "5% chance to touch partition 1" entries). The begin
+/// vertex is excluded from that fallback: its table aggregates the
+/// procedure-wide prior over every training invocation, so consulting it
+/// would lock any partition whose marginal access frequency clears the
+/// threshold (e.g. both halves of a uniform two-warehouse TPC-C) no matter
+/// what the estimated path says. Query vertices carry the path-conditioned
+/// probability, which is the quantity OP2 wants.
 pub fn lock_set_for(
     est: &markov::PathEstimate,
     model: &MarkovModel,
@@ -153,6 +159,9 @@ pub fn lock_set_for(
             None => est
                 .vertices
                 .iter()
+                .filter(|&&v| {
+                    matches!(model.vertex(v).key.kind, markov::QueryKind::Query(_))
+                })
                 .map(|&v| model.vertex(v).table.access(p))
                 .fold(0.0f64, f64::max),
         };

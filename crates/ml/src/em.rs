@@ -170,12 +170,18 @@ fn fit_k(data: &[Vec<f64>], k: usize, cfg: &EmConfig) -> EmModel {
 mod tests {
     use super::*;
 
+    /// Gaussian-ish noise (Irwin–Hall: sum of four uniforms). Uniform noise
+    /// would make `single_blob_prefers_one_cluster` an init-lottery: a
+    /// two-component mixture models a flat density genuinely better than
+    /// one Gaussian (~0.18 nats/point), which can clear the BIC penalty
+    /// whenever EM's random init converges well.
     fn blobs(centers: &[f64], per: usize) -> Vec<Vec<f64>> {
         let mut rng = seeded_rng(99);
         let mut data = Vec::new();
         for &c in centers {
             for _ in 0..per {
-                data.push(vec![c + rng.gen_range(-0.2..0.2)]);
+                let noise: f64 = (0..4).map(|_| rng.gen_range(-0.1..0.1)).sum();
+                data.push(vec![c + noise]);
             }
         }
         data

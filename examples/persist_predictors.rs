@@ -1,0 +1,57 @@
+//! The paper's deployment story (Fig. 6): collect a trace, train off-line,
+//! ship the serialized predictors to every node, and load them back.
+//! Exercises the JSONL trace format and the predictor bundle end-to-end.
+//!
+//! Run with: `cargo run --release --example persist_predictors`
+
+use engine::run_offline;
+use houdini::{load_predictors, save_predictors, train, TrainingConfig};
+use trace::{read_trace, write_trace, Workload};
+use workloads::Bench;
+
+fn main() {
+    let parts = 4;
+    let n = 500;
+
+    // Collect a TATP trace.
+    let mut db = Bench::Tatp.database(parts);
+    let registry = Bench::Tatp.registry();
+    let catalog = registry.catalog();
+    let mut gen = Bench::Tatp.generator(parts, 17);
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let (proc, args) = gen.next_request(i as u64 % 8);
+        let out = run_offline(&mut db, &registry, &catalog, proc, &args, true)
+            .expect("offline trace txn");
+        records.push(out.record);
+    }
+    let wl = Workload { records };
+
+    // Round-trip the trace through its JSONL wire format.
+    let mut buf = Vec::new();
+    write_trace(&wl, &mut buf).expect("write trace");
+    println!("trace: {} records, {} bytes of JSONL", wl.len(), buf.len());
+    let back = read_trace(&buf[..]).expect("read trace");
+    assert_eq!(back.records, wl.records, "trace must round-trip bit-identically");
+    println!("trace round-trip: OK");
+
+    // Train and round-trip the predictor bundle.
+    let preds = train(&catalog, parts, &wl, &TrainingConfig::default());
+    let mut bundle = Vec::new();
+    save_predictors(&preds, parts, &mut bundle).expect("save predictors");
+    println!(
+        "predictors: {} procedures, {} bytes of JSON",
+        preds.len(),
+        bundle.len()
+    );
+    let loaded = load_predictors(&bundle[..], parts).expect("load predictors");
+    assert_eq!(loaded.len(), preds.len());
+    let models: usize = loaded.iter().map(|p| p.models.len()).sum();
+    println!("predictor round-trip: OK ({models} models rebuilt with fresh indexes)");
+
+    // Loading against the wrong cluster size must be refused (§3.1).
+    match load_predictors(&bundle[..], parts * 2) {
+        Err(e) => println!("wrong-cluster load correctly refused: {e}"),
+        Ok(_) => panic!("stale predictors must not load"),
+    }
+}

@@ -1,0 +1,32 @@
+//! Reproducibility guarantees: every randomized component is seeded, so
+//! identical seeds must yield bit-identical traces and different seeds must
+//! diverge. Future performance work (parallel collection, batching) must
+//! keep this contract — the paper's experiments are only comparable because
+//! reruns see the same workload.
+
+use bench::collect_trace;
+use workloads::Bench;
+
+#[test]
+fn tpcc_trace_collection_is_deterministic() {
+    let (_, a) = collect_trace(Bench::Tpcc, 4, 400, 1234);
+    let (_, b) = collect_trace(Bench::Tpcc, 4, 400, 1234);
+    assert_eq!(a.records.len(), 400);
+    assert_eq!(a.records, b.records, "same seed must reproduce the trace exactly");
+}
+
+#[test]
+fn tpcc_trace_collection_diverges_across_seeds() {
+    let (_, a) = collect_trace(Bench::Tpcc, 4, 400, 1234);
+    let (_, c) = collect_trace(Bench::Tpcc, 4, 400, 4321);
+    assert_ne!(a.records, c.records, "different seeds must produce different traces");
+}
+
+#[test]
+fn every_benchmark_trace_is_deterministic() {
+    for bench in Bench::ALL {
+        let (_, a) = collect_trace(bench, 2, 120, 7);
+        let (_, b) = collect_trace(bench, 2, 120, 7);
+        assert_eq!(a.records, b.records, "{} trace must be reproducible", bench.name());
+    }
+}

@@ -1,0 +1,54 @@
+//! Sub-second canary: the complete collect → train → simulate pipeline on a
+//! tiny TATP instance. The heavyweight coverage lives in `end_to_end.rs`;
+//! this test exists so `cargo test smoke` gives a fast signal that the
+//! whole stack is wired together.
+
+use predictive_oltp::prelude::*;
+use engine::run_offline;
+
+#[test]
+fn tatp_collect_train_simulate_smoke() {
+    let parts = 2;
+    let n = 150;
+
+    // Collect.
+    let mut db = Bench::Tatp.database(parts);
+    let registry = Bench::Tatp.registry();
+    let catalog = registry.catalog();
+    let mut gen = Bench::Tatp.generator(parts, 5);
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let (proc, args) = gen.next_request(i as u64 % 4);
+        let out = run_offline(&mut db, &registry, &catalog, proc, &args, true)
+            .expect("offline trace txn");
+        records.push(out.record);
+    }
+    let wl = Workload { records };
+    assert_eq!(wl.records.len(), n);
+
+    // Train.
+    let preds = train(&catalog, parts, &wl, &TrainingConfig::default());
+    assert_eq!(preds.len(), catalog.len());
+    assert!(preds.iter().any(|p| !p.disabled), "training must enable some procedure");
+
+    // Simulate (short measured window).
+    let mut houdini = Houdini::new(preds, catalog, parts, HoudiniConfig::default());
+    let mut db = Bench::Tatp.database(parts);
+    let mut gen = Bench::Tatp.generator(parts, 6);
+    let cfg = SimConfig {
+        num_partitions: parts,
+        warmup_us: 5_000.0,
+        measure_us: 25_000.0,
+        ..Default::default()
+    };
+    let sim = Simulation::new(
+        &mut db,
+        &registry,
+        &mut houdini,
+        &mut gen,
+        CostModel::default(),
+        cfg,
+    );
+    let (metrics, _) = sim.run().expect("simulation must not halt");
+    assert!(metrics.committed > 0, "smoke simulation must commit transactions");
+}

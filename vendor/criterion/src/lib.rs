@@ -1,0 +1,178 @@
+//! Vendored stand-in for `criterion` (offline build).
+//!
+//! Implements the harness surface this repository's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::{bench_function,
+//! benchmark_group, sample_size}`, `BenchmarkGroup`, and `Bencher::iter` —
+//! with a simple measure: per sample, time a batch of iterations sized so
+//! each sample runs ≥ ~1ms, then report the median, minimum, and maximum
+//! per-iteration time. No statistical analysis, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Harness entry point: carries the default sample count.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_bench(&format!("{}/{}", self.name, id), samples, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; `iter` times the hot path.
+pub struct Bencher {
+    samples: usize,
+    /// Median/min/max per-iteration nanoseconds, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `f`, autoscaling the batch size so one sample ≥ ~1ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and find a batch size that makes one sample measurable.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 20);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        self.result = Some((median, per_iter[0], per_iter[per_iter.len() - 1]));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher { samples, result: None };
+    f(&mut b);
+    match b.result {
+        Some((median, min, max)) => println!(
+            "bench {id:<50} median {} (min {}, max {})",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max)
+        ),
+        None => println!("bench {id:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Labeled benchmark ids (`BenchmarkId::new("op", param)`).
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

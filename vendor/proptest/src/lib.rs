@@ -1,0 +1,503 @@
+//! Vendored stand-in for `proptest` (offline build).
+//!
+//! Keeps the subset of proptest's API the repository's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! `Strategy` + `prop_map`, range / tuple / `Just` / `any` / collection /
+//! simple-regex strategies, `prop_oneof!`, and `prop_assert*` macros.
+//!
+//! Sampling differs from upstream in two deliberate ways: cases are drawn
+//! from a fixed per-test seed (fully deterministic, no persistence files),
+//! and there is no shrinking — a failing case panics with the generated
+//! inputs' `Debug` rendering instead.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// The test-case RNG handed to strategies (xoshiro256++, fixed seed).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Derives the per-test seed from the test function's name, so adding or
+/// reordering sibling tests never changes another test's cases.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Object-safe: combinators like [`prop_oneof!`] box their arms.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite floats only: tests feed these into arithmetic invariants.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Marker strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($idx:tt $t:ident)),+) => {
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!((0 A));
+impl_tuple_strategy!((0 A), (1 B));
+impl_tuple_strategy!((0 A), (1 B), (2 C));
+impl_tuple_strategy!((0 A), (1 B), (2 C), (3 D));
+impl_tuple_strategy!((0 A), (1 B), (2 C), (3 D), (4 E));
+impl_tuple_strategy!((0 A), (1 B), (2 C), (3 D), (4 E), (5 F));
+
+/// Minimal regex-shaped string strategy: supports concatenations of
+/// literal characters and `[a-z0-9_]`-style classes, each optionally
+/// followed by `{m,n}`, `{n}`, `*`, `+`, or `?`. Covers the patterns used
+/// in this repository's tests; anything fancier panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // one atom: a char class or a literal character
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    for c in lo..=hi {
+                        set.push(char::from_u32(c).unwrap());
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !"(){}|^$.\\*+?".contains(c),
+                "unsupported regex construct {c:?} in pattern {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        // optional repetition
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse::<usize>().expect("bad {m,n}"),
+                    hi.trim().parse::<usize>().expect("bad {m,n}"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad {n}");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+            let r = match chars[i] {
+                '*' => (0, 8),
+                '+' => (1, 8),
+                _ => (0, 1),
+            };
+            i += 1;
+            r
+        } else {
+            (1, 1)
+        };
+        let count = min + (rng.below((max - min + 1) as u64) as usize);
+        for _ in 0..count {
+            let pick = rng.below(alphabet.len() as u64) as usize;
+            out.push(alphabet[pick]);
+        }
+    }
+    out
+}
+
+/// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T: Debug> {
+    pub arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        self.arms[pick].generate(rng)
+    }
+}
+
+/// Boxes a strategy for [`prop_oneof!`] (monomorphic helper so the macro
+/// needs no inference placeholders in cast position).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`]; converts from the range forms the
+    /// tests write (`0..20`, `1..=5`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Inclusive upper bound.
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let n = self.size.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; kept smaller so the suite stays
+            // fast — each case re-runs the full test body.
+            Config { cases: 96 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Runs each body over `cases` deterministically-generated inputs. On
+/// failure the generated inputs are printed (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg(<$crate::test_runner::Config as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::TestRng::from_seed($crate::seed_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                )));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    // Render inputs before the body runs: the body may
+                    // consume the bindings.
+                    let __inputs = ::std::string::String::new()
+                        $(+ &format!("  {} = {:?}\n", stringify!($arg), &$arg))*;
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(__panic) = __result {
+                        eprintln!(
+                            "proptest case {}/{} failed for {}; inputs:\n{}",
+                            __case + 1,
+                            __cfg.cases,
+                            stringify!($name),
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly picks one of the listed strategies per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union { arms: vec![$($crate::boxed($arm)),+] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,341 @@
+//! Vendored stand-in for `rand` (offline build). Implements the surface
+//! this repository uses — `Rng::{gen, gen_range, gen_bool}`,
+//! `SeedableRng::seed_from_u64`, and `rngs::SmallRng` — and is
+//! **bit-compatible with upstream rand 0.8.5 on 64-bit targets**: the same
+//! seed yields the same value stream. That matters because the repo's
+//! recorded experiments and test expectations were authored against
+//! upstream streams. Concretely:
+//!
+//! * `SmallRng` is xoshiro256++ with rand_xoshiro's SplitMix64
+//!   `seed_from_u64`, and `next_u32` truncates `next_u64` (not high bits);
+//! * integer `gen_range` uses biased-rejection via widening multiply
+//!   (Lemire), with rand 0.8.5's zone computation and draw counts;
+//! * float `gen_range` uses the [1,2) mantissa-bits method;
+//! * `gen_bool` is Bernoulli: one `u64` draw compared against
+//!   `(p * 2^64) as u64`, no draw at `p = 1.0`.
+
+/// The raw entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// Truncates (matches rand_xoshiro's 64-bit generators).
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a `Standard`-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`low..high` or `low..=high`).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        if p == 1.0 {
+            // rand's Bernoulli ALWAYS_TRUE: no draw consumed.
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_small_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_small_int!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! impl_standard_large_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_large_int!(u64, usize, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8.5: one u32 draw, decided by its most significant bit
+        // (least significant bits of weak generators can show patterns).
+        rng.next_u32() & 0x8000_0000 != 0
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Multiply-based [0,1) with 53 bits of precision (rand 0.8).
+        let fraction = rng.next_u64() >> 11;
+        fraction as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let fraction = rng.next_u32() >> 8;
+        fraction as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`]. Generic over the output type `T`
+/// (mirroring upstream rand) so that integer literals in range expressions
+/// unify with the type the call site expects.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly samplable between two bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. Panics if `lo >= hi`.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`. Panics if `lo > hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// rand 0.8.5 `uniform_int_impl!` semantics: `$u_large` is the type drawn
+/// from the generator and fed through the widening multiply.
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $unsigned:ty, $u_large:ty, $wide:ty, $draw:ident);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                Self::sample_inclusive(rng, lo, hi - 1)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let range = (hi as $unsigned).wrapping_sub(lo as $unsigned).wrapping_add(1)
+                    as $u_large;
+                if range == 0 {
+                    // Span covers the whole type.
+                    return rng.$draw() as $t;
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$draw() as $u_large;
+                    let m = (v as $wide) * (range as $wide);
+                    let hi_part = (m >> <$u_large>::BITS) as $u_large;
+                    let lo_part = m as $u_large;
+                    if lo_part <= zone {
+                        return lo.wrapping_add(hi_part as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int! {
+    i8 => u8, u32, u64, next_u32;
+    u8 => u8, u32, u64, next_u32;
+    i16 => u16, u32, u64, next_u32;
+    u16 => u16, u32, u64, next_u32;
+    i32 => u32, u32, u64, next_u32;
+    u32 => u32, u32, u64, next_u32;
+    i64 => u64, u64, u128, next_u64;
+    u64 => u64, u64, u128, next_u64;
+    isize => usize, u64, u128, next_u64;
+    usize => usize, u64, u128, next_u64;
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty => $draw:ident, $bits:ty, $mant:expr, $exp_one:expr);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let scale = hi - lo;
+                loop {
+                    // Value in [1, 2): random mantissa bits under exponent 0.
+                    let bits: $bits = rng.$draw() >> ((<$bits>::BITS as usize) - $mant);
+                    let value1_2 = <$t>::from_bits($exp_one | bits);
+                    let res = (value1_2 - 1.0) * scale + lo;
+                    if res < hi {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(_rng: &mut R, _lo: Self, _hi: Self) -> Self {
+                panic!("gen_range over an inclusive float range is unsupported");
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float! {
+    f64 => next_u64, u64, 52, 0x3ff0_0000_0000_0000u64;
+    f32 => next_u32, u32, 23, 0x3f80_0000u32;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seeded generator: xoshiro256++, matching upstream
+    /// rand 0.8's 64-bit `SmallRng` stream for stream compatibility.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // xoshiro256++ must not start from the all-zero state (cannot
+            // happen via SplitMix64, kept as a guard for direct seeding).
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Reference stream for xoshiro256++ with SplitMix64 seeding from
+    /// seed 0, verified against an independent implementation of the
+    /// published algorithms; guards the stream-compatibility contract.
+    #[test]
+    fn matches_xoshiro256plusplus_reference() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0x5317_5d61_490b_23df,
+                0x61da_6f3d_c380_d507,
+                0x5c0f_df91_ec9a_7bfc,
+                0x02ee_bf8c_3bbe_5e1a,
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(2);
+        assert_ne!(SmallRng::seed_from_u64(1).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let u: u32 = rng.gen_range(0..10u32);
+            assert!(u < 10);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Vendored stand-in for `serde`, written for this repository's offline
+//! build environment (the container has no crates.io access).
+//!
+//! It keeps the parts of serde's surface this codebase uses: the
+//! `Serialize` / `Deserialize` traits, `#[derive(Serialize, Deserialize)]`
+//! (including `#[serde(skip)]` and container-level
+//! `#[serde(from = "..", into = "..")]`), and enough std impls to cover the
+//! types flowing through trace/model/predictor persistence. Instead of
+//! serde's visitor architecture, values serialize into a small [`Content`]
+//! tree that `serde_json` renders to / parses from JSON text. The JSON wire
+//! shapes follow serde's defaults (externally-tagged enums, newtype structs
+//! as their inner value) so traces written by this stand-in would also be
+//! readable by real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+/// A serialized value: the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Looks a key up in a serialized map (generated derive code calls this).
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be rendered into a [`Content`] tree.
+pub trait Serialize {
+    fn serialize(&self) -> Content;
+}
+
+/// A value that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range")))?,
+                    ref other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!(
+                        "{v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) => u64::try_from(v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range")))?,
+                    ref other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!(
+                        "{v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    ref other => Err(DeError::custom(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!("expected char, got {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        T::deserialize(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::custom(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::custom(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::custom(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Map keys that can live in a JSON object: strings, and integers rendered
+/// as decimal strings (matching `serde_json`'s integer-key behavior).
+pub trait JsonKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse::<$t>()
+                    .map_err(|_| DeError::custom(format!("bad integer key {key:?}")))
+            }
+        }
+    )*};
+}
+
+impl_json_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: JsonKey + Eq + Hash, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: JsonKey + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $(($idx:tt $t:ident)),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| {
+                    DeError::custom(format!("expected {}-tuple array, got {}", $len, c.kind()))
+                })?;
+                if s.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected {}-tuple, got {} elements",
+                        $len,
+                        s.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&s[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => (0 A));
+impl_tuple!(2 => (0 A), (1 B));
+impl_tuple!(3 => (0 A), (1 B), (2 C));
+impl_tuple!(4 => (0 A), (1 B), (2 C), (3 D));
+impl_tuple!(5 => (0 A), (1 B), (2 C), (3 D), (4 E));
+impl_tuple!(6 => (0 A), (1 B), (2 C), (3 D), (4 E), (5 F));

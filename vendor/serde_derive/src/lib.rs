@@ -1,0 +1,607 @@
+//! Vendored stand-in for `serde_derive`, written against the raw
+//! `proc_macro` API (the offline build has no `syn`/`quote`).
+//!
+//! Supports the shapes this repository uses:
+//!
+//! * structs with named fields, tuple structs (newtype and wider), unit
+//!   structs;
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally-tagged, serde's default representation);
+//! * `#[serde(skip)]` on named fields (omitted on write, `Default` on read);
+//! * container-level `#[serde(from = "T", into = "T")]`.
+//!
+//! Generics are intentionally unsupported — deriving on a generic type
+//! produces a `compile_error!` naming this file, so the gap is loud rather
+//! than silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Unnamed(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// `from = "T"` container attribute, if present.
+    from_ty: Option<String>,
+    /// `into = "T"` container attribute, if present.
+    into_ty: Option<String>,
+    kind: Kind,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            let lit = format!("compile_error!({:?});", msg);
+            return lit.parse().unwrap();
+        }
+    };
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&parsed),
+        Direction::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive codegen parse failure: {e:?}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// True if the token is the `#` punct that starts an attribute.
+fn is_pound(t: &TokenTree) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == '#')
+}
+
+/// Collects `skip` / `from` / `into` markers out of one `#[serde(...)]`
+/// attribute body.
+fn scan_serde_attr(body: TokenStream, skip: &mut bool, from: &mut Option<String>, into: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let word = id.to_string();
+            match word.as_str() {
+                "skip" => *skip = true,
+                "from" | "into" => {
+                    // expect `= "Type"`
+                    if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                        let raw = lit.to_string();
+                        let ty = raw.trim_matches('"').to_string();
+                        if word == "from" {
+                            *from = Some(ty);
+                        } else {
+                            *into = Some(ty);
+                        }
+                        i += 2;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Consumes one attribute (the tokens after `#`); records serde markers.
+fn eat_attr(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    skip: &mut bool,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
+    if let Some(TokenTree::Group(g)) = iter.next() {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    scan_serde_attr(args.stream(), skip, from, into);
+                }
+            }
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, `pub(in ...)`).
+fn eat_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut from_ty = None;
+    let mut into_ty = None;
+    let mut ignored_skip = false;
+
+    // Outer attributes + visibility.
+    loop {
+        match iter.peek() {
+            Some(t) if is_pound(t) => {
+                iter.next();
+                eat_attr(&mut iter, &mut ignored_skip, &mut from_ty, &mut into_ty);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => eat_vis(&mut iter),
+            _ => break,
+        }
+    }
+
+    let kind_word = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected struct/enum, got {other:?}")),
+    };
+    if kind_word != "struct" && kind_word != "enum" {
+        return Err(format!("serde_derive: expected struct/enum, got `{kind_word}`"));
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored, vendor/serde_derive): generic type `{name}` is not \
+             supported; write the impls by hand or extend the vendored derive"
+        ));
+    }
+
+    let kind = if kind_word == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Unnamed(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => return Err(format!("serde_derive: unexpected struct body {other:?}")),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde_derive: unexpected enum body {other:?}")),
+        }
+    };
+
+    Ok(Input { name, from_ty, into_ty, kind })
+}
+
+/// Parses `name: Type, ...` with per-field attributes, tracking `<...>`
+/// depth so commas inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        let mut from = None;
+        let mut into = None;
+        // attrs + vis
+        loop {
+            match iter.peek() {
+                Some(t) if is_pound(t) => {
+                    iter.next();
+                    eat_attr(&mut iter, &mut skip, &mut from, &mut into);
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => eat_vis(&mut iter),
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:` after `{name}`, got {other:?}")),
+        }
+        // consume the type up to a top-level comma
+        let mut angle: i32 = 0;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut count = 0;
+    let mut saw_token = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        let mut from = None;
+        let mut into = None;
+        while matches!(iter.peek(), Some(t) if is_pound(t)) {
+            iter.next();
+            eat_attr(&mut iter, &mut skip, &mut from, &mut into);
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive: expected variant name, got {other:?}")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                iter.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Unnamed(count_tuple_fields(g.stream()));
+                iter.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // optional `= discriminant`, then `,`
+        let mut angle: i32 = 0;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(into) = &input.into_ty {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                     let __conv: {into} = <{into} as ::std::convert::From<{name}>>::from(\
+                         ::std::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::serialize(&__conv)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.kind {
+        Kind::Struct(fields) => ser_fields_expr(name, fields, FieldAccess::SelfDot),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),\n"
+                        ));
+                    }
+                    Fields::Unnamed(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(ref __f0) => ::serde::Content::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Serialize::serialize(__f0))]),\n"
+                        ));
+                    }
+                    Fields::Unnamed(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("ref __f{i}")).collect();
+                        let sers: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Content::Seq(vec![{}]))]),\n",
+                            pats.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let pats: Vec<String> =
+                            fs.iter().map(|f| format!("ref {}", f.name)).collect();
+                        let mut pushes = String::new();
+                        for f in fs {
+                            if f.skip {
+                                continue;
+                            }
+                            pushes.push_str(&format!(
+                                "__m.push((\"{0}\".to_string(), ::serde::Serialize::serialize({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                                 let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(__m))])\n\
+                             }}\n",
+                            pats.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match *self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+enum FieldAccess {
+    SelfDot,
+}
+
+fn ser_fields_expr(name: &str, fields: &Fields, _access: FieldAccess) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        Fields::Unnamed(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Unnamed(n) => {
+            let sers: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", sers.join(", "))
+        }
+        Fields::Named(fs) => {
+            let mut pushes = String::new();
+            for f in fs {
+                if f.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), ::serde::Serialize::serialize(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            let _ = name;
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Content::Map(__m)"
+            )
+        }
+    }
+}
+
+/// Generates the struct-literal expression rebuilding named fields from a
+/// map bound to `__m` (used for both structs and struct variants).
+fn de_named_fields(name_path: &str, type_name: &str, fs: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fs {
+        if f.skip {
+            inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+        } else {
+            inits.push_str(&format!(
+                "{0}: match ::serde::content_get(__m, \"{0}\") {{\n\
+                     Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+                     None => return ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"{type_name}: missing field `{0}`\")),\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    format!("{name_path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(from) = &input.from_ty {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let __conv: {from} = ::serde::Deserialize::deserialize(__c)?;\n\
+                     ::std::result::Result::Ok(<{name} as ::std::convert::From<{from}>>::from(__conv))\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Struct(Fields::Unnamed(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))"
+        ),
+        Kind::Struct(Fields::Unnamed(n)) => {
+            let mut des = String::new();
+            for i in 0..*n {
+                des.push_str(&format!("::serde::Deserialize::deserialize(&__s[{i}])?,\n"));
+            }
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                     \"{name}: expected array\"))?;\n\
+                 if __s.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"{name}: wrong tuple arity\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}(\n{des}))"
+            )
+        }
+        Kind::Struct(Fields::Named(fs)) => {
+            let lit = de_named_fields(name, name, fs);
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                     \"{name}: expected object\"))?;\n\
+                 ::std::result::Result::Ok({lit})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Fields::Unnamed(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::deserialize(__v)?)),\n"
+                        ));
+                    }
+                    Fields::Unnamed(n) => {
+                        let mut des = String::new();
+                        for i in 0..*n {
+                            des.push_str(&format!(
+                                "::serde::Deserialize::deserialize(&__s[{i}])?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                                     \"{name}::{vname}: expected array\"))?;\n\
+                                 if __s.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                                         \"{name}::{vname}: wrong arity\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}(\n{des}))\n\
+                             }}\n"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let lit = de_named_fields(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fs,
+                        );
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                                     \"{name}::{vname}: expected object\"))?;\n\
+                                 ::std::result::Result::Ok({lit})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"{name}: unknown variant {{__other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__map) if __map.len() == 1 => {{\n\
+                         let (__k, __v) = &__map[0];\n\
+                         match __k.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"{name}: unknown variant {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"{name}: expected variant, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
