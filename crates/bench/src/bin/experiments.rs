@@ -1,10 +1,11 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! Usage: `experiments [--full] <id>...` where ids are `fig3 fig4 fig5 fig7
-//! fig8 fig9 fig10 table3 fig11 table4 fig12 fig13` or `all`. `--full` uses
-//! the larger trace sizes and longer simulated windows recorded in
+//! fig8 fig9 fig10 table3 fig11 table4 fig12 fig13 live` or `all`. `--full`
+//! uses the larger trace sizes and longer simulated windows recorded in
 //! EXPERIMENTS.md; the default quick scale finishes in seconds per
-//! experiment.
+//! experiment. `live` measures real wall-clock throughput on the
+//! multi-threaded partition runtime instead of simulated time.
 
 use bench::experiments::run_experiment;
 use bench::Scale;
@@ -16,7 +17,7 @@ fn main() {
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|all>..."
+            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|live|all>..."
         );
         std::process::exit(2);
     }

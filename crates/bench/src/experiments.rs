@@ -3,11 +3,12 @@
 //! stay in sync.
 
 use crate::setup::{
-    collect_trace, new_order_generator, run_sim, sim_config, trained_houdini, Scale,
+    collect_trace, new_order_generator, run_live_bench, run_sim, sim_config, trained_houdini,
+    Scale,
 };
 use common::Value;
 use engine::baselines::{AssumeDistributed, AssumeSinglePartition, Oracle};
-use engine::{Bucket, CostModel, Simulation, TxnAdvisor};
+use engine::{Bucket, CostModel, LiveConfig, Simulation, TxnAdvisor};
 use houdini::{
     evaluate_accuracy, train, AccuracyReport, CatalogRule, Houdini, HoudiniConfig, ModelSet,
     TrainingConfig,
@@ -457,6 +458,63 @@ pub fn fig13(scale: Scale) -> String {
     out
 }
 
+/// Worker counts of the live wall-clock scaling experiment.
+pub const LIVE_WORKER_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// `live` — *measured* wall-clock TATP throughput on the multi-threaded
+/// partition runtime: one OS worker thread per partition, Houdini vs the
+/// assume-single-partition and lock-all baselines.
+///
+/// Each commit pays a real 200 µs synchronous log-flush sleep at its
+/// participating partition(s); flushes on different partitions overlap in
+/// wall-clock time, so scaling reflects genuine partition concurrency even
+/// on machines with fewer cores than workers (DESIGN.md §"Live runtime").
+pub fn live(scale: Scale) -> String {
+    let requests_per_client: u64 = match scale {
+        Scale::Quick => 250,
+        Scale::Full => 2_000,
+    };
+    let mut out = String::from(
+        "# Live runtime: wall-clock TATP throughput (txn/s), one worker thread per partition\n\
+         workers  houdini  asp      lock-all  h-p50ms  h-p95ms  h-p99ms  h-commit  h-abort  h-restart\n",
+    );
+    for parts in LIVE_WORKER_COUNTS {
+        let cfg = LiveConfig {
+            clients_per_partition: 4,
+            requests_per_client,
+            max_restarts: 2,
+            seed: 71,
+            commit_flush_us: 200,
+        };
+        let houdini = trained_houdini(Bench::Tatp, parts, scale.trace_len(), true, 0.5, 71);
+        let hm = run_live_bench(Bench::Tatp, parts, &houdini, &cfg, 73);
+        let asp = AssumeSinglePartition::new();
+        let am = run_live_bench(Bench::Tatp, parts, &asp, &cfg, 73);
+        let adist = AssumeDistributed::new();
+        let dm = run_live_bench(Bench::Tatp, parts, &adist, &cfg, 73);
+        // Conservation invariant shared with the deterministic simulator:
+        // every issued request either commits or user-aborts.
+        let issued = u64::from(parts) * u64::from(cfg.clients_per_partition)
+            * cfg.requests_per_client;
+        assert_eq!(hm.committed + hm.user_aborts, issued, "lost transactions");
+        let q = |v: Option<f64>| v.map_or_else(|| "      -".into(), |x| format!("{x:7.2}"));
+        let _ = writeln!(
+            out,
+            "{parts:7}  {:7.0}  {:7.0}  {:8.0}  {}  {}  {}  {:8}  {:7}  {:9}",
+            hm.throughput_tps(),
+            am.throughput_tps(),
+            dm.throughput_tps(),
+            q(hm.latency.p50_ms()),
+            q(hm.latency.p95_ms()),
+            q(hm.latency.p99_ms()),
+            hm.committed,
+            hm.user_aborts,
+            hm.restarts,
+        );
+    }
+    out
+}
+
 /// Runs one experiment by id (`fig3`, `table3`, ...; `all` runs everything).
 pub fn run_experiment(id: &str, scale: Scale) -> String {
     match id {
@@ -472,10 +530,11 @@ pub fn run_experiment(id: &str, scale: Scale) -> String {
         "table4" => table4(scale),
         "fig12" => fig12(scale),
         "fig13" => fig13(scale),
+        "live" => live(scale),
         "all" => {
             let ids = [
                 "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "table3", "fig11",
-                "table4", "fig12", "fig13",
+                "table4", "fig12", "fig13", "live",
             ];
             ids.iter().map(|i| run_experiment(i, scale) + "\n").collect()
         }

@@ -2,8 +2,8 @@
 
 use common::{derive_seed, ProcId, Value};
 use engine::{
-    run_offline, Catalog, CostModel, Profiler, RequestGenerator, RunMetrics, SimConfig,
-    Simulation, TxnAdvisor,
+    run_live, run_offline, Catalog, CostModel, LiveAdvisor, LiveConfig, Profiler,
+    RequestGenerator, RunMetrics, SimConfig, Simulation, TxnAdvisor,
 };
 use houdini::{train, Houdini, HoudiniConfig, TrainingConfig};
 use trace::Workload;
@@ -89,6 +89,7 @@ pub fn sim_config(parts: u32, scale: Scale, seed: u64) -> SimConfig {
         measure_us: scale.measure_us(),
         seed,
         max_restarts: 2,
+        max_requests_per_client: None,
     }
 }
 
@@ -106,6 +107,25 @@ pub fn run_sim(
     let cfg = sim_config(parts, scale, seed);
     let sim = Simulation::new(&mut db, &reg, advisor, &mut gen, CostModel::default(), cfg);
     sim.run().expect("simulation must not halt")
+}
+
+/// Runs one wall-clock measurement of `bench` under a live advisor: real
+/// worker threads (one per partition), real closed-loop client threads,
+/// per-client split request generators.
+pub fn run_live_bench<A: LiveAdvisor>(
+    bench: Bench,
+    parts: u32,
+    advisor: &A,
+    cfg: &LiveConfig,
+    seed: u64,
+) -> RunMetrics {
+    let db = bench.database(parts);
+    let reg = bench.registry();
+    let gen_seed = derive_seed(seed, 0x6E6);
+    let make_gen = move |client: u64| bench.client_generator(parts, gen_seed, client);
+    let (metrics, _db) =
+        run_live(db, &reg, advisor, &make_gen, cfg).expect("live runtime must not halt");
+    metrics
 }
 
 /// A TPC-C generator that issues only NewOrder requests — the motivating

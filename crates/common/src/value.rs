@@ -90,6 +90,20 @@ impl Value {
             }
         }
     }
+
+    /// The home partition of a partitioning-column value in a cluster of
+    /// `num_partitions`: integers route by modulo so consecutive ids spread
+    /// round-robin (the paper's TPC-C setup, §2.1), everything else by
+    /// [`Value::stable_hash`]. This is THE routing rule — storage placement,
+    /// catalog partition estimation, and the trace resolvers all call it, so
+    /// they can never disagree about where a row lives.
+    #[inline]
+    pub fn home_partition(&self, num_partitions: u32) -> u32 {
+        match self {
+            Value::Int(i) => (i.unsigned_abs() % u64::from(num_partitions)) as u32,
+            other => (other.stable_hash() % u64::from(num_partitions)) as u32,
+        }
+    }
 }
 
 /// SplitMix64 finalizer: cheap, well-mixed, stable across platforms.

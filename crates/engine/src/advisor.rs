@@ -111,6 +111,62 @@ pub enum TxnOutcome {
     Failed,
 }
 
+/// What a *live* advisor can see when planning. Unlike [`PlanEnv`] there is
+/// no database handle: in the live runtime the storage shards are owned by
+/// the worker threads, so planning must depend only on immutable, shared
+/// state (catalog, trained models) plus the request itself.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext<'a> {
+    /// Procedure/query metadata.
+    pub catalog: &'a Catalog,
+    /// Number of partitions in the cluster.
+    pub num_partitions: u32,
+    /// Random value in `[0, num_partitions)` the advisor may use for
+    /// random-placement policies; pre-drawn per request so advisors stay
+    /// deterministic.
+    pub random_local_partition: PartitionId,
+}
+
+/// The thread-safe prediction interface of the live runtime.
+///
+/// This is the split plan/feedback form of [`TxnAdvisor`]: the advisor
+/// itself is shared immutably across every client and worker thread
+/// (`&self`, `Sync`), and all per-transaction scratch state lives in an
+/// explicit [`LiveAdvisor::Session`] value that travels with the
+/// transaction — to the owning worker for single-partition work, or staying
+/// with the coordinator for distributed work. A trained advisor therefore
+/// serves the whole cluster concurrently without locks; the trade-off is
+/// that on-line model maintenance (§4.5) is suspended while running live.
+pub trait LiveAdvisor: Send + Sync {
+    /// Per-transaction scratch state carried between `plan_live`,
+    /// `on_query_live`, and `on_end_live`.
+    type Session: Send;
+
+    /// Advisor name for reports.
+    fn name(&self) -> &str;
+
+    /// Produces the initial plan and session for a new request.
+    fn plan_live(&self, req: &Request, ctx: &PlanContext<'_>) -> (TxnPlan, Self::Session);
+
+    /// Observes one executed query; returns runtime updates. Default: none.
+    fn on_query_live(&self, _session: &mut Self::Session, _q: &ExecutedQuery) -> Updates {
+        Updates::default()
+    }
+
+    /// Produces a new plan after a mispredict abort (same contract as
+    /// [`TxnAdvisor::replan`]).
+    fn replan_live(
+        &self,
+        req: &Request,
+        observed: PartitionSet,
+        attempt: u32,
+        ctx: &PlanContext<'_>,
+    ) -> (TxnPlan, Self::Session);
+
+    /// Transaction finished; the session is handed back for disposal.
+    fn on_end_live(&self, _session: Self::Session, _outcome: TxnOutcome) {}
+}
+
 /// The prediction interface. One advisor instance serves a whole simulation;
 /// the simulator processes one transaction at a time, so the advisor may
 /// keep per-transaction scratch state between `plan` and `on_query` calls.

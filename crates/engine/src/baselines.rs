@@ -11,7 +11,7 @@
 //!   best case). It dry-runs the procedure against the live database, which
 //!   in the deterministic simulator yields ground truth.
 
-use crate::advisor::{PlanEnv, Request, TxnAdvisor, TxnPlan, Updates};
+use crate::advisor::{LiveAdvisor, PlanContext, PlanEnv, Request, TxnAdvisor, TxnPlan, Updates};
 use crate::exec::{run_offline, ExecutedQuery};
 use common::{FxHashMap, PartitionId, PartitionSet};
 
@@ -46,6 +46,28 @@ impl TxnAdvisor for AssumeDistributed {
     }
 }
 
+impl LiveAdvisor for AssumeDistributed {
+    type Session = ();
+
+    fn name(&self) -> &str {
+        "assume-distributed"
+    }
+
+    fn plan_live(&self, _req: &Request, ctx: &PlanContext<'_>) -> (TxnPlan, ()) {
+        (TxnPlan::lock_all(ctx.random_local_partition, ctx.num_partitions), ())
+    }
+
+    fn replan_live(
+        &self,
+        _req: &Request,
+        _observed: PartitionSet,
+        _attempt: u32,
+        ctx: &PlanContext<'_>,
+    ) -> (TxnPlan, ()) {
+        (TxnPlan::lock_all(ctx.random_local_partition, ctx.num_partitions), ())
+    }
+}
+
 /// Runs everything single-partition at a random local partition and reacts
 /// to deviations with DB2-style redirects: a transaction that touches one
 /// other partition is restarted there; one that touches several is restarted
@@ -58,6 +80,38 @@ impl AssumeSinglePartition {
     /// New instance.
     pub fn new() -> Self {
         AssumeSinglePartition
+    }
+}
+
+/// The DB2-style escalation policy (§2.1) shared by the simulated-time and
+/// live assume-single-partition advisors: a transaction that touched one
+/// other partition is redirected there; one that touched several is
+/// restarted locking the partitions it tried to access, escalating to
+/// lock-all after repeated violations.
+fn asp_escalation(
+    observed: PartitionSet,
+    attempt: u32,
+    random_local_partition: PartitionId,
+    num_partitions: u32,
+) -> TxnPlan {
+    if attempt == 1 && observed.is_single() {
+        // Wrong node only: redirect there, stay single-partition.
+        TxnPlan::single(observed.first().unwrap())
+    } else if attempt <= 3 && !observed.is_empty() {
+        // Distributed: lock the partitions it tried to access so far;
+        // each further violation re-learns and retries.
+        TxnPlan {
+            base_partition: observed.first().unwrap(),
+            lock_set: observed,
+            disable_undo: false,
+            early_prepare: false,
+            estimate_cost_us: 0.0,
+        }
+    } else {
+        TxnPlan::lock_all(
+            observed.first().unwrap_or(random_local_partition),
+            num_partitions,
+        )
     }
 }
 
@@ -77,25 +131,32 @@ impl TxnAdvisor for AssumeSinglePartition {
         attempt: u32,
         env: &mut PlanEnv<'_>,
     ) -> TxnPlan {
-        if attempt == 1 && observed.is_single() {
-            // Wrong node only: redirect there, stay single-partition.
-            TxnPlan::single(observed.first().unwrap())
-        } else if attempt <= 3 && !observed.is_empty() {
-            // Distributed: lock the partitions it tried to access so far
-            // (§2.1); each further violation re-learns and retries.
-            TxnPlan {
-                base_partition: observed.first().unwrap(),
-                lock_set: observed,
-                disable_undo: false,
-                early_prepare: false,
-                estimate_cost_us: 0.0,
-            }
-        } else {
-            TxnPlan::lock_all(
-                observed.first().unwrap_or(env.random_local_partition),
-                env.num_partitions,
-            )
-        }
+        asp_escalation(observed, attempt, env.random_local_partition, env.num_partitions)
+    }
+}
+
+impl LiveAdvisor for AssumeSinglePartition {
+    type Session = ();
+
+    fn name(&self) -> &str {
+        "assume-single-partition"
+    }
+
+    fn plan_live(&self, _req: &Request, ctx: &PlanContext<'_>) -> (TxnPlan, ()) {
+        (TxnPlan::single(ctx.random_local_partition), ())
+    }
+
+    fn replan_live(
+        &self,
+        _req: &Request,
+        observed: PartitionSet,
+        attempt: u32,
+        ctx: &PlanContext<'_>,
+    ) -> (TxnPlan, ()) {
+        (
+            asp_escalation(observed, attempt, ctx.random_local_partition, ctx.num_partitions),
+            (),
+        )
     }
 }
 

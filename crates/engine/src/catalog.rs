@@ -74,11 +74,19 @@ impl QueryDef {
     /// The partitions this invocation would touch, given its parameters —
     /// this is the engine's internal partition-estimation API.
     pub fn estimate_partitions(&self, db: &Database, params: &[Value]) -> PartitionSet {
+        self.estimate_partitions_n(db.num_partitions(), params)
+    }
+
+    /// [`QueryDef::estimate_partitions`] from the cluster size alone —
+    /// partition routing ([`Value::home_partition`]) depends only on
+    /// parameter values, so callers that do not hold the database (live
+    /// coordinators, workers) get identical answers.
+    pub fn estimate_partitions_n(&self, num_partitions: u32, params: &[Value]) -> PartitionSet {
         match &self.hint {
             PartitionHint::Param(i) => {
-                PartitionSet::single(db.partition_for_value(&params[*i]))
+                PartitionSet::single(params[*i].home_partition(num_partitions))
             }
-            PartitionHint::Broadcast => PartitionSet::all(db.num_partitions()),
+            PartitionHint::Broadcast => PartitionSet::all(num_partitions),
         }
     }
 }
@@ -157,9 +165,9 @@ impl Catalog {
 }
 
 /// Adapts a [`Catalog`] plus a cluster size into the [`PartitionResolver`]
-/// interface that model generation consumes. Partition math must agree with
-/// [`Database::partition_for_value`]; both route ints by modulo and other
-/// values by stable hash.
+/// interface that model generation consumes. Partition math is
+/// [`Value::home_partition`] — the same rule storage routing uses, by
+/// construction.
 pub struct CatalogResolver<'a> {
     catalog: &'a Catalog,
     num_partitions: u32,
@@ -170,24 +178,12 @@ impl<'a> CatalogResolver<'a> {
     pub fn new(catalog: &'a Catalog, num_partitions: u32) -> Self {
         CatalogResolver { catalog, num_partitions }
     }
-
-    fn partition_for_value(&self, v: &Value) -> u32 {
-        match v {
-            Value::Int(i) => (i.unsigned_abs() % u64::from(self.num_partitions)) as u32,
-            other => (other.stable_hash() % u64::from(self.num_partitions)) as u32,
-        }
-    }
 }
 
 impl PartitionResolver for CatalogResolver<'_> {
     fn partitions(&self, proc: ProcId, query: QueryId, params: &[Value]) -> PartitionSet {
         let def = self.catalog.proc(proc).query(query);
-        match &def.hint {
-            PartitionHint::Param(i) => {
-                PartitionSet::single(self.partition_for_value(&params[*i]))
-            }
-            PartitionHint::Broadcast => PartitionSet::all(self.num_partitions),
-        }
+        def.estimate_partitions_n(self.num_partitions, params)
     }
 
     fn is_write(&self, proc: ProcId, query: QueryId) -> bool {

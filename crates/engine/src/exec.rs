@@ -3,8 +3,8 @@
 
 use crate::catalog::{Catalog, ColumnOp, QueryDef, QueryOp};
 use crate::procedure::{ProcedureRegistry, Step};
-use common::{PartitionSet, ProcId, Result, Value};
-use storage::{Database, Row, UndoLog};
+use common::{PartitionId, PartitionSet, ProcId, Result, Value};
+use storage::{Database, Row, Shard, UndoLog};
 use trace::{QueryRecord, TraceRecord};
 
 /// A query the transaction actually executed: parameters plus the partitions
@@ -19,6 +19,124 @@ pub struct ExecutedQuery {
     pub partitions: PartitionSet,
     /// True if it wrote.
     pub is_write: bool,
+}
+
+/// One partition's slice of the row-operation surface, so the per-query
+/// execution logic is written once and runs either against the whole
+/// [`Database`] (simulator, offline executor) or against a single [`Shard`]
+/// owned by a live worker thread.
+trait PartitionStore {
+    fn ps_get(&self, table: usize, key: &[Value]) -> Option<&Row>;
+    fn ps_insert(&mut self, table: usize, row: Row, undo: &mut UndoLog) -> Result<()>;
+    /// Applies `sets` with `params` to the row at `key` (the `apply_sets`
+    /// mutation is invoked inside the impl so no closure crosses the trait
+    /// boundary — updates are the hot write path).
+    fn ps_update(
+        &mut self,
+        table: usize,
+        key: &[Value],
+        sets: &[ColumnOp],
+        params: &[Value],
+        undo: &mut UndoLog,
+    ) -> Result<()>;
+    fn ps_delete(&mut self, table: usize, key: &[Value], undo: &mut UndoLog) -> Result<Row>;
+    fn ps_lookup_by(&self, table: usize, column: usize, value: &Value) -> Vec<Row>;
+}
+
+struct DbPartition<'a> {
+    db: &'a mut Database,
+    p: PartitionId,
+}
+
+impl PartitionStore for DbPartition<'_> {
+    fn ps_get(&self, table: usize, key: &[Value]) -> Option<&Row> {
+        self.db.get(self.p, table, key)
+    }
+    fn ps_insert(&mut self, table: usize, row: Row, undo: &mut UndoLog) -> Result<()> {
+        self.db.insert(self.p, table, row, undo)
+    }
+    fn ps_update(
+        &mut self,
+        table: usize,
+        key: &[Value],
+        sets: &[ColumnOp],
+        params: &[Value],
+        undo: &mut UndoLog,
+    ) -> Result<()> {
+        self.db
+            .update(self.p, table, key, |row| apply_sets(row, sets, params), undo)
+    }
+    fn ps_delete(&mut self, table: usize, key: &[Value], undo: &mut UndoLog) -> Result<Row> {
+        self.db.delete(self.p, table, key, undo)
+    }
+    fn ps_lookup_by(&self, table: usize, column: usize, value: &Value) -> Vec<Row> {
+        self.db.lookup_by(self.p, table, column, value)
+    }
+}
+
+impl PartitionStore for &mut Shard {
+    fn ps_get(&self, table: usize, key: &[Value]) -> Option<&Row> {
+        Shard::get(self, table, key)
+    }
+    fn ps_insert(&mut self, table: usize, row: Row, undo: &mut UndoLog) -> Result<()> {
+        Shard::insert(self, table, row, undo)
+    }
+    fn ps_update(
+        &mut self,
+        table: usize,
+        key: &[Value],
+        sets: &[ColumnOp],
+        params: &[Value],
+        undo: &mut UndoLog,
+    ) -> Result<()> {
+        Shard::update(self, table, key, |row| apply_sets(row, sets, params), undo)
+    }
+    fn ps_delete(&mut self, table: usize, key: &[Value], undo: &mut UndoLog) -> Result<Row> {
+        Shard::delete(self, table, key, undo)
+    }
+    fn ps_lookup_by(&self, table: usize, column: usize, value: &Value) -> Vec<Row> {
+        Shard::lookup_by(self, table, column, value)
+    }
+}
+
+/// Runs `def` against one partition's store, appending result rows.
+fn run_on_partition<S: PartitionStore>(
+    store: &mut S,
+    def: &QueryDef,
+    params: &[Value],
+    undo: &mut UndoLog,
+    rows: &mut Vec<Row>,
+) -> Result<()> {
+    match &def.op {
+        QueryOp::GetByKey { key_params } => {
+            let key: Vec<Value> = key_params.iter().map(|&i| params[i].clone()).collect();
+            if let Some(r) = store.ps_get(def.table, &key) {
+                rows.push(r.clone());
+            }
+        }
+        QueryOp::LookupBy { column, param } => {
+            rows.extend(store.ps_lookup_by(def.table, *column, &params[*param]));
+        }
+        QueryOp::InsertRow => {
+            store.ps_insert(def.table, params.to_vec(), undo)?;
+            rows.push(params.to_vec());
+        }
+        QueryOp::UpdateByKey { key_params, sets } => {
+            let key: Vec<Value> = key_params.iter().map(|&i| params[i].clone()).collect();
+            if store.ps_get(def.table, &key).is_some() {
+                store.ps_update(def.table, &key, sets, params, undo)?;
+                rows.push(store.ps_get(def.table, &key).expect("just updated").clone());
+            }
+        }
+        QueryOp::DeleteByKey { key_params } => {
+            let key: Vec<Value> = key_params.iter().map(|&i| params[i].clone()).collect();
+            if store.ps_get(def.table, &key).is_some() {
+                let before = store.ps_delete(def.table, &key, undo)?;
+                rows.push(before);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Executes one query invocation against the database, returning the result
@@ -36,48 +154,28 @@ pub fn execute_query(
     let targets = def.estimate_partitions(db, params);
     let mut rows = Vec::new();
     for p in targets.iter() {
-        match &def.op {
-            QueryOp::GetByKey { key_params } => {
-                let key: Vec<Value> =
-                    key_params.iter().map(|&i| params[i].clone()).collect();
-                if let Some(r) = db.get(p, def.table, &key) {
-                    rows.push(r.clone());
-                }
-            }
-            QueryOp::LookupBy { column, param } => {
-                rows.extend(db.lookup_by(p, def.table, *column, &params[*param]));
-            }
-            QueryOp::InsertRow => {
-                db.insert(p, def.table, params.to_vec(), undo)?;
-                rows.push(params.to_vec());
-            }
-            QueryOp::UpdateByKey { key_params, sets } => {
-                let key: Vec<Value> =
-                    key_params.iter().map(|&i| params[i].clone()).collect();
-                if db.get(p, def.table, &key).is_some() {
-                    let sets = sets.clone();
-                    let captured: Vec<Value> = params.to_vec();
-                    db.update(
-                        p,
-                        def.table,
-                        &key,
-                        move |row| apply_sets(row, &sets, &captured),
-                        undo,
-                    )?;
-                    rows.push(db.get(p, def.table, &key).expect("just updated").clone());
-                }
-            }
-            QueryOp::DeleteByKey { key_params } => {
-                let key: Vec<Value> =
-                    key_params.iter().map(|&i| params[i].clone()).collect();
-                if db.get(p, def.table, &key).is_some() {
-                    let before = db.delete(p, def.table, &key, undo)?;
-                    rows.push(before);
-                }
-            }
-        }
+        let mut store = DbPartition { db, p };
+        run_on_partition(&mut store, def, params, undo, &mut rows)?;
     }
     Ok((rows, targets))
+}
+
+/// Executes the slice of one query invocation that targets `shard`'s
+/// partition — the fragment a live worker runs. The caller (coordinator or
+/// fast path) has already established that the shard is among the query's
+/// target partitions. Returns this partition's result rows in partition-
+/// local order; the coordinator merges fragments in ascending partition
+/// order, matching [`execute_query`]'s whole-cluster row order.
+pub fn execute_fragment(
+    shard: &mut Shard,
+    def: &QueryDef,
+    params: &[Value],
+    undo: &mut UndoLog,
+) -> Result<Vec<Row>> {
+    let mut rows = Vec::new();
+    let mut store = shard;
+    run_on_partition(&mut store, def, params, undo, &mut rows)?;
+    Ok(rows)
 }
 
 fn apply_sets(row: &mut Row, sets: &[ColumnOp], params: &[Value]) {

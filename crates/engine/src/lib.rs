@@ -30,13 +30,17 @@ pub mod exec;
 pub mod metrics;
 pub mod procedure;
 pub mod profiler;
+pub mod runtime;
 pub mod sim;
 
-pub use advisor::{PlanEnv, Request, TxnAdvisor, TxnOutcome, TxnPlan, Updates};
+pub use advisor::{
+    LiveAdvisor, PlanContext, PlanEnv, Request, TxnAdvisor, TxnOutcome, TxnPlan, Updates,
+};
 pub use catalog::{Catalog, CatalogResolver, ColumnOp, PartitionHint, ProcDef, QueryDef, QueryOp};
 pub use cost::CostModel;
 pub use exec::{run_offline, ExecutedQuery, OfflineOutcome};
-pub use metrics::{OpCounters, RunMetrics};
+pub use metrics::{LatencyHistogram, OpCounters, RunMetrics};
 pub use procedure::{Procedure, ProcInstance, ProcedureRegistry, QueryInvocation, Step};
 pub use profiler::{Bucket, Profiler};
+pub use runtime::{run_live, LiveConfig};
 pub use sim::{RequestGenerator, SimConfig, Simulation};

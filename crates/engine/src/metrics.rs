@@ -1,7 +1,9 @@
-//! Run-level metrics: throughput, restarts, and the per-procedure
-//! optimization counters behind Table 4.
+//! Run-level metrics: throughput, latency distribution, restarts, and the
+//! per-procedure optimization counters behind Table 4. Shared by the
+//! deterministic [`crate::Simulation`] (simulated microseconds) and the live
+//! runtime (wall-clock microseconds).
 
-use common::{FxHashMap, ProcId};
+use common::{FxHashMap, PartitionId, PartitionSet, ProcId};
 
 /// Per-procedure counters of how often each optimization was applied
 /// *successfully at run time* (Table 4's semantics, §6.4):
@@ -71,7 +73,124 @@ impl OpCounters {
     }
 }
 
-/// Aggregate results of one simulation run.
+/// Fixed-bucket latency histogram over microsecond samples.
+///
+/// Buckets are geometric: [`LatencyHistogram::BUCKETS_PER_DECADE`] buckets
+/// per decade spanning 1 µs to 10^7 µs (10 s), with one underflow and one
+/// overflow bucket. That bounds quantile error at ~12% per sample — plenty
+/// for p50/p95/p99 reporting — while keeping the struct a flat, mergeable
+/// array (each runtime worker records locally and merges at shutdown).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: vec![0; Self::NUM_BUCKETS],
+            total: 0,
+            sum_us: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Geometric resolution: buckets per factor-of-ten.
+    pub const BUCKETS_PER_DECADE: usize = 20;
+    /// Decades covered: 1 µs .. 10^7 µs.
+    const DECADES: usize = 7;
+    /// Underflow + geometric grid + overflow.
+    const NUM_BUCKETS: usize = Self::DECADES * Self::BUCKETS_PER_DECADE + 2;
+
+    fn bucket_of(us: f64) -> usize {
+        if us < 1.0 || us.is_nan() {
+            // Sub-microsecond, zero, or NaN: underflow bucket.
+            return 0;
+        }
+        let idx = (us.log10() * Self::BUCKETS_PER_DECADE as f64).floor() as usize + 1;
+        idx.min(Self::NUM_BUCKETS - 1)
+    }
+
+    /// Upper edge (µs) of bucket `idx`, used as the reported quantile value.
+    fn bucket_upper_us(idx: usize) -> f64 {
+        if idx == 0 {
+            return 1.0;
+        }
+        10f64.powf(idx as f64 / Self::BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Records one latency sample in microseconds. A NaN sample lands in
+    /// the underflow bucket like any sub-microsecond value and contributes
+    /// nothing to the sum, so one bad sample cannot poison `mean_us`.
+    pub fn record_us(&mut self, us: f64) {
+        self.counts[Self::bucket_of(us)] += 1;
+        self.total += 1;
+        if !us.is_nan() {
+            self.sum_us += us;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency (µs), `None` when no samples were recorded.
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum_us / self.total as f64)
+        }
+    }
+
+    /// The latency (µs) at quantile `q` in `[0, 1]`, `None` when empty.
+    /// Reported as the containing bucket's upper edge.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper_us(i));
+            }
+        }
+        Some(Self::bucket_upper_us(Self::NUM_BUCKETS - 1))
+    }
+
+    /// Median latency (ms).
+    pub fn p50_ms(&self) -> Option<f64> {
+        self.quantile_us(0.50).map(|us| us / 1000.0)
+    }
+
+    /// 95th-percentile latency (ms).
+    pub fn p95_ms(&self) -> Option<f64> {
+        self.quantile_us(0.95).map(|us| us / 1000.0)
+    }
+
+    /// 99th-percentile latency (ms).
+    pub fn p99_ms(&self) -> Option<f64> {
+        self.quantile_us(0.99).map(|us| us / 1000.0)
+    }
+
+    /// Folds another histogram into this one (runtime workers merge their
+    /// thread-local histograms at shutdown).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+    }
+}
+
+/// Aggregate results of one run (simulated or live).
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
     /// Committed transactions inside the measurement window.
@@ -92,19 +211,22 @@ pub struct RunMetrics {
     pub single_partition: u64,
     /// Sum of client-visible latency (µs) over committed txns.
     pub total_latency_us: f64,
+    /// Client-visible latency distribution over committed in-window txns.
+    pub latency: LatencyHistogram,
     /// Partition-µs spent reserved-but-idle by distributed transactions
     /// (fragment done or never used, waiting for 2PC) — what OP4 recovers.
     pub reserved_idle_us: f64,
     /// Per-procedure summed latency (µs) over committed in-window txns.
     pub latency_by_proc: FxHashMap<ProcId, f64>,
-    /// Simulated length of the measurement window (µs).
+    /// Length of the measurement window (µs) — simulated for `Simulation`,
+    /// wall-clock for the live runtime.
     pub window_us: f64,
     /// Per-procedure optimization counters.
     pub ops: FxHashMap<ProcId, OpCounters>,
 }
 
 impl RunMetrics {
-    /// Committed transactions per simulated second.
+    /// Committed transactions per (simulated or wall-clock) second.
     pub fn throughput_tps(&self) -> f64 {
         if self.window_us <= 0.0 {
             return 0.0;
@@ -112,17 +234,106 @@ impl RunMetrics {
         self.committed as f64 / (self.window_us / 1_000_000.0)
     }
 
-    /// Mean client-visible latency in milliseconds.
-    pub fn mean_latency_ms(&self) -> f64 {
+    /// Mean client-visible latency in milliseconds. `None` when no
+    /// transaction committed in the window — callers must render the empty
+    /// window explicitly instead of mistaking it for a 0 ms round trip.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
         if self.committed == 0 {
-            return 0.0;
+            None
+        } else {
+            Some(self.total_latency_us / self.committed as f64 / 1000.0)
         }
-        self.total_latency_us / self.committed as f64 / 1000.0
     }
 
     /// Counter cell for `proc`, creating it on demand.
     pub fn ops_mut(&mut self, proc: ProcId) -> &mut OpCounters {
         self.ops.entry(proc).or_default()
+    }
+
+    /// Records a committed transaction's latency sample (µs) against the
+    /// aggregate and per-procedure accumulators.
+    pub fn record_latency(&mut self, proc: ProcId, latency_us: f64) {
+        self.total_latency_us += latency_us;
+        self.latency.record_us(latency_us);
+        *self.latency_by_proc.entry(proc).or_insert(0.0) += latency_us;
+    }
+
+    /// Folds another metrics partial into this one (live-runtime clients
+    /// each record locally and merge at shutdown). `window_us` is *not*
+    /// combined — the caller sets the shared wall-clock window once.
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        self.committed += other.committed;
+        self.user_aborts += other.user_aborts;
+        self.restarts += other.restarts;
+        self.speculative += other.speculative;
+        self.no_undo += other.no_undo;
+        self.distributed += other.distributed;
+        self.single_partition += other.single_partition;
+        self.total_latency_us += other.total_latency_us;
+        self.reserved_idle_us += other.reserved_idle_us;
+        self.latency.merge(&other.latency);
+        for (&proc, &n) in &other.committed_by_proc {
+            *self.committed_by_proc.entry(proc).or_insert(0) += n;
+        }
+        for (&proc, &us) in &other.latency_by_proc {
+            *self.latency_by_proc.entry(proc).or_insert(0.0) += us;
+        }
+        for (&proc, ops) in &other.ops {
+            let mine = self.ops_mut(proc);
+            mine.txns += ops.txns;
+            mine.op1 += ops.op1;
+            mine.op1_applicable += ops.op1_applicable;
+            mine.op2 += ops.op2;
+            mine.op2_applicable += ops.op2_applicable;
+            mine.op3 += ops.op3;
+            mine.op4 += ops.op4;
+        }
+    }
+
+    /// Updates the Table 4 optimization counters for one committed
+    /// transaction — identical semantics in the simulator and the live
+    /// runtime (§6.4).
+    #[allow(clippy::too_many_arguments)]
+    pub fn tally_ops(
+        &mut self,
+        proc: ProcId,
+        base_partition: PartitionId,
+        lock_set: PartitionSet,
+        accessed: PartitionSet,
+        access_counts: &FxHashMap<PartitionId, u32>,
+        num_partitions: u32,
+        undo_disabled_ever: bool,
+        speculative: bool,
+        early_released: bool,
+    ) {
+        let ops = self.ops_mut(proc);
+        ops.txns += 1;
+        // OP1: base partition is among the most-accessed partitions, and the
+        // choice was meaningful (access counts are not uniform over all
+        // partitions — e.g. broadcast-only transactions have no "best" base).
+        let max_count = access_counts.values().copied().max().unwrap_or(0);
+        let min_count = if accessed.len() == num_partitions {
+            access_counts.values().copied().min().unwrap_or(0)
+        } else {
+            0
+        };
+        if max_count > min_count {
+            ops.op1_applicable += 1;
+            if access_counts.get(&base_partition).copied().unwrap_or(0) == max_count {
+                ops.op1 += 1;
+            }
+        }
+        // OP2: lock set exactly matched what was accessed.
+        ops.op2_applicable += 1;
+        if lock_set == accessed {
+            ops.op2 += 1;
+        }
+        if undo_disabled_ever {
+            ops.op3 += 1;
+        }
+        if speculative || early_released {
+            ops.op4 += 1;
+        }
     }
 }
 
@@ -141,10 +352,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_window_is_zero() {
+    fn empty_window_is_explicitly_empty() {
         let m = RunMetrics::default();
         assert_eq!(m.throughput_tps(), 0.0);
-        assert_eq!(m.mean_latency_ms(), 0.0);
+        assert_eq!(m.mean_latency_ms(), None, "no commits -> no mean latency");
+        assert_eq!(m.latency.p50_ms(), None);
     }
 
     #[test]
@@ -162,5 +374,84 @@ mod tests {
         assert_eq!(c.op2_pct(), Some(100.0));
         assert_eq!(c.op3_pct(), None, "never applied -> dash");
         assert_eq!(c.op4_pct(), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=1000u32 {
+            h.record_us(f64::from(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_us(0.5).unwrap();
+        let p99 = h.quantile_us(0.99).unwrap();
+        // Geometric buckets: the reported edge is within ~12% above truth.
+        assert!((450.0..=650.0).contains(&p50), "p50 = {p50}");
+        assert!((900.0..=1200.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        let mean = h.mean_us().unwrap();
+        assert!((mean - 500.5).abs() < 1e-6, "mean is exact, not bucketed");
+    }
+
+    #[test]
+    fn histogram_extremes_and_nan_stay_bounded() {
+        let mut h = LatencyHistogram::default();
+        h.record_us(0.0);
+        h.record_us(-3.0);
+        h.record_us(f64::NAN);
+        h.record_us(1e12); // over the 10 s ceiling -> overflow bucket
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile_us(0.0).unwrap() >= 1.0);
+        assert!(h.quantile_us(1.0).is_some());
+        assert!(
+            h.mean_us().unwrap().is_finite(),
+            "a NaN sample must not poison the mean"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut both = LatencyHistogram::default();
+        for us in [3.0, 40.0, 550.0, 7000.0] {
+            a.record_us(us);
+            both.record_us(us);
+        }
+        for us in [8.0, 90.0, 1200.0] {
+            b.record_us(us);
+            both.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_us(q), both.quantile_us(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn tally_ops_matches_table4_semantics() {
+        let mut m = RunMetrics::default();
+        let mut counts = FxHashMap::default();
+        counts.insert(1u32, 3u32);
+        counts.insert(2u32, 1u32);
+        let accessed = PartitionSet::from_iter([1u32, 2]);
+        m.tally_ops(0, 1, accessed, accessed, &counts, 4, true, false, true);
+        let ops = &m.ops[&0];
+        assert_eq!(ops.txns, 1);
+        assert_eq!(ops.op1, 1, "base 1 is most accessed");
+        assert_eq!(ops.op2, 1, "lock set exact");
+        assert_eq!(ops.op3, 1);
+        assert_eq!(ops.op4, 1);
+
+        // A broadcast with uniform counts: OP1 not applicable.
+        let mut m2 = RunMetrics::default();
+        let mut uni = FxHashMap::default();
+        for p in 0..4u32 {
+            uni.insert(p, 2u32);
+        }
+        let all = PartitionSet::all(4);
+        m2.tally_ops(0, 0, all, all, &uni, 4, false, false, false);
+        assert_eq!(m2.ops[&0].op1_applicable, 0);
     }
 }

@@ -58,6 +58,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Mispredict restarts before falling back to lock-all.
     pub max_restarts: u32,
+    /// When set, each closed-loop client issues at most this many requests
+    /// and then stops. Used to compare a `Simulation` against the live
+    /// runtime on an identical request population (set `measure_us` large
+    /// enough to cover the whole run).
+    pub max_requests_per_client: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -70,6 +75,7 @@ impl Default for SimConfig {
             measure_us: 1_000_000.0,
             seed: 7,
             max_restarts: 2,
+            max_requests_per_client: None,
         }
     }
 }
@@ -84,6 +90,19 @@ impl SimConfig {
     pub fn node_of(&self, p: PartitionId) -> u32 {
         p / self.partitions_per_node
     }
+}
+
+/// Bit for `table` in a 64-bit speculative-conflict mask.
+///
+/// Catalogs may define more than 64 tables; every id past the top bit shares
+/// bit 63, which only makes OP4 conflict detection conservative (a
+/// speculative transaction may defer its acknowledgement unnecessarily) —
+/// never a shift overflow (debug panic / silent wrap in release, which
+/// corrupted the mask for `table % 64` collisions).
+pub(crate) fn table_bit(table: usize) -> u64 {
+    let bit = table.min(u64::BITS as usize - 1);
+    debug_assert!(bit < u64::BITS as usize);
+    1u64 << bit
 }
 
 /// Speculation window on a partition: open between an early release and the
@@ -185,10 +204,17 @@ impl<'a> Simulation<'a> {
             // Slight arrival jitter so clients do not lockstep at t=0.
             heap.push(Reverse((Tf(c as f64 * 0.1), c)));
         }
+        let mut issued: Vec<u64> = vec![0; clients as usize];
         while let Some(Reverse((Tf(t), client))) = heap.pop() {
             if t >= end {
                 break;
             }
+            if let Some(cap) = self.cfg.max_requests_per_client {
+                if issued[client as usize] >= cap {
+                    continue; // this client's stream has run dry
+                }
+            }
+            issued[client as usize] += 1;
             let (proc, args) = self.gen.next_request(client);
             let origin_node = rng.gen_range(0..self.cfg.num_nodes());
             let local_part = origin_node * self.cfg.partitions_per_node
@@ -271,9 +297,7 @@ impl<'a> Simulation<'a> {
         if in_window {
             self.metrics.committed += 1;
             *self.metrics.committed_by_proc.entry(req.proc).or_insert(0) += 1;
-            self.metrics.total_latency_us += s.client_done - t_arrive;
-            *self.metrics.latency_by_proc.entry(req.proc).or_insert(0.0) +=
-                s.client_done - t_arrive;
+            self.metrics.record_latency(req.proc, s.client_done - t_arrive);
         }
         if s.distributed {
             self.metrics.distributed += 1;
@@ -286,34 +310,17 @@ impl<'a> Simulation<'a> {
         if s.undo_disabled_ever {
             self.metrics.no_undo += 1;
         }
-        let ops = self.metrics.ops_mut(req.proc);
-        ops.txns += 1;
-        // OP1: base partition is among the most-accessed partitions, and the
-        // choice was meaningful (access counts are not uniform over all
-        // partitions — e.g. broadcast-only transactions have no "best" base).
-        let max_count = s.access_counts.values().copied().max().unwrap_or(0);
-        let min_count = if s.accessed.len() == self.cfg.num_partitions {
-            s.access_counts.values().copied().min().unwrap_or(0)
-        } else {
-            0
-        };
-        if max_count > min_count {
-            ops.op1_applicable += 1;
-            if s.access_counts.get(&plan.base_partition).copied().unwrap_or(0) == max_count {
-                ops.op1 += 1;
-            }
-        }
-        // OP2: lock set exactly matched what was accessed.
-        ops.op2_applicable += 1;
-        if plan.lock_set == s.accessed {
-            ops.op2 += 1;
-        }
-        if s.undo_disabled_ever {
-            ops.op3 += 1;
-        }
-        if s.speculative || s.early_released {
-            ops.op4 += 1;
-        }
+        self.metrics.tally_ops(
+            req.proc,
+            plan.base_partition,
+            plan.lock_set,
+            s.accessed,
+            &s.access_counts,
+            self.cfg.num_partitions,
+            s.undo_disabled_ever,
+            s.speculative,
+            s.early_released,
+        );
     }
 
     #[allow(clippy::too_many_lines)]
@@ -459,10 +466,11 @@ impl<'a> Simulation<'a> {
                                 Err(e) => return Err(e),
                             };
                         accessed = accessed.union(parts);
-                        touched_tables |= 1 << def.table;
+                        touched_tables |= table_bit(def.table);
                         if is_write {
                             for p in parts.iter() {
-                                *wrote_by_partition.entry(p).or_insert(0) |= 1 << def.table;
+                                *wrote_by_partition.entry(p).or_insert(0) |=
+                                    table_bit(def.table);
                             }
                         }
                         let qcost = self.costs.query_cost_us(is_write, undo.is_enabled());
@@ -878,5 +886,170 @@ mod tests {
         let b = run_with(Oracle::new(), 2, 4);
         assert_eq!(a.committed, b.committed);
         assert_eq!(a.restarts, b.restarts);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_committed_window() {
+        let m = run_with(Oracle::new(), 2, 4);
+        assert_eq!(m.latency.count(), m.committed);
+        let mean = m.mean_latency_ms().expect("commits happened");
+        assert!(mean > 0.0);
+        assert!(m.latency.p50_ms().unwrap() <= m.latency.p99_ms().unwrap());
+    }
+
+    #[test]
+    fn request_cap_bounds_each_client_stream() {
+        let mut db = kv_database(4, 8);
+        let reg = kv_registry();
+        let mut advisor = Oracle::new();
+        let mut gen = KvGen { spread: 1, parts: 4, counter: 0 };
+        let cfg = SimConfig {
+            num_partitions: 4,
+            warmup_us: 0.0,
+            measure_us: 1e12, // effectively unbounded: the cap ends the run
+            max_requests_per_client: Some(25),
+            ..Default::default()
+        };
+        let clients = u64::from(cfg.num_partitions * cfg.clients_per_partition);
+        let sim = Simulation::new(
+            &mut db,
+            &reg,
+            &mut advisor,
+            &mut gen,
+            CostModel::default(),
+            cfg,
+        );
+        let (m, _) = sim.run().unwrap();
+        assert_eq!(m.committed + m.user_aborts, clients * 25);
+    }
+
+    #[test]
+    fn table_bit_saturates_instead_of_overflowing() {
+        assert_eq!(table_bit(0), 1);
+        assert_eq!(table_bit(63), 1u64 << 63);
+        // Regression: `1u64 << 70` was a debug panic / release wrap that
+        // aliased table 70 onto table 6. Saturation aliases all wide ids
+        // onto bit 63 — conservative, never a different low table.
+        assert_eq!(table_bit(64), 1u64 << 63);
+        assert_eq!(table_bit(1000), 1u64 << 63);
+        assert_eq!(table_bit(70) & table_bit(6), 0);
+    }
+
+    /// A catalog whose hot table sits past bit 63 of the conflict mask.
+    mod wide {
+        use super::*;
+        use crate::catalog::{ColumnOp, PartitionHint, ProcDef, QueryDef, QueryOp};
+        use crate::procedure::{ProcInstance, Procedure, QueryInvocation};
+        use storage::Schema;
+
+        pub const WIDE_TABLE: usize = 70;
+
+        pub struct BumpWide {
+            def: ProcDef,
+        }
+
+        impl BumpWide {
+            pub fn new() -> Self {
+                BumpWide {
+                    def: ProcDef {
+                        name: "BumpWide".into(),
+                        queries: vec![QueryDef {
+                            name: "BumpW".into(),
+                            table: WIDE_TABLE,
+                            op: QueryOp::UpdateByKey {
+                                key_params: vec![0],
+                                sets: vec![ColumnOp::Add { column: 1, param: 1 }],
+                            },
+                            hint: PartitionHint::Param(0),
+                        }],
+                        read_only: false,
+                        can_abort: false,
+                    },
+                }
+            }
+        }
+
+        impl Procedure for BumpWide {
+            fn def(&self) -> &ProcDef {
+                &self.def
+            }
+            fn instantiate(&self, args: &[Value]) -> Box<dyn ProcInstance> {
+                Box::new(Inst { id: args[0].expect_int(), stage: 0 })
+            }
+        }
+
+        struct Inst {
+            id: i64,
+            stage: u8,
+        }
+
+        impl ProcInstance for Inst {
+            fn next(&mut self, _results: Option<&[Vec<storage::Row>]>) -> Step {
+                if self.stage == 0 {
+                    self.stage = 1;
+                    Step::Queries(vec![QueryInvocation::new(
+                        0,
+                        vec![Value::Int(self.id), Value::Int(1)],
+                    )])
+                } else {
+                    Step::Commit
+                }
+            }
+        }
+
+        pub fn registry_and_db(parts: u32) -> (ProcedureRegistry, Database) {
+            let mut schemas: Vec<Schema> = (0..WIDE_TABLE)
+                .map(|i| Schema::new(&format!("PAD{i}"), &["ID"], &[0], Some(0)))
+                .collect();
+            schemas.push(Schema::new("WIDE", &["ID", "V"], &[0], Some(0)));
+            let mut db = Database::new(schemas, parts, &[]);
+            let mut undo = UndoLog::new();
+            for i in 0..i64::from(parts) * 4 {
+                let p = db.partition_for_value(&Value::Int(i));
+                db.insert(p, WIDE_TABLE, vec![Value::Int(i), Value::Int(0)], &mut undo)
+                    .unwrap();
+            }
+            (ProcedureRegistry::new(vec![Box::new(BumpWide::new())]), db)
+        }
+    }
+
+    /// Generator hitting the wide table with single-partition bumps.
+    struct WideGen {
+        parts: u32,
+        counter: u64,
+    }
+
+    impl RequestGenerator for WideGen {
+        fn next_request(&mut self, client: u64) -> (ProcId, Vec<Value>) {
+            self.counter += 1;
+            let id = (client * 3 + self.counter) % u64::from(self.parts * 4);
+            (0, vec![Value::Int(id as i64)])
+        }
+    }
+
+    #[test]
+    fn wide_catalog_runs_without_shift_overflow() {
+        // Regression: with a table id ≥ 64 the speculative-conflict masks
+        // computed `1 << 70` — a shift overflow (debug panic, release
+        // wrap). The run must complete and commit writes on table 70.
+        let (reg, mut db) = wide::registry_and_db(4);
+        let mut advisor = Oracle::new();
+        let mut gen = WideGen { parts: 4, counter: 0 };
+        let cfg = SimConfig {
+            num_partitions: 4,
+            warmup_us: 0.0,
+            measure_us: 50_000.0,
+            ..Default::default()
+        };
+        let sim = Simulation::new(
+            &mut db,
+            &reg,
+            &mut advisor,
+            &mut gen,
+            CostModel::default(),
+            cfg,
+        );
+        let (m, _) = sim.run().expect("wide catalog must not halt");
+        assert!(m.committed > 0);
     }
 }

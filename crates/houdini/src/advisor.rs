@@ -2,12 +2,18 @@
 
 use crate::modelset::{lock_set_for, CatalogRule};
 use crate::train::ProcPredictor;
-use common::{PartitionSet, ProcId, Value};
+use common::{FxHashMap, PartitionSet, ProcId, QueryId, Value};
 use engine::{
-    Catalog, CatalogResolver, ExecutedQuery, PlanEnv, Request, TxnAdvisor, TxnOutcome, TxnPlan,
-    Updates,
+    Catalog, CatalogResolver, ExecutedQuery, LiveAdvisor, PlanContext, PlanEnv, Request,
+    TxnAdvisor, TxnOutcome, TxnPlan, Updates,
 };
-use markov::{estimate_path, EstimateConfig, PathTracker};
+use markov::{estimate_path, EstimateConfig, PathTracker, QueryKind, VertexId, VertexKey};
+
+/// Minimum training observations before a state's finish table is trusted
+/// for OP4: a state observed once or twice (e.g. only in an aborted record)
+/// produces finish probabilities that trigger early prepares the
+/// transaction later violates, and each violation is an abort-and-restart.
+const MIN_FINISH_HITS: u64 = 4;
 
 /// On-line knobs.
 #[derive(Debug, Clone)]
@@ -35,11 +41,10 @@ impl Default for HoudiniConfig {
     }
 }
 
-/// Per-transaction scratch state between `plan` and `on_end`.
-struct CurrentTxn {
-    proc: ProcId,
-    model_idx: usize,
-    tracker: PathTracker,
+/// Per-transaction decision state shared verbatim by the simulated-time
+/// advisor (inside [`CurrentTxn`]) and the live advisor (inside
+/// [`LiveTxn`]): one definition, so the two paths cannot drift.
+struct TxnCore {
     lock_set: PartitionSet,
     declared: PartitionSet,
     undo_disabled: bool,
@@ -52,7 +57,7 @@ struct CurrentTxn {
     /// mispredict after disabling undo logging is unrecoverable.
     est_complete: bool,
     /// Per-step query ids of the initial estimate (deviation detection).
-    step_queries: Vec<common::QueryId>,
+    step_queries: Vec<QueryId>,
     /// Per-step finish sets: partitions whose predicted last access is that
     /// step (the Oracle-style OP4 plan derived from the estimate, §4.4).
     finish_plan: Vec<PartitionSet>,
@@ -62,6 +67,111 @@ struct CurrentTxn {
     /// Houdini switched off (disabled procedure or restart fallback):
     /// no tracking, no updates.
     passive: bool,
+}
+
+/// Per-transaction scratch state between `plan` and `on_end`.
+struct CurrentTxn {
+    proc: ProcId,
+    model_idx: usize,
+    tracker: PathTracker,
+    core: TxnCore,
+}
+
+/// OP3/OP4 runtime updates (§4.4) at the state `to` reached by executing
+/// `q` — the single implementation behind both `TxnAdvisor::on_query` and
+/// `LiveAdvisor::on_query_live`. `to` is `None` when the transaction
+/// reached a state absent from the trained model (only possible on the
+/// live path, whose walk is read-only); `counter` is the query's
+/// invocation index and `seen` the partitions accessed up to and including
+/// this query (the vertex key's `seen()` on the simulated path).
+#[allow(clippy::too_many_arguments)]
+fn updates_at_state(
+    cfg: &HoudiniConfig,
+    num_partitions: u32,
+    pred: &ProcPredictor,
+    model: &markov::MarkovModel,
+    core: &mut TxnCore,
+    to: Option<VertexId>,
+    counter: u16,
+    seen: PartitionSet,
+    q: &ExecutedQuery,
+) -> Updates {
+    let mut upd = Updates { cost_us: cfg.update_cost_us, ..Default::default() };
+    // OP3 runtime update: no path from here to the abort state. Only models
+    // that have actually witnessed this procedure's aborts may assert that
+    // no such path exists, the state must be a trained one (not a live
+    // placeholder), the transaction must be single-partition (§4.3), and no
+    // continuation may leave the lock set — otherwise an OP2 mispredict
+    // after disabling undo would be unrecoverable.
+    if let Some(to) = to {
+        let vtx = model.vertex(to);
+        let table = &vtx.table;
+        let sig_safe = match vtx.key.kind {
+            QueryKind::Query(qid) => {
+                !pred.can_abort
+                    || (pred.abort_rate > 0.0
+                        && !pred.unsafe_signatures.contains(&(qid, vtx.key.counter)))
+            }
+            _ => false,
+        };
+        if sig_safe
+            && core.trust_abort
+            && core.est_complete
+            && !core.undo_disabled
+            && core.lock_set.is_single()
+            && vtx.hits > 0
+            && table.abort < 1e-9
+            && 1.0 - table.abort > cfg.threshold
+            && (0..num_partitions)
+                .all(|p| core.lock_set.contains(p) || table.access(p) < 1e-9)
+        {
+            core.undo_disabled = true;
+            upd.disable_undo = true;
+        }
+    }
+    // OP4: partitions whose finish probability clears the threshold are
+    // handed back for early prepare. Trained exact states use their
+    // pre-computed tables; sparse or unseen states consult a structurally
+    // analogous well-observed state (same query, counter, seen set).
+    let mut finished = PartitionSet::EMPTY;
+    let finish_table = match to {
+        Some(v) if model.vertex(v).hits >= MIN_FINISH_HITS => Some(v),
+        _ => model
+            .shape_proxy(QueryKind::Query(q.query), counter, seen)
+            .filter(|&p| model.vertex(p).hits >= MIN_FINISH_HITS),
+    };
+    if let Some(ft) = finish_table {
+        let table = &model.vertex(ft).table;
+        for p in core.lock_set.iter() {
+            if !core.declared.contains(p)
+                && !q.partitions.contains(p)
+                && table.finish(p) > cfg.threshold
+            {
+                finished.insert(p);
+            }
+        }
+    }
+    // While the transaction follows its initial estimate, the Oracle-style
+    // finish plan derived from the estimate also applies (and generalizes
+    // to partition combinations the trace never produced).
+    if let Some(pos) = core.est_pos {
+        let on_plan = core.step_queries.get(pos).is_some_and(|&eq| eq == q.query)
+            && pos < core.finish_plan.len();
+        if on_plan {
+            let step_fin = core.finish_plan[pos];
+            for p in step_fin.iter() {
+                if core.lock_set.contains(p) && !core.declared.contains(p) {
+                    finished.insert(p);
+                }
+            }
+            core.est_pos = Some(pos + 1);
+        } else {
+            core.est_pos = None; // deviated: stop trusting the plan
+        }
+    }
+    core.declared = core.declared.union(finished);
+    upd.finished = finished;
+    upd
 }
 
 /// The Houdini advisor: trained predictors plus on-line tracking.
@@ -115,18 +225,16 @@ impl Houdini {
         &self.procs[proc as usize]
     }
 
-    /// Conservative fallback: lock every partition, keep undo logging, but
-    /// still track the model so OP4 can release partitions the tables say
-    /// are finished — a lock-all transaction that never lets go would
-    /// serialize the cluster.
-    fn passive_plan(&mut self, proc: ProcId, args: &[Value], base: u32) -> TxnPlan {
+    /// Conservative fallback decisions: lock every partition, keep undo
+    /// logging, but still track the model (unless the procedure is disabled
+    /// outright) so OP4 can release partitions the tables say are finished
+    /// — a lock-all transaction that never lets go would serialize the
+    /// cluster. Shared by the simulated-time and live paths.
+    fn passive_decision(&self, proc: ProcId, args: &[Value], base: u32) -> (TxnPlan, usize, TxnCore) {
         let pred = &self.procs[proc as usize];
         let model_idx = if pred.disabled { 0 } else { pred.models.select(args) };
         let track = !pred.disabled;
-        self.cur = Some(CurrentTxn {
-            proc,
-            model_idx,
-            tracker: PathTracker::new(pred.models.model(model_idx)),
+        let core = TxnCore {
             lock_set: PartitionSet::all(self.num_partitions),
             declared: PartitionSet::EMPTY,
             undo_disabled: false,
@@ -136,14 +244,90 @@ impl Houdini {
             finish_plan: Vec::new(),
             est_pos: None,
             passive: !track,
-        });
-        TxnPlan {
+        };
+        let plan = TxnPlan {
             base_partition: base,
             lock_set: PartitionSet::all(self.num_partitions),
             disable_undo: false,
             early_prepare: track,
             estimate_cost_us: 0.0,
+        };
+        (plan, model_idx, core)
+    }
+
+    /// Installs the fallback as the simulated-time in-flight transaction.
+    fn passive_plan(&mut self, proc: ProcId, args: &[Value], base: u32) -> TxnPlan {
+        let (plan, model_idx, core) = self.passive_decision(proc, args, base);
+        let tracker = PathTracker::new(self.procs[proc as usize].models.model(model_idx));
+        self.cur = Some(CurrentTxn { proc, model_idx, tracker, core });
+        plan
+    }
+
+    /// Derives the OP1–OP4 plan and decision state from a completed path
+    /// estimate — the single implementation behind `TxnAdvisor::plan` and
+    /// `LiveAdvisor::plan_live` (the caller charges `estimate_cost_us`).
+    fn plan_from_estimate(
+        &self,
+        pred: &ProcPredictor,
+        model_idx: usize,
+        est: markov::PathEstimate,
+        random_local_partition: u32,
+    ) -> (TxnPlan, TxnCore) {
+        let model = pred.models.model(model_idx);
+        // OP2: partitions whose access estimate clears the threshold.
+        let mut lock_set = lock_set_for(&est, model, self.cfg.threshold, self.num_partitions);
+        // OP1: most-accessed partition along the estimate.
+        let base = est
+            .best_base()
+            .filter(|p| lock_set.contains(*p))
+            .or_else(|| est.best_base())
+            .unwrap_or(random_local_partition);
+        lock_set.insert(base);
+        // OP3: only committing, never-aborting, single-partition estimates
+        // qualify; the strict comparison stops disabling as the threshold
+        // approaches one (Fig. 13's right edge). A model that never saw an
+        // abort for an aborting procedure is not trusted — mispredicting
+        // here is unrecoverable (§4.3).
+        let trust_abort = pred.trust_abort_estimates(model_idx);
+        let est_complete = est.reached_commit
+            && est.uncertain_steps == 0
+            && est.alt_partitions.is_subset(lock_set);
+        let disable_undo = pred.abort_safe_initial()
+            && trust_abort
+            && est_complete
+            && est.abort_prob < 1e-9
+            && lock_set.is_single()
+            && 1.0 - est.abort_prob > self.cfg.threshold;
+
+        // Oracle-style OP4 plan from the estimate: partitions whose last
+        // predicted access is step i can early-prepare once step i has
+        // executed — provided the transaction follows the estimate.
+        let mut finish_plan = vec![PartitionSet::EMPTY; est.step_partitions.len()];
+        let mut later = PartitionSet::EMPTY;
+        for i in (0..est.step_partitions.len()).rev() {
+            finish_plan[i] = est.step_partitions[i].difference(later);
+            later = later.union(est.step_partitions[i]);
         }
+        let follow_plan = est_complete && est.confidence >= self.cfg.threshold;
+        let core = TxnCore {
+            lock_set,
+            declared: PartitionSet::EMPTY,
+            undo_disabled: disable_undo,
+            trust_abort,
+            est_complete,
+            step_queries: est.step_queries,
+            finish_plan,
+            est_pos: follow_plan.then_some(0),
+            passive: false,
+        };
+        let plan = TxnPlan {
+            base_partition: base,
+            lock_set,
+            disable_undo,
+            early_prepare: true,
+            estimate_cost_us: 0.0,
+        };
+        (plan, core)
     }
 }
 
@@ -176,176 +360,49 @@ impl TxnAdvisor for Houdini {
             return plan;
         }
         self.plans_estimated += 1;
-
-        // OP2: partitions whose access estimate clears the threshold.
-        let mut lock_set = lock_set_for(&est, model, self.cfg.threshold, self.num_partitions);
-        // OP1: most-accessed partition along the estimate.
-        let base = est
-            .best_base()
-            .filter(|p| lock_set.contains(*p))
-            .or_else(|| est.best_base())
-            .unwrap_or(env.random_local_partition);
-        lock_set.insert(base);
-        // OP3: only committing, never-aborting, single-partition estimates
-        // qualify; the strict comparison stops disabling as the threshold
-        // approaches one (Fig. 13's right edge). A model that never saw an
-        // abort for an aborting procedure is not trusted — mispredicting
-        // here is unrecoverable (§4.3).
-        let trust_abort = pred.trust_abort_estimates(model_idx);
-        let est_complete = est.reached_commit
-            && est.uncertain_steps == 0
-            && est.alt_partitions.is_subset(lock_set);
-        let disable_undo = pred.abort_safe_initial()
-            && trust_abort
-            && est_complete
-            && est.abort_prob < 1e-9
-            && lock_set.is_single()
-            && 1.0 - est.abort_prob > self.cfg.threshold;
-
-        // Oracle-style OP4 plan from the estimate: partitions whose last
-        // predicted access is step i can early-prepare once step i has
-        // executed — provided the transaction follows the estimate.
-        let mut finish_plan = vec![PartitionSet::EMPTY; est.step_partitions.len()];
-        let mut later = PartitionSet::EMPTY;
-        for i in (0..est.step_partitions.len()).rev() {
-            finish_plan[i] = est.step_partitions[i].difference(later);
-            later = later.union(est.step_partitions[i]);
-        }
-        let follow_plan = est_complete && est.confidence >= self.cfg.threshold;
-        self.cur = Some(CurrentTxn {
-            proc,
-            model_idx,
-            tracker: PathTracker::new(model),
-            lock_set,
-            declared: PartitionSet::EMPTY,
-            undo_disabled: disable_undo,
-            trust_abort,
-            est_complete,
-            step_queries: est.step_queries,
-            finish_plan,
-            est_pos: follow_plan.then_some(0),
-            passive: false,
-        });
-        TxnPlan {
-            base_partition: base,
-            lock_set,
-            disable_undo,
-            early_prepare: true,
-            estimate_cost_us: cost,
-        }
+        let (mut plan, core) =
+            self.plan_from_estimate(pred, model_idx, est, env.random_local_partition);
+        plan.estimate_cost_us = cost;
+        let tracker = PathTracker::new(model);
+        self.cur = Some(CurrentTxn { proc, model_idx, tracker, core });
+        plan
     }
 
     fn on_query(&mut self, q: &ExecutedQuery) -> Updates {
         let Some(cur) = self.cur.as_mut() else {
             return Updates::default();
         };
-        if cur.passive {
+        if cur.core.passive {
             return Updates::default();
         }
-        let pred = &mut self.procs[cur.proc as usize];
-        let can_abort = pred.can_abort;
-        let abort_rate = pred.abort_rate;
-        let unsafe_sigs = &pred.unsafe_signatures;
-        let (model, monitor) = pred.models.model_mut(cur.model_idx);
-        let resolver = CatalogResolver::new(&self.catalog, self.num_partitions);
-        let from = cur.tracker.current();
-        let to = cur.tracker.advance(model, q.query, q.partitions, &resolver);
-        if monitor.observe(model, from, to) {
-            self.recomputations += 1;
-        }
-
-        let mut upd = Updates { cost_us: self.cfg.update_cost_us, ..Default::default() };
-        let table = &model.vertex(to).table;
-        // OP3 runtime update (§4.4): no path from here to the abort state.
-        // Only models that have actually witnessed this procedure's aborts
-        // may assert that no such path exists, the state must be a trained
-        // one (not a live placeholder), the transaction must be
-        // single-partition (§4.3), and no continuation may leave the lock
-        // set — otherwise an OP2 mispredict after disabling undo would be
-        // unrecoverable.
-        let vtx = model.vertex(to);
-        let sig_safe = match vtx.key.kind {
-            markov::QueryKind::Query(q) => {
-                !can_abort
-                    || (abort_rate > 0.0 && !unsafe_sigs.contains(&(q, vtx.key.counter)))
-            }
-            _ => false,
-        };
-        if sig_safe
-            && cur.trust_abort
-            && cur.est_complete
-            && !cur.undo_disabled
-            && cur.lock_set.is_single()
-            && vtx.hits > 0
-            && table.abort < 1e-9
-            && 1.0 - table.abort > self.cfg.threshold
-            && (0..self.num_partitions)
-                .all(|p| cur.lock_set.contains(p) || table.access(p) < 1e-9)
+        // Maintenance walk (§4.5): advance the tracker (interning a live
+        // placeholder for unseen states) and let the monitor recompute on
+        // drift — this is the `&mut` half the live path cannot do.
         {
-            cur.undo_disabled = true;
-            upd.disable_undo = true;
-        }
-        // OP4 (§4.4): partitions whose finish probability clears the
-        // threshold are handed back for early prepare. Trained exact states
-        // use their pre-computed tables; while the transaction follows its
-        // initial estimate, the Oracle-style finish plan derived from the
-        // estimate also applies (and generalizes to partition combinations
-        // the trace never produced).
-        let mut finished = PartitionSet::EMPTY;
-        // A finish table needs real statistical support: a state observed
-        // once or twice (e.g. only in an aborted record) produces finish
-        // probabilities that trigger early prepares the transaction later
-        // violates, and each violation is an abort-and-restart.
-        const MIN_FINISH_HITS: u64 = 4;
-        let finish_table = if vtx.hits >= MIN_FINISH_HITS {
-            Some(to)
-        } else {
-            // Sparse or placeholder state: consult a structurally analogous
-            // well-observed state (same query, counter, and seen-partition
-            // set). Its own partitions differ from ours, but the current
-            // query's partitions are excluded below and the seen-set match
-            // keeps the remaining finish structure sound.
-            let key = vtx.key;
-            model
-                .shape_proxy(key.kind, key.counter, key.seen())
-                .filter(|&p| model.vertex(p).hits >= MIN_FINISH_HITS)
-        };
-        if let Some(ft) = finish_table {
-            let table = &model.vertex(ft).table;
-            for p in cur.lock_set.iter() {
-                if !cur.declared.contains(p)
-                    && !q.partitions.contains(p)
-                    && table.finish(p) > self.cfg.threshold
-                {
-                    finished.insert(p);
-                }
+            let pred = &mut self.procs[cur.proc as usize];
+            let (model, monitor) = pred.models.model_mut(cur.model_idx);
+            let resolver = CatalogResolver::new(&self.catalog, self.num_partitions);
+            let from = cur.tracker.current();
+            let to = cur.tracker.advance(model, q.query, q.partitions, &resolver);
+            if monitor.observe(model, from, to) {
+                self.recomputations += 1;
             }
         }
-        if let Some(pos) = cur.est_pos {
-            let on_plan = cur
-                .step_queries
-                .get(pos)
-                .is_some_and(|&eq| eq == q.query)
-                && cur
-                    .finish_plan
-                    .get(pos)
-                    .map(|_| true)
-                    .unwrap_or(false);
-            if on_plan {
-                let step_fin = cur.finish_plan[pos];
-                for p in step_fin.iter() {
-                    if cur.lock_set.contains(p) && !cur.declared.contains(p) {
-                        finished.insert(p);
-                    }
-                }
-                cur.est_pos = Some(pos + 1);
-            } else {
-                cur.est_pos = None; // deviated: stop trusting the plan
-            }
-        }
-        cur.declared = cur.declared.union(finished);
-        upd.finished = finished;
-        upd
+        let pred = &self.procs[cur.proc as usize];
+        let model = pred.models.model(cur.model_idx);
+        let to = cur.tracker.current();
+        let key = model.vertex(to).key;
+        updates_at_state(
+            &self.cfg,
+            self.num_partitions,
+            pred,
+            model,
+            &mut cur.core,
+            Some(to),
+            key.counter,
+            key.seen(),
+            q,
+        )
     }
 
     fn replan(
@@ -365,7 +422,7 @@ impl TxnAdvisor for Houdini {
 
     fn on_end(&mut self, outcome: TxnOutcome) {
         if let Some(mut cur) = self.cur.take() {
-            if cur.passive {
+            if cur.core.passive {
                 return;
             }
             let pred = &mut self.procs[cur.proc as usize];
@@ -378,6 +435,139 @@ impl TxnAdvisor for Houdini {
                 self.recomputations += 1;
             }
         }
+    }
+}
+
+/// Per-transaction scratch state for the live runtime: the shared
+/// [`TxnCore`] decision state plus a *read-only* model walk (the trained
+/// advisor is shared immutably across threads, so the walk follows
+/// existing vertices and goes dark instead of interning live placeholders;
+/// model maintenance, §4.5, is suspended while live).
+pub struct LiveTxn {
+    proc: ProcId,
+    model_idx: usize,
+    /// Current vertex, `None` once the transaction reached a state never
+    /// seen in training.
+    cur: Option<VertexId>,
+    /// Partitions accessed before the current state.
+    prev: PartitionSet,
+    /// Per-query invocation counters (vertex identity, §3.1).
+    counters: FxHashMap<QueryId, u16>,
+    core: TxnCore,
+}
+
+impl Houdini {
+    /// Live twin of `passive_plan`: conservative lock-all with tracking
+    /// unless the procedure is disabled outright.
+    fn passive_live(&self, proc: ProcId, args: &[Value], base: u32) -> (TxnPlan, LiveTxn) {
+        let (plan, model_idx, core) = self.passive_decision(proc, args, base);
+        let session = LiveTxn {
+            proc,
+            model_idx,
+            cur: Some(self.procs[proc as usize].models.model(model_idx).begin()),
+            prev: PartitionSet::EMPTY,
+            counters: FxHashMap::default(),
+            core,
+        };
+        (plan, session)
+    }
+}
+
+impl LiveAdvisor for Houdini {
+    type Session = LiveTxn;
+
+    fn name(&self) -> &str {
+        "houdini"
+    }
+
+    fn plan_live(&self, req: &Request, ctx: &PlanContext<'_>) -> (TxnPlan, LiveTxn) {
+        let proc = req.proc;
+        if self.procs[proc as usize].disabled {
+            return self.passive_live(proc, &req.args, ctx.random_local_partition);
+        }
+        let pred = &self.procs[proc as usize];
+        let model_idx = pred.models.select(&req.args);
+        let model = pred.models.model(model_idx);
+        let rule = CatalogRule::new(&self.catalog, proc, self.num_partitions);
+        let est = estimate_path(model, &rule, &pred.mapping, &req.args, &self.cfg.estimate);
+        let cost = f64::from(est.states_examined) * self.cfg.est_cost_per_state_us;
+        if !est.reached_commit && !est.reached_abort {
+            // Dead-ended walk (§4.4): same conservative fallback as the
+            // simulated-time path.
+            let (mut plan, session) =
+                self.passive_live(proc, &req.args, ctx.random_local_partition);
+            plan.estimate_cost_us = cost;
+            return (plan, session);
+        }
+        // OP1-OP4 decisions: the same `plan_from_estimate` the simulated-
+        // time advisor uses.
+        let (mut plan, core) =
+            self.plan_from_estimate(pred, model_idx, est, ctx.random_local_partition);
+        plan.estimate_cost_us = cost;
+        let session = LiveTxn {
+            proc,
+            model_idx,
+            cur: Some(model.begin()),
+            prev: PartitionSet::EMPTY,
+            counters: FxHashMap::default(),
+            core,
+        };
+        (plan, session)
+    }
+
+    fn on_query_live(&self, cur: &mut LiveTxn, q: &ExecutedQuery) -> Updates {
+        if cur.core.passive {
+            return Updates::default();
+        }
+        let pred = &self.procs[cur.proc as usize];
+        let model = pred.models.model(cur.model_idx);
+        // Read-only walk: follow the trained vertex if it exists; a state
+        // never seen in training turns the walk dark (the simulated-time
+        // path interns a live placeholder there instead).
+        let counter = {
+            let c = cur.counters.entry(q.query).or_insert(0);
+            let seen = *c;
+            *c += 1;
+            seen
+        };
+        let key = VertexKey {
+            kind: QueryKind::Query(q.query),
+            counter,
+            partitions: q.partitions,
+            previous: cur.prev,
+        };
+        let to = model.find(&key);
+        cur.prev = cur.prev.union(q.partitions);
+        cur.cur = to;
+        updates_at_state(
+            &self.cfg,
+            self.num_partitions,
+            pred,
+            model,
+            &mut cur.core,
+            to,
+            counter,
+            cur.prev,
+            q,
+        )
+    }
+
+    fn replan_live(
+        &self,
+        req: &Request,
+        observed: PartitionSet,
+        _attempt: u32,
+        ctx: &PlanContext<'_>,
+    ) -> (TxnPlan, LiveTxn) {
+        // Same §6.4 policy as the simulated-time path: restart locking all
+        // partitions.
+        let base = observed.first().unwrap_or(ctx.random_local_partition);
+        self.passive_live(req.proc, &req.args, base)
+    }
+
+    fn on_end_live(&self, _session: LiveTxn, _outcome: TxnOutcome) {
+        // Model maintenance (§4.5) needs `&mut` model access and is
+        // suspended while serving live traffic; retraining happens offline.
     }
 }
 
@@ -528,6 +718,105 @@ mod tests {
             "threshold 0 admits every access estimation (Fig. 13)"
         );
         assert!(!plan.disable_undo);
+    }
+
+    #[test]
+    fn trained_advisor_is_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Houdini>();
+        fn assert_session_send<T: Send>() {}
+        assert_session_send::<LiveTxn>();
+    }
+
+    #[test]
+    fn live_plans_match_simulated_plans() {
+        let (mut h, catalog) = trained(2, 600, false);
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        for (w, o, items) in [
+            (1i64, 91_000i64, vec![1i64, 1, 1]),
+            (0, 91_001, vec![0, 0, 1]),
+            (0, 91_002, vec![0, 0, 0]),
+        ] {
+            let req = new_order_req(w, o, &items);
+            let sim_plan = {
+                let mut env = PlanEnv {
+                    db: &mut db,
+                    registry: &reg,
+                    catalog: &catalog,
+                    num_partitions: 2,
+                    random_local_partition: 0,
+                };
+                TxnAdvisor::plan(&mut h, &req, &mut env)
+            };
+            let ctx = PlanContext {
+                catalog: &catalog,
+                num_partitions: 2,
+                random_local_partition: 0,
+            };
+            let (live_plan, _session) = h.plan_live(&req, &ctx);
+            assert_eq!(live_plan.base_partition, sim_plan.base_partition, "w={w}");
+            assert_eq!(live_plan.lock_set, sim_plan.lock_set, "w={w}");
+            assert_eq!(live_plan.disable_undo, sim_plan.disable_undo, "w={w}");
+        }
+    }
+
+    #[test]
+    fn live_runtime_updates_declare_finished_partitions() {
+        let (mut h_sim, catalog) = trained(2, 800, false);
+        let (h_live, _) = trained(2, 800, false);
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        // Remote payment: customer at partition 1, warehouse at 0 — the
+        // same case the simulated-time test covers.
+        let req = Request {
+            proc: 3,
+            args: vec![
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(5),
+                Value::Int(100),
+                Value::Int(77_000),
+            ],
+            origin_node: 0,
+        };
+        let sim_plan = {
+            let mut env = PlanEnv {
+                db: &mut db,
+                registry: &reg,
+                catalog: &catalog,
+                num_partitions: 2,
+                random_local_partition: 0,
+            };
+            TxnAdvisor::plan(&mut h_sim, &req, &mut env)
+        };
+        let ctx =
+            PlanContext { catalog: &catalog, num_partitions: 2, random_local_partition: 0 };
+        let (live_plan, mut session) = h_live.plan_live(&req, &ctx);
+        assert_eq!(live_plan.lock_set, sim_plan.lock_set);
+        // Feed both advisors the executed path; the live session must
+        // declare the same finished partitions as the simulated-time one.
+        let out = run_offline(&mut db, &reg, &catalog, 3, &req.args, true).unwrap();
+        let resolver = CatalogResolver::new(&catalog, 2);
+        let mut declared_sim = PartitionSet::EMPTY;
+        let mut declared_live = PartitionSet::EMPTY;
+        for q in &out.record.queries {
+            use trace::PartitionResolver as _;
+            let parts = resolver.partitions(3, q.query, &q.params);
+            let exec = ExecutedQuery {
+                query: q.query,
+                params: q.params.clone(),
+                partitions: parts,
+                is_write: catalog.proc(3).query(q.query).is_write(),
+            };
+            declared_sim = declared_sim.union(h_sim.on_query(&exec).finished);
+            declared_live =
+                declared_live.union(h_live.on_query_live(&mut session, &exec).finished);
+        }
+        h_sim.on_end(TxnOutcome::Committed);
+        h_live.on_end_live(session, TxnOutcome::Committed);
+        assert_eq!(declared_live, declared_sim);
+        assert!(declared_live.contains(1), "customer partition finished (OP4)");
     }
 
     #[test]

@@ -141,6 +141,17 @@ fn merge_candidate(cands: &mut Vec<Candidate>, new: Candidate) {
     cands.push(new);
 }
 
+/// Maps NaN below every real number for `f64::total_cmp`-based max
+/// selection, so degenerate probabilities lose rather than crash or win.
+/// (`total_cmp` alone would rank positive NaN above +∞.)
+pub(crate) fn nan_as_lowest(p: f64) -> f64 {
+    if p.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        p
+    }
+}
+
 /// Tie-break rank: queries > commit > abort.
 fn rank(kind: QueryKind) -> u8 {
     match kind {
@@ -301,9 +312,11 @@ pub fn estimate_path(
             .enumerate()
             .filter(|(_, c)| c.valid == any_valid)
             .max_by(|(_, a), (_, b)| {
-                (a.prob, rank(a.kind))
-                    .partial_cmp(&(b.prob, rank(b.kind)))
-                    .expect("finite probs")
+                // total_cmp so a degenerate (NaN) probability table cannot
+                // abort the estimate; NaN sorts below every real weight.
+                nan_as_lowest(a.prob)
+                    .total_cmp(&nan_as_lowest(b.prob))
+                    .then_with(|| rank(a.kind).cmp(&rank(b.kind)))
             })
             .map(|(i, _)| i);
         let Some(chosen_idx) = chosen else {
@@ -600,5 +613,28 @@ mod tests {
         // 0.8 of the mass (0.2 abort), so the confidence stays well above
         // the raw remote-variant edge probability (0.2).
         assert!(est.confidence > 0.5, "confidence {}", est.confidence);
+    }
+
+    #[test]
+    fn nan_edge_probabilities_do_not_abort_estimation() {
+        // Regression: the candidate-selection comparator panicked on NaN.
+        let (mut model, mapping) = fixture(4);
+        let n = model.len() as VertexId;
+        for id in 0..n {
+            for e in &mut model.vertex_mut(id).edges {
+                e.prob = f64::NAN;
+            }
+        }
+        let rule = ToyRule { parts: 4 };
+        // Must terminate without panicking; the walk still traverses the
+        // graph (candidates all tie at the NaN floor) or dead-ends.
+        let est = estimate_path(
+            &model,
+            &rule,
+            &mapping,
+            &args(1, &[1]),
+            &EstimateConfig::default(),
+        );
+        assert!(est.states_examined > 0);
     }
 }

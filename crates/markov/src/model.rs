@@ -99,11 +99,13 @@ impl Vertex {
         self.edges.iter().find(|e| e.to == to)
     }
 
-    /// The highest-probability outgoing edge.
+    /// The highest-probability outgoing edge. A degenerate probability
+    /// (NaN, e.g. from a zeroed-out recomputation) sorts below every real
+    /// one instead of aborting the run.
     pub fn argmax_edge(&self) -> Option<&Edge> {
-        self.edges
-            .iter()
-            .max_by(|a, b| a.prob.partial_cmp(&b.prob).expect("finite probs"))
+        self.edges.iter().max_by(|a, b| {
+            crate::estimate::nan_as_lowest(a.prob).total_cmp(&crate::estimate::nan_as_lowest(b.prob))
+        })
     }
 }
 
@@ -429,6 +431,31 @@ mod tests {
         m.recompute_probabilities();
         let v = m.vertex(q);
         assert!((v.edge_to(m.abort()).unwrap().prob - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_edge_survives_nan_probabilities() {
+        // Regression: the comparator used `partial_cmp(..).expect(..)` and
+        // aborted the whole run on a degenerate probability table.
+        let mut m = MarkovModel::new(0, 2);
+        let mk = |q: u32| VertexKey {
+            kind: QueryKind::Query(q),
+            counter: 0,
+            partitions: PartitionSet::single(0),
+            previous: PartitionSet::EMPTY,
+        };
+        let a = m.intern(mk(0), "A".into(), false);
+        let b = m.intern(mk(1), "B".into(), false);
+        m.add_transition(m.begin(), a, 3);
+        m.add_transition(m.begin(), b, 1);
+        m.recompute_probabilities();
+        // Poison one edge.
+        m.vertex_mut(m.begin()).edges[1].prob = f64::NAN;
+        let best = m.vertex(m.begin()).argmax_edge().expect("edges exist");
+        assert_eq!(best.to, a, "NaN must lose, not win or panic");
+        // All-NaN still answers something instead of panicking.
+        m.vertex_mut(m.begin()).edges[0].prob = f64::NAN;
+        assert!(m.vertex(m.begin()).argmax_edge().is_some());
     }
 
     #[test]

@@ -8,6 +8,17 @@
 //! builds per-cluster models from the validation workset, and scores
 //! prediction accuracy on the testing workset.
 
+/// Maps NaN above every real number for `f64::total_cmp`-based ascending
+/// sorts, so a degenerate cost sorts last instead of crashing the search.
+/// (`total_cmp` alone would rank negative NaN below -∞.)
+fn nan_as_highest(c: f64) -> f64 {
+    if c.is_nan() {
+        f64::INFINITY
+    } else {
+        c
+    }
+}
+
 /// Selection knobs.
 #[derive(Debug, Clone)]
 pub struct SelectionConfig {
@@ -51,7 +62,10 @@ where
             .into_iter()
             .map(|s| (eval(&s), s))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        // total_cmp with NaN pushed last: a degenerate cost (e.g. a
+        // log-likelihood that went NaN on a pathological cluster) must not
+        // abort the search, and must never be selected as the round best.
+        scored.sort_by(|a, b| nan_as_highest(a.0).total_cmp(&nan_as_highest(b.0)));
         let round_best = scored[0].0;
         if round_best < best_cost {
             best_cost = round_best;
@@ -143,5 +157,27 @@ mod tests {
     fn empty_features() {
         let best = feed_forward_select(&[], &SelectionConfig::default(), |_| 0.0);
         assert!(best.is_empty());
+    }
+
+    #[test]
+    fn nan_costs_degrade_gracefully() {
+        // Regression: the sort comparator `partial_cmp(..).expect(..)`
+        // panicked on NaN costs. A NaN evaluation must neither abort the
+        // search nor be chosen over a finite cost.
+        let features: Vec<usize> = (0..6).collect();
+        let best = feed_forward_select(&features, &SelectionConfig::default(), |s| {
+            if s.contains(&1) {
+                f64::NAN // pathological cluster
+            } else if s.contains(&4) {
+                1.0
+            } else {
+                5.0
+            }
+        });
+        assert_eq!(best, vec![4], "finite best wins despite NaN candidates");
+        // Every evaluation NaN: no panic, empty selection (nothing ever
+        // beat the initial infinity).
+        let none = feed_forward_select(&features, &SelectionConfig::default(), |_| f64::NAN);
+        assert!(none.is_empty());
     }
 }

@@ -13,7 +13,7 @@ pub mod schema;
 pub mod table;
 pub mod undo;
 
-pub use database::Database;
+pub use database::{Database, DbMeta, Shard};
 pub use index::SecondaryIndex;
 pub use schema::{Column, Schema};
 pub use table::{Key, Row, Table};

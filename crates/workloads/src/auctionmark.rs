@@ -898,6 +898,13 @@ impl Generator {
     pub fn new(parts: u32, seed: u64) -> Self {
         Generator { parts, seed, rngs: FxHashMap::default(), counter: 0 }
     }
+
+    /// An independent generator for one client stream: identical per-client
+    /// RNG streams, with unique ids drawn from a per-client block (stride
+    /// 2^40) so concurrent streams never collide on inserts.
+    pub fn for_client(parts: u32, seed: u64, client: u64) -> Self {
+        Generator { parts, seed, rngs: FxHashMap::default(), counter: (client as i64) << 40 }
+    }
 }
 
 impl RequestGenerator for Generator {

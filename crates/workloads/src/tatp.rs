@@ -626,6 +626,20 @@ impl Generator {
         Generator { parts, seed, rngs: FxHashMap::default(), insert_counter: 0 }
     }
 
+    /// An independent generator for one client stream. Per-client RNG
+    /// streams already derive from `(seed, client)`, so this produces
+    /// exactly the requests the shared generator would hand that client;
+    /// only the unique insert timestamps come from a per-client block
+    /// (stride 2^40) so concurrent streams never collide.
+    pub fn for_client(parts: u32, seed: u64, client: u64) -> Self {
+        Generator {
+            parts,
+            seed,
+            rngs: FxHashMap::default(),
+            insert_counter: (client as i64) << 40,
+        }
+    }
+
     fn total_subs(&self) -> i64 {
         i64::from(self.parts * SUBS_PER_PARTITION)
     }

@@ -812,6 +812,16 @@ impl Generator {
         }
     }
 
+    /// An independent generator for one client stream: identical per-client
+    /// RNG streams, with order/history ids drawn from a per-client block
+    /// (stride 2^40) so concurrent streams never collide on inserts.
+    pub fn for_client(parts: u32, seed: u64, client: u64) -> Self {
+        let mut g = Generator::new(parts, seed);
+        g.next_o_id = SEED_ORDERS + ((client as i64) << 40);
+        g.next_h_id = (client as i64) << 40;
+        g
+    }
+
     /// Generates a NewOrder argument vector for warehouse `w`.
     pub fn new_order_args(&mut self, client: u64, w: i64) -> Vec<Value> {
         self.next_o_id += 1;

@@ -68,7 +68,10 @@ fn main() {
     );
     let (metrics, profiler) = sim.run().expect("simulation");
     println!("  throughput       : {:>8.0} txn/s", metrics.throughput_tps());
-    println!("  mean latency     : {:>8.2} ms", metrics.mean_latency_ms());
+    match metrics.mean_latency_ms() {
+        Some(ms) => println!("  mean latency     : {ms:>8.2} ms"),
+        None => println!("  mean latency     :        - (no commits in window)"),
+    }
     println!("  single-partition : {:>8}", metrics.single_partition);
     println!("  distributed      : {:>8}", metrics.distributed);
     println!("  speculative      : {:>8}", metrics.speculative);

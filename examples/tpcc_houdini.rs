@@ -69,10 +69,12 @@ fn main() {
     );
     for (name, advisor) in runs {
         let m = run(bench, parts, advisor);
+        let lat = m
+            .mean_latency_ms()
+            .map_or_else(|| "-".to_string(), |ms| format!("{ms:.2}"));
         println!(
-            "{name:<26} {:>9.0} {:>9.2} {:>9} {:>9} {:>9}",
+            "{name:<26} {:>9.0} {lat:>9} {:>9} {:>9} {:>9}",
             m.throughput_tps(),
-            m.mean_latency_ms(),
             m.restarts,
             m.no_undo,
             m.speculative

@@ -1,0 +1,159 @@
+//! Cross-checks between the live multi-threaded partition runtime and the
+//! deterministic simulator: real threads must not change *what* happens to
+//! a transaction (commit/abort/restart), only *when*.
+//!
+//! TATP makes an exact comparison possible even under concurrency: every
+//! abort path depends only on statically-loaded data (subscriber rows,
+//! SPECIAL_FACILITY's IS_ACTIVE flag), and the per-client generator blocks
+//! give inserts globally-unique keys — so the commit/abort outcome of each
+//! request is independent of how client streams interleave.
+
+use bench::collect_trace;
+use common::{ProcId, Value};
+use engine::{
+    run_live, CostModel, LiveConfig, RequestGenerator, RunMetrics, SimConfig, Simulation,
+};
+use houdini::{train, Houdini, HoudiniConfig, TrainingConfig};
+use std::sync::mpsc::channel;
+use std::time::Duration;
+use workloads::Bench;
+
+const PARTS: u32 = 4;
+const CLIENTS_PER_PARTITION: u32 = 1;
+const REQUESTS_PER_CLIENT: u64 = 120;
+const SEED: u64 = 417;
+
+/// Routes the simulator's shared-generator interface onto the same
+/// independent per-client streams the live runtime uses, so both runs see
+/// the identical request population.
+struct SplitGen {
+    gens: Vec<Box<dyn RequestGenerator + Send>>,
+}
+
+impl SplitGen {
+    fn new(clients: u64) -> Self {
+        SplitGen {
+            gens: (0..clients)
+                .map(|c| Bench::Tatp.client_generator(PARTS, SEED, c))
+                .collect(),
+        }
+    }
+}
+
+impl RequestGenerator for SplitGen {
+    fn next_request(&mut self, client: u64) -> (ProcId, Vec<Value>) {
+        self.gens[client as usize].next_request(client)
+    }
+}
+
+fn trained_predictors() -> (Houdini, Houdini) {
+    let (catalog, wl) = collect_trace(Bench::Tatp, PARTS, 2_000, 29);
+    let cfg = TrainingConfig::default();
+    let preds = train(&catalog, PARTS, &wl, &cfg);
+    let a = Houdini::new(preds.clone(), catalog.clone(), PARTS, HoudiniConfig::default());
+    let b = Houdini::new(preds, catalog, PARTS, HoudiniConfig::default());
+    (a, b)
+}
+
+fn run_simulated(advisor: &mut Houdini) -> (RunMetrics, storage::Database) {
+    let mut db = Bench::Tatp.database(PARTS);
+    let reg = Bench::Tatp.registry();
+    let clients = u64::from(PARTS * CLIENTS_PER_PARTITION);
+    let mut gen = SplitGen::new(clients);
+    let cfg = SimConfig {
+        num_partitions: PARTS,
+        clients_per_partition: CLIENTS_PER_PARTITION,
+        warmup_us: 0.0,
+        measure_us: 1e12, // the request cap, not the clock, ends the run
+        seed: SEED,
+        max_requests_per_client: Some(REQUESTS_PER_CLIENT),
+        ..Default::default()
+    };
+    let sim = Simulation::new(&mut db, &reg, advisor, &mut gen, CostModel::default(), cfg);
+    let (metrics, _) = sim.run().expect("simulation must not halt");
+    (metrics, db)
+}
+
+fn run_live_runtime(advisor: &Houdini) -> (RunMetrics, storage::Database) {
+    let db = Bench::Tatp.database(PARTS);
+    let reg = Bench::Tatp.registry();
+    let cfg = LiveConfig {
+        clients_per_partition: CLIENTS_PER_PARTITION,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        max_restarts: 2,
+        seed: SEED,
+        commit_flush_us: 0,
+    };
+    let make_gen = |client: u64| Bench::Tatp.client_generator(PARTS, SEED, client);
+    run_live(db, &reg, advisor, &make_gen, &cfg).expect("live runtime must not halt")
+}
+
+#[test]
+fn live_runtime_matches_simulation_on_seeded_tatp() {
+    let (mut sim_houdini, live_houdini) = trained_predictors();
+    let (sim_m, sim_db) = run_simulated(&mut sim_houdini);
+    let (live_m, live_db) = run_live_runtime(&live_houdini);
+
+    let issued = u64::from(PARTS * CLIENTS_PER_PARTITION) * REQUESTS_PER_CLIENT;
+    // Conservation on both sides.
+    assert_eq!(sim_m.committed + sim_m.user_aborts, issued);
+    assert_eq!(live_m.committed + live_m.user_aborts, issued);
+
+    // Correctness agreement: identical commit/abort outcomes...
+    assert_eq!(live_m.committed, sim_m.committed, "commit counts diverged");
+    assert_eq!(live_m.user_aborts, sim_m.user_aborts, "abort counts diverged");
+    assert_eq!(
+        live_m.committed_by_proc, sim_m.committed_by_proc,
+        "per-procedure commit counts diverged"
+    );
+    // ...and identical advisor accuracy: a mispredict depends only on the
+    // plan and the request, not on thread interleaving.
+    assert_eq!(live_m.restarts, sim_m.restarts, "mispredict counts diverged");
+    assert_eq!(
+        live_m.single_partition, sim_m.single_partition,
+        "single-partition classification diverged"
+    );
+    assert_eq!(live_m.distributed, sim_m.distributed);
+
+    // Both executions mutated a real database; insert/delete effects must
+    // land identically (row counts are interleaving-independent).
+    for table in 0..4 {
+        assert_eq!(
+            live_db.total_rows(table),
+            sim_db.total_rows(table),
+            "table {table} row counts diverged"
+        );
+    }
+
+    // Sanity: the workload exercised the interesting paths.
+    assert!(live_m.committed > 0);
+    assert!(live_m.distributed > 0, "broadcast procedures ran distributed");
+}
+
+#[test]
+fn workers_shut_down_cleanly_when_generators_run_dry() {
+    // The whole run — including worker shutdown and shard reassembly —
+    // must finish; a deadlocked worker or a lost shutdown message would
+    // hang forever, so the test fails loudly on a generous timeout instead.
+    let (done_tx, done_rx) = channel();
+    std::thread::spawn(move || {
+        let advisor = engine::baselines::AssumeSinglePartition::new();
+        let db = Bench::Tatp.database(PARTS);
+        let reg = Bench::Tatp.registry();
+        let cfg = LiveConfig {
+            clients_per_partition: 2,
+            requests_per_client: 60,
+            max_restarts: 2,
+            seed: 11,
+            commit_flush_us: 0,
+        };
+        let make_gen = |client: u64| Bench::Tatp.client_generator(PARTS, 11, client);
+        let (m, db) = run_live(db, &reg, &advisor, &make_gen, &cfg).expect("no halts");
+        done_tx.send((m.committed + m.user_aborts, db.num_partitions())).unwrap();
+    });
+    let (finished, parts) = done_rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("live runtime deadlocked after the generator ran dry");
+    assert_eq!(finished, u64::from(PARTS) * 2 * 60, "transactions lost in shutdown");
+    assert_eq!(parts, PARTS, "shards were not all returned");
+}
