@@ -72,10 +72,23 @@ pub fn trained_houdini(
     threshold: f64,
     seed: u64,
 ) -> Houdini {
+    let hcfg = HoudiniConfig { threshold, ..Default::default() };
+    trained_houdini_cfg(bench, parts, trace_len, partitioned, seed, hcfg)
+}
+
+/// [`trained_houdini`] with full control over the on-line knobs — used by
+/// the OP4 ablation (`early_prepare: false`) in the live experiments.
+pub fn trained_houdini_cfg(
+    bench: Bench,
+    parts: u32,
+    trace_len: usize,
+    partitioned: bool,
+    seed: u64,
+    hcfg: HoudiniConfig,
+) -> Houdini {
     let (catalog, workload) = collect_trace(bench, parts, trace_len, seed);
     let cfg = TrainingConfig { partitioned, ..Default::default() };
     let preds = train(&catalog, parts, &workload, &cfg);
-    let hcfg = HoudiniConfig { threshold, ..Default::default() };
     Houdini::new(preds, catalog, parts, hcfg)
 }
 

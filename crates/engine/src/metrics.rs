@@ -203,6 +203,11 @@ pub struct RunMetrics {
     pub restarts: u64,
     /// Transactions that executed speculatively.
     pub speculative: u64,
+    /// Speculative executions discarded by a cascading rollback after the
+    /// early-prepared transaction aborted (live runtime OP4; each cascaded
+    /// transaction is transparently re-executed, so it still ends up in
+    /// exactly one of `committed`/`user_aborts`).
+    pub cascaded_aborts: u64,
     /// Transactions that ran (partly) without undo logging.
     pub no_undo: u64,
     /// Distributed (multi-partition) transactions.
@@ -216,6 +221,12 @@ pub struct RunMetrics {
     /// Partition-µs spent reserved-but-idle by distributed transactions
     /// (fragment done or never used, waiting for 2PC) — what OP4 recovers.
     pub reserved_idle_us: f64,
+    /// Per-partition lock hold times (µs) of distributed transactions in
+    /// the live runtime: one sample per (transaction, locked partition),
+    /// from atomic lock-set acquisition to that partition's release (early
+    /// via OP4, or at 2PC completion). Early prepare shows up here directly
+    /// as a lower distribution.
+    pub lock_hold: LatencyHistogram,
     /// Per-procedure summed latency (µs) over committed in-window txns.
     pub latency_by_proc: FxHashMap<ProcId, f64>,
     /// Length of the measurement window (µs) — simulated for `Simulation`,
@@ -266,12 +277,14 @@ impl RunMetrics {
         self.user_aborts += other.user_aborts;
         self.restarts += other.restarts;
         self.speculative += other.speculative;
+        self.cascaded_aborts += other.cascaded_aborts;
         self.no_undo += other.no_undo;
         self.distributed += other.distributed;
         self.single_partition += other.single_partition;
         self.total_latency_us += other.total_latency_us;
         self.reserved_idle_us += other.reserved_idle_us;
         self.latency.merge(&other.latency);
+        self.lock_hold.merge(&other.lock_hold);
         for (&proc, &n) in &other.committed_by_proc {
             *self.committed_by_proc.entry(proc).or_insert(0) += n;
         }

@@ -33,9 +33,56 @@
 //! batch that targets a partition outside the lock set rolls the
 //! transaction back, the advisor replans (`attempt` counting up), and after
 //! `max_restarts` the transaction falls back to a lock-all plan that cannot
-//! mispredict. What the live runtime does *not* yet do is speculative
-//! execution / early release (OP4) — a released partition would need
-//! distributed undo coordination that is simulated-only today.
+//! mispredict.
+//!
+//! Commit runs real two-phase commit: a `Vote` round in which every
+//! reserved participant flushes its written fragment and votes, then the
+//! `Finish` decision round (aborts skip the vote). `LiveConfig::
+//! msg_delay_us` optionally sleeps at the participant before each fragment
+//! command — the live twin of `CostModel::remote_msg_us` — so those rounds
+//! cost wall-clock lock-hold time as they would over a network.
+//!
+//! ## Early prepare + speculative execution (OP4, §2/§4.4)
+//!
+//! When the advisor declares locked partitions *finished* mid-transaction
+//! (`Updates::finished`, gated by `TxnPlan::early_prepare`), the
+//! coordinator sends those workers an early-prepare at the end of the
+//! batch and releases their slots in the lock manager at once — the
+//! prepare *is* the unsolicited 2PC vote, nothing is awaited, and the
+//! worker (parked on the reservation channel) is guaranteed to observe it
+//! before any later main-queue message. Unlike the simulator's engine the
+//! base partition is releasable too: live control code runs on the
+//! coordinating client, so the base is just another fragment executor. A
+//! *read-only* participant simply drops the reservation — nothing to
+//! flush, undo, or decide (the classic 2PC read-only optimization). A
+//! participant whose fragment *wrote* flushes (its early vote), keeps the
+//! fragment's undo log as the base of a [`storage::SpeculationStack`], and
+//! opens a speculation window: until the 2PC outcome arrives — pushed on
+//! the worker's main queue as [`WorkerMsg::SpecFinish`] — queued
+//! single-partition transactions execute *speculatively*, with undo
+//! logging force-enabled regardless of OP3 (§4.3). A speculative
+//! transaction that touched no table written inside the window (by the
+//! fragment or by a deferred speculative commit) is acknowledged
+//! immediately and its effects are final — §2 OP4's non-conflicting case,
+//! the same table-mask rule the simulator charges; every *conflicting*
+//! completion — commit, user abort, or mispredict — is deferred, and a
+//! conflicting speculative commit pushes its undo log onto the stack. On
+//! commit the stack is discarded and the deferred acknowledgements go out
+//! in completion order; on abort the stack unwinds LIFO (cascading
+//! rollback) restoring the shard byte-for-byte, and each deferred client
+//! receives `Cascaded` — it transparently re-derives the same plan with a
+//! fresh advisor session and retries (not counted as a mispredict
+//! restart). Reservations from *other* distributed transactions that
+//! arrive during a speculation window are admitted only once the window
+//! resolves; touching an early-released partition again is a mispredict,
+//! exactly as in the simulator.
+//!
+//! Deadlock-freedom still holds: a speculating worker waits only for the
+//! coordinator that early-prepared it, and "C' reserves a worker
+//! speculating for C" implies C' acquired its (atomic, all-or-nothing)
+//! lock set *after* C released that slot — so every wait edge points from
+//! a later-granted transaction to an earlier-granted one and no cycle can
+//! form; blocked single-partition clients hold no locks at all.
 
 use crate::advisor::{LiveAdvisor, PlanContext, Request, TxnOutcome, TxnPlan};
 use crate::catalog::Catalog;
@@ -49,10 +96,27 @@ use common::{
 };
 use rand::Rng;
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
-use storage::{Database, Row, Shard, UndoLog};
+use storage::{Database, Row, Shard, SpeculationStack, UndoLog};
+
+/// Watchdog interval of a speculating worker. The 2PC outcome normally
+/// arrives *pushed* on the worker's main queue ([`WorkerMsg::SpecFinish`]),
+/// so the worker blocks like any idle worker; this timeout only bounds how
+/// long a window can dangle if its coordinator died without sending an
+/// outcome (detected as a disconnect of the reservation channel). Rare by
+/// construction, so it can be long — a speculating worker costs ~40
+/// wake-ups per second, which matters on single-core hosts.
+const SPEC_WATCHDOG: Duration = Duration::from_millis(25);
+
+/// Transparent cascade redos of one request before the client falls back to
+/// a lock-all plan. Cascades are rare by construction (they need an
+/// early-prepared transaction to abort *and* a conflicting speculative
+/// execution in its window), so the bound exists purely as a liveness
+/// backstop against a pathological stream of aborting windows on one
+/// partition.
+const MAX_CASCADE_RETRIES: u32 = 8;
 
 /// Live-runtime parameters.
 #[derive(Debug, Clone)]
@@ -71,6 +135,12 @@ pub struct LiveConfig {
     /// cores than partitions, because flushes on different partitions
     /// overlap in wall-clock time while CPU work cannot.
     pub commit_flush_us: u64,
+    /// One-way coordinator→participant message latency (µs of real sleep at
+    /// the participant before it processes a fragment command, 0 = off) —
+    /// the live twin of `CostModel::remote_msg_us`. In-process channels are
+    /// otherwise near-instant, which would hide exactly the cost OP4
+    /// eliminates: the 2PC rounds a reserved partition sits through.
+    pub msg_delay_us: u64,
 }
 
 impl Default for LiveConfig {
@@ -81,6 +151,7 @@ impl Default for LiveConfig {
             max_restarts: 2,
             seed: 7,
             commit_flush_us: 0,
+            msg_delay_us: 0,
         }
     }
 }
@@ -139,8 +210,26 @@ impl LockManager {
     fn release(&self, set: PartitionSet) {
         let mut st = self.state.lock().expect("lock manager poisoned");
         st.busy &= !set.0;
+        // Wake waiters only if this release actually made one grantable.
+        // Partial releases (OP4 early prepare) usually free partitions that
+        // lock-all waiters cannot use while the base stays held; blindly
+        // waking every waiter to rescan and fail is a context-switch storm
+        // per released partition on small hosts. A waiter not woken here
+        // stays correct: grants only consume partitions (busy grows), so
+        // nothing becomes grantable between releases.
+        let mut earlier_wanted = 0u64;
+        let mut grantable = false;
+        for &(_, m) in &st.waiters {
+            if st.busy & m == 0 && earlier_wanted & m == 0 {
+                grantable = true;
+                break;
+            }
+            earlier_wanted |= m;
+        }
         drop(st);
-        self.cv.notify_all();
+        if grantable {
+            self.cv.notify_all();
+        }
     }
 
     /// Acquires `set` and returns a guard that releases it on drop — so a
@@ -157,6 +246,17 @@ struct LockGuard<'a> {
     set: PartitionSet,
 }
 
+impl LockGuard<'_> {
+    /// Releases one partition's slot ahead of the rest (OP4 early prepare);
+    /// the drop release then covers only the remaining set.
+    fn release_early(&mut self, p: PartitionId) {
+        if self.set.contains(p) {
+            self.set.remove(p);
+            self.mgr.release(PartitionSet::single(p));
+        }
+    }
+}
+
 impl Drop for LockGuard<'_> {
     fn drop(&mut self) {
         self.mgr.release(self.set);
@@ -167,8 +267,22 @@ impl Drop for LockGuard<'_> {
 enum FragCmd {
     /// Execute this partition's slice of one query invocation.
     Exec { proc: ProcId, query: QueryId, params: Vec<Value> },
-    /// Two-phase-commit outcome: commit (clear undo, flush) or abort (roll
-    /// back this partition's fragment effects).
+    /// Early prepare (OP4): the transaction is finished with this partition.
+    /// With `speculate` (the fragment wrote here) the worker flushes — the
+    /// unsolicited commit vote — keeps the fragment undo as a speculation
+    /// base, and executes queued transactions speculatively until the 2PC
+    /// outcome arrives. Without it (read-only fragment) the classic
+    /// read-only participant optimization applies: nothing to flush, undo,
+    /// or decide — the worker drops the reservation outright and never
+    /// hears from this transaction again.
+    Prepare { speculate: bool },
+    /// 2PC prepare round: make the fragment durable (flush) and vote. Only
+    /// sent to participants that were not early-prepared — an early prepare
+    /// is exactly this vote, unsolicited.
+    Vote,
+    /// Two-phase-commit outcome: commit (already durable after the vote) or
+    /// abort (roll back this partition's fragment effects — cascading over
+    /// speculative work if the partition was early-prepared).
     Finish { commit: bool },
 }
 
@@ -176,6 +290,8 @@ enum FragCmd {
 enum FragReply {
     Rows(Vec<Row>),
     Constraint(String),
+    /// Prepare-round vote (always yes: fragment errors surfaced earlier).
+    Voted,
     Finished,
     Fatal(Error),
 }
@@ -194,11 +310,17 @@ enum SingleReply<S> {
         accessed: PartitionSet,
         access_counts: FxHashMap<PartitionId, u32>,
         undo_disabled_ever: bool,
+        /// Executed inside a speculation window (deferred acknowledgement).
+        speculative: bool,
     },
     Mispredict {
         observed: PartitionSet,
         session: S,
     },
+    /// The transaction executed speculatively and was rolled back by the
+    /// cascade after the early-prepared transaction aborted; the client
+    /// retries transparently with a fresh session (no restart counted).
+    Cascaded,
     Fatal(Error),
 }
 
@@ -210,6 +332,10 @@ enum WorkerMsg<S> {
         reply: Sender<SingleReply<S>>,
     },
     Reserve(Reserve),
+    /// 2PC outcome for the speculation window this worker has open — sent
+    /// on the main queue (not the reservation channel) so a speculating
+    /// worker can block on one receiver instead of polling two.
+    SpecFinish { commit: bool },
     Shutdown,
 }
 
@@ -219,6 +345,7 @@ struct WorkerEnv<'a, A: LiveAdvisor> {
     advisor: &'a A,
     num_partitions: u32,
     commit_flush: Duration,
+    msg_delay: Duration,
 }
 
 fn flush(d: Duration) {
@@ -228,44 +355,89 @@ fn flush(d: Duration) {
 }
 
 /// One partition's server loop: drain messages until shutdown, then hand
-/// the shard back.
+/// the shard back. Reservations that arrived during a speculation window
+/// are parked in `pending` and admitted once the window resolves (they may
+/// open windows of their own).
 fn worker_loop<A: LiveAdvisor>(
     mut shard: Shard,
     rx: &Receiver<WorkerMsg<A::Session>>,
     env: &WorkerEnv<'_, A>,
 ) -> Shard {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            WorkerMsg::Single { req, plan, session, reply } => {
-                let outcome = run_single(&mut shard, env, &req, &plan, session);
-                let _ = reply.send(outcome);
+    let mut pending: VecDeque<Reserve> = VecDeque::new();
+    let mut shutdown = false;
+    while !shutdown {
+        if let Some(r) = pending.pop_front() {
+            if let Some(spec) = serve_reservation(&mut shard, env, r) {
+                shutdown = speculate(&mut shard, env, rx, spec, &mut pending);
             }
-            WorkerMsg::Reserve(r) => serve_reservation(&mut shard, env, &r),
-            WorkerMsg::Shutdown => break,
+            continue;
+        }
+        match rx.recv() {
+            Ok(WorkerMsg::Single { req, plan, session, reply }) => {
+                let out = run_single(&mut shard, env, &req, &plan, session, false);
+                debug_assert!(out.spec_undo.is_none(), "non-speculative commit retained undo");
+                let _ = reply.send(out.reply);
+            }
+            Ok(WorkerMsg::Reserve(r)) => pending.push_back(r),
+            // An outcome for a window that already resolved (its
+            // coordinator died and the disconnect watchdog cascaded it):
+            // nothing left to apply it to.
+            Ok(WorkerMsg::SpecFinish { .. }) => {}
+            Ok(WorkerMsg::Shutdown) | Err(_) => shutdown = true,
         }
     }
     shard
 }
 
+/// What one fast-path execution produced: the client reply plus what the
+/// speculation machinery needs to classify it (see [`speculate`]).
+struct SingleOutcome<S> {
+    reply: SingleReply<S>,
+    /// The commit's undo log, retained only when executed speculatively
+    /// (for the shard's [`SpeculationStack`]).
+    spec_undo: Option<UndoLog>,
+    /// [`crate::sim::table_bit`] mask of tables read or written.
+    touched_tables: u64,
+    /// Mask of tables written.
+    wrote_tables: u64,
+}
+
+impl<S> SingleOutcome<S> {
+    fn plain(reply: SingleReply<S>) -> Self {
+        SingleOutcome { reply, spec_undo: None, touched_tables: 0, wrote_tables: 0 }
+    }
+}
+
 /// Executes one whole single-partition transaction on the owning worker —
-/// the lock-free fast path. Mirrors `Simulation::try_execute` minus timing,
-/// speculation, and remote work.
+/// the lock-free fast path. Mirrors `Simulation::try_execute` minus timing
+/// and remote work.
+///
+/// With `speculating` set the transaction runs inside an open speculation
+/// window: undo logging is force-enabled whatever OP3 decided (initial
+/// `disable_undo` *and* runtime updates are ignored, §4.3 — the same
+/// invariant the simulator applies), and a commit returns its undo log for
+/// the caller to push onto the shard's [`SpeculationStack`] instead of
+/// clearing it.
 fn run_single<A: LiveAdvisor>(
     shard: &mut Shard,
     env: &WorkerEnv<'_, A>,
     req: &Request,
     plan: &TxnPlan,
     mut session: A::Session,
-) -> SingleReply<A::Session> {
+    speculating: bool,
+) -> SingleOutcome<A::Session> {
     let me = shard.partition();
     debug_assert_eq!(plan.lock_set, PartitionSet::single(me), "fast path misrouted");
     let lock_set = plan.lock_set;
     let mut inst = env.registry.get(req.proc).instantiate(&req.args);
-    let mut undo = if plan.disable_undo { UndoLog::disabled() } else { UndoLog::new() };
-    let mut undo_disabled_ever = plan.disable_undo;
+    let start_without_undo = plan.disable_undo && !speculating;
+    let mut undo = if start_without_undo { UndoLog::disabled() } else { UndoLog::new() };
+    let mut undo_disabled_ever = start_without_undo;
     let mut results: Option<Vec<Vec<Row>>> = None;
     let mut accessed = PartitionSet::EMPTY;
     let mut access_counts: FxHashMap<PartitionId, u32> = FxHashMap::default();
+    let mut touched_tables = 0u64;
+    let mut wrote_tables = 0u64;
     let mut pending_abort: Option<String> = None;
     loop {
         let step = match pending_abort.take() {
@@ -290,16 +462,21 @@ fn run_single<A: LiveAdvisor>(
                 }
                 if violation {
                     if !undo.can_rollback() {
-                        return SingleReply::Fatal(Error::UnrecoverableAbort {
-                            txn: u64::from(req.proc) + 1000,
-                        });
+                        return SingleOutcome::plain(SingleReply::Fatal(
+                            Error::UnrecoverableAbort { txn: u64::from(req.proc) + 1000 },
+                        ));
                     }
                     if let Err(e) = shard.rollback(&mut undo) {
-                        return SingleReply::Fatal(e);
+                        return SingleOutcome::plain(SingleReply::Fatal(e));
                     }
-                    return SingleReply::Mispredict {
-                        observed: accessed.union(seen),
-                        session,
+                    return SingleOutcome {
+                        reply: SingleReply::Mispredict {
+                            observed: accessed.union(seen),
+                            session,
+                        },
+                        spec_undo: None,
+                        touched_tables,
+                        wrote_tables,
                     };
                 }
                 let mut batch_results = Vec::with_capacity(batch.len());
@@ -312,10 +489,14 @@ fn run_single<A: LiveAdvisor>(
                             pending_abort = Some(msg);
                             break;
                         }
-                        Err(e) => return SingleReply::Fatal(e),
+                        Err(e) => return SingleOutcome::plain(SingleReply::Fatal(e)),
                     };
                     accessed.insert(me);
                     *access_counts.entry(me).or_insert(0) += 1;
+                    touched_tables |= crate::sim::table_bit(def.table);
+                    if is_write {
+                        wrote_tables |= crate::sim::table_bit(def.table);
+                    }
                     let upd = env.advisor.on_query_live(
                         &mut session,
                         &ExecutedQuery {
@@ -325,7 +506,9 @@ fn run_single<A: LiveAdvisor>(
                             is_write,
                         },
                     );
-                    if upd.disable_undo && undo.is_enabled() {
+                    // Runtime OP3 is ignored while speculating: a
+                    // speculative transaction must stay able to cascade.
+                    if upd.disable_undo && !speculating && undo.is_enabled() {
                         undo.disable();
                         undo_disabled_ever = true;
                     }
@@ -334,60 +517,158 @@ fn run_single<A: LiveAdvisor>(
                 results = Some(batch_results);
             }
             Step::Commit => {
-                undo.clear();
-                flush(env.commit_flush);
-                return SingleReply::Done {
+                // Group commit flushes only durable effects: a read-only
+                // commit has nothing to log.
+                if wrote_tables != 0 {
+                    flush(env.commit_flush);
+                }
+                let reply = SingleReply::Done {
                     committed: true,
                     session,
                     accessed,
                     access_counts,
                     undo_disabled_ever,
+                    speculative: speculating,
                 };
+                if speculating {
+                    // The commit is contingent on the early-prepared
+                    // transaction: hand the undo log back for the
+                    // speculation stack (§4.3 — undo is always kept here).
+                    assert!(
+                        undo.can_rollback(),
+                        "speculative transaction ran without undo (OP3 leak)"
+                    );
+                    return SingleOutcome {
+                        reply,
+                        spec_undo: Some(undo),
+                        touched_tables,
+                        wrote_tables,
+                    };
+                }
+                undo.clear();
+                return SingleOutcome { reply, spec_undo: None, touched_tables, wrote_tables };
             }
             Step::Abort(_) => {
                 if !undo.can_rollback() {
-                    return SingleReply::Fatal(Error::UnrecoverableAbort {
+                    return SingleOutcome::plain(SingleReply::Fatal(Error::UnrecoverableAbort {
                         txn: u64::from(req.proc),
-                    });
+                    }));
                 }
                 if let Err(e) = shard.rollback(&mut undo) {
-                    return SingleReply::Fatal(e);
+                    return SingleOutcome::plain(SingleReply::Fatal(e));
                 }
-                return SingleReply::Done {
-                    committed: false,
-                    session,
-                    accessed,
-                    access_counts,
-                    undo_disabled_ever,
+                return SingleOutcome {
+                    reply: SingleReply::Done {
+                        committed: false,
+                        session,
+                        accessed,
+                        access_counts,
+                        undo_disabled_ever,
+                        speculative: speculating,
+                    },
+                    // Aborted effects are already rolled back; nothing for
+                    // the stack, but the masks still classify conflicts.
+                    spec_undo: None,
+                    touched_tables,
+                    wrote_tables,
                 };
             }
         }
     }
 }
 
+/// A speculation window opened by an early-prepared distributed
+/// transaction: its reservation channels (the 2PC outcome arrives on
+/// `frags`) plus the shard's undo stack and the conflict mask.
+struct SpecSession {
+    frags: Receiver<FragCmd>,
+    results: Sender<FragReply>,
+    stack: SpeculationStack,
+    /// [`crate::sim::table_bit`] mask of tables written inside the window
+    /// so far: the early-prepared fragment's writes plus every deferred
+    /// speculative commit's. A speculative transaction whose touched set is
+    /// disjoint from this cannot depend on contingent state (§2 OP4).
+    written_tables: u64,
+}
+
 /// Parks the worker for one distributed transaction: execute its fragments
-/// against the owned shard until the coordinator sends the 2PC outcome.
-fn serve_reservation<A: LiveAdvisor>(shard: &mut Shard, env: &WorkerEnv<'_, A>, r: &Reserve) {
+/// against the owned shard until the coordinator sends the 2PC outcome —
+/// or an early prepare, which hands back an open [`SpecSession`] for the
+/// caller to speculate under.
+fn serve_reservation<A: LiveAdvisor>(
+    shard: &mut Shard,
+    env: &WorkerEnv<'_, A>,
+    r: Reserve,
+) -> Option<SpecSession> {
     let mut undo = UndoLog::new();
+    let mut wrote_tables = 0u64;
+    let mut voted = false;
     loop {
         match r.frags.recv() {
             Ok(FragCmd::Exec { proc, query, params }) => {
+                flush(env.msg_delay);
                 let def = env.catalog.proc(proc).query(query);
                 let reply = match execute_fragment(shard, def, &params, &mut undo) {
-                    Ok(rows) => FragReply::Rows(rows),
+                    Ok(rows) => {
+                        if def.is_write() {
+                            wrote_tables |= crate::sim::table_bit(def.table);
+                        }
+                        FragReply::Rows(rows)
+                    }
                     Err(Error::Constraint(msg)) => FragReply::Constraint(msg),
                     Err(e) => FragReply::Fatal(e),
                 };
                 if r.results.send(reply).is_err() {
                     // Coordinator vanished: restore the shard and move on.
                     let _ = shard.rollback(&mut undo);
-                    return;
+                    return None;
+                }
+            }
+            Ok(FragCmd::Prepare { speculate }) => {
+                flush(env.msg_delay);
+                if !speculate {
+                    // Read-only participant: no effects to keep or undo, no
+                    // outcome to wait for — the reservation simply ends and
+                    // the worker serves everything normally again.
+                    debug_assert!(undo.is_empty(), "read-only fragment logged undo");
+                    return None;
+                }
+                // Early prepare of a written fragment: flush now — the
+                // unsolicited commit vote, overlapping the rest of the
+                // transaction — and open the speculation window over this
+                // fragment's undo.
+                if wrote_tables != 0 {
+                    flush(env.commit_flush);
+                }
+                let stack = SpeculationStack::new(undo);
+                return Some(SpecSession {
+                    frags: r.frags,
+                    results: r.results,
+                    stack,
+                    written_tables: wrote_tables,
+                });
+            }
+            Ok(FragCmd::Vote) => {
+                // Prepare round: make the fragment durable and vote yes.
+                flush(env.msg_delay);
+                if wrote_tables != 0 {
+                    flush(env.commit_flush);
+                }
+                voted = true;
+                if r.results.send(FragReply::Voted).is_err() {
+                    let _ = shard.rollback(&mut undo);
+                    return None;
                 }
             }
             Ok(FragCmd::Finish { commit }) => {
+                flush(env.msg_delay);
                 let reply = if commit {
                     undo.clear();
-                    flush(env.commit_flush);
+                    // Already durable if the prepare round ran; flush here
+                    // only on the voteless path (tests, legacy callers).
+                    if !voted && wrote_tables != 0 {
+                        flush(env.commit_flush);
+                    }
                     FragReply::Finished
                 } else {
                     match shard.rollback(&mut undo) {
@@ -396,14 +677,125 @@ fn serve_reservation<A: LiveAdvisor>(shard: &mut Shard, env: &WorkerEnv<'_, A>, 
                     }
                 };
                 let _ = r.results.send(reply);
-                return;
+                return None;
             }
             Err(_) => {
                 let _ = shard.rollback(&mut undo);
-                return;
+                return None;
             }
         }
     }
+}
+
+/// Runs the worker through one speculation window: queued single-partition
+/// transactions execute speculatively (deferred acknowledgement, undo
+/// force-enabled) and new reservations are parked in `pending` until the
+/// early-prepared transaction's 2PC outcome arrives. Returns true if a
+/// shutdown was observed while speculating.
+fn speculate<A: LiveAdvisor>(
+    shard: &mut Shard,
+    env: &WorkerEnv<'_, A>,
+    rx: &Receiver<WorkerMsg<A::Session>>,
+    mut spec: SpecSession,
+    pending: &mut VecDeque<Reserve>,
+) -> bool {
+    type Deferred<S> = (Sender<SingleReply<S>>, SingleReply<S>);
+    let mut deferred: Vec<Deferred<A::Session>> = Vec::new();
+    let mut shutdown = false;
+    // `None` = the coordinator disappeared without an outcome (it unwound);
+    // the window resolves exactly like an abort.
+    let outcome: Option<bool> = 'window: loop {
+        match rx.recv_timeout(SPEC_WATCHDOG) {
+            Ok(WorkerMsg::SpecFinish { commit }) => break 'window Some(commit),
+            Ok(WorkerMsg::Single { req, plan, session, reply }) => {
+                let out = run_single(shard, env, &req, &plan, session, true);
+                // Same conflict rule as the simulator (§2 OP4): contingent
+                // means having touched a table written inside the window —
+                // by the early-prepared fragment or by a deferred
+                // speculative commit. A non-conflicting transaction read
+                // nothing contingent, so its outcome is final whatever the
+                // 2PC decides, and even its *writes* are safe to keep off
+                // the stack: on a cascade, the deferred transactions'
+                // row-level pre-images restore around them (their tables
+                // are disjoint from everything the cascade undoes up to
+                // their own later — also undone — overwrites).
+                let conflict = out.touched_tables & spec.written_tables != 0;
+                match out.spec_undo {
+                    Some(u) if conflict => {
+                        // A contingent commit: effects join the window (and
+                        // its conflict mask), the acknowledgement waits.
+                        spec.stack.push_commit(u);
+                        spec.written_tables |= out.wrote_tables;
+                        deferred.push((reply, out.reply));
+                    }
+                    None if conflict => deferred.push((reply, out.reply)),
+                    // Non-conflicting (commit, user abort, or mispredict):
+                    // acknowledge immediately, effects (if any) are final.
+                    Some(_) | None => {
+                        let _ = reply.send(out.reply);
+                    }
+                }
+            }
+            Ok(WorkerMsg::Reserve(r)) => pending.push_back(r),
+            Ok(WorkerMsg::Shutdown) => shutdown = true,
+            Err(e) => {
+                if e == RecvTimeoutError::Disconnected {
+                    // Teardown: the sleep keeps the disconnect-resolution
+                    // loop from spinning while the coordinator unwinds.
+                    shutdown = true;
+                    std::thread::sleep(SPEC_WATCHDOG);
+                }
+                // Watchdog: the outcome is pushed on the main queue, so an
+                // empty 25 ms is only expected for a long-running
+                // coordinator — unless it died (its reservation channel
+                // disconnects without a buffered outcome) or it still
+                // speaks the reservation-channel protocol (tests, legacy).
+                loop {
+                    match spec.frags.try_recv() {
+                        Ok(FragCmd::Finish { commit }) => break 'window Some(commit),
+                        Ok(FragCmd::Prepare { .. }) => {} // duplicate: already prepared
+                        Ok(FragCmd::Vote) => {
+                            // Already voted via the unsolicited early
+                            // prepare; re-affirm for robustness.
+                            let _ = spec.results.send(FragReply::Voted);
+                        }
+                        Ok(FragCmd::Exec { .. }) => {
+                            // The coordinator treats a batch that re-targets
+                            // a released partition as a mispredict before
+                            // shipping anything: protocol violation.
+                            let _ = spec.results.send(FragReply::Fatal(Error::Other(
+                                "fragment shipped to an early-prepared partition".into(),
+                            )));
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => break 'window None,
+                    }
+                }
+            }
+        }
+    };
+    if outcome == Some(true) {
+        // Speculative work becomes final: acknowledge in completion order.
+        spec.stack.commit();
+        for (tx, reply) in deferred {
+            let _ = tx.send(reply);
+        }
+        let _ = spec.results.send(FragReply::Finished);
+    } else {
+        // Cascading rollback (LIFO) of every speculative commit, then the
+        // fragment itself; deferred clients retry transparently.
+        let reply = match shard.rollback_speculation(spec.stack) {
+            Ok(_) => FragReply::Finished,
+            Err(e) => FragReply::Fatal(e),
+        };
+        for (tx, _) in deferred {
+            let _ = tx.send(SingleReply::Cascaded);
+        }
+        if outcome.is_some() {
+            let _ = spec.results.send(reply);
+        }
+    }
+    shutdown
 }
 
 /// How one execution attempt ended, from the client's point of view.
@@ -413,17 +805,37 @@ enum Attempt<S> {
         accessed: PartitionSet,
         access_counts: FxHashMap<PartitionId, u32>,
         undo_disabled_ever: bool,
+        speculative: bool,
+        early_released: bool,
         session: S,
     },
     Mispredict {
         observed: PartitionSet,
         session: S,
     },
+    /// Rolled back by a speculation cascade; retry with the same plan and a
+    /// fresh session (no restart counted).
+    Cascaded,
     Fatal(Error),
 }
 
+/// Records one lock-hold sample (acquisition → now) for every partition
+/// still held in `lock_set` minus `released`.
+fn record_remaining_hold(
+    metrics: &mut RunMetrics,
+    lock_set: PartitionSet,
+    released: PartitionSet,
+    t_locked: Instant,
+) {
+    let us = t_locked.elapsed().as_secs_f64() * 1e6;
+    for _ in lock_set.difference(released).iter() {
+        metrics.lock_hold.record_us(us);
+    }
+}
+
 /// Coordinates one distributed transaction from the client thread: atomic
-/// lock acquisition, worker reservation, fragment shipping, 2PC outcome.
+/// lock acquisition, worker reservation, fragment shipping, early prepares
+/// (OP4), 2PC outcome.
 #[allow(clippy::too_many_lines)]
 fn run_distributed<A: LiveAdvisor>(
     env: &WorkerEnv<'_, A>,
@@ -432,13 +844,25 @@ fn run_distributed<A: LiveAdvisor>(
     req: &Request,
     plan: &TxnPlan,
     mut session: A::Session,
+    metrics: &mut RunMetrics,
 ) -> Attempt<A::Session> {
     let lock_set = plan.lock_set;
     // Held for the whole coordination; the drop guard also releases on an
     // unwind, so a panicking coordinator cannot wedge later transactions.
     // Declared before the fragment channels so an unwind closes those first
     // (parked workers roll back their fragments) and releases locks last.
-    let _locks_held = locks.guard(lock_set);
+    let mut locks_held = locks.guard(lock_set);
+    let t_locked = Instant::now();
+    // Early-released partitions: `released` is the union the mispredict
+    // rule and metrics see; `windowed` is the subset whose fragment wrote
+    // (speculation window open, 2PC outcome still owed), the rest were
+    // read-only participants and are completely done with this txn.
+    let mut released = PartitionSet::EMPTY;
+    let mut windowed = PartitionSet::EMPTY;
+    // Partitions any write query touched so far (the coordinator's view of
+    // which fragments are contingent — same catalog knowledge the workers
+    // have, so the two sides always agree on whether a window opens).
+    let mut wrote_parts = PartitionSet::EMPTY;
     // Reserve every participant (including the base partition — the control
     // code runs here on the coordinator, so the base is a fragment executor
     // like the others).
@@ -460,18 +884,46 @@ fn run_distributed<A: LiveAdvisor>(
     // Sends the 2PC outcome everywhere and waits for every ack; every call
     // site returns immediately afterwards, so the lock guard releases only
     // after all fragment effects are durable (commit) or undone (abort).
+    // Read-only released participants hear nothing (they are already out
+    // of the transaction); windowed ones take the outcome on their
+    // worker's main queue (the speculating worker blocks there); the rest
+    // on their reservation channel. The latter two ack on the reservation
+    // result channel.
     let finish_all = |frag_tx: &[Option<Sender<FragCmd>>],
                       res_rx: &[Option<Receiver<FragReply>>],
+                      released: PartitionSet,
+                      windowed: PartitionSet,
                       commit: bool|
      -> Result<()> {
         let mut failure = None;
-        for p in lock_set.iter() {
-            let _ = frag_tx[p as usize]
-                .as_ref()
-                .expect("reserved")
-                .send(FragCmd::Finish { commit });
+        // Commit prepare round (§2): every participant that was not
+        // early-prepared must flush and vote before the decision; early
+        // prepares already voted, unsolicited, off the critical path —
+        // this round is exactly the lock-hold time OP4 removes.
+        if commit {
+            for p in lock_set.difference(released).iter() {
+                let _ = frag_tx[p as usize].as_ref().expect("reserved").send(FragCmd::Vote);
+            }
+            for p in lock_set.difference(released).iter() {
+                match res_rx[p as usize].as_ref().expect("reserved").recv() {
+                    Ok(FragReply::Voted) => {}
+                    Ok(FragReply::Fatal(e)) => failure = Some(e),
+                    Ok(_) => failure = Some(Error::Other("vote protocol violation".into())),
+                    Err(_) => failure = Some(Error::Other(format!("worker {p} hung up"))),
+                }
+            }
         }
         for p in lock_set.iter() {
+            if windowed.contains(p) {
+                let _ = workers[p as usize].send(WorkerMsg::SpecFinish { commit });
+            } else if !released.contains(p) {
+                let _ = frag_tx[p as usize]
+                    .as_ref()
+                    .expect("reserved")
+                    .send(FragCmd::Finish { commit });
+            }
+        }
+        for p in lock_set.difference(released).union(windowed).iter() {
             match res_rx[p as usize].as_ref().expect("reserved").recv() {
                 Ok(FragReply::Finished) => {}
                 Ok(FragReply::Fatal(e)) => failure = Some(e),
@@ -503,13 +955,18 @@ fn run_distributed<A: LiveAdvisor>(
                     let def = env.catalog.proc(req.proc).query(inv.query);
                     let targets = def.estimate_partitions_n(env.num_partitions, &inv.params);
                     seen = seen.union(targets);
-                    if !targets.is_subset(lock_set) {
+                    // Re-touching an early-released partition is a
+                    // mispredict like leaving the lock set (same rule as
+                    // the simulator).
+                    if !targets.is_subset(lock_set) || !targets.intersect(released).is_empty() {
                         violation = true;
                         break;
                     }
                 }
                 if violation {
-                    return match finish_all(&frag_tx, &res_rx, false) {
+                    let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
+                    record_remaining_hold(metrics, lock_set, released, t_locked);
+                    return match fin {
                         Ok(()) => Attempt::Mispredict {
                             observed: accessed.union(seen),
                             session,
@@ -517,6 +974,7 @@ fn run_distributed<A: LiveAdvisor>(
                         Err(e) => Attempt::Fatal(e),
                     };
                 }
+                let mut pending_release = PartitionSet::EMPTY;
                 let mut batch_results = Vec::with_capacity(batch.len());
                 for inv in batch {
                     let def = env.catalog.proc(req.proc).query(inv.query);
@@ -542,17 +1000,21 @@ fn run_distributed<A: LiveAdvisor>(
                             Ok(FragReply::Rows(mut r)) => rows.append(&mut r),
                             Ok(FragReply::Constraint(msg)) => constraint = Some(msg),
                             Ok(FragReply::Fatal(e)) => fatal = Some(e),
-                            Ok(FragReply::Finished) => {
+                            Ok(FragReply::Finished | FragReply::Voted) => {
                                 fatal = Some(Error::Other("fragment protocol violation".into()));
                             }
                             Err(_) => fatal = Some(Error::Other(format!("worker {p} hung up"))),
                         }
                     }
                     if let Some(e) = fatal {
-                        let _ = finish_all(&frag_tx, &res_rx, false);
+                        let _ = finish_all(&frag_tx, &res_rx, released, windowed, false);
+                        record_remaining_hold(metrics, lock_set, released, t_locked);
                         return Attempt::Fatal(e);
                     }
                     accessed = accessed.union(targets);
+                    if is_write {
+                        wrote_parts = wrote_parts.union(targets);
+                    }
                     for p in targets.iter() {
                         *access_counts.entry(p).or_insert(0) += 1;
                     }
@@ -560,10 +1022,10 @@ fn run_distributed<A: LiveAdvisor>(
                         pending_abort = Some(msg);
                         break;
                     }
-                    // Runtime updates: OP3/OP4 decisions are ignored on the
-                    // distributed path (undo stays on, no early release),
-                    // but the advisor still observes the path.
-                    let _ = env.advisor.on_query_live(
+                    // Runtime updates: OP3 is ignored on the distributed
+                    // path (undo stays on), but OP4 finish declarations
+                    // accumulate for the end-of-batch early prepare.
+                    let upd = env.advisor.on_query_live(
                         &mut session,
                         &ExecutedQuery {
                             query: inv.query,
@@ -572,29 +1034,75 @@ fn run_distributed<A: LiveAdvisor>(
                             is_write,
                         },
                     );
+                    if plan.early_prepare {
+                        pending_release = pending_release.union(upd.finished);
+                    }
                     batch_results.push(rows);
+                }
+                // Early prepare (OP4): release finished partitions at batch
+                // granularity — the same point the simulator applies
+                // `pending_release`, so a later query in this batch never
+                // sees a partition released mid-batch there but live here.
+                // All prepares ship before any ack is awaited, so the
+                // prepare-time flushes overlap in wall-clock time. Unlike
+                // the simulator, the *base* partition is releasable too:
+                // live control code runs on the coordinating client, so the
+                // base is just another fragment executor (the simulator's
+                // base runs the control code and stays busy to commit).
+                let to_release = pending_release.difference(released).intersect(lock_set);
+                for p in to_release.iter() {
+                    // Unacknowledged by design (the paper's unsolicited
+                    // vote): the worker is parked on this reservation
+                    // channel, so it observes the prepare before it reads
+                    // anything else — releasing the slot immediately is
+                    // safe, and not blocking here keeps the coordinator off
+                    // the scheduler's critical path (one ack round trip per
+                    // released partition is measurable on small hosts).
+                    let speculate = wrote_parts.contains(p);
+                    if frag_tx[p as usize]
+                        .as_ref()
+                        .expect("locked")
+                        .send(FragCmd::Prepare { speculate })
+                        .is_err()
+                    {
+                        return Attempt::Fatal(Error::Other(format!("worker {p} is gone")));
+                    }
+                    released.insert(p);
+                    if speculate {
+                        windowed.insert(p);
+                    }
+                    metrics.lock_hold.record_us(t_locked.elapsed().as_secs_f64() * 1e6);
+                    locks_held.release_early(p);
                 }
                 results = Some(batch_results);
             }
             Step::Commit => {
-                return match finish_all(&frag_tx, &res_rx, true) {
+                let fin = finish_all(&frag_tx, &res_rx, released, windowed, true);
+                record_remaining_hold(metrics, lock_set, released, t_locked);
+                return match fin {
                     Ok(()) => Attempt::Done {
                         committed: true,
                         accessed,
                         access_counts,
                         undo_disabled_ever: false,
+                        speculative: false,
+                        early_released: !released.is_empty(),
                         session,
                     },
                     Err(e) => Attempt::Fatal(e),
                 };
             }
             Step::Abort(_) => {
-                return match finish_all(&frag_tx, &res_rx, false) {
+                let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
+                record_remaining_hold(metrics, lock_set, released, t_locked);
+                return match fin {
                     Ok(()) => Attempt::Done {
                         committed: false,
                         accessed,
                         access_counts,
                         undo_disabled_ever: false,
+                        speculative: false,
+                        early_released: !released.is_empty(),
                         session,
                     },
                     Err(e) => Attempt::Fatal(e),
@@ -629,6 +1137,8 @@ fn client_loop<A: LiveAdvisor>(
         let t0 = Instant::now();
         let (mut plan, mut session) = env.advisor.plan_live(&req, &ctx);
         let mut attempt = 0u32;
+        let mut cascades = 0u32;
+        let mut last_observed = PartitionSet::EMPTY;
         loop {
             plan.lock_set.insert(plan.base_partition);
             let outcome = if plan.lock_set.is_single() {
@@ -651,21 +1161,25 @@ fn client_loop<A: LiveAdvisor>(
                         accessed,
                         access_counts,
                         undo_disabled_ever,
+                        speculative,
                     }) => Attempt::Done {
                         committed,
                         accessed,
                         access_counts,
                         undo_disabled_ever,
+                        speculative,
+                        early_released: false,
                         session,
                     },
                     Ok(SingleReply::Mispredict { observed, session }) => {
                         Attempt::Mispredict { observed, session }
                     }
+                    Ok(SingleReply::Cascaded) => Attempt::Cascaded,
                     Ok(SingleReply::Fatal(e)) => Attempt::Fatal(e),
                     Err(_) => Attempt::Fatal(Error::Other(format!("worker {base} hung up"))),
                 }
             } else {
-                run_distributed(env, workers, locks, &req, &plan, session)
+                run_distributed(env, workers, locks, &req, &plan, session, &mut metrics)
             };
             match outcome {
                 Attempt::Done {
@@ -673,6 +1187,8 @@ fn client_loop<A: LiveAdvisor>(
                     accessed,
                     access_counts,
                     undo_disabled_ever,
+                    speculative,
+                    early_released,
                     session: s,
                 } => {
                     env.advisor.on_end_live(
@@ -692,6 +1208,9 @@ fn client_loop<A: LiveAdvisor>(
                         if undo_disabled_ever {
                             metrics.no_undo += 1;
                         }
+                        if speculative {
+                            metrics.speculative += 1;
+                        }
                         metrics.tally_ops(
                             proc,
                             plan.base_partition,
@@ -700,8 +1219,8 @@ fn client_loop<A: LiveAdvisor>(
                             &access_counts,
                             env.num_partitions,
                             undo_disabled_ever,
-                            false,
-                            false,
+                            speculative,
+                            early_released,
                         );
                     } else {
                         metrics.user_aborts += 1;
@@ -711,6 +1230,7 @@ fn client_loop<A: LiveAdvisor>(
                 Attempt::Mispredict { observed, session: s } => {
                     attempt += 1;
                     metrics.restarts += 1;
+                    last_observed = observed;
                     if attempt > cfg.max_restarts {
                         // Forced fallback, advisor not consulted — exactly
                         // like the simulator past `max_restarts`. The old
@@ -726,6 +1246,33 @@ fn client_loop<A: LiveAdvisor>(
                         plan = p;
                         session = ns;
                     }
+                }
+                Attempt::Cascaded => {
+                    // The speculative execution was discarded by a cascade;
+                    // retry transparently at the same attempt. The advisor
+                    // is deterministic per (request, context), so re-asking
+                    // reproduces the plan this attempt ran with — with a
+                    // fresh session (the speculative one died mid-walk).
+                    metrics.cascaded_aborts += 1;
+                    cascades += 1;
+                    let (p, ns) = if cascades > MAX_CASCADE_RETRIES {
+                        // Liveness backstop: a hot partition whose windows
+                        // keep aborting could cascade the same transaction
+                        // indefinitely. Lock-all runs distributed — never
+                        // speculative — so it terminates. (Not counted as a
+                        // restart: the plan never mispredicted.)
+                        let (_, ns) = env.advisor.plan_live(&req, &ctx);
+                        (
+                            TxnPlan::lock_all(plan.base_partition, env.num_partitions),
+                            ns,
+                        )
+                    } else if attempt == 0 {
+                        env.advisor.plan_live(&req, &ctx)
+                    } else {
+                        env.advisor.replan_live(&req, last_observed, attempt, &ctx)
+                    };
+                    plan = p;
+                    session = ns;
                 }
                 Attempt::Fatal(e) => return Err(e),
             }
@@ -760,6 +1307,7 @@ pub fn run_live<A: LiveAdvisor>(
         advisor,
         num_partitions,
         commit_flush: Duration::from_micros(cfg.commit_flush_us),
+        msg_delay: Duration::from_micros(cfg.msg_delay_us),
     };
     let locks = LockManager::new();
     let shards = db.into_shards();
@@ -928,6 +1476,206 @@ mod tests {
         assert!(m.mean_latency_ms().is_some());
         assert!(m.latency.p50_ms().unwrap() <= m.latency.p99_ms().unwrap());
         assert!(m.throughput_tps() > 0.0);
+    }
+
+    /// Sorted `(key, row)` snapshot of one table slice, for byte-identical
+    /// state comparisons across a speculation window.
+    fn table_snapshot(shard: &Shard, table: usize) -> Vec<(Vec<Value>, Row)> {
+        let mut rows: Vec<(Vec<Value>, Row)> =
+            shard.table(table).iter().map(|(k, r)| (k.clone(), r.clone())).collect();
+        rows.sort();
+        rows
+    }
+
+    /// Hand-drives the worker protocol through one speculation window:
+    /// reserve → fragment → early prepare → speculative single → 2PC
+    /// outcome. Deterministic: the worker processes its queue in order;
+    /// with `expect_deferred` the deferral assertion doubles as the
+    /// processed-before-outcome sync (non-conflicting replies instead
+    /// arrive before the outcome is even sent). Channels live inside the
+    /// scope so a failed assertion disconnects the worker rather than
+    /// deadlocking the join. Returns (reply, post snapshot, pre snapshot).
+    #[allow(clippy::type_complexity)]
+    fn drive_speculation(
+        commit: bool,
+        spec_args: Vec<Value>,
+        expect_deferred: bool,
+    ) -> (SingleReply<()>, Vec<(Vec<Value>, Row)>, Vec<(Vec<Value>, Row)>) {
+        let db = kv_database(2, 8);
+        let reg = kv_registry();
+        let catalog = reg.catalog();
+        let advisor = AssumeSinglePartition::new();
+        let env = WorkerEnv {
+            registry: &reg,
+            catalog: &catalog,
+            advisor: &advisor,
+            num_partitions: 2,
+            commit_flush: Duration::ZERO,
+            msg_delay: Duration::ZERO,
+        };
+        let mut shards = db.into_shards();
+        shards.truncate(1); // partition 0's worker only
+        let shard = shards.pop().unwrap();
+        let before = table_snapshot(&shard, 0);
+        let (shard, reply) = std::thread::scope(|s| {
+            let env = &env;
+            let (tx, rx) = channel::<WorkerMsg<()>>();
+            let h = s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &rx, env));
+            // Reserve partition 0 for a "distributed" transaction and run
+            // one write fragment there: bump id 0 by 10.
+            let (ftx, frx) = channel();
+            let (rtx, rrx) = channel();
+            tx.send(WorkerMsg::Reserve(Reserve { frags: frx, results: rtx })).unwrap();
+            ftx.send(FragCmd::Exec {
+                proc: 0,
+                query: 1,
+                params: vec![Value::Int(0), Value::Int(10)],
+            })
+            .unwrap();
+            assert!(matches!(rrx.recv().unwrap(), FragReply::Rows(r) if r.len() == 1));
+            // Early prepare: unacknowledged; the worker is parked on the
+            // reservation channel, so the window opens before it reads any
+            // main-queue message sent afterwards.
+            ftx.send(FragCmd::Prepare { speculate: true }).unwrap();
+            // A single-partition transaction arrives mid-window. Its plan
+            // asks for OP3 (disable_undo) — speculation must override it.
+            let (srtx, srrx) = channel();
+            let plan = TxnPlan {
+                base_partition: 0,
+                lock_set: PartitionSet::single(0),
+                disable_undo: true,
+                early_prepare: false,
+                estimate_cost_us: 0.0,
+            };
+            tx.send(WorkerMsg::Single {
+                req: Request { proc: 0, args: spec_args, origin_node: 0 },
+                plan,
+                session: (),
+                reply: srtx,
+            })
+            .unwrap();
+            // Outcome delivery: commits take the pushed main-queue route
+            // the coordinator uses; aborts take the reservation-channel
+            // route so the disconnect watchdog's legacy arm stays covered.
+            let send_outcome = || {
+                if commit {
+                    tx.send(WorkerMsg::SpecFinish { commit }).unwrap();
+                } else {
+                    ftx.send(FragCmd::Finish { commit }).unwrap();
+                }
+            };
+            let reply = if expect_deferred {
+                // The acknowledgement must wait for the outcome.
+                assert!(
+                    srrx.recv_timeout(Duration::from_millis(200)).is_err(),
+                    "conflicting speculative ack leaked before the 2PC outcome"
+                );
+                send_outcome();
+                assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
+                srrx.recv_timeout(Duration::from_secs(30)).expect("deferred ack")
+            } else {
+                // Non-conflicting: acknowledged before any outcome exists.
+                let reply =
+                    srrx.recv_timeout(Duration::from_secs(30)).expect("immediate ack");
+                send_outcome();
+                assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
+                reply
+            };
+            tx.send(WorkerMsg::Shutdown).unwrap();
+            (h.join().unwrap(), reply)
+        });
+        (reply, table_snapshot(&shard, 0), before)
+    }
+
+    #[test]
+    fn speculative_commit_defers_ack_and_keeps_undo_despite_op3() {
+        // MultiGet over id 0 (lives at partition 0 of 2): writes a table
+        // the fragment wrote, so it executes speculatively inside the
+        // window, commits, and its ack is deferred.
+        let (reply, after, before) =
+            drive_speculation(true, vec![Value::Array(vec![Value::Int(0)])], true);
+        match reply {
+            SingleReply::Done { committed, speculative, undo_disabled_ever, .. } => {
+                assert!(committed);
+                assert!(speculative, "executed inside the window");
+                assert!(
+                    !undo_disabled_ever,
+                    "OP3 must be ignored while speculating (§4.3)"
+                );
+            }
+            _ => panic!("expected a deferred Done"),
+        }
+        assert_ne!(after, before, "fragment + speculative bump are final");
+        // id 0: +10 from the fragment, +1 from the speculative MultiGet.
+        let id0 = after.iter().find(|(k, _)| k[0] == Value::Int(0)).unwrap();
+        assert_eq!(id0.1[2], Value::Int(11));
+    }
+
+    #[test]
+    fn coordinator_abort_cascades_and_restores_shard_state() {
+        let (reply, after, before) =
+            drive_speculation(false, vec![Value::Array(vec![Value::Int(0)])], true);
+        assert!(
+            matches!(reply, SingleReply::Cascaded),
+            "cascaded speculative txn must be told to retry"
+        );
+        assert_eq!(
+            after, before,
+            "cascading rollback must restore the shard byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn non_conflicting_mispredict_acks_before_the_outcome() {
+        // id 1 lives at partition 1: the speculative plan (lock partition 0
+        // only) mispredicts before touching storage — nothing contingent
+        // was read, so the reply is delivered without waiting for 2PC.
+        let (reply, after, before) =
+            drive_speculation(true, vec![Value::Array(vec![Value::Int(1)])], false);
+        match reply {
+            SingleReply::Mispredict { observed, .. } => {
+                assert_eq!(observed, PartitionSet::single(1));
+            }
+            _ => panic!("expected an immediate Mispredict"),
+        }
+        // Only the committed fragment's bump remains.
+        let id0 = after.iter().find(|(k, _)| k[0] == Value::Int(0)).unwrap();
+        assert_eq!(id0.1[2], Value::Int(10));
+        assert_eq!(after.len(), before.len());
+    }
+
+    #[test]
+    fn non_conflicting_commit_acks_before_the_outcome() {
+        // A MultiGet over no ids reads and writes nothing: a degenerate
+        // read-only transaction, acknowledged mid-window (paper §2 OP4's
+        // non-conflicting case), surviving even an eventual cascade.
+        let (reply, after, before) =
+            drive_speculation(false, vec![Value::Array(vec![])], false);
+        match reply {
+            SingleReply::Done { committed, speculative, .. } => {
+                assert!(committed);
+                assert!(speculative);
+            }
+            _ => panic!("expected an immediate Done"),
+        }
+        assert_eq!(after, before, "abort outcome cascades only the fragment");
+    }
+
+    #[test]
+    fn lock_guard_release_early_frees_the_slot() {
+        let mgr = LockManager::new();
+        let mut guard = mgr.guard(PartitionSet::from_iter([0u32, 1]));
+        guard.release_early(0);
+        // Partition 0 is grantable again while 1 stays held.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                mgr.acquire(PartitionSet::single(0));
+                mgr.release(PartitionSet::single(0));
+            });
+            h.join().expect("early-released slot must be grantable");
+        });
+        let held = guard.set;
+        assert_eq!(held, PartitionSet::single(1));
     }
 
     #[test]

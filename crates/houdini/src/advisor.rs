@@ -15,6 +15,28 @@ use markov::{estimate_path, EstimateConfig, PathTracker, QueryKind, VertexId, Ve
 /// transaction later violates, and each violation is an abort-and-restart.
 const MIN_FINISH_HITS: u64 = 4;
 
+/// Near-certainty bar for *table-driven* OP4 releases (the confidence
+/// threshold plays no part here: any finish probability clearing this bar
+/// clears every threshold in (0, 1)). The cost asymmetry demands it: releasing a
+/// partition early saves micro-seconds of lock hold, while re-touching a
+/// released partition aborts and restarts the whole transaction — and in
+/// the live runtime additionally cascades every transaction that ran
+/// speculatively in the window. A finish probability like 0.7 (common at
+/// loop states such as NewOrder's per-item stock updates, where the state
+/// cannot see the total item count) is therefore a terrible bet; only
+/// states whose training history *always* finished the partition qualify.
+/// Request-specific releases keep flowing through the estimate-derived
+/// finish plan, which knows this request's actual loop bounds.
+const FINISH_TABLE_CERTAINTY: f64 = 1.0 - 1e-9;
+
+/// True if `model` has no query-loop states (no vertex at invocation
+/// counter > 0). A static per-model property; callers cache it per
+/// transaction so the hot `updates_at_state` path reads a bool instead of
+/// rescanning the vertex table per executed query.
+fn model_is_loop_free(model: &markov::MarkovModel) -> bool {
+    !model.vertices().iter().any(|v| v.key.counter > 0)
+}
+
 /// On-line knobs.
 #[derive(Debug, Clone)]
 pub struct HoudiniConfig {
@@ -26,6 +48,11 @@ pub struct HoudiniConfig {
     pub est_cost_per_state_us: f64,
     /// Simulated µs charged per runtime update (§4.4).
     pub update_cost_us: f64,
+    /// Emit OP4 finished-partition declarations (early prepare +
+    /// speculative execution). Off is the OP4 ablation: plans are produced
+    /// identically but `TxnPlan::early_prepare` stays false, so the engine
+    /// never releases a partition before 2PC.
+    pub early_prepare: bool,
     /// Path-estimation knobs.
     pub estimate: EstimateConfig,
 }
@@ -36,6 +63,7 @@ impl Default for HoudiniConfig {
             threshold: 0.5,
             est_cost_per_state_us: 1.2,
             update_cost_us: 4.0,
+            early_prepare: true,
             estimate: EstimateConfig::default(),
         }
     }
@@ -58,12 +86,26 @@ struct TxnCore {
     est_complete: bool,
     /// Per-step query ids of the initial estimate (deviation detection).
     step_queries: Vec<QueryId>,
+    /// Per-step partition sets of the initial estimate. A transaction that
+    /// issues the estimated query sequence through *different* partitions
+    /// (a feasible alternative branch inside the lock set) has deviated
+    /// just as surely as one issuing different queries — its finish plan
+    /// no longer describes reality and applying it causes release-then-
+    /// re-touch abort-restarts.
+    step_partitions: Vec<PartitionSet>,
     /// Per-step finish sets: partitions whose predicted last access is that
     /// step (the Oracle-style OP4 plan derived from the estimate, §4.4).
     finish_plan: Vec<PartitionSet>,
     /// Position along the estimated path; `None` once the transaction has
     /// deviated from the estimate.
     est_pos: Option<usize>,
+    /// Whether the selected model is free of query loops (no state at
+    /// invocation counter > 0) — computed once per transaction at plan
+    /// time; release decisions (estimate plan *and* tables) are only
+    /// trusted on loop-free models, where the trained closures genuinely
+    /// enumerate the continuations (see the release-policy comments in
+    /// `updates_at_state` and `plan_from_estimate`).
+    model_loop_free: bool,
     /// Houdini switched off (disabled procedure or restart fallback):
     /// no tracking, no updates.
     passive: bool,
@@ -81,10 +123,7 @@ struct CurrentTxn {
 /// `q` — the single implementation behind both `TxnAdvisor::on_query` and
 /// `LiveAdvisor::on_query_live`. `to` is `None` when the transaction
 /// reached a state absent from the trained model (only possible on the
-/// live path, whose walk is read-only); `counter` is the query's
-/// invocation index and `seen` the partitions accessed up to and including
-/// this query (the vertex key's `seen()` on the simulated path).
-#[allow(clippy::too_many_arguments)]
+/// live path, whose walk is read-only).
 fn updates_at_state(
     cfg: &HoudiniConfig,
     num_partitions: u32,
@@ -92,8 +131,6 @@ fn updates_at_state(
     model: &markov::MarkovModel,
     core: &mut TxnCore,
     to: Option<VertexId>,
-    counter: u16,
-    seen: PartitionSet,
     q: &ExecutedQuery,
 ) -> Updates {
     let mut upd = Updates { cost_us: cfg.update_cost_us, ..Default::default() };
@@ -130,22 +167,38 @@ fn updates_at_state(
         }
     }
     // OP4: partitions whose finish probability clears the threshold are
-    // handed back for early prepare. Trained exact states use their
-    // pre-computed tables; sparse or unseen states consult a structurally
-    // analogous well-observed state (same query, counter, seen set).
+    // handed back for early prepare. Only *exact* well-observed states
+    // qualify: a shape proxy (same query, counter, seen set but different
+    // partition binding) carries per-partition finish entries for *its*
+    // binding, which systematically mispredicts release decisions — and a
+    // wrong release is an abort-restart plus a live cascade, far costlier
+    // than a kept lock.
     let mut finished = PartitionSet::EMPTY;
-    let finish_table = match to {
-        Some(v) if model.vertex(v).hits >= MIN_FINISH_HITS => Some(v),
-        _ => model
-            .shape_proxy(QueryKind::Query(q.query), counter, seen)
-            .filter(|&p| model.vertex(p).hits >= MIN_FINISH_HITS),
-    };
-    if let Some(ft) = finish_table {
+    // Loop gate: a procedure with query loops (any state at invocation
+    // counter > 0) executes data-dependent trip counts the closure behind
+    // `finish` cannot see — a model (or cluster, under partitioned models)
+    // whose trained loops are shorter or more local than this request's
+    // yields finish = 1.0 *with certainty* and still lies, and every such
+    // release is an abort-restart plus a live cascade. Loop-free
+    // procedures (all of TATP, TPC-C's Payment) have closures that
+    // genuinely enumerate their continuations, so only they may release
+    // through tables. (Computed once per transaction at plan time.)
+    let finish_table = to
+        .filter(|&v| model.vertex(v).hits >= MIN_FINISH_HITS)
+        .filter(|_| core.model_loop_free);
+    // A complete request-specific estimate outranks the generalized
+    // tables: its finish plan knows this request's actual loop bounds and
+    // partition bindings, while the table closure averages over every
+    // trained request and lies wherever the model is sparse. Mixing the
+    // two turns loop-heavy procedures (NewOrder's per-item stock updates)
+    // into release-then-re-touch abort-restart storms, so estimated
+    // transactions release through their plan alone.
+    if let Some(ft) = finish_table.filter(|_| !core.est_complete) {
         let table = &model.vertex(ft).table;
         for p in core.lock_set.iter() {
             if !core.declared.contains(p)
                 && !q.partitions.contains(p)
-                && table.finish(p) > cfg.threshold
+                && table.finish(p) >= FINISH_TABLE_CERTAINTY
             {
                 finished.insert(p);
             }
@@ -156,6 +209,7 @@ fn updates_at_state(
     // to partition combinations the trace never produced).
     if let Some(pos) = core.est_pos {
         let on_plan = core.step_queries.get(pos).is_some_and(|&eq| eq == q.query)
+            && core.step_partitions.get(pos).is_some_and(|&ep| ep == q.partitions)
             && pos < core.finish_plan.len();
         if on_plan {
             let step_fin = core.finish_plan[pos];
@@ -234,6 +288,7 @@ impl Houdini {
         let pred = &self.procs[proc as usize];
         let model_idx = if pred.disabled { 0 } else { pred.models.select(args) };
         let track = !pred.disabled;
+        let model_loop_free = model_is_loop_free(pred.models.model(model_idx));
         let core = TxnCore {
             lock_set: PartitionSet::all(self.num_partitions),
             declared: PartitionSet::EMPTY,
@@ -241,15 +296,17 @@ impl Houdini {
             trust_abort: false,
             est_complete: false,
             step_queries: Vec::new(),
+            step_partitions: Vec::new(),
             finish_plan: Vec::new(),
             est_pos: None,
+            model_loop_free,
             passive: !track,
         };
         let plan = TxnPlan {
             base_partition: base,
             lock_set: PartitionSet::all(self.num_partitions),
             disable_undo: false,
-            early_prepare: track,
+            early_prepare: track && self.cfg.early_prepare,
             estimate_cost_us: 0.0,
         };
         (plan, model_idx, core)
@@ -308,7 +365,16 @@ impl Houdini {
             finish_plan[i] = est.step_partitions[i].difference(later);
             later = later.union(est.step_partitions[i]);
         }
-        let follow_plan = est_complete && est.confidence >= self.cfg.threshold;
+        // Loop gate, mirroring the table-finish rule: a model with query
+        // loops (any state at counter > 0) may have reached commit through
+        // a *shorter* trained iteration path than this request will
+        // actually take — the plan's "last access" steps then release
+        // partitions the remaining iterations still need, and every such
+        // release is an abort-restart (plus a live cascade). Loop-free
+        // models cannot under-run, so only they may drive early prepares.
+        let model_loop_free = model_is_loop_free(model);
+        let follow_plan =
+            est_complete && model_loop_free && est.confidence >= self.cfg.threshold;
         let core = TxnCore {
             lock_set,
             declared: PartitionSet::EMPTY,
@@ -316,15 +382,17 @@ impl Houdini {
             trust_abort,
             est_complete,
             step_queries: est.step_queries,
+            step_partitions: est.step_partitions,
             finish_plan,
             est_pos: follow_plan.then_some(0),
+            model_loop_free,
             passive: false,
         };
         let plan = TxnPlan {
             base_partition: base,
             lock_set,
             disable_undo,
-            early_prepare: true,
+            early_prepare: self.cfg.early_prepare,
             estimate_cost_us: 0.0,
         };
         (plan, core)
@@ -391,7 +459,6 @@ impl TxnAdvisor for Houdini {
         let pred = &self.procs[cur.proc as usize];
         let model = pred.models.model(cur.model_idx);
         let to = cur.tracker.current();
-        let key = model.vertex(to).key;
         updates_at_state(
             &self.cfg,
             self.num_partitions,
@@ -399,8 +466,6 @@ impl TxnAdvisor for Houdini {
             model,
             &mut cur.core,
             Some(to),
-            key.counter,
-            key.seen(),
             q,
         )
     }
@@ -546,8 +611,6 @@ impl LiveAdvisor for Houdini {
             model,
             &mut cur.core,
             to,
-            counter,
-            cur.prev,
             q,
         )
     }
@@ -718,6 +781,30 @@ mod tests {
             "threshold 0 admits every access estimation (Fig. 13)"
         );
         assert!(!plan.disable_undo);
+    }
+
+    #[test]
+    fn early_prepare_knob_gates_op4_plans() {
+        let (mut h, catalog) = trained(2, 600, false);
+        h.cfg.early_prepare = false;
+        let mut db = Bench::Tpcc.database(2);
+        let reg = Bench::Tpcc.registry();
+        let mut env = PlanEnv {
+            db: &mut db,
+            registry: &reg,
+            catalog: &catalog,
+            num_partitions: 2,
+            random_local_partition: 0,
+        };
+        let req = new_order_req(0, 90_005, &[0, 0, 1]);
+        let plan = h.plan(&req, &mut env);
+        assert!(!plan.early_prepare, "OP4 ablation must not early-prepare");
+        let ctx =
+            PlanContext { catalog: &catalog, num_partitions: 2, random_local_partition: 0 };
+        let (live_plan, _s) = h.plan_live(&req, &ctx);
+        assert!(!live_plan.early_prepare);
+        // The rest of the plan is unchanged by the ablation.
+        assert_eq!(live_plan.lock_set, plan.lock_set);
     }
 
     #[test]

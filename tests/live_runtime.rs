@@ -83,6 +83,7 @@ fn run_live_runtime(advisor: &Houdini) -> (RunMetrics, storage::Database) {
         max_restarts: 2,
         seed: SEED,
         commit_flush_us: 0,
+        msg_delay_us: 0,
     };
     let make_gen = |client: u64| Bench::Tatp.client_generator(PARTS, SEED, client);
     run_live(db, &reg, advisor, &make_gen, &cfg).expect("live runtime must not halt")
@@ -130,6 +131,89 @@ fn live_runtime_matches_simulation_on_seeded_tatp() {
     assert!(live_m.distributed > 0, "broadcast procedures ran distributed");
 }
 
+/// OP4 must be invisible in outcome space: the same trained Houdini with
+/// early prepare + speculation enabled vs disabled (the only difference
+/// being `TxnPlan::early_prepare`) must produce identical commit / abort /
+/// restart / per-procedure counts and identical final table row counts on
+/// the seeded TATP population. This pins the whole live speculation
+/// protocol — early release, deferred acknowledgements, cascading rollback
+/// and transparent redo — as outcome-preserving.
+#[test]
+fn op4_speculation_does_not_change_outcomes() {
+    let (catalog, wl) = collect_trace(Bench::Tatp, PARTS, 2_000, 29);
+    let cfg = TrainingConfig::default();
+    let preds = train(&catalog, PARTS, &wl, &cfg);
+    let on = Houdini::new(
+        preds.clone(),
+        catalog.clone(),
+        PARTS,
+        HoudiniConfig { early_prepare: true, ..Default::default() },
+    );
+    let off = Houdini::new(
+        preds,
+        catalog,
+        PARTS,
+        HoudiniConfig { early_prepare: false, ..Default::default() },
+    );
+    let (m_on, db_on) = run_live_runtime(&on);
+    let (m_off, db_off) = run_live_runtime(&off);
+    assert_eq!(m_on.committed, m_off.committed, "OP4 changed commit counts");
+    assert_eq!(m_on.user_aborts, m_off.user_aborts, "OP4 changed abort counts");
+    assert_eq!(m_on.restarts, m_off.restarts, "OP4 caused extra mispredicts");
+    assert_eq!(
+        m_on.committed_by_proc, m_off.committed_by_proc,
+        "OP4 changed per-procedure outcomes"
+    );
+    assert_eq!(m_off.speculative, 0, "ablation must not speculate");
+    assert_eq!(m_off.cascaded_aborts, 0);
+    for table in 0..4 {
+        assert_eq!(
+            db_on.total_rows(table),
+            db_off.total_rows(table),
+            "table {table} row counts diverged under OP4"
+        );
+    }
+}
+
+/// Distributed-heavy TPC-C under real concurrency, OP4 on: conservation
+/// (no transaction lost or duplicated through deferred acknowledgements
+/// and cascade redos) plus a storage-level invariant that survives any
+/// interleaving — every committed NewOrder inserts exactly one ORDERS row,
+/// so cascaded speculative commits that were rolled back and redone must
+/// neither lose nor double-apply their inserts.
+#[test]
+fn tpcc_speculation_conserves_requests_and_rows() {
+    const CLIENTS: u32 = 2;
+    const REQUESTS: u64 = 150;
+    let (catalog, wl) = collect_trace(Bench::Tpcc, PARTS, 2_000, 31);
+    let preds = train(&catalog, PARTS, &wl, &TrainingConfig::default());
+    let houdini = Houdini::new(preds, catalog, PARTS, HoudiniConfig::default());
+    let db = Bench::Tpcc.database(PARTS);
+    let orders_table = db.table_id("ORDERS").expect("ORDERS exists");
+    let orders_before = db.total_rows(orders_table);
+    let reg = Bench::Tpcc.registry();
+    let cfg = LiveConfig {
+        clients_per_partition: CLIENTS,
+        requests_per_client: REQUESTS,
+        max_restarts: 2,
+        seed: 37,
+        commit_flush_us: 50,
+        msg_delay_us: 0,
+    };
+    let make_gen = |client: u64| Bench::Tpcc.client_generator(PARTS, 37, client);
+    let (m, db) =
+        run_live(db, &reg, &houdini, &make_gen, &cfg).expect("live runtime must not halt");
+    let issued = u64::from(PARTS * CLIENTS) * REQUESTS;
+    assert_eq!(m.committed + m.user_aborts, issued, "lost or duplicated transactions");
+    // NewOrder is registry index 1 (procedure letter I).
+    let committed_new_orders = m.committed_by_proc.get(&1).copied().unwrap_or(0);
+    assert_eq!(
+        db.total_rows(orders_table) - orders_before,
+        committed_new_orders as usize,
+        "ORDERS rows must match committed NewOrders exactly (cascade safety)"
+    );
+}
+
 #[test]
 fn workers_shut_down_cleanly_when_generators_run_dry() {
     // The whole run — including worker shutdown and shard reassembly —
@@ -146,6 +230,7 @@ fn workers_shut_down_cleanly_when_generators_run_dry() {
             max_restarts: 2,
             seed: 11,
             commit_flush_us: 0,
+            msg_delay_us: 0,
         };
         let make_gen = |client: u64| Bench::Tatp.client_generator(PARTS, 11, client);
         let (m, db) = run_live(db, &reg, &advisor, &make_gen, &cfg).expect("no halts");
