@@ -29,11 +29,7 @@ fn abort_prob_by_traversal(model: &MarkovModel, id: VertexId, memo: &mut Vec<f64
     let p = match v.key.kind {
         QueryKind::Abort => 1.0,
         QueryKind::Commit => 0.0,
-        _ => v
-            .edges
-            .iter()
-            .map(|e| e.prob * abort_prob_by_traversal(model, e.to, memo))
-            .sum(),
+        _ => v.edges.iter().map(|e| e.prob * abort_prob_by_traversal(model, e.to, memo)).sum(),
     };
     memo[id as usize] = p;
     p
@@ -110,18 +106,14 @@ fn ablation_mapping_threshold(c: &mut Criterion) {
     let records: Vec<&TraceRecord> = wl.for_proc(1);
     println!("# ablation_mapping_threshold: surviving NewOrder mapping entries");
     for threshold in [0.5, 0.8, 0.9, 0.95, 1.0] {
-        let m = mapping::build_mapping(
-            &records,
-            &mapping::MappingConfig { threshold },
-        );
+        let m = mapping::build_mapping(&records, &mapping::MappingConfig { threshold });
         println!("  threshold {threshold:.2}: {} entries", m.len());
     }
     let mut group = c.benchmark_group("ablation_mapping_threshold");
     group.bench_function("build_mapping_t0.9", |b| {
         b.iter(|| {
             black_box(
-                mapping::build_mapping(&records, &mapping::MappingConfig { threshold: 0.9 })
-                    .len(),
+                mapping::build_mapping(&records, &mapping::MappingConfig { threshold: 0.9 }).len(),
             )
         })
     });

@@ -18,8 +18,7 @@ fn storage_ops(c: &mut Criterion) {
     let mut undo = UndoLog::new();
     for i in 0..10_000i64 {
         let p = db.partition_for_value(&Value::Int(i));
-        db.insert(p, 0, vec![Value::Int(i), Value::Int(0)], &mut undo)
-            .unwrap();
+        db.insert(p, 0, vec![Value::Int(i), Value::Int(0)], &mut undo).unwrap();
     }
     undo.clear();
     let mut group = c.benchmark_group("storage");
@@ -36,8 +35,7 @@ fn storage_ops(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 11) % 10_000;
             let p = db.partition_for_value(&Value::Int(i));
-            db.update(p, 0, &[Value::Int(i)], |r| r[1] = Value::Int(i), &mut undo)
-                .unwrap();
+            db.update(p, 0, &[Value::Int(i)], |r| r[1] = Value::Int(i), &mut undo).unwrap();
             undo.clear();
         })
     });
@@ -60,8 +58,7 @@ fn tatp_estimation(c: &mut Criterion) {
             let args = vec![Value::Int(s)];
             let idx = pred.models.select(&args);
             black_box(
-                estimate_path(pred.models.model(idx), &rule, &pred.mapping, &args, &cfg)
-                    .touched,
+                estimate_path(pred.models.model(idx), &rule, &pred.mapping, &args, &cfg).touched,
             )
         })
     });

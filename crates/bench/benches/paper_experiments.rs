@@ -60,9 +60,7 @@ fn fig7_mapping(c: &mut Criterion) {
     let records: Vec<&TraceRecord> = wl.for_proc(1);
     c.bench_function("fig7/build_neworder_mapping", |b| {
         b.iter(|| {
-            black_box(
-                mapping::build_mapping(&records, &mapping::MappingConfig::default()).len(),
-            )
+            black_box(mapping::build_mapping(&records, &mapping::MappingConfig::default()).len())
         })
     });
 }
@@ -91,8 +89,7 @@ fn fig8_estimation(c: &mut Criterion) {
             let args = &reqs[i % reqs.len()];
             i += 1;
             let idx = pred.models.select(args);
-            let est =
-                estimate_path(pred.models.model(idx), &rule, &pred.mapping, args, &cfg);
+            let est = estimate_path(pred.models.model(idx), &rule, &pred.mapping, args, &cfg);
             black_box(est.touched)
         })
     });
@@ -105,13 +102,7 @@ fn fig9_training(c: &mut Criterion) {
     let records: Vec<&TraceRecord> = wl.for_proc(1);
     c.bench_function("fig9/train_partitioned_neworder", |b| {
         b.iter(|| {
-            let pred = houdini::train_proc(
-                &catalog,
-                2,
-                1,
-                &records,
-                &TrainingConfig::default(),
-            );
+            let pred = houdini::train_proc(&catalog, 2, 1, &records, &TrainingConfig::default());
             black_box(pred.models.total_states())
         })
     });
@@ -127,9 +118,7 @@ fn table3_accuracy(c: &mut Criterion) {
     let preds = train(&catalog, parts, &tw, &TrainingConfig::default());
     let test: Vec<&TraceRecord> = test_recs.iter().filter(|r| r.proc == 3).collect();
     c.bench_function("table3/evaluate_getsubscriber_accuracy", |b| {
-        b.iter(|| {
-            black_box(evaluate_accuracy(&preds[3], &catalog, parts, 3, &test, 0.5).total)
-        })
+        b.iter(|| black_box(evaluate_accuracy(&preds[3], &catalog, parts, 3, &test, 0.5).total))
     });
 }
 

@@ -9,6 +9,6 @@ pub mod experiments;
 pub mod setup;
 
 pub use setup::{
-    collect_trace, new_order_generator, run_sim, sim_config, trained_houdini,
-    trained_houdini_cfg, Scale,
+    collect_trace, new_order_generator, run_sim, sim_config, trained_houdini, trained_houdini_cfg,
+    Scale,
 };

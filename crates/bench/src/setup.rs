@@ -2,8 +2,8 @@
 
 use common::{derive_seed, ProcId, Value};
 use engine::{
-    run_live, run_offline, Catalog, CostModel, LiveAdvisor, LiveConfig, Profiler,
-    RequestGenerator, RunMetrics, SimConfig, Simulation, TxnAdvisor,
+    run_live, run_offline, Catalog, CostModel, LiveAdvisor, LiveConfig, Profiler, RequestGenerator,
+    RunMetrics, SimConfig, Simulation, TxnAdvisor,
 };
 use houdini::{train, Houdini, HoudiniConfig, TrainingConfig};
 use trace::Workload;

@@ -57,15 +57,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            Error::NotFound("TABLE X".into()).to_string(),
-            "not found: TABLE X"
-        );
+        assert_eq!(Error::NotFound("TABLE X".into()).to_string(), "not found: TABLE X");
         assert!(Error::PartitionViolation { txn: 9, partition: 3 }
             .to_string()
             .contains("partition 3"));
-        assert!(Error::UnrecoverableAbort { txn: 1 }
-            .to_string()
-            .contains("halt"));
+        assert!(Error::UnrecoverableAbort { txn: 1 }.to_string().contains("halt"));
     }
 }

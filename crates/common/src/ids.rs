@@ -30,18 +30,28 @@ impl PartitionSet {
     /// The empty set.
     pub const EMPTY: PartitionSet = PartitionSet(0);
 
-    /// A singleton set.
+    /// A singleton set. Panics (in every build profile) on an
+    /// out-of-range partition id: a release-mode `1u64 << p` with `p >= 64`
+    /// masks the shift amount and silently produces the *wrong partition*
+    /// (the same latent-overflow class as the simulator's old table masks),
+    /// which corrupts lock sets instead of failing loudly.
     #[inline]
     pub fn single(p: PartitionId) -> Self {
-        debug_assert!(p < Self::MAX_PARTITIONS);
+        assert!(
+            p < Self::MAX_PARTITIONS,
+            "partition id {p} out of range (max {})",
+            Self::MAX_PARTITIONS - 1
+        );
         PartitionSet(1u64 << p)
     }
 
-    /// The set containing partitions `0..n`.
+    /// The set containing partitions `0..n`, saturating at the full
+    /// 64-partition mask: every representable partition is in `all(n)` for
+    /// any `n >= 64`, instead of the masked-shift garbage `(1 << n) - 1`
+    /// would produce in release builds.
     #[inline]
     pub fn all(n: u32) -> Self {
-        debug_assert!(n <= Self::MAX_PARTITIONS);
-        if n == 64 {
+        if n >= Self::MAX_PARTITIONS {
             PartitionSet(u64::MAX)
         } else {
             PartitionSet((1u64 << n) - 1)
@@ -76,17 +86,26 @@ impl PartitionSet {
         p < Self::MAX_PARTITIONS && (self.0 >> p) & 1 == 1
     }
 
-    /// Adds a partition.
+    /// Adds a partition. Panics on an out-of-range id (see
+    /// [`PartitionSet::single`] for why silence would be worse).
     #[inline]
     pub fn insert(&mut self, p: PartitionId) {
-        debug_assert!(p < Self::MAX_PARTITIONS);
+        assert!(
+            p < Self::MAX_PARTITIONS,
+            "partition id {p} out of range (max {})",
+            Self::MAX_PARTITIONS - 1
+        );
         self.0 |= 1u64 << p;
     }
 
-    /// Removes a partition.
+    /// Removes a partition; removing an out-of-range id is a no-op (it can
+    /// never be a member), not a masked shift that would clear some *other*
+    /// partition's bit in release builds.
     #[inline]
     pub fn remove(&mut self, p: PartitionId) {
-        self.0 &= !(1u64 << p);
+        if p < Self::MAX_PARTITIONS {
+            self.0 &= !(1u64 << p);
+        }
     }
 
     /// Set union.
@@ -231,5 +250,42 @@ mod tests {
     fn debug_format() {
         let s = PartitionSet::from_iter([0u32, 1]);
         assert_eq!(format!("{s:?}"), "{0,1}");
+    }
+
+    // Shift-overflow regression tests: in release builds `1u64 << p` with
+    // `p >= 64` masks the shift amount, so the old code silently aliased
+    // partition 64 onto partition 0 (etc.) instead of failing.
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_rejects_out_of_range_id() {
+        let _ = PartitionSet::single(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_rejects_out_of_range_id() {
+        let mut s = PartitionSet::EMPTY;
+        s.insert(64);
+    }
+
+    #[test]
+    fn all_saturates_past_max_partitions() {
+        assert_eq!(PartitionSet::all(65), PartitionSet::all(64));
+        assert_eq!(PartitionSet::all(1000).len(), 64);
+    }
+
+    #[test]
+    fn remove_out_of_range_is_a_noop() {
+        let mut s = PartitionSet::all(64);
+        s.remove(64); // would have cleared partition 0 via a masked shift
+        s.remove(70); // would have cleared partition 6
+        assert_eq!(s, PartitionSet::all(64));
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        assert!(!PartitionSet::all(64).contains(64));
+        assert!(!PartitionSet::all(64).contains(1 << 20));
     }
 }

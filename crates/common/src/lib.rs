@@ -5,12 +5,14 @@
 //! [`PartitionSet`] bitmask, a fast FxHash-style hasher for hot-path maps,
 //! deterministic RNG plumbing, and the shared error type.
 
+pub mod epoch;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
 pub mod rng;
 pub mod value;
 
+pub use epoch::EpochCell;
 pub use error::{Error, Result};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{NodeId, PartitionId, PartitionSet, ProcId, QueryId, TxnId};

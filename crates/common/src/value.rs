@@ -35,8 +35,7 @@ impl Value {
     /// Returns the integer payload or panics; for engine-internal code where
     /// the catalog guarantees the type.
     pub fn expect_int(&self) -> i64 {
-        self.as_int()
-            .unwrap_or_else(|| panic!("expected Int, got {self:?}"))
+        self.as_int().unwrap_or_else(|| panic!("expected Int, got {self:?}"))
     }
 
     /// Returns the string payload, if this is a `Str`.
@@ -195,10 +194,7 @@ mod tests {
     fn stable_hash_is_stable_and_distinguishes() {
         assert_eq!(Value::Int(42).stable_hash(), Value::Int(42).stable_hash());
         assert_ne!(Value::Int(42).stable_hash(), Value::Int(43).stable_hash());
-        assert_ne!(
-            Value::from("a").stable_hash(),
-            Value::from("b").stable_hash()
-        );
+        assert_ne!(Value::from("a").stable_hash(), Value::from("b").stable_hash());
         // Array hash depends on order.
         assert_ne!(
             Value::from(vec![1i64, 2]).stable_hash(),
@@ -224,13 +220,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = [
-            Value::from("b"),
-            Value::Int(2),
-            Value::Null,
-            Value::Int(1),
-            Value::from("a"),
-        ];
+        let mut vs =
+            [Value::from("b"), Value::Int(2), Value::Null, Value::Int(1), Value::from("a")];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Int(1));

@@ -158,8 +158,9 @@ fn value_hash_respects_equality() {
     // Equal values must collide; distinct sample values should not (fixed
     // inputs, so a legitimate collision would be astonishing) — except
     // `Null` vs `Array([])`, which share a sentinel by construction.
-    let known_collision =
-        |a: &Value, b: &Value| matches!(a, Value::Null) && matches!(b, Value::Array(v) if v.is_empty());
+    let known_collision = |a: &Value, b: &Value| {
+        matches!(a, Value::Null) && matches!(b, Value::Array(v) if v.is_empty())
+    };
     for a in &values {
         for b in &values {
             if a == b {

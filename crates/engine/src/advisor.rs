@@ -14,8 +14,9 @@
 
 use crate::catalog::Catalog;
 use crate::exec::ExecutedQuery;
+use crate::metrics::MaintenanceReport;
 use crate::procedure::ProcedureRegistry;
-use common::{NodeId, PartitionId, PartitionSet, ProcId, Value};
+use common::{NodeId, PartitionId, PartitionSet, ProcId, QueryId, Value};
 use storage::Database;
 
 /// A client's transaction request: pre-defined procedure name (by id) plus
@@ -109,6 +110,53 @@ pub enum TxnOutcome {
     UserAborted,
     /// Gave up after exceeding the restart limit (counted as failed).
     Failed,
+    /// This *attempt* aborted on a lock-set mispredict and its session is
+    /// being torn down before the replan; the executed prefix is still
+    /// maintenance signal (§4.5) but no commit/abort was reached.
+    Mispredicted,
+}
+
+/// Structured per-transaction path feedback handed back from live session
+/// teardown ([`LiveAdvisor::on_end_live`]) and shipped over the runtime's
+/// bounded feedback channel to the maintenance thread (§4.5).
+#[derive(Debug, Clone)]
+pub struct TxnFeedback {
+    /// Procedure executed.
+    pub proc: ProcId,
+    /// Model index the advisor selected for this transaction.
+    pub model: u32,
+    /// Advisor epoch the transaction planned against (see
+    /// [`common::EpochCell`]); accuracy is attributed per epoch.
+    pub epoch: u64,
+    /// The actually-executed path: one `(query, partitions)` entry per
+    /// executed query invocation, in order.
+    pub path: Vec<(QueryId, PartitionSet)>,
+    /// `Some(committed)` when the transaction finished; `None` for a
+    /// mispredict-aborted attempt (prefix only, no terminal edge).
+    pub terminal: Option<bool>,
+    /// The transaction left its initial complete path estimate (§4.4
+    /// deviation) — a per-transaction drift signal on top of the per-edge
+    /// accuracy the maintenance thread computes from `path`.
+    pub deviated: bool,
+    /// The lock set the advisor predicted (OP2), for estimate-deviation
+    /// accounting against the accessed union of `path`.
+    pub predicted: PartitionSet,
+}
+
+/// Background on-line model maintenance (§4.5), owned by the live
+/// runtime's maintenance thread. [`crate::run_live`] obtains one from
+/// [`LiveAdvisor::maintainer`], feeds it every [`TxnFeedback`] record the
+/// clients emit (in channel-arrival order), and collects the final report
+/// when the feedback channel closes. The maintainer may publish new model
+/// epochs at any point; in-flight transactions keep the snapshot they
+/// planned with.
+pub trait LiveMaintainer: Send {
+    /// Consumes one feedback record, possibly recomputing stale models and
+    /// publishing a new epoch.
+    fn absorb(&mut self, feedback: TxnFeedback);
+
+    /// Counters accumulated so far (queried once, at shutdown).
+    fn report(&self) -> MaintenanceReport;
 }
 
 /// What a *live* advisor can see when planning. Unlike [`PlanEnv`] there is
@@ -135,8 +183,14 @@ pub struct PlanContext<'a> {
 /// explicit [`LiveAdvisor::Session`] value that travels with the
 /// transaction — to the owning worker for single-partition work, or staying
 /// with the coordinator for distributed work. A trained advisor therefore
-/// serves the whole cluster concurrently without locks; the trade-off is
-/// that on-line model maintenance (§4.5) is suspended while running live.
+/// serves the whole cluster concurrently without locks.
+///
+/// On-line model maintenance (§4.5) runs *beside* traffic rather than
+/// inside it: session teardown returns structured [`TxnFeedback`], the
+/// runtime ships it over a bounded channel to a background maintenance
+/// thread driving the advisor's [`LiveMaintainer`], and the maintainer
+/// publishes rebuilt models as new epochs that fresh transactions pick up
+/// (epoch-swapped advisor state; see DESIGN.md §5).
 pub trait LiveAdvisor: Send + Sync {
     /// Per-transaction scratch state carried between `plan_live`,
     /// `on_query_live`, and `on_end_live`.
@@ -163,8 +217,19 @@ pub trait LiveAdvisor: Send + Sync {
         ctx: &PlanContext<'_>,
     ) -> (TxnPlan, Self::Session);
 
-    /// Transaction finished; the session is handed back for disposal.
-    fn on_end_live(&self, _session: Self::Session, _outcome: TxnOutcome) {}
+    /// Transaction (or mispredicted attempt) finished; the session is
+    /// handed back for disposal and may yield structured path feedback for
+    /// the maintenance thread. Default: nothing to learn.
+    fn on_end_live(&self, _session: Self::Session, _outcome: TxnOutcome) -> Option<TxnFeedback> {
+        None
+    }
+
+    /// The advisor's background maintenance driver, if it learns from live
+    /// feedback. Called once per [`crate::run_live`]; `None` (the default)
+    /// disables the feedback channel and maintenance thread entirely.
+    fn maintainer(&self) -> Option<Box<dyn LiveMaintainer + '_>> {
+        None
+    }
 }
 
 /// The prediction interface. One advisor instance serves a whole simulation;

@@ -108,10 +108,7 @@ fn asp_escalation(
             estimate_cost_us: 0.0,
         }
     } else {
-        TxnPlan::lock_all(
-            observed.first().unwrap_or(random_local_partition),
-            num_partitions,
-        )
+        TxnPlan::lock_all(observed.first().unwrap_or(random_local_partition), num_partitions)
     }
 }
 
@@ -153,10 +150,7 @@ impl LiveAdvisor for AssumeSinglePartition {
         attempt: u32,
         ctx: &PlanContext<'_>,
     ) -> (TxnPlan, ()) {
-        (
-            asp_escalation(observed, attempt, ctx.random_local_partition, ctx.num_partitions),
-            (),
-        )
+        (asp_escalation(observed, attempt, ctx.random_local_partition, ctx.num_partitions), ())
     }
 }
 
@@ -328,11 +322,8 @@ mod tests {
             random_local_partition: 0,
         };
         // id 9999 missing -> control code aborts.
-        let req = Request {
-            proc: 0,
-            args: vec![Value::Array(vec![Value::Int(9999)])],
-            origin_node: 0,
-        };
+        let req =
+            Request { proc: 0, args: vec![Value::Array(vec![Value::Int(9999)])], origin_node: 0 };
         let plan = Oracle::new().plan(&req, &mut env);
         assert!(!plan.disable_undo);
     }

@@ -109,10 +109,7 @@ pub struct ProcDef {
 impl ProcDef {
     /// Looks up a query id by name.
     pub fn query_id(&self, name: &str) -> Option<QueryId> {
-        self.queries
-            .iter()
-            .position(|q| q.name == name)
-            .map(|i| i as QueryId)
+        self.queries.iter().position(|q| q.name == name).map(|i| i as QueryId)
     }
 
     /// The query definition for `id`.
@@ -142,10 +139,7 @@ impl Catalog {
 
     /// Procedure id by name.
     pub fn proc_id(&self, name: &str) -> Option<ProcId> {
-        self.procs
-            .iter()
-            .position(|p| p.name == name)
-            .map(|i| i as ProcId)
+        self.procs.iter().position(|p| p.name == name).map(|i| i as ProcId)
     }
 
     /// Procedure definition by id.
@@ -252,10 +246,7 @@ mod tests {
     fn resolver_param_and_broadcast() {
         let c = catalog();
         let r = CatalogResolver::new(&c, 4);
-        assert_eq!(
-            r.partitions(0, 0, &[Value::Int(5)]),
-            PartitionSet::single(1)
-        );
+        assert_eq!(r.partitions(0, 0, &[Value::Int(5)]), PartitionSet::single(1));
         assert_eq!(r.partitions(0, 1, &[Value::Int(5)]), PartitionSet::all(4));
         assert_eq!(r.num_partitions(), 4);
         assert!(r.is_write(0, 2));

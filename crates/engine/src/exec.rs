@@ -63,8 +63,7 @@ impl PartitionStore for DbPartition<'_> {
         params: &[Value],
         undo: &mut UndoLog,
     ) -> Result<()> {
-        self.db
-            .update(self.p, table, key, |row| apply_sets(row, sets, params), undo)
+        self.db.update(self.p, table, key, |row| apply_sets(row, sets, params), undo)
     }
     fn ps_delete(&mut self, table: usize, key: &[Value], undo: &mut UndoLog) -> Result<Row> {
         self.db.delete(self.p, table, key, undo)
@@ -256,12 +255,7 @@ pub fn run_offline(
         db.rollback(&mut undo)?;
     }
     Ok(OfflineOutcome {
-        record: TraceRecord {
-            proc,
-            params: args.to_vec(),
-            queries,
-            aborted: !committed,
-        },
+        record: TraceRecord { proc, params: args.to_vec(), queries, aborted: !committed },
         touched,
         committed,
     })

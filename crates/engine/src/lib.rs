@@ -34,13 +34,14 @@ pub mod runtime;
 pub mod sim;
 
 pub use advisor::{
-    LiveAdvisor, PlanContext, PlanEnv, Request, TxnAdvisor, TxnOutcome, TxnPlan, Updates,
+    LiveAdvisor, LiveMaintainer, PlanContext, PlanEnv, Request, TxnAdvisor, TxnFeedback,
+    TxnOutcome, TxnPlan, Updates,
 };
 pub use catalog::{Catalog, CatalogResolver, ColumnOp, PartitionHint, ProcDef, QueryDef, QueryOp};
 pub use cost::CostModel;
 pub use exec::{run_offline, ExecutedQuery, OfflineOutcome};
-pub use metrics::{LatencyHistogram, OpCounters, RunMetrics};
-pub use procedure::{Procedure, ProcInstance, ProcedureRegistry, QueryInvocation, Step};
+pub use metrics::{EpochAccuracy, LatencyHistogram, MaintenanceReport, OpCounters, RunMetrics};
+pub use procedure::{ProcInstance, Procedure, ProcedureRegistry, QueryInvocation, Step};
 pub use profiler::{Bucket, Profiler};
 pub use runtime::{run_live, LiveConfig};
 pub use sim::{RequestGenerator, SimConfig, Simulation};

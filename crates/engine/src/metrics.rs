@@ -89,11 +89,7 @@ pub struct LatencyHistogram {
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram {
-            counts: vec![0; Self::NUM_BUCKETS],
-            total: 0,
-            sum_us: 0.0,
-        }
+        LatencyHistogram { counts: vec![0; Self::NUM_BUCKETS], total: 0, sum_us: 0.0 }
     }
 }
 
@@ -190,6 +186,64 @@ impl LatencyHistogram {
     }
 }
 
+/// Accuracy of one advisor epoch's predictions, as observed by the
+/// maintenance thread: how many live transitions it saw from transactions
+/// planned under `epoch`, and how many of those the then-current model
+/// *covered* (both states present and the edge carrying trained or
+/// folded-in counts — coverage accuracy, not argmax matching; see
+/// `markov::ModelMonitor::observe_walk` for why the argmax test would
+/// read data-dependent branching as permanent drift). A model swap shows
+/// up as a new entry whose accuracy recovers (Fig. 11's §4.5 narrative,
+/// measured live).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochAccuracy {
+    /// Advisor epoch the transactions planned against.
+    pub epoch: u64,
+    /// Transitions observed from that epoch's transactions.
+    pub observed: u64,
+    /// Of those, transitions the model covered with trained counts.
+    pub matched: u64,
+}
+
+impl EpochAccuracy {
+    /// Matched fraction, `None` until something was observed.
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.observed == 0 {
+            None
+        } else {
+            Some(self.matched as f64 / self.observed as f64)
+        }
+    }
+
+    /// Folds one `(observed, matched)` sample for `epoch` into an
+    /// epoch-sorted accuracy list — the single merge implementation
+    /// behind [`RunMetrics`] and [`MaintenanceReport`].
+    pub fn merge_into(list: &mut Vec<EpochAccuracy>, epoch: u64, observed: u64, matched: u64) {
+        match list.iter_mut().find(|e| e.epoch == epoch) {
+            Some(e) => {
+                e.observed += observed;
+                e.matched += matched;
+            }
+            None => {
+                list.push(EpochAccuracy { epoch, observed, matched });
+                list.sort_by_key(|e| e.epoch);
+            }
+        }
+    }
+}
+
+/// What one run's maintenance thread did (merged into [`RunMetrics`] at
+/// shutdown by [`crate::run_live`]).
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    /// Model epochs published (each swap rebuilds only the drifted models).
+    pub model_swaps: u64,
+    /// Feedback records consumed from the channel.
+    pub feedback_records: u64,
+    /// Per-epoch prediction accuracy.
+    pub epoch_accuracy: Vec<EpochAccuracy>,
+}
+
 /// Aggregate results of one run (simulated or live).
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
@@ -234,6 +288,16 @@ pub struct RunMetrics {
     pub window_us: f64,
     /// Per-procedure optimization counters.
     pub ops: FxHashMap<ProcId, OpCounters>,
+    /// Model epochs the maintenance thread published during the run (§4.5
+    /// live; 0 when the advisor has no maintainer or never drifted).
+    pub model_swaps: u64,
+    /// Feedback records the maintenance thread consumed.
+    pub feedback_records: u64,
+    /// Feedback records dropped at the bounded channel (clients never
+    /// block on maintenance; overload sheds signal, not throughput).
+    pub feedback_dropped: u64,
+    /// Per-advisor-epoch prediction accuracy (maintenance thread's view).
+    pub epoch_accuracy: Vec<EpochAccuracy>,
 }
 
 impl RunMetrics {
@@ -269,6 +333,31 @@ impl RunMetrics {
         *self.latency_by_proc.entry(proc).or_insert(0.0) += latency_us;
     }
 
+    /// Merges one per-epoch accuracy sample.
+    pub fn record_epoch_accuracy(&mut self, epoch: u64, observed: u64, matched: u64) {
+        EpochAccuracy::merge_into(&mut self.epoch_accuracy, epoch, observed, matched);
+    }
+
+    /// Folds the maintenance thread's report in at shutdown.
+    pub fn absorb_maintenance(&mut self, report: &MaintenanceReport) {
+        self.model_swaps += report.model_swaps;
+        self.feedback_records += report.feedback_records;
+        for e in &report.epoch_accuracy {
+            self.record_epoch_accuracy(e.epoch, e.observed, e.matched);
+        }
+    }
+
+    /// Aggregate OP2 success percentage across every procedure — the
+    /// "prediction accuracy" headline of the live-drift experiment.
+    pub fn overall_op2_pct(&self) -> Option<f64> {
+        let (mut ok, mut applicable) = (0u64, 0u64);
+        for ops in self.ops.values() {
+            ok += ops.op2;
+            applicable += ops.op2_applicable;
+        }
+        OpCounters::pct(ok, applicable)
+    }
+
     /// Folds another metrics partial into this one (live-runtime clients
     /// each record locally and merge at shutdown). `window_us` is *not*
     /// combined — the caller sets the shared wall-clock window once.
@@ -283,6 +372,12 @@ impl RunMetrics {
         self.single_partition += other.single_partition;
         self.total_latency_us += other.total_latency_us;
         self.reserved_idle_us += other.reserved_idle_us;
+        self.model_swaps += other.model_swaps;
+        self.feedback_records += other.feedback_records;
+        self.feedback_dropped += other.feedback_dropped;
+        for e in &other.epoch_accuracy {
+            self.record_epoch_accuracy(e.epoch, e.observed, e.matched);
+        }
         self.latency.merge(&other.latency);
         self.lock_hold.merge(&other.lock_hold);
         for (&proc, &n) in &other.committed_by_proc {
@@ -356,11 +451,7 @@ mod tests {
 
     #[test]
     fn throughput_math() {
-        let m = RunMetrics {
-            committed: 5000,
-            window_us: 1_000_000.0,
-            ..Default::default()
-        };
+        let m = RunMetrics { committed: 5000, window_us: 1_000_000.0, ..Default::default() };
         assert!((m.throughput_tps() - 5000.0).abs() < 1e-9);
     }
 
@@ -416,10 +507,7 @@ mod tests {
         assert_eq!(h.count(), 4);
         assert!(h.quantile_us(0.0).unwrap() >= 1.0);
         assert!(h.quantile_us(1.0).is_some());
-        assert!(
-            h.mean_us().unwrap().is_finite(),
-            "a NaN sample must not poison the mean"
-        );
+        assert!(h.mean_us().unwrap().is_finite(), "a NaN sample must not poison the mean");
     }
 
     #[test]

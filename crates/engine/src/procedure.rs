@@ -87,9 +87,7 @@ impl ProcedureRegistry {
 
     /// Builds the [`crate::Catalog`] matching this registry.
     pub fn catalog(&self) -> crate::Catalog {
-        crate::Catalog {
-            procs: self.procs.iter().map(|p| p.def().clone()).collect(),
-        }
+        crate::Catalog { procs: self.procs.iter().map(|p| p.def().clone()).collect() }
     }
 }
 
@@ -113,11 +111,7 @@ pub(crate) mod testing {
             db.insert(
                 p,
                 0,
-                vec![
-                    Value::Int(i as i64),
-                    Value::Int((i % 10) as i64),
-                    Value::Int(0),
-                ],
+                vec![Value::Int(i as i64), Value::Int((i % 10) as i64), Value::Int(0)],
                 &mut undo,
             )
             .unwrap();
@@ -203,9 +197,7 @@ pub(crate) mod testing {
                     Step::Queries(
                         self.ids
                             .iter()
-                            .map(|&id| {
-                                QueryInvocation::new(1, vec![Value::Int(id), Value::Int(1)])
-                            })
+                            .map(|&id| QueryInvocation::new(1, vec![Value::Int(id), Value::Int(1)]))
                             .collect(),
                     )
                 }
@@ -237,9 +229,7 @@ mod tests {
     #[test]
     fn state_machine_walkthrough() {
         let reg = kv_registry();
-        let mut inst = reg
-            .get(0)
-            .instantiate(&[Value::Array(vec![Value::Int(1), Value::Int(2)])]);
+        let mut inst = reg.get(0).instantiate(&[Value::Array(vec![Value::Int(1), Value::Int(2)])]);
         let s0 = inst.next(None);
         match s0 {
             Step::Queries(qs) => assert_eq!(qs.len(), 2),

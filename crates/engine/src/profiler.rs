@@ -77,10 +77,7 @@ impl Profiler {
 
     /// Total recorded microseconds for `proc` across buckets.
     pub fn total_us(&self, proc: ProcId) -> f64 {
-        self.per_proc
-            .get(&proc)
-            .map(|t| t.us.iter().sum())
-            .unwrap_or(0.0)
+        self.per_proc.get(&proc).map(|t| t.us.iter().sum()).unwrap_or(0.0)
     }
 
     /// Fraction of `proc`'s recorded time in `bucket` (Fig. 11's y-axis).

@@ -83,20 +83,36 @@
 //! lock set *after* C released that slot — so every wait edge points from
 //! a later-granted transaction to an earlier-granted one and no cycle can
 //! form; blocked single-partition clients hold no locks at all.
+//!
+//! ## On-line model maintenance (§4.5)
+//!
+//! Every session teardown (commit, user abort, or mispredict replan) may
+//! yield structured [`TxnFeedback`]; clients push it into a *bounded*
+//! channel with `try_send` — never blocking the acknowledgement path — and
+//! a background **maintenance thread** (spawned by [`run_live`] when the
+//! advisor provides a [`LiveMaintainer`]) drains it, accumulates per-model
+//! accuracy and transition deltas, rebuilds only drifted models, and
+//! publishes them as new advisor epochs that *fresh* transactions pick up
+//! while in-flight ones keep their snapshot (see DESIGN.md §5). Dropped
+//! records (`RunMetrics::feedback_dropped`) cost signal, not correctness.
 
-use crate::advisor::{LiveAdvisor, PlanContext, Request, TxnOutcome, TxnPlan};
+use crate::advisor::{
+    LiveAdvisor, LiveMaintainer, PlanContext, Request, TxnFeedback, TxnOutcome, TxnPlan,
+};
 use crate::catalog::Catalog;
 use crate::exec::{execute_fragment, ExecutedQuery};
 use crate::metrics::RunMetrics;
 use crate::procedure::{ProcedureRegistry, Step};
 use crate::sim::RequestGenerator;
 use common::{
-    derive_seed, seeded_rng, Error, FxHashMap, PartitionId, PartitionSet, ProcId, QueryId,
-    Result, Value,
+    derive_seed, seeded_rng, Error, FxHashMap, PartitionId, PartitionSet, ProcId, QueryId, Result,
+    Value,
 };
 use rand::Rng;
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
+};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 use storage::{Database, Row, Shard, SpeculationStack, UndoLog};
@@ -141,6 +157,11 @@ pub struct LiveConfig {
     /// otherwise near-instant, which would hide exactly the cost OP4
     /// eliminates: the 2PC rounds a reserved partition sits through.
     pub msg_delay_us: u64,
+    /// Bound of the session-teardown → maintenance-thread feedback channel
+    /// (§4.5). Clients never block on maintenance: a full channel drops the
+    /// record (counted in `RunMetrics::feedback_dropped`) and the
+    /// transaction's acknowledgement proceeds untouched.
+    pub feedback_capacity: usize,
 }
 
 impl Default for LiveConfig {
@@ -152,6 +173,7 @@ impl Default for LiveConfig {
             seed: 7,
             commit_flush_us: 0,
             msg_delay_us: 0,
+            feedback_capacity: 4096,
         }
     }
 }
@@ -335,7 +357,9 @@ enum WorkerMsg<S> {
     /// 2PC outcome for the speculation window this worker has open — sent
     /// on the main queue (not the reservation channel) so a speculating
     /// worker can block on one receiver instead of polling two.
-    SpecFinish { commit: bool },
+    SpecFinish {
+        commit: bool,
+    },
     Shutdown,
 }
 
@@ -470,10 +494,7 @@ fn run_single<A: LiveAdvisor>(
                         return SingleOutcome::plain(SingleReply::Fatal(e));
                     }
                     return SingleOutcome {
-                        reply: SingleReply::Mispredict {
-                            observed: accessed.union(seen),
-                            session,
-                        },
+                        reply: SingleReply::Mispredict { observed: accessed.union(seen), session },
                         spec_undo: None,
                         touched_tables,
                         wrote_tables,
@@ -967,10 +988,7 @@ fn run_distributed<A: LiveAdvisor>(
                     let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
                     record_remaining_hold(metrics, lock_set, released, t_locked);
                     return match fin {
-                        Ok(()) => Attempt::Mispredict {
-                            observed: accessed.union(seen),
-                            session,
-                        },
+                        Ok(()) => Attempt::Mispredict { observed: accessed.union(seen), session },
                         Err(e) => Attempt::Fatal(e),
                     };
                 }
@@ -984,13 +1002,11 @@ fn run_distributed<A: LiveAdvisor>(
                     // then merge replies in ascending partition order —
                     // identical row order to the single-threaded executor.
                     for p in targets.iter() {
-                        let _ = frag_tx[p as usize].as_ref().expect("locked").send(
-                            FragCmd::Exec {
-                                proc: req.proc,
-                                query: inv.query,
-                                params: inv.params.clone(),
-                            },
-                        );
+                        let _ = frag_tx[p as usize].as_ref().expect("locked").send(FragCmd::Exec {
+                            proc: req.proc,
+                            query: inv.query,
+                            params: inv.params.clone(),
+                        });
                     }
                     let mut rows = Vec::new();
                     let mut constraint: Option<String> = None;
@@ -1112,6 +1128,22 @@ fn run_distributed<A: LiveAdvisor>(
     }
 }
 
+/// Ships one session-teardown feedback record toward the maintenance
+/// thread, if maintenance is on and the advisor produced one. `try_send`
+/// keeps the client's acknowledgement latency independent of maintenance:
+/// a full channel sheds the record and bumps the drop counter.
+fn emit_feedback(
+    metrics: &mut RunMetrics,
+    fb_tx: Option<&SyncSender<TxnFeedback>>,
+    record: Option<TxnFeedback>,
+) {
+    if let (Some(tx), Some(rec)) = (fb_tx, record) {
+        if tx.try_send(rec).is_err() {
+            metrics.feedback_dropped += 1;
+        }
+    }
+}
+
 /// One closed-loop client: issue requests, route them through the advisor,
 /// dispatch, restart on mispredicts. Returns this client's metrics partial.
 #[allow(clippy::too_many_arguments)]
@@ -1122,6 +1154,7 @@ fn client_loop<A: LiveAdvisor>(
     gen: &mut (dyn RequestGenerator + Send),
     client: u64,
     cfg: &LiveConfig,
+    fb_tx: Option<&SyncSender<TxnFeedback>>,
 ) -> Result<RunMetrics> {
     let mut rng = seeded_rng(derive_seed(cfg.seed, 0xC11E47 ^ client));
     let mut metrics = RunMetrics::default();
@@ -1191,10 +1224,11 @@ fn client_loop<A: LiveAdvisor>(
                     early_released,
                     session: s,
                 } => {
-                    env.advisor.on_end_live(
+                    let record = env.advisor.on_end_live(
                         s,
                         if committed { TxnOutcome::Committed } else { TxnOutcome::UserAborted },
                     );
+                    emit_feedback(&mut metrics, fb_tx, record);
                     if committed {
                         metrics.committed += 1;
                         *metrics.committed_by_proc.entry(proc).or_insert(0) += 1;
@@ -1232,16 +1266,28 @@ fn client_loop<A: LiveAdvisor>(
                     metrics.restarts += 1;
                     last_observed = observed;
                     if attempt > cfg.max_restarts {
-                        // Forced fallback, advisor not consulted — exactly
-                        // like the simulator past `max_restarts`. The old
-                        // session rides along untouched.
+                        // Forced fallback: the *plan* is lock-all without
+                        // consulting the advisor — exactly like the
+                        // simulator past `max_restarts`, guaranteeing
+                        // termination for any advisor. The aborted
+                        // attempt's session is torn down like any other
+                        // (its prefix is maintenance signal); riding it
+                        // into the retry would concatenate two walks into
+                        // one feedback path and intern phantom states.
+                        let record = env.advisor.on_end_live(s, TxnOutcome::Mispredicted);
+                        emit_feedback(&mut metrics, fb_tx, record);
+                        let (_, ns) = env.advisor.replan_live(&req, observed, attempt, &ctx);
                         plan = TxnPlan::lock_all(
                             observed.first().unwrap_or(plan.base_partition),
                             env.num_partitions,
                         );
-                        session = s;
+                        session = ns;
                     } else {
-                        drop(s); // superseded by the replan's fresh session
+                        // The superseded session's executed prefix is
+                        // maintenance signal (the sim path records it the
+                        // same way, §4.5) before the replan replaces it.
+                        let record = env.advisor.on_end_live(s, TxnOutcome::Mispredicted);
+                        emit_feedback(&mut metrics, fb_tx, record);
                         let (p, ns) = env.advisor.replan_live(&req, observed, attempt, &ctx);
                         plan = p;
                         session = ns;
@@ -1249,10 +1295,12 @@ fn client_loop<A: LiveAdvisor>(
                 }
                 Attempt::Cascaded => {
                     // The speculative execution was discarded by a cascade;
-                    // retry transparently at the same attempt. The advisor
-                    // is deterministic per (request, context), so re-asking
-                    // reproduces the plan this attempt ran with — with a
-                    // fresh session (the speculative one died mid-walk).
+                    // retry transparently at the same attempt with a fresh
+                    // plan and session (the speculative one died mid-walk).
+                    // Re-asking normally reproduces the plan this attempt
+                    // ran with; if a maintenance epoch swapped in between,
+                    // the retry simply runs under the newer (equally valid)
+                    // plan — target validation catches any mispredict.
                     metrics.cascaded_aborts += 1;
                     cascades += 1;
                     let (p, ns) = if cascades > MAX_CASCADE_RETRIES {
@@ -1262,10 +1310,7 @@ fn client_loop<A: LiveAdvisor>(
                         // speculative — so it terminates. (Not counted as a
                         // restart: the plan never mispredicted.)
                         let (_, ns) = env.advisor.plan_live(&req, &ctx);
-                        (
-                            TxnPlan::lock_all(plan.base_partition, env.num_partitions),
-                            ns,
-                        )
+                        (TxnPlan::lock_all(plan.base_partition, env.num_partitions), ns)
                     } else if attempt == 0 {
                         env.advisor.plan_live(&req, &ctx)
                     } else {
@@ -1320,6 +1365,16 @@ pub fn run_live<A: LiveAdvisor>(
         worker_tx.push(tx);
         worker_rx.push(rx);
     }
+    // The §4.5 feedback pipeline exists only when the advisor can learn:
+    // a bounded channel from session teardown to one background
+    // maintenance thread that owns the advisor's `LiveMaintainer`.
+    let maintainer: Option<Box<dyn LiveMaintainer + '_>> = advisor.maintainer();
+    let (fb_tx, fb_rx) = if maintainer.is_some() {
+        let (tx, rx) = sync_channel::<TxnFeedback>(cfg.feedback_capacity.max(1));
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
 
     let started = Instant::now();
     let (metrics, shards) = std::thread::scope(|s| {
@@ -1329,16 +1384,33 @@ pub fn run_live<A: LiveAdvisor>(
             let env = &env;
             worker_handles.push(s.spawn(move || worker_loop::<A>(shard, &rx, env)));
         }
+        let maint_handle = maintainer.map(|mut mt| {
+            let rx = fb_rx.expect("feedback receiver exists with a maintainer");
+            s.spawn(move || {
+                // Drain until every sender (one clone per client) is gone;
+                // records still queued at client exit are consumed, so
+                // `feedback_records + feedback_dropped` equals the records
+                // the clients emitted.
+                while let Ok(fb) = rx.recv() {
+                    mt.absorb(fb);
+                }
+                mt.report()
+            })
+        });
         let mut client_handles = Vec::new();
         for c in 0..clients {
             let env = &env;
             let worker_tx = &worker_tx;
             let locks = &locks;
+            let fb_tx = fb_tx.clone();
             client_handles.push(s.spawn(move || {
                 let mut gen = make_gen(c);
-                client_loop::<A>(env, worker_tx, locks, gen.as_mut(), c, cfg)
+                client_loop::<A>(env, worker_tx, locks, gen.as_mut(), c, cfg, fb_tx.as_ref())
             }));
         }
+        // The scope's copy of the sender must die with the clients or the
+        // maintenance thread would wait on the channel forever.
+        drop(fb_tx);
         // Collect client outcomes WITHOUT panicking yet: the workers must
         // receive their Shutdown messages first, or a panicking client
         // (generator bug, poisoned lock) would leave them parked in recv()
@@ -1348,10 +1420,9 @@ pub fn run_live<A: LiveAdvisor>(
         for tx in &worker_tx {
             let _ = tx.send(WorkerMsg::Shutdown);
         }
-        let shards: Vec<Shard> = worker_handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect();
+        let shards: Vec<Shard> =
+            worker_handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect();
+        let maint_report = maint_handle.map(|h| h.join().expect("maintenance thread panicked"));
         let mut merged: Result<RunMetrics> = Ok(RunMetrics::default());
         for r in client_results {
             match r {
@@ -1364,6 +1435,9 @@ pub fn run_live<A: LiveAdvisor>(
                 // Workers are already down; now it is safe to propagate.
                 Err(panic) => std::panic::resume_unwind(panic),
             }
+        }
+        if let (Ok(m), Some(report)) = (merged.as_mut(), maint_report) {
+            m.absorb_maintenance(&report);
         }
         (merged, shards)
     });
@@ -1421,12 +1495,7 @@ mod tests {
 
     fn sum_vals(db: &Database, parts: u32) -> i64 {
         (0..parts)
-            .map(|p| {
-                db.table(p, 0)
-                    .iter()
-                    .map(|(_, row)| row[2].expect_int())
-                    .sum::<i64>()
-            })
+            .map(|p| db.table(p, 0).iter().map(|(_, row)| row[2].expect_int()).sum::<i64>())
             .sum()
     }
 
@@ -1575,8 +1644,7 @@ mod tests {
                 srrx.recv_timeout(Duration::from_secs(30)).expect("deferred ack")
             } else {
                 // Non-conflicting: acknowledged before any outcome exists.
-                let reply =
-                    srrx.recv_timeout(Duration::from_secs(30)).expect("immediate ack");
+                let reply = srrx.recv_timeout(Duration::from_secs(30)).expect("immediate ack");
                 send_outcome();
                 assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
                 reply
@@ -1598,10 +1666,7 @@ mod tests {
             SingleReply::Done { committed, speculative, undo_disabled_ever, .. } => {
                 assert!(committed);
                 assert!(speculative, "executed inside the window");
-                assert!(
-                    !undo_disabled_ever,
-                    "OP3 must be ignored while speculating (§4.3)"
-                );
+                assert!(!undo_disabled_ever, "OP3 must be ignored while speculating (§4.3)");
             }
             _ => panic!("expected a deferred Done"),
         }
@@ -1619,10 +1684,7 @@ mod tests {
             matches!(reply, SingleReply::Cascaded),
             "cascaded speculative txn must be told to retry"
         );
-        assert_eq!(
-            after, before,
-            "cascading rollback must restore the shard byte-for-byte"
-        );
+        assert_eq!(after, before, "cascading rollback must restore the shard byte-for-byte");
     }
 
     #[test]
@@ -1649,8 +1711,7 @@ mod tests {
         // A MultiGet over no ids reads and writes nothing: a degenerate
         // read-only transaction, acknowledged mid-window (paper §2 OP4's
         // non-conflicting case), surviving even an eventual cascade.
-        let (reply, after, before) =
-            drive_speculation(false, vec![Value::Array(vec![])], false);
+        let (reply, after, before) = drive_speculation(false, vec![Value::Array(vec![])], false);
         match reply {
             SingleReply::Done { committed, speculative, .. } => {
                 assert!(committed);

@@ -122,7 +122,10 @@ enum Attempt {
     Done(TxnSummary),
     /// The transaction touched (or was about to touch) a partition outside
     /// its lock set, or re-touched an early-released partition.
-    Mispredict { observed: PartitionSet, t_fail: f64 },
+    Mispredict {
+        observed: PartitionSet,
+        t_fail: f64,
+    },
 }
 
 /// Everything the simulator needs to know about a finished transaction.
@@ -222,10 +225,7 @@ impl<'a> Simulation<'a> {
             let local_part = local_part.min(self.cfg.num_partitions - 1);
             let req = Request { proc, args, origin_node };
             let summary = self.process_txn(&req, t, local_part)?;
-            heap.push(Reverse((
-                Tf(summary.client_done + self.costs.client_think_us),
-                client,
-            )));
+            heap.push(Reverse((Tf(summary.client_done + self.costs.client_think_us), client)));
         }
         self.metrics.window_us = self.cfg.measure_us;
         Ok((self.metrics, self.profiler))
@@ -364,11 +364,11 @@ impl<'a> Simulation<'a> {
         let mut spec_wait_until = 0.0f64;
         let mut spec_conflict_tables = 0u64;
         let note_spec = |spec: &[Option<SpecWindow>],
-                             p: PartitionId,
-                             at: f64,
-                             speculative: &mut bool,
-                             wait: &mut f64,
-                             tables: &mut u64| {
+                         p: PartitionId,
+                         at: f64,
+                         speculative: &mut bool,
+                         wait: &mut f64,
+                         tables: &mut u64| {
             if let Some(w) = spec[p as usize] {
                 if at < w.until {
                     *speculative = true;
@@ -389,11 +389,7 @@ impl<'a> Simulation<'a> {
         // Undo decision: speculative transactions always keep undo logging
         // (paper §4.3 OP3).
         let start_without_undo = plan.disable_undo && !speculative;
-        let mut undo = if start_without_undo {
-            UndoLog::disabled()
-        } else {
-            UndoLog::new()
-        };
+        let mut undo = if start_without_undo { UndoLog::disabled() } else { UndoLog::new() };
         let mut undo_disabled_ever = start_without_undo;
 
         let mut inst = self.registry.get(proc).instantiate(&req.args);
@@ -469,8 +465,7 @@ impl<'a> Simulation<'a> {
                         touched_tables |= table_bit(def.table);
                         if is_write {
                             for p in parts.iter() {
-                                *wrote_by_partition.entry(p).or_insert(0) |=
-                                    table_bit(def.table);
+                                *wrote_by_partition.entry(p).or_insert(0) |= table_bit(def.table);
                             }
                         }
                         let qcost = self.costs.query_cost_us(is_write, undo.is_enabled());
@@ -584,21 +579,21 @@ impl<'a> Simulation<'a> {
                         // reserved for its whole lifetime.
                         for p in lock_set.iter() {
                             if p == base {
-                                self.avail[p as usize] =
-                                    self.avail[p as usize].max(t_commit);
+                                self.avail[p as usize] = self.avail[p as usize].max(t_commit);
                             } else if !released.contains_key(&p) {
                                 let oneway = self.costs.msg_us(base_node, self.cfg.node_of(p));
                                 msgs += oneway;
                                 let release = t_commit + oneway;
-                                let idle_from =
-                                    held.get(&p).copied().unwrap_or(t0).min(release);
+                                let idle_from = held.get(&p).copied().unwrap_or(t0).min(release);
                                 self.metrics.reserved_idle_us += release - idle_from;
-                                self.avail[p as usize] =
-                                    self.avail[p as usize].max(release);
+                                self.avail[p as usize] = self.avail[p as usize].max(release);
                             }
                         }
-                        self.profiler
-                            .add(proc, Bucket::Coordination, msgs + self.costs.twopc_cpu_us);
+                        self.profiler.add(
+                            proc,
+                            Bucket::Coordination,
+                            msgs + self.costs.twopc_cpu_us,
+                        );
                         #[cfg(feature = "sim-debug")]
                         {
                             let unreleased = lock_set.len() as usize - 1 - released.len();
@@ -617,10 +612,7 @@ impl<'a> Simulation<'a> {
                         for &p in released.keys() {
                             self.spec[p as usize] = Some(SpecWindow {
                                 until: t_commit,
-                                written_tables: wrote_by_partition
-                                    .get(&p)
-                                    .copied()
-                                    .unwrap_or(0),
+                                written_tables: wrote_by_partition.get(&p).copied().unwrap_or(0),
                             });
                         }
                     }
@@ -753,14 +745,7 @@ mod tests {
             measure_us: 300_000.0,
             ..Default::default()
         };
-        let sim = Simulation::new(
-            &mut db,
-            &reg,
-            &mut advisor,
-            &mut gen,
-            CostModel::default(),
-            cfg,
-        );
+        let sim = Simulation::new(&mut db, &reg, &mut advisor, &mut gen, CostModel::default(), cfg);
         let (metrics, _) = sim.run().expect("no halts");
         metrics
     }
@@ -843,14 +828,7 @@ mod tests {
             measure_us: 100_000.0,
             ..Default::default()
         };
-        let sim = Simulation::new(
-            &mut db,
-            &reg,
-            &mut advisor,
-            &mut gen,
-            CostModel::default(),
-            cfg,
-        );
+        let sim = Simulation::new(&mut db, &reg, &mut advisor, &mut gen, CostModel::default(), cfg);
         sim.run().unwrap();
         assert_eq!(db.total_rows(0), 32);
     }
@@ -911,14 +889,7 @@ mod tests {
             ..Default::default()
         };
         let clients = u64::from(cfg.num_partitions * cfg.clients_per_partition);
-        let sim = Simulation::new(
-            &mut db,
-            &reg,
-            &mut advisor,
-            &mut gen,
-            CostModel::default(),
-            cfg,
-        );
+        let sim = Simulation::new(&mut db, &reg, &mut advisor, &mut gen, CostModel::default(), cfg);
         let (m, _) = sim.run().unwrap();
         assert_eq!(m.committed + m.user_aborts, clients * 25);
     }
@@ -1006,8 +977,7 @@ mod tests {
             let mut undo = UndoLog::new();
             for i in 0..i64::from(parts) * 4 {
                 let p = db.partition_for_value(&Value::Int(i));
-                db.insert(p, WIDE_TABLE, vec![Value::Int(i), Value::Int(0)], &mut undo)
-                    .unwrap();
+                db.insert(p, WIDE_TABLE, vec![Value::Int(i), Value::Int(0)], &mut undo).unwrap();
             }
             (ProcedureRegistry::new(vec![Box::new(BumpWide::new())]), db)
         }
@@ -1041,14 +1011,7 @@ mod tests {
             measure_us: 50_000.0,
             ..Default::default()
         };
-        let sim = Simulation::new(
-            &mut db,
-            &reg,
-            &mut advisor,
-            &mut gen,
-            CostModel::default(),
-            cfg,
-        );
+        let sim = Simulation::new(&mut db, &reg, &mut advisor, &mut gen, CostModel::default(), cfg);
         let (m, _) = sim.run().expect("wide catalog must not halt");
         assert!(m.committed > 0);
     }

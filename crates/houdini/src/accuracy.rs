@@ -203,11 +203,7 @@ mod tests {
         }
         assert!(agg.txns > 400);
         assert!(agg.op3_pct() > 99.0, "OP3 must never be fatally wrong");
-        assert!(
-            agg.total_pct() > 70.0,
-            "overall accuracy {:.1}% too low",
-            agg.total_pct()
-        );
+        assert!(agg.total_pct() > 70.0, "overall accuracy {:.1}% too low", agg.total_pct());
     }
 
     #[test]

@@ -2,12 +2,15 @@
 
 use crate::modelset::{lock_set_for, CatalogRule};
 use crate::train::ProcPredictor;
-use common::{FxHashMap, PartitionSet, ProcId, QueryId, Value};
+use common::{EpochCell, FxHashMap, PartitionSet, ProcId, QueryId, Value};
 use engine::{
-    Catalog, CatalogResolver, ExecutedQuery, LiveAdvisor, PlanContext, PlanEnv, Request,
-    TxnAdvisor, TxnOutcome, TxnPlan, Updates,
+    Catalog, CatalogResolver, ExecutedQuery, LiveAdvisor, LiveMaintainer, MaintenanceReport,
+    PlanContext, PlanEnv, Request, TxnAdvisor, TxnFeedback, TxnOutcome, TxnPlan, Updates,
 };
-use markov::{estimate_path, EstimateConfig, PathTracker, QueryKind, VertexId, VertexKey};
+use markov::{
+    estimate_path, EstimateConfig, ModelMonitor, PathTracker, QueryKind, VertexId, VertexKey,
+};
+use std::sync::Arc;
 
 /// Minimum training observations before a state's finish table is trusted
 /// for OP4: a state observed once or twice (e.g. only in an aborted record)
@@ -53,6 +56,16 @@ pub struct HoudiniConfig {
     /// identically but `TxnPlan::early_prepare` stays false, so the engine
     /// never releases a partition before 2PC.
     pub early_prepare: bool,
+    /// Learn from live traffic (§4.5): emit per-transaction path feedback
+    /// at session teardown and drive the runtime's maintenance thread,
+    /// which rebuilds drifted models and epoch-swaps them in without
+    /// stopping traffic. Off is the frozen-model ablation of the
+    /// `live-drift` experiment.
+    pub maintenance: bool,
+    /// Accuracy floor of the live maintenance monitors (the paper's 75%).
+    pub maintenance_threshold: f64,
+    /// Observations per model before live accuracy is judged.
+    pub maintenance_min_window: u64,
     /// Path-estimation knobs.
     pub estimate: EstimateConfig,
 }
@@ -64,6 +77,9 @@ impl Default for HoudiniConfig {
             est_cost_per_state_us: 1.2,
             update_cost_us: 4.0,
             early_prepare: true,
+            maintenance: true,
+            maintenance_threshold: 0.75,
+            maintenance_min_window: 200,
             estimate: EstimateConfig::default(),
         }
     }
@@ -109,6 +125,9 @@ struct TxnCore {
     /// Houdini switched off (disabled procedure or restart fallback):
     /// no tracking, no updates.
     passive: bool,
+    /// The transaction had a followed estimate and left it (§4.4
+    /// deviation) — reported in live feedback as a drift signal.
+    deviated: bool,
 }
 
 /// Per-transaction scratch state between `plan` and `on_end`.
@@ -159,8 +178,7 @@ fn updates_at_state(
             && vtx.hits > 0
             && table.abort < 1e-9
             && 1.0 - table.abort > cfg.threshold
-            && (0..num_partitions)
-                .all(|p| core.lock_set.contains(p) || table.access(p) < 1e-9)
+            && (0..num_partitions).all(|p| core.lock_set.contains(p) || table.access(p) < 1e-9)
         {
             core.undo_disabled = true;
             upd.disable_undo = true;
@@ -183,9 +201,8 @@ fn updates_at_state(
     // procedures (all of TATP, TPC-C's Payment) have closures that
     // genuinely enumerate their continuations, so only they may release
     // through tables. (Computed once per transaction at plan time.)
-    let finish_table = to
-        .filter(|&v| model.vertex(v).hits >= MIN_FINISH_HITS)
-        .filter(|_| core.model_loop_free);
+    let finish_table =
+        to.filter(|&v| model.vertex(v).hits >= MIN_FINISH_HITS).filter(|_| core.model_loop_free);
     // A complete request-specific estimate outranks the generalized
     // tables: its finish plan knows this request's actual loop bounds and
     // partition bindings, while the table closure averages over every
@@ -221,6 +238,7 @@ fn updates_at_state(
             core.est_pos = Some(pos + 1);
         } else {
             core.est_pos = None; // deviated: stop trusting the plan
+            core.deviated = true;
         }
     }
     core.declared = core.declared.union(finished);
@@ -229,8 +247,22 @@ fn updates_at_state(
 }
 
 /// The Houdini advisor: trained predictors plus on-line tracking.
+///
+/// Two views of the trained predictors coexist:
+///
+/// * `procs` — the simulator's `&mut` view, maintained in place by
+///   [`TxnAdvisor`]'s tracker/monitor machinery.
+/// * `epochs` — the live runtime's epoch-swapped view: every live
+///   transaction pins the snapshot it planned against, and the runtime's
+///   maintenance thread publishes rebuilt predictors as new epochs
+///   (clone-on-write: only drifted models are deep-copied).
+///
+/// Both start as clones of the same training output (sharing every model
+/// `Arc`), then diverge under their own maintenance regimes.
 pub struct Houdini {
     procs: Vec<ProcPredictor>,
+    /// Live-runtime predictor epochs (§4.5; see DESIGN.md §5).
+    epochs: EpochCell<Vec<ProcPredictor>>,
     catalog: Catalog,
     num_partitions: u32,
     /// Knobs.
@@ -259,8 +291,10 @@ impl Houdini {
         num_partitions: u32,
         cfg: HoudiniConfig,
     ) -> Self {
+        let epochs = EpochCell::new(procs.clone());
         Houdini {
             procs,
+            epochs,
             catalog,
             num_partitions,
             cfg,
@@ -274,9 +308,21 @@ impl Houdini {
         }
     }
 
-    /// The predictor for `proc`.
+    /// The predictor for `proc` (the simulator's in-place view).
     pub fn predictor(&self, proc: ProcId) -> &ProcPredictor {
         &self.procs[proc as usize]
+    }
+
+    /// The live runtime's current predictor epoch number (0 until the
+    /// maintenance thread publishes a rebuild).
+    pub fn live_epoch(&self) -> u64 {
+        self.epochs.epoch()
+    }
+
+    /// Snapshot of the live runtime's current predictors — what a fresh
+    /// `plan_live` would plan against right now.
+    pub fn live_predictors(&self) -> Arc<Vec<ProcPredictor>> {
+        self.epochs.load()
     }
 
     /// Conservative fallback decisions: lock every partition, keep undo
@@ -284,8 +330,12 @@ impl Houdini {
     /// outright) so OP4 can release partitions the tables say are finished
     /// — a lock-all transaction that never lets go would serialize the
     /// cluster. Shared by the simulated-time and live paths.
-    fn passive_decision(&self, proc: ProcId, args: &[Value], base: u32) -> (TxnPlan, usize, TxnCore) {
-        let pred = &self.procs[proc as usize];
+    fn passive_decision(
+        &self,
+        pred: &ProcPredictor,
+        args: &[Value],
+        base: u32,
+    ) -> (TxnPlan, usize, TxnCore) {
         let model_idx = if pred.disabled { 0 } else { pred.models.select(args) };
         let track = !pred.disabled;
         let model_loop_free = model_is_loop_free(pred.models.model(model_idx));
@@ -301,6 +351,7 @@ impl Houdini {
             est_pos: None,
             model_loop_free,
             passive: !track,
+            deviated: false,
         };
         let plan = TxnPlan {
             base_partition: base,
@@ -314,7 +365,7 @@ impl Houdini {
 
     /// Installs the fallback as the simulated-time in-flight transaction.
     fn passive_plan(&mut self, proc: ProcId, args: &[Value], base: u32) -> TxnPlan {
-        let (plan, model_idx, core) = self.passive_decision(proc, args, base);
+        let (plan, model_idx, core) = self.passive_decision(&self.procs[proc as usize], args, base);
         let tracker = PathTracker::new(self.procs[proc as usize].models.model(model_idx));
         self.cur = Some(CurrentTxn { proc, model_idx, tracker, core });
         plan
@@ -373,8 +424,7 @@ impl Houdini {
         // release is an abort-restart (plus a live cascade). Loop-free
         // models cannot under-run, so only they may drive early prepares.
         let model_loop_free = model_is_loop_free(model);
-        let follow_plan =
-            est_complete && model_loop_free && est.confidence >= self.cfg.threshold;
+        let follow_plan = est_complete && model_loop_free && est.confidence >= self.cfg.threshold;
         let core = TxnCore {
             lock_set,
             declared: PartitionSet::EMPTY,
@@ -387,6 +437,7 @@ impl Houdini {
             est_pos: follow_plan.then_some(0),
             model_loop_free,
             passive: false,
+            deviated: false,
         };
         let plan = TxnPlan {
             base_partition: base,
@@ -422,8 +473,7 @@ impl TxnAdvisor for Houdini {
             // tracking rather than gamble on a mispredict restart.
             self.plans_fallback += 1;
             *self.fallbacks_by_proc.entry(proc).or_insert(0) += 1;
-            let mut plan =
-                self.passive_plan(proc, &req.args, env.random_local_partition);
+            let mut plan = self.passive_plan(proc, &req.args, env.random_local_partition);
             plan.estimate_cost_us = cost;
             return plan;
         }
@@ -443,9 +493,10 @@ impl TxnAdvisor for Houdini {
         if cur.core.passive {
             return Updates::default();
         }
-        // Maintenance walk (§4.5): advance the tracker (interning a live
-        // placeholder for unseen states) and let the monitor recompute on
-        // drift — this is the `&mut` half the live path cannot do.
+        // Maintenance walk (§4.5), simulator flavour: advance the tracker
+        // (interning a live placeholder for unseen states) and let the
+        // monitor recompute in place — the live path does the equivalent
+        // off to the side, via teardown feedback and epoch swaps.
         {
             let pred = &mut self.procs[cur.proc as usize];
             let (model, monitor) = pred.models.model_mut(cur.model_idx);
@@ -459,15 +510,7 @@ impl TxnAdvisor for Houdini {
         let pred = &self.procs[cur.proc as usize];
         let model = pred.models.model(cur.model_idx);
         let to = cur.tracker.current();
-        updates_at_state(
-            &self.cfg,
-            self.num_partitions,
-            pred,
-            model,
-            &mut cur.core,
-            Some(to),
-            q,
-        )
+        updates_at_state(&self.cfg, self.num_partitions, pred, model, &mut cur.core, Some(to), q)
     }
 
     fn replan(
@@ -493,8 +536,7 @@ impl TxnAdvisor for Houdini {
             let pred = &mut self.procs[cur.proc as usize];
             let (model, monitor) = pred.models.model_mut(cur.model_idx);
             let from = cur.tracker.current();
-            cur.tracker
-                .finish(model, matches!(outcome, TxnOutcome::Committed));
+            cur.tracker.finish(model, matches!(outcome, TxnOutcome::Committed));
             let to = cur.tracker.current();
             if monitor.observe(model, from, to) {
                 self.recomputations += 1;
@@ -504,13 +546,20 @@ impl TxnAdvisor for Houdini {
 }
 
 /// Per-transaction scratch state for the live runtime: the shared
-/// [`TxnCore`] decision state plus a *read-only* model walk (the trained
-/// advisor is shared immutably across threads, so the walk follows
-/// existing vertices and goes dark instead of interning live placeholders;
-/// model maintenance, §4.5, is suspended while live).
+/// [`TxnCore`] decision state plus a *read-only* model walk against the
+/// predictor epoch the transaction planned with. The session pins that
+/// epoch's snapshot, so a maintenance swap mid-transaction never moves the
+/// model under an in-flight walk; states the snapshot has never seen turn
+/// the walk dark, and the executed path is handed back as [`TxnFeedback`]
+/// at teardown so the maintenance thread can intern them into the *next*
+/// epoch (§4.5).
 pub struct LiveTxn {
     proc: ProcId,
     model_idx: usize,
+    /// Predictor epoch this transaction planned against.
+    epoch: u64,
+    /// The pinned predictor snapshot (epoch `epoch`).
+    procs: Arc<Vec<ProcPredictor>>,
     /// Current vertex, `None` once the transaction reached a state never
     /// seen in training.
     cur: Option<VertexId>,
@@ -518,20 +567,33 @@ pub struct LiveTxn {
     prev: PartitionSet,
     /// Per-query invocation counters (vertex identity, §3.1).
     counters: FxHashMap<QueryId, u16>,
+    /// Executed `(query, partitions)` path, for teardown feedback.
+    steps: Vec<(QueryId, PartitionSet)>,
     core: TxnCore,
 }
 
 impl Houdini {
     /// Live twin of `passive_plan`: conservative lock-all with tracking
     /// unless the procedure is disabled outright.
-    fn passive_live(&self, proc: ProcId, args: &[Value], base: u32) -> (TxnPlan, LiveTxn) {
-        let (plan, model_idx, core) = self.passive_decision(proc, args, base);
+    fn passive_live(
+        &self,
+        epoch: u64,
+        procs: &Arc<Vec<ProcPredictor>>,
+        proc: ProcId,
+        args: &[Value],
+        base: u32,
+    ) -> (TxnPlan, LiveTxn) {
+        let pred = &procs[proc as usize];
+        let (plan, model_idx, core) = self.passive_decision(pred, args, base);
         let session = LiveTxn {
             proc,
             model_idx,
-            cur: Some(self.procs[proc as usize].models.model(model_idx).begin()),
+            epoch,
+            procs: procs.clone(),
+            cur: Some(pred.models.model(model_idx).begin()),
             prev: PartitionSet::EMPTY,
             counters: FxHashMap::default(),
+            steps: Vec::new(),
             core,
         };
         (plan, session)
@@ -547,10 +609,12 @@ impl LiveAdvisor for Houdini {
 
     fn plan_live(&self, req: &Request, ctx: &PlanContext<'_>) -> (TxnPlan, LiveTxn) {
         let proc = req.proc;
-        if self.procs[proc as usize].disabled {
-            return self.passive_live(proc, &req.args, ctx.random_local_partition);
+        // Pin the current predictor epoch for this whole transaction.
+        let (epoch, procs) = self.epochs.load_with_epoch();
+        let pred = &procs[proc as usize];
+        if pred.disabled {
+            return self.passive_live(epoch, &procs, proc, &req.args, ctx.random_local_partition);
         }
-        let pred = &self.procs[proc as usize];
         let model_idx = pred.models.select(&req.args);
         let model = pred.models.model(model_idx);
         let rule = CatalogRule::new(&self.catalog, proc, self.num_partitions);
@@ -560,7 +624,7 @@ impl LiveAdvisor for Houdini {
             // Dead-ended walk (§4.4): same conservative fallback as the
             // simulated-time path.
             let (mut plan, session) =
-                self.passive_live(proc, &req.args, ctx.random_local_partition);
+                self.passive_live(epoch, &procs, proc, &req.args, ctx.random_local_partition);
             plan.estimate_cost_us = cost;
             return (plan, session);
         }
@@ -569,12 +633,16 @@ impl LiveAdvisor for Houdini {
         let (mut plan, core) =
             self.plan_from_estimate(pred, model_idx, est, ctx.random_local_partition);
         plan.estimate_cost_us = cost;
+        let begin = model.begin();
         let session = LiveTxn {
             proc,
             model_idx,
-            cur: Some(model.begin()),
+            epoch,
+            procs: procs.clone(),
+            cur: Some(begin),
             prev: PartitionSet::EMPTY,
             counters: FxHashMap::default(),
+            steps: Vec::new(),
             core,
         };
         (plan, session)
@@ -584,11 +652,12 @@ impl LiveAdvisor for Houdini {
         if cur.core.passive {
             return Updates::default();
         }
-        let pred = &self.procs[cur.proc as usize];
+        let pred = &cur.procs[cur.proc as usize];
         let model = pred.models.model(cur.model_idx);
-        // Read-only walk: follow the trained vertex if it exists; a state
-        // never seen in training turns the walk dark (the simulated-time
-        // path interns a live placeholder there instead).
+        // Read-only walk against the pinned epoch: follow the trained
+        // vertex if it exists; a state never seen in training turns the
+        // walk dark here, and teardown feedback lets the maintenance
+        // thread intern it into the next epoch (§4.4/§4.5).
         let counter = {
             let c = cur.counters.entry(q.query).or_insert(0);
             let seen = *c;
@@ -604,15 +673,8 @@ impl LiveAdvisor for Houdini {
         let to = model.find(&key);
         cur.prev = cur.prev.union(q.partitions);
         cur.cur = to;
-        updates_at_state(
-            &self.cfg,
-            self.num_partitions,
-            pred,
-            model,
-            &mut cur.core,
-            to,
-            q,
-        )
+        cur.steps.push((q.query, q.partitions));
+        updates_at_state(&self.cfg, self.num_partitions, pred, model, &mut cur.core, to, q)
     }
 
     fn replan_live(
@@ -623,14 +685,119 @@ impl LiveAdvisor for Houdini {
         ctx: &PlanContext<'_>,
     ) -> (TxnPlan, LiveTxn) {
         // Same §6.4 policy as the simulated-time path: restart locking all
-        // partitions.
+        // partitions (re-pinning whatever epoch is current now).
         let base = observed.first().unwrap_or(ctx.random_local_partition);
-        self.passive_live(req.proc, &req.args, base)
+        let (epoch, procs) = self.epochs.load_with_epoch();
+        self.passive_live(epoch, &procs, req.proc, &req.args, base)
     }
 
-    fn on_end_live(&self, _session: LiveTxn, _outcome: TxnOutcome) {
-        // Model maintenance (§4.5) needs `&mut` model access and is
-        // suspended while serving live traffic; retraining happens offline.
+    fn on_end_live(&self, session: LiveTxn, outcome: TxnOutcome) -> Option<TxnFeedback> {
+        // Model maintenance (§4.5) runs on the runtime's background
+        // thread: hand back the executed path so it can update accuracy
+        // windows and rebuild drifted models into the next epoch.
+        if !self.cfg.maintenance || session.core.passive {
+            return None;
+        }
+        let terminal = match outcome {
+            TxnOutcome::Committed => Some(true),
+            TxnOutcome::UserAborted | TxnOutcome::Failed => Some(false),
+            // A mispredict-aborted attempt: the executed prefix is real
+            // signal, but no commit/abort edge was taken.
+            TxnOutcome::Mispredicted => None,
+        };
+        Some(TxnFeedback {
+            proc: session.proc,
+            model: session.model_idx as u32,
+            epoch: session.epoch,
+            path: session.steps,
+            terminal,
+            deviated: session.core.deviated,
+            predicted: session.core.lock_set,
+        })
+    }
+
+    fn maintainer(&self) -> Option<Box<dyn LiveMaintainer + '_>> {
+        if !self.cfg.maintenance {
+            return None;
+        }
+        let monitors = self
+            .procs
+            .iter()
+            .map(|pred| {
+                vec![
+                    ModelMonitor::with_thresholds(
+                        self.cfg.maintenance_threshold,
+                        self.cfg.maintenance_min_window,
+                    );
+                    pred.models.len()
+                ]
+            })
+            .collect();
+        Some(Box::new(HoudiniMaintainer {
+            houdini: self,
+            monitors,
+            report: MaintenanceReport::default(),
+        }))
+    }
+}
+
+/// Houdini's §4.5 maintenance driver, owned by the live runtime's
+/// background thread. It consumes the feedback stream record by record:
+/// each executed path is replayed against the *current* predictor epoch
+/// (read-only) through that model's [`ModelMonitor`]; when a monitor's
+/// accuracy window fills below the floor, the maintainer clones the
+/// current epoch (cheap — models are `Arc`-shared), deep-copies only the
+/// drifted model, folds the accumulated live counts and dark-state
+/// placeholders into the copy ([`ModelMonitor::recompute`]), and publishes
+/// the result as the next epoch. Traffic never stops: in-flight sessions
+/// keep their pinned snapshot, fresh plans pick up the rebuilt models.
+struct HoudiniMaintainer<'a> {
+    houdini: &'a Houdini,
+    /// Live accuracy monitors/accumulators, per procedure per model.
+    monitors: Vec<Vec<ModelMonitor>>,
+    report: MaintenanceReport,
+}
+
+impl LiveMaintainer for HoudiniMaintainer<'_> {
+    fn absorb(&mut self, fb: TxnFeedback) {
+        self.report.feedback_records += 1;
+        let h = self.houdini;
+        let (_, procs) = h.epochs.load_with_epoch();
+        let pred = &procs[fb.proc as usize];
+        if pred.disabled {
+            return;
+        }
+        // Model count per procedure is fixed at training time (swaps only
+        // replace model contents), so the session's index stays valid
+        // across epochs; clamp defensively all the same.
+        let idx = (fb.model as usize).min(pred.models.len() - 1);
+        let monitor = &mut self.monitors[fb.proc as usize][idx];
+        let resolver = CatalogResolver::new(&h.catalog, h.num_partitions);
+        let (observed, matched) =
+            monitor.observe_walk(pred.models.model(idx), &fb.path, fb.terminal, &resolver);
+        // Accuracy is attributed to the epoch the transaction planned
+        // with: a swap shows up as a fresh epoch entry whose accuracy
+        // recovers.
+        engine::EpochAccuracy::merge_into(
+            &mut self.report.epoch_accuracy,
+            fb.epoch,
+            observed,
+            matched,
+        );
+        if monitor.is_stale() {
+            // Rebuild only the drifted model: snapshot-clone the epoch
+            // (pointer bumps), deep-copy the one model, fold the live
+            // counts in, publish.
+            let mut next: Vec<ProcPredictor> = (*procs).clone();
+            let model = Arc::make_mut(next[fb.proc as usize].models.model_arc_mut(idx));
+            monitor.recompute(model);
+            h.epochs.store(next);
+            self.report.model_swaps += 1;
+        }
+    }
+
+    fn report(&self) -> MaintenanceReport {
+        self.report.clone()
     }
 }
 
@@ -656,10 +823,7 @@ mod tests {
         }
         let cfg = TrainingConfig { partitioned, ..Default::default() };
         let preds = train(&catalog, parts, &Workload { records }, &cfg);
-        (
-            Houdini::new(preds, catalog.clone(), parts, HoudiniConfig::default()),
-            catalog,
-        )
+        (Houdini::new(preds, catalog.clone(), parts, HoudiniConfig::default()), catalog)
     }
 
     fn new_order_req(w: i64, o: i64, item_ws: &[i64]) -> Request {
@@ -799,8 +963,7 @@ mod tests {
         let req = new_order_req(0, 90_005, &[0, 0, 1]);
         let plan = h.plan(&req, &mut env);
         assert!(!plan.early_prepare, "OP4 ablation must not early-prepare");
-        let ctx =
-            PlanContext { catalog: &catalog, num_partitions: 2, random_local_partition: 0 };
+        let ctx = PlanContext { catalog: &catalog, num_partitions: 2, random_local_partition: 0 };
         let (live_plan, _s) = h.plan_live(&req, &ctx);
         assert!(!live_plan.early_prepare);
         // The rest of the plan is unchanged by the ablation.
@@ -836,11 +999,8 @@ mod tests {
                 };
                 TxnAdvisor::plan(&mut h, &req, &mut env)
             };
-            let ctx = PlanContext {
-                catalog: &catalog,
-                num_partitions: 2,
-                random_local_partition: 0,
-            };
+            let ctx =
+                PlanContext { catalog: &catalog, num_partitions: 2, random_local_partition: 0 };
             let (live_plan, _session) = h.plan_live(&req, &ctx);
             assert_eq!(live_plan.base_partition, sim_plan.base_partition, "w={w}");
             assert_eq!(live_plan.lock_set, sim_plan.lock_set, "w={w}");
@@ -877,8 +1037,7 @@ mod tests {
             };
             TxnAdvisor::plan(&mut h_sim, &req, &mut env)
         };
-        let ctx =
-            PlanContext { catalog: &catalog, num_partitions: 2, random_local_partition: 0 };
+        let ctx = PlanContext { catalog: &catalog, num_partitions: 2, random_local_partition: 0 };
         let (live_plan, mut session) = h_live.plan_live(&req, &ctx);
         assert_eq!(live_plan.lock_set, sim_plan.lock_set);
         // Feed both advisors the executed path; the live session must
@@ -897,11 +1056,10 @@ mod tests {
                 is_write: catalog.proc(3).query(q.query).is_write(),
             };
             declared_sim = declared_sim.union(h_sim.on_query(&exec).finished);
-            declared_live =
-                declared_live.union(h_live.on_query_live(&mut session, &exec).finished);
+            declared_live = declared_live.union(h_live.on_query_live(&mut session, &exec).finished);
         }
         h_sim.on_end(TxnOutcome::Committed);
-        h_live.on_end_live(session, TxnOutcome::Committed);
+        let _ = h_live.on_end_live(session, TxnOutcome::Committed);
         assert_eq!(declared_live, declared_sim);
         assert!(declared_live.contains(1), "customer partition finished (OP4)");
     }

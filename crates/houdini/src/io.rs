@@ -24,14 +24,9 @@ pub fn save_predictors<W: Write>(
     num_partitions: u32,
     mut w: W,
 ) -> Result<()> {
-    let bundle = PredictorBundle {
-        num_partitions,
-        predictors: predictors.to_vec(),
-    };
-    let json =
-        serde_json::to_string(&bundle).map_err(|e| Error::Serde(e.to_string()))?;
-    w.write_all(json.as_bytes())
-        .map_err(|e| Error::Serde(e.to_string()))
+    let bundle = PredictorBundle { num_partitions, predictors: predictors.to_vec() };
+    let json = serde_json::to_string(&bundle).map_err(|e| Error::Serde(e.to_string()))?;
+    w.write_all(json.as_bytes()).map_err(|e| Error::Serde(e.to_string()))
 }
 
 /// Deserializes trained predictors, rebuilding every model's vertex index,
@@ -42,8 +37,7 @@ pub fn load_predictors<R: BufRead>(
     expected_partitions: u32,
 ) -> Result<Vec<ProcPredictor>> {
     let mut buf = String::new();
-    r.read_to_string(&mut buf)
-        .map_err(|e| Error::Serde(e.to_string()))?;
+    r.read_to_string(&mut buf).map_err(|e| Error::Serde(e.to_string()))?;
     let mut bundle: PredictorBundle =
         serde_json::from_str(&buf).map_err(|e| Error::Serde(e.to_string()))?;
     if bundle.num_partitions != expected_partitions {
@@ -99,10 +93,8 @@ mod tests {
         for (proc, (a, b)) in preds.iter().zip(&loaded).enumerate() {
             let test: Vec<&TraceRecord> =
                 test_recs.iter().filter(|r| r.proc == proc as u32).collect();
-            let ra: AccuracyReport =
-                evaluate_accuracy(a, &catalog, parts, proc as u32, &test, 0.5);
-            let rb: AccuracyReport =
-                evaluate_accuracy(b, &catalog, parts, proc as u32, &test, 0.5);
+            let ra: AccuracyReport = evaluate_accuracy(a, &catalog, parts, proc as u32, &test, 0.5);
+            let rb: AccuracyReport = evaluate_accuracy(b, &catalog, parts, proc as u32, &test, 0.5);
             assert_eq!(ra.total, rb.total, "proc {proc}");
             assert_eq!(ra.op2, rb.op2, "proc {proc}");
         }

@@ -5,6 +5,7 @@ use common::{PartitionId, PartitionSet, ProcId, QueryId, Value};
 use engine::{Catalog, PartitionHint};
 use markov::{MarkovModel, ModelMonitor, QueryPartitionRule};
 use ml::{DecisionTree, Feature};
+use std::sync::Arc;
 
 /// Adapts the engine catalog into the estimator's partition-rule interface.
 pub struct CatalogRule<'a> {
@@ -42,12 +43,18 @@ impl QueryPartitionRule for CatalogRule<'_> {
 
 /// A procedure's models: global, or partitioned by input-parameter features
 /// with a run-time decision tree (§5.3).
+///
+/// Models are held behind `Arc` so a whole [`ModelSet`] (and therefore a
+/// whole predictor vector) clones in O(models) pointer bumps: the live
+/// maintenance thread snapshots the current epoch, deep-copies *only* the
+/// drifted model via [`ModelSet::model_arc_mut`] + `Arc::make_mut`, and
+/// publishes the result as the next epoch (clone-on-write, §4.5).
 #[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub enum ModelSet {
     /// One model covers every invocation.
     Global {
         /// The model.
-        model: MarkovModel,
+        model: Arc<MarkovModel>,
         /// Its maintenance monitor.
         monitor: ModelMonitor,
     },
@@ -60,7 +67,7 @@ pub enum ModelSet {
         /// The run-time router.
         tree: DecisionTree,
         /// One model per cluster.
-        models: Vec<MarkovModel>,
+        models: Vec<Arc<MarkovModel>>,
         /// One monitor per cluster model.
         monitors: Vec<ModelMonitor>,
         /// Cluster size the features were hashed against.
@@ -82,13 +89,15 @@ impl ModelSet {
         false
     }
 
-    /// Rebuilds every model's vertex index (after deserialization).
+    /// Rebuilds every model's vertex index (after deserialization, where
+    /// each `Arc` is freshly created and unique — `make_mut` copies
+    /// nothing).
     pub fn rebuild_indexes(&mut self) {
         match self {
-            ModelSet::Global { model, .. } => model.rebuild_index(),
+            ModelSet::Global { model, .. } => Arc::make_mut(model).rebuild_index(),
             ModelSet::Partitioned { models, .. } => {
                 for m in models {
-                    m.rebuild_index();
+                    Arc::make_mut(m).rebuild_index();
                 }
             }
         }
@@ -98,7 +107,7 @@ impl ModelSet {
     pub fn total_states(&self) -> usize {
         match self {
             ModelSet::Global { model, .. } => model.len(),
-            ModelSet::Partitioned { models, .. } => models.iter().map(MarkovModel::len).sum(),
+            ModelSet::Partitioned { models, .. } => models.iter().map(|m| m.len()).sum(),
         }
     }
 
@@ -123,13 +132,25 @@ impl ModelSet {
         }
     }
 
-    /// The selected model plus its monitor, mutably (tracking and
-    /// maintenance).
+    /// The selected model's `Arc` handle, mutably — the maintenance
+    /// thread's clone-on-write entry point: `Arc::make_mut` on a snapshot
+    /// clone deep-copies exactly this one model and leaves every other
+    /// model shared with the previous epoch.
+    pub fn model_arc_mut(&mut self, idx: usize) -> &mut Arc<MarkovModel> {
+        match self {
+            ModelSet::Global { model, .. } => model,
+            ModelSet::Partitioned { models, .. } => &mut models[idx],
+        }
+    }
+
+    /// The selected model plus its monitor, mutably (the simulator's
+    /// in-place tracking and maintenance; copies only if the model is
+    /// still shared with a published live epoch).
     pub fn model_mut(&mut self, idx: usize) -> (&mut MarkovModel, &mut ModelMonitor) {
         match self {
-            ModelSet::Global { model, monitor } => (model, monitor),
+            ModelSet::Global { model, monitor } => (Arc::make_mut(model), monitor),
             ModelSet::Partitioned { models, monitors, .. } => {
-                (&mut models[idx], &mut monitors[idx])
+                (Arc::make_mut(&mut models[idx]), &mut monitors[idx])
             }
         }
     }
@@ -159,9 +180,7 @@ pub fn lock_set_for(
             None => est
                 .vertices
                 .iter()
-                .filter(|&&v| {
-                    matches!(model.vertex(v).key.kind, markov::QueryKind::Query(_))
-                })
+                .filter(|&&v| matches!(model.vertex(v).key.kind, markov::QueryKind::Query(_)))
                 .map(|&v| model.vertex(v).table.access(p))
                 .fold(0.0f64, f64::max),
         };
@@ -214,7 +233,7 @@ mod tests {
     #[test]
     fn global_set_selects_zero() {
         let set = ModelSet::Global {
-            model: MarkovModel::new(0, 4),
+            model: Arc::new(MarkovModel::new(0, 4)),
             monitor: ModelMonitor::new(),
         };
         assert_eq!(set.select(&[Value::Int(9)]), 0);

@@ -142,12 +142,12 @@ pub fn train_proc(
     cfg: &TrainingConfig,
 ) -> ProcPredictor {
     let resolver = CatalogResolver::new(catalog, num_partitions);
-    let disabled = records.is_empty()
-        || records.iter().any(|r| r.queries.len() > cfg.max_queries_per_txn);
+    let disabled =
+        records.is_empty() || records.iter().any(|r| r.queries.len() > cfg.max_queries_per_txn);
     if disabled {
         return ProcPredictor {
             models: ModelSet::Global {
-                model: MarkovModel::new(proc, num_partitions),
+                model: std::sync::Arc::new(MarkovModel::new(proc, num_partitions)),
                 monitor: ModelMonitor::new(),
             },
             mapping: ProcMapping::empty(),
@@ -158,15 +158,14 @@ pub fn train_proc(
             unsafe_signatures: FxHashSet::default(),
         };
     }
-    let abort_rate =
-        records.iter().filter(|r| r.aborted).count() as f64 / records.len() as f64;
+    let abort_rate = records.iter().filter(|r| r.aborted).count() as f64 / records.len() as f64;
     let can_abort = catalog.proc(proc).can_abort;
     let unsafe_signatures = unsafe_signatures_of(records);
     let mapping = build_mapping(records, &cfg.mapping);
     if !cfg.partitioned {
         return ProcPredictor {
             models: ModelSet::Global {
-                model: build_model(proc, records, &resolver),
+                model: std::sync::Arc::new(build_model(proc, records, &resolver)),
                 monitor: ModelMonitor::new(),
             },
             mapping,
@@ -186,29 +185,12 @@ pub fn train_proc(
     let sample: Vec<&TraceRecord> = records.iter().copied().take(cfg.eval_sample).collect();
 
     let selected = feed_forward_select(&all_features, &cfg.selection, |feats| {
-        evaluate_feature_set(
-            catalog,
-            num_partitions,
-            proc,
-            &sample,
-            &schema,
-            feats,
-            &mapping,
-            cfg,
-        )
+        evaluate_feature_set(catalog, num_partitions, proc, &sample, &schema, feats, &mapping, cfg)
     });
     // Compare against the global model's cost on the same worksets; keep
     // the clustering only if it actually predicts better (§5.2's premise).
-    let global_cost = evaluate_feature_set(
-        catalog,
-        num_partitions,
-        proc,
-        &sample,
-        &schema,
-        &[],
-        &mapping,
-        cfg,
-    );
+    let global_cost =
+        evaluate_feature_set(catalog, num_partitions, proc, &sample, &schema, &[], &mapping, cfg);
     let clustered_cost = if selected.is_empty() {
         f64::INFINITY
     } else {
@@ -226,7 +208,7 @@ pub fn train_proc(
     if selected.is_empty() || clustered_cost >= global_cost {
         return ProcPredictor {
             models: ModelSet::Global {
-                model: build_model(proc, records, &resolver),
+                model: std::sync::Arc::new(build_model(proc, records, &resolver)),
                 monitor: ModelMonitor::new(),
             },
             mapping,
@@ -254,12 +236,8 @@ pub fn train_proc(
     let mut monitors = Vec::with_capacity(em.k);
     let mut saw_abort = Vec::with_capacity(em.k);
     for c in 0..em.k {
-        let cluster_records: Vec<&TraceRecord> = records
-            .iter()
-            .zip(&labels)
-            .filter(|(_, &l)| l == c)
-            .map(|(r, _)| *r)
-            .collect();
+        let cluster_records: Vec<&TraceRecord> =
+            records.iter().zip(&labels).filter(|(_, &l)| l == c).map(|(r, _)| *r).collect();
         let model = if cluster_records.is_empty() {
             saw_abort.push(abort_rate > 0.0);
             build_model(proc, records, &resolver) // empty cluster: fall back
@@ -267,18 +245,11 @@ pub fn train_proc(
             saw_abort.push(cluster_records.iter().any(|r| r.aborted));
             build_model(proc, &cluster_records, &resolver)
         };
-        models.push(model);
+        models.push(std::sync::Arc::new(model));
         monitors.push(ModelMonitor::new());
     }
     ProcPredictor {
-        models: ModelSet::Partitioned {
-            schema,
-            selected,
-            tree,
-            models,
-            monitors,
-            num_partitions,
-        },
+        models: ModelSet::Partitioned { schema, selected, tree, models, monitors, num_partitions },
         mapping,
         disabled: false,
         abort_rate,
@@ -360,9 +331,8 @@ pub fn evaluate_feature_set(
         Some(fit_em(&data, &cfg.em))
     };
     let k = em.as_ref().map(|m| m.k).unwrap_or(1);
-    let assign = |r: &TraceRecord| -> usize {
-        em.as_ref().map(|m| m.assign(&densify(r))).unwrap_or(0)
-    };
+    let assign =
+        |r: &TraceRecord| -> usize { em.as_ref().map(|m| m.assign(&densify(r))).unwrap_or(0) };
     // Models from the validation workset.
     let mut buckets: Vec<Vec<&TraceRecord>> = vec![Vec::new(); k];
     for r in &val_ws {

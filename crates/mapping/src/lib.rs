@@ -188,21 +188,14 @@ mod tests {
     #[test]
     fn resolve_scalar_and_array() {
         let mut m = ProcMapping::empty();
-        m.insert(
-            0,
-            0,
-            QueryParamMapping { source: ParamSource::Scalar(1), coefficient: 1.0 },
-        );
+        m.insert(0, 0, QueryParamMapping { source: ParamSource::Scalar(1), coefficient: 1.0 });
         m.insert(
             1,
             0,
             QueryParamMapping { source: ParamSource::ArrayElement(2), coefficient: 0.95 },
         );
-        let args = vec![
-            Value::Int(9),
-            Value::Int(42),
-            Value::Array(vec![Value::Int(7), Value::Int(8)]),
-        ];
+        let args =
+            vec![Value::Int(9), Value::Int(42), Value::Array(vec![Value::Int(7), Value::Int(8)])];
         assert_eq!(m.resolve(0, 0, 0, &args), Some(Value::Int(42)));
         assert_eq!(m.resolve(0, 5, 0, &args), Some(Value::Int(42)), "scalar ignores counter");
         assert_eq!(m.resolve(1, 0, 0, &args), Some(Value::Int(7)));

@@ -41,12 +41,8 @@ pub fn add_record(model: &mut MarkovModel, rec: &TraceRecord, resolver: &dyn Par
             cur_c
         };
         let partitions = resolver.partitions(rec.proc, q.query, &q.params);
-        let key = VertexKey {
-            kind: QueryKind::Query(q.query),
-            counter,
-            partitions,
-            previous: prev,
-        };
+        let key =
+            VertexKey { kind: QueryKind::Query(q.query), counter, partitions, previous: prev };
         let name = resolver.query_name(rec.proc, q.query);
         let is_write = resolver.is_write(rec.proc, q.query);
         let next = model.intern(key, name, is_write);
@@ -113,11 +109,7 @@ mod tests {
         assert_eq!(b.edges.len(), 1);
         assert!((b.edges[0].prob - 1.0).abs() < 1e-12);
         // Chain ends at commit.
-        let q2 = m
-            .vertices()
-            .iter()
-            .position(|v| v.name == "Q2")
-            .unwrap() as u32;
+        let q2 = m.vertices().iter().position(|v| v.name == "Q2").unwrap() as u32;
         assert!(m.vertex(q2).edge_to(m.commit()).is_some());
         assert!(m.vertex(q2).is_write);
     }
@@ -152,11 +144,7 @@ mod tests {
     fn previous_set_accumulates() {
         let r = rec(vec![(0, 0), (0, 1)], false);
         let m = build_model(0, &[&r], &ToyResolver { parts: 4 });
-        let second = m
-            .vertices()
-            .iter()
-            .find(|v| v.name == "Q0" && v.key.counter == 1)
-            .unwrap();
+        let second = m.vertices().iter().find(|v| v.name == "Q0" && v.key.counter == 1).unwrap();
         assert_eq!(second.key.previous, PartitionSet::single(0));
         assert_eq!(second.key.partitions, PartitionSet::single(1));
     }
@@ -193,9 +181,8 @@ mod tests {
         // NewOrder-style: the state space is bounded by distinct
         // (query, counter, partitions, previous) combinations, not by the
         // number of records.
-        let records: Vec<TraceRecord> = (0..500)
-            .map(|i| rec(vec![(0, i % 2), (2, i % 2)], false))
-            .collect();
+        let records: Vec<TraceRecord> =
+            (0..500).map(|i| rec(vec![(0, i % 2), (2, i % 2)], false)).collect();
         let refs: Vec<&TraceRecord> = records.iter().collect();
         let m = build_model(0, &refs, &ToyResolver { parts: 2 });
         assert_eq!(m.len(), 3 + 4);

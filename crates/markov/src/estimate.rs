@@ -103,10 +103,7 @@ impl PathEstimate {
     /// The partition accessed most along the path (OP1's base choice),
     /// lowest id on ties.
     pub fn best_base(&self) -> Option<PartitionId> {
-        self.access_counts
-            .iter()
-            .max_by_key(|(p, c)| (**c, u32::MAX - **p))
-            .map(|(p, _)| *p)
+        self.access_counts.iter().max_by_key(|(p, c)| (**c, u32::MAX - **p)).map(|(p, _)| *p)
     }
 }
 
@@ -126,9 +123,10 @@ struct Candidate {
 }
 
 fn merge_candidate(cands: &mut Vec<Candidate>, new: Candidate) {
-    if let Some(c) = cands.iter_mut().find(|c| {
-        c.kind == new.kind && c.partitions == new.partitions && c.valid == new.valid
-    }) {
+    if let Some(c) = cands
+        .iter_mut()
+        .find(|c| c.kind == new.kind && c.partitions == new.partitions && c.valid == new.valid)
+    {
         c.prob += new.prob;
         if c.exact.is_none() {
             if let Some(id) = new.exact {
@@ -235,8 +233,7 @@ pub fn estimate_path(
                         None => {
                             // Broadcast: partitions known without mapping.
                             let all = PartitionSet::all(rule.num_partitions());
-                            let exact = (child.key.partitions == all
-                                && child.key.previous == prev)
+                            let exact = (child.key.partitions == all && child.key.previous == prev)
                                 .then_some(e.to);
                             merge_candidate(
                                 &mut cands,
@@ -250,50 +247,46 @@ pub fn estimate_path(
                                 },
                             );
                         }
-                        Some(pi) => match mapping.resolve_detail(
-                            q,
-                            u32::from(expected),
-                            pi,
-                            args,
-                        ) {
-                            Resolve::Value(val) => {
-                                let predicted =
-                                    PartitionSet::single(rule.partition_of(&val));
-                                let exact = (child.key.partitions == predicted
-                                    && child.key.previous == prev)
-                                    .then_some(e.to);
-                                merge_candidate(
-                                    &mut cands,
-                                    Candidate {
-                                        kind: child.key.kind,
-                                        partitions: predicted,
-                                        prob: e.prob,
-                                        proxy: e.to,
-                                        exact,
-                                        valid: true,
-                                    },
-                                );
-                            }
-                            Resolve::OutOfRange => {}
-                            Resolve::Unmapped => {
-                                // Historical partitions; each variant is its
-                                // own uncertain candidate, and path
-                                // consistency still applies.
-                                if child.key.previous == prev {
+                        Some(pi) => {
+                            match mapping.resolve_detail(q, u32::from(expected), pi, args) {
+                                Resolve::Value(val) => {
+                                    let predicted = PartitionSet::single(rule.partition_of(&val));
+                                    let exact = (child.key.partitions == predicted
+                                        && child.key.previous == prev)
+                                        .then_some(e.to);
                                     merge_candidate(
                                         &mut cands,
                                         Candidate {
                                             kind: child.key.kind,
-                                            partitions: child.key.partitions,
+                                            partitions: predicted,
                                             prob: e.prob,
                                             proxy: e.to,
-                                            exact: Some(e.to),
-                                            valid: false,
+                                            exact,
+                                            valid: true,
                                         },
                                     );
                                 }
+                                Resolve::OutOfRange => {}
+                                Resolve::Unmapped => {
+                                    // Historical partitions; each variant is its
+                                    // own uncertain candidate, and path
+                                    // consistency still applies.
+                                    if child.key.previous == prev {
+                                        merge_candidate(
+                                            &mut cands,
+                                            Candidate {
+                                                kind: child.key.kind,
+                                                partitions: child.key.partitions,
+                                                prob: e.prob,
+                                                proxy: e.to,
+                                                exact: Some(e.to),
+                                                valid: false,
+                                            },
+                                        );
+                                    }
+                                }
                             }
-                        },
+                        }
                     }
                 }
             }
@@ -302,11 +295,7 @@ pub fn estimate_path(
         // Valid candidates preempt uncertain ones; within the class, pick
         // the heaviest, breaking ties towards continuing, then commit.
         let any_valid = cands.iter().any(|c| c.valid);
-        let denom: f64 = cands
-            .iter()
-            .filter(|c| c.valid == any_valid)
-            .map(|c| c.prob)
-            .sum();
+        let denom: f64 = cands.iter().filter(|c| c.valid == any_valid).map(|c| c.prob).sum();
         let chosen = cands
             .iter()
             .enumerate()
@@ -474,13 +463,8 @@ mod tests {
     fn local_order_estimated_single_partition() {
         let (model, mapping) = fixture(4);
         let rule = ToyRule { parts: 4 };
-        let est = estimate_path(
-            &model,
-            &rule,
-            &mapping,
-            &args(2, &[2, 2]),
-            &EstimateConfig::default(),
-        );
+        let est =
+            estimate_path(&model, &rule, &mapping, &args(2, &[2, 2]), &EstimateConfig::default());
         assert!(est.reached_commit);
         assert_eq!(est.touched, PartitionSet::single(2));
         assert_eq!(est.best_base(), Some(2));
@@ -492,13 +476,8 @@ mod tests {
     fn remote_item_estimated_distributed() {
         let (model, mapping) = fixture(4);
         let rule = ToyRule { parts: 4 };
-        let est = estimate_path(
-            &model,
-            &rule,
-            &mapping,
-            &args(1, &[1, 2]),
-            &EstimateConfig::default(),
-        );
+        let est =
+            estimate_path(&model, &rule, &mapping, &args(1, &[1, 2]), &EstimateConfig::default());
         assert!(est.reached_commit);
         assert_eq!(est.touched, PartitionSet::from_iter([1u32, 2]));
         assert_eq!(est.best_base(), Some(1), "w=1 accessed most");
@@ -512,13 +491,8 @@ mod tests {
         // complete and correct (the §4.6 state-space-explosion case).
         let (model, mapping) = fixture(4);
         let rule = ToyRule { parts: 4 };
-        let est = estimate_path(
-            &model,
-            &rule,
-            &mapping,
-            &args(1, &[1, 3]),
-            &EstimateConfig::default(),
-        );
+        let est =
+            estimate_path(&model, &rule, &mapping, &args(1, &[1, 3]), &EstimateConfig::default());
         assert!(est.reached_commit, "walk must not dead-end");
         assert_eq!(est.touched, PartitionSet::from_iter([1u32, 3]));
         assert_eq!(est.uncertain_steps, 0);
@@ -528,19 +502,11 @@ mod tests {
     fn array_length_bounds_loop() {
         let (model, mapping) = fixture(4);
         let rule = ToyRule { parts: 4 };
-        let est = estimate_path(
-            &model,
-            &rule,
-            &mapping,
-            &args(3, &[3]),
-            &EstimateConfig::default(),
-        );
+        let est =
+            estimate_path(&model, &rule, &mapping, &args(3, &[3]), &EstimateConfig::default());
         assert!(est.reached_commit || est.reached_abort);
-        let names: Vec<&str> = est
-            .vertices
-            .iter()
-            .map(|&v| model.vertex(v).name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            est.vertices.iter().map(|&v| model.vertex(v).name.as_str()).collect();
         let checks = names.iter().filter(|n| **n == "Check").count();
         assert_eq!(checks, 1, "path {names:?}");
     }
@@ -549,13 +515,8 @@ mod tests {
     fn abort_probability_from_tables() {
         let (model, mapping) = fixture(4);
         let rule = ToyRule { parts: 4 };
-        let est = estimate_path(
-            &model,
-            &rule,
-            &mapping,
-            &args(0, &[0, 0]),
-            &EstimateConfig::default(),
-        );
+        let est =
+            estimate_path(&model, &rule, &mapping, &args(0, &[0, 0]), &EstimateConfig::default());
         // ~20% of training records aborted (after the first Check).
         assert!(est.abort_prob > 0.05 && est.abort_prob < 0.5, "{}", est.abort_prob);
     }
@@ -564,13 +525,8 @@ mod tests {
     fn partition_confidence_monotone() {
         let (model, mapping) = fixture(4);
         let rule = ToyRule { parts: 4 };
-        let est = estimate_path(
-            &model,
-            &rule,
-            &mapping,
-            &args(1, &[1, 2]),
-            &EstimateConfig::default(),
-        );
+        let est =
+            estimate_path(&model, &rule, &mapping, &args(1, &[1, 2]), &EstimateConfig::default());
         let c1 = est.partition_confidence[&1];
         let c2 = est.partition_confidence[&2];
         assert!(c1 >= c2, "earlier-touched partition has higher confidence");
@@ -601,13 +557,8 @@ mod tests {
         // any single variant's raw edge probability.
         let (model, mapping) = fixture(4);
         let rule = ToyRule { parts: 4 };
-        let est = estimate_path(
-            &model,
-            &rule,
-            &mapping,
-            &args(0, &[0, 1]),
-            &EstimateConfig::default(),
-        );
+        let est =
+            estimate_path(&model, &rule, &mapping, &args(0, &[0, 1]), &EstimateConfig::default());
         assert!(est.reached_commit);
         // Confidence = P(Check | feasible) at the branch point; Check takes
         // 0.8 of the mass (0.2 abort), so the confidence stays well above
@@ -628,13 +579,8 @@ mod tests {
         let rule = ToyRule { parts: 4 };
         // Must terminate without panicking; the walk still traverses the
         // graph (candidates all tie at the NaN floor) or dead-ends.
-        let est = estimate_path(
-            &model,
-            &rule,
-            &mapping,
-            &args(1, &[1]),
-            &EstimateConfig::default(),
-        );
+        let est =
+            estimate_path(&model, &rule, &mapping, &args(1, &[1]), &EstimateConfig::default());
         assert!(est.states_examined > 0);
     }
 }

@@ -13,18 +13,15 @@ use std::io::{BufRead, Write};
 
 /// Serializes a model as pretty JSON into `w`.
 pub fn save_model<W: Write>(model: &MarkovModel, mut w: W) -> Result<()> {
-    let json =
-        serde_json::to_string(model).map_err(|e| Error::Serde(e.to_string()))?;
-    w.write_all(json.as_bytes())
-        .map_err(|e| Error::Serde(e.to_string()))
+    let json = serde_json::to_string(model).map_err(|e| Error::Serde(e.to_string()))?;
+    w.write_all(json.as_bytes()).map_err(|e| Error::Serde(e.to_string()))
 }
 
 /// Deserializes a model from `r`, rebuilding the vertex index, and checks it
 /// was built for `expected_partitions`.
 pub fn load_model<R: BufRead>(mut r: R, expected_partitions: u32) -> Result<MarkovModel> {
     let mut buf = String::new();
-    r.read_to_string(&mut buf)
-        .map_err(|e| Error::Serde(e.to_string()))?;
+    r.read_to_string(&mut buf).map_err(|e| Error::Serde(e.to_string()))?;
     let mut model: MarkovModel =
         serde_json::from_str(&buf).map_err(|e| Error::Serde(e.to_string()))?;
     if model.num_partitions != expected_partitions {

@@ -12,16 +12,16 @@
 
 pub mod builder;
 pub mod dot;
-pub mod io;
 pub mod estimate;
+pub mod io;
 pub mod maintenance;
 pub mod model;
 pub mod ptable;
 
 pub use builder::build_model;
 pub use dot::to_dot;
-pub use io::{load_model, save_model};
 pub use estimate::{estimate_path, EstimateConfig, PathEstimate, QueryPartitionRule};
-pub use maintenance::{ModelMonitor, PathTracker};
+pub use io::{load_model, save_model};
+pub use maintenance::{ModelMonitor, PathTracker, PendingState};
 pub use model::{Edge, MarkovModel, QueryKind, Vertex, VertexId, VertexKey};
 pub use ptable::ProbTable;

@@ -9,12 +9,38 @@
 //! operation that adapts the model to workload drift without regeneration.
 
 use crate::model::{MarkovModel, QueryKind, VertexId, VertexKey};
-use serde::{Deserialize, Serialize};
 use crate::ptable::compute_tables;
 use common::{FxHashMap, PartitionSet, QueryId, Value};
+use serde::{Deserialize, Serialize};
 use trace::PartitionResolver;
 
+/// A state observed live but absent from the trained model: interned as a
+/// placeholder vertex into the *next* epoch's model by
+/// [`ModelMonitor::recompute`] (the live model itself is never mutated).
+#[derive(Debug, Clone)]
+pub struct PendingState {
+    /// Display name of the query.
+    pub name: String,
+    /// Whether the query writes data.
+    pub is_write: bool,
+}
+
 /// Tracks one model's on-line accuracy and triggers recomputation.
+///
+/// Two consumption modes share the accuracy window:
+///
+/// * The simulator's `&mut` mode ([`ModelMonitor::observe`]): transitions
+///   are folded into the model in place and a drop through the accuracy
+///   floor recomputes it immediately.
+/// * The live runtime's snapshot mode ([`ModelMonitor::observe_walk`]):
+///   the maintenance thread replays each transaction's feedback path
+///   against the current *read-only* epoch, accumulating transition deltas
+///   and pending placeholder states on the side. When
+///   [`ModelMonitor::is_stale`] fires, the maintenance thread clones the
+///   drifted model and calls [`ModelMonitor::recompute`] on the clone,
+///   which interns the placeholders, folds the deltas, recomputes every
+///   probability and table, and leaves the clone ready to publish as the
+///   next epoch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModelMonitor {
     /// Observed transitions since the last recomputation.
@@ -27,6 +53,16 @@ pub struct ModelMonitor {
     pub min_window: u64,
     /// Recomputations performed so far.
     pub recomputations: u64,
+    /// Live-feedback transition deltas since the last recomputation, keyed
+    /// by vertex-key pair so they can be replayed into *any* future clone
+    /// of the model (vertex ids are epoch-local, keys are not). Maintenance
+    /// thread only; never serialized.
+    #[serde(skip)]
+    live_transitions: FxHashMap<(VertexKey, VertexKey), u64>,
+    /// States observed live that the trained model lacks, waiting to be
+    /// interned into the next epoch. Maintenance thread only.
+    #[serde(skip)]
+    pending: FxHashMap<VertexKey, PendingState>,
 }
 
 impl Default for ModelMonitor {
@@ -37,6 +73,8 @@ impl Default for ModelMonitor {
             threshold: 0.75,
             min_window: 200,
             recomputations: 0,
+            live_transitions: FxHashMap::default(),
+            pending: FxHashMap::default(),
         }
     }
 }
@@ -88,12 +126,8 @@ impl PathTracker {
             *c += 1;
             cur
         };
-        let key = VertexKey {
-            kind: QueryKind::Query(query),
-            counter,
-            partitions,
-            previous: self.prev,
-        };
+        let key =
+            VertexKey { kind: QueryKind::Query(query), counter, partitions, previous: self.prev };
         let name = resolver.query_name(model.proc, query);
         let is_write = resolver.is_write(model.proc, query);
         let next = model.intern(key, name, is_write);
@@ -132,6 +166,11 @@ impl ModelMonitor {
         ModelMonitor::default()
     }
 
+    /// Creates a monitor with explicit accuracy floor and window.
+    pub fn with_thresholds(threshold: f64, min_window: u64) -> Self {
+        ModelMonitor { threshold, min_window, ..ModelMonitor::default() }
+    }
+
     /// Records whether an observed transition matched the model's argmax
     /// expectation, and recomputes the model if accuracy fell through the
     /// floor. Returns true if a recomputation happened.
@@ -159,6 +198,135 @@ impl ModelMonitor {
         } else {
             self.matched as f64 / self.observed as f64
         }
+    }
+
+    /// Replays one transaction's executed path against a *read-only* model
+    /// snapshot (the live runtime's §4.5 mode): accuracy counters advance,
+    /// transition deltas accumulate by vertex key, and states the model has
+    /// never seen become pending placeholders for the next epoch.
+    ///
+    /// A transition counts as *matched* when the model **covers** it: both
+    /// states exist and the edge between them carries trained (or
+    /// previously folded-in) counts. This is deliberately looser than the
+    /// simulator monitor's argmax test: workloads with genuine
+    /// data-dependent branching (TATP's per-partition first queries) sit
+    /// near 1/partitions argmax accuracy forever, which would read as
+    /// permanent drift and thrash the rebuild path; coverage stays ~100%
+    /// while the workload matches training and collapses toward 0 exactly
+    /// when the workload shifts into states or transitions the model has
+    /// never seen — the §4.5 signal worth a rebuild.
+    ///
+    /// `path` is the executed `(query, partitions)` sequence; `terminal` is
+    /// `Some(committed)` for a finished transaction and `None` for a
+    /// mispredict-aborted attempt (whose executed prefix is still real
+    /// maintenance signal, exactly as the simulator's tracker records it,
+    /// but which took no commit/abort edge). Returns the `(observed,
+    /// matched)` accuracy delta this walk contributed.
+    pub fn observe_walk(
+        &mut self,
+        model: &MarkovModel,
+        path: &[(QueryId, PartitionSet)],
+        terminal: Option<bool>,
+        resolver: &dyn PartitionResolver,
+    ) -> (u64, u64) {
+        let mut counters: FxHashMap<QueryId, u16> = FxHashMap::default();
+        let mut prev = PartitionSet::EMPTY;
+        let mut cur = Some(model.begin());
+        let mut cur_key = model.vertex(model.begin()).key;
+        let (mut observed, mut matched) = (0u64, 0u64);
+        let mut step = |from: Option<VertexId>,
+                        from_key: VertexKey,
+                        to_key: VertexKey,
+                        live_transitions: &mut FxHashMap<(VertexKey, VertexKey), u64>|
+         -> Option<VertexId> {
+            let to = model.find(&to_key);
+            observed += 1;
+            if let (Some(f), Some(t)) = (from, to) {
+                if model.vertex(f).edge_to(t).is_some_and(|e| e.count > 0) {
+                    matched += 1;
+                }
+            }
+            *live_transitions.entry((from_key, to_key)).or_insert(0) += 1;
+            to
+        };
+        for &(query, partitions) in path {
+            let counter = {
+                let c = counters.entry(query).or_insert(0);
+                let seen = *c;
+                *c += 1;
+                seen
+            };
+            let key =
+                VertexKey { kind: QueryKind::Query(query), counter, partitions, previous: prev };
+            let to = step(cur, cur_key, key, &mut self.live_transitions);
+            if to.is_none() {
+                self.pending.entry(key).or_insert_with(|| PendingState {
+                    name: resolver.query_name(model.proc, query),
+                    is_write: resolver.is_write(model.proc, query),
+                });
+            }
+            prev = prev.union(partitions);
+            cur = to;
+            cur_key = key;
+        }
+        if let Some(committed) = terminal {
+            let kind = if committed { QueryKind::Commit } else { QueryKind::Abort };
+            let _ = step(cur, cur_key, VertexKey::special(kind), &mut self.live_transitions);
+        }
+        self.observed += observed;
+        self.matched += matched;
+        (observed, matched)
+    }
+
+    /// True once the accuracy window is full and below the floor — the
+    /// signal for the maintenance thread to rebuild this model.
+    pub fn is_stale(&self) -> bool {
+        self.observed >= self.min_window && self.accuracy() < self.threshold
+    }
+
+    /// Folds everything [`ModelMonitor::observe_walk`] accumulated into
+    /// `model` — a clone of the snapshot those walks were observed against,
+    /// destined to be published as the next epoch. Pending placeholder
+    /// states are interned (§4.4), transition deltas become real counts,
+    /// and edge probabilities plus probability tables are recomputed from
+    /// scratch (§4.5). Clears the accumulator and accuracy window.
+    pub fn recompute(&mut self, model: &mut MarkovModel) {
+        // Deterministic fold order: hash-map iteration order depends on
+        // insertion order, so sort by key before interning and folding —
+        // the rebuilt model is then identical for any feedback
+        // interleaving that produced the same multiset of observations.
+        fn key_ord(k: &VertexKey) -> (u8, u32, u16, u64, u64) {
+            let (kind, q) = match k.kind {
+                QueryKind::Begin => (0, 0),
+                QueryKind::Commit => (1, 0),
+                QueryKind::Abort => (2, 0),
+                QueryKind::Query(q) => (3, q),
+            };
+            (kind, q, k.counter, k.partitions.0, k.previous.0)
+        }
+        let mut pending: Vec<(VertexKey, PendingState)> = self.pending.drain().collect();
+        pending.sort_by_key(|(k, _)| key_ord(k));
+        for (key, p) in pending {
+            model.intern(key, p.name, p.is_write);
+        }
+        let mut deltas: Vec<((VertexKey, VertexKey), u64)> =
+            self.live_transitions.drain().collect();
+        deltas.sort_by_key(|&((from, to), _)| (key_ord(&from), key_ord(&to)));
+        for ((from, to), n) in deltas {
+            // Both endpoints exist: `from`/`to` are special states, trained
+            // states, or placeholders interned above. `find` can only miss
+            // if the caller recomputed into a model that never saw these
+            // walks; skip defensively rather than corrupt it.
+            let (Some(f), Some(t)) = (model.find(&from), model.find(&to)) else {
+                continue;
+            };
+            model.add_transition(f, t, n);
+        }
+        model.recompute_probabilities();
+        compute_tables(model);
+        self.observed = 0;
+        self.matched = 0;
+        self.recomputations += 1;
     }
 }
 
@@ -247,6 +415,85 @@ mod tests {
         let begin = model.begin();
         let best = model.vertex(begin).argmax_edge().unwrap().to;
         assert_eq!(model.vertex(best).key.partitions, PartitionSet::single(1));
+    }
+
+    #[test]
+    fn observe_walk_accumulates_without_mutating_the_snapshot() {
+        let model = model_one_path();
+        let r = ModResolver { parts: 2 };
+        let mut mon = ModelMonitor { min_window: 10, ..ModelMonitor::default() };
+        let before = model.len();
+        // Drifted walks: partition 1 was never trained.
+        for _ in 0..10 {
+            mon.observe_walk(&model, &[(0, PartitionSet::single(1))], Some(true), &r);
+        }
+        assert_eq!(model.len(), before, "snapshot must stay untouched");
+        assert!(mon.accuracy() < 0.5, "dark states cannot match argmax");
+        assert!(mon.is_stale());
+    }
+
+    #[test]
+    fn recompute_interns_pending_states_into_the_next_epoch() {
+        let model = model_one_path();
+        let r = ModResolver { parts: 2 };
+        let mut mon = ModelMonitor { min_window: 10, ..ModelMonitor::default() };
+        for _ in 0..20 {
+            mon.observe_walk(&model, &[(0, PartitionSet::single(1))], Some(true), &r);
+        }
+        assert!(mon.is_stale());
+        let mut next = model.clone();
+        mon.recompute(&mut next);
+        assert_eq!(mon.recomputations, 1);
+        assert_eq!(next.len(), model.len() + 1, "placeholder interned");
+        // The rebuilt model routes begin's argmax to the drifted state...
+        let best = next.vertex(next.begin()).argmax_edge().unwrap().to;
+        assert_eq!(next.vertex(best).key.partitions, PartitionSet::single(1));
+        // ...and the accumulator/window are clean: the same walks now match.
+        let (obs, matched) =
+            mon.observe_walk(&next, &[(0, PartitionSet::single(1))], Some(true), &r);
+        assert_eq!((obs, matched), (2, 2), "healed model predicts the walk");
+        assert!(!mon.is_stale());
+    }
+
+    #[test]
+    fn observe_walk_mispredict_prefix_has_no_terminal_edge() {
+        let model = model_one_path();
+        let r = ModResolver { parts: 2 };
+        let mut mon = ModelMonitor { min_window: 4, ..ModelMonitor::default() };
+        for _ in 0..8 {
+            mon.observe_walk(&model, &[(0, PartitionSet::single(1))], None, &r);
+        }
+        let mut next = model.clone();
+        mon.recompute(&mut next);
+        // The interned placeholder has no commit/abort edge: the aborted
+        // attempts' prefixes were recorded, their rollback was not.
+        let dark = next
+            .vertices()
+            .iter()
+            .position(|v| v.key.partitions == PartitionSet::single(1))
+            .expect("placeholder interned");
+        assert!(next.vertex(dark as VertexId).edges.is_empty());
+    }
+
+    #[test]
+    fn recompute_is_interleaving_independent() {
+        let model = model_one_path();
+        let r = ModResolver { parts: 2 };
+        let walks: Vec<Vec<(QueryId, PartitionSet)>> = vec![
+            vec![(0, PartitionSet::single(1))],
+            vec![(0, PartitionSet::single(0))],
+            vec![(0, PartitionSet::single(1))],
+        ];
+        let rebuild = |order: &[usize]| {
+            let mut mon = ModelMonitor { min_window: 1, ..ModelMonitor::default() };
+            for &i in order {
+                mon.observe_walk(&model, &walks[i], Some(true), &r);
+            }
+            let mut next = model.clone();
+            mon.recompute(&mut next);
+            serde_json::to_string(&next).expect("serialize model")
+        };
+        assert_eq!(rebuild(&[0, 1, 2]), rebuild(&[2, 1, 0]), "order must not matter");
     }
 
     #[test]

@@ -104,7 +104,8 @@ impl Vertex {
     /// one instead of aborting the run.
     pub fn argmax_edge(&self) -> Option<&Edge> {
         self.edges.iter().max_by(|a, b| {
-            crate::estimate::nan_as_lowest(a.prob).total_cmp(&crate::estimate::nan_as_lowest(b.prob))
+            crate::estimate::nan_as_lowest(a.prob)
+                .total_cmp(&crate::estimate::nan_as_lowest(b.prob))
         })
     }
 }
@@ -195,8 +196,7 @@ impl MarkovModel {
             return id;
         }
         let id = self.vertices.len() as VertexId;
-        self.vertices
-            .push(Vertex::new(key, name, is_write, self.num_partitions));
+        self.vertices.push(Vertex::new(key, name, is_write, self.num_partitions));
         self.index.insert(key, id);
         id
     }
@@ -243,12 +243,8 @@ impl MarkovModel {
 
     /// Rebuilds the key index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .vertices
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.key, i as VertexId))
-            .collect();
+        self.index =
+            self.vertices.iter().enumerate().map(|(i, v)| (v.key, i as VertexId)).collect();
     }
 
     /// The most-observed trained vertex with the given query, counter, and
@@ -270,10 +266,7 @@ impl MarkovModel {
             .iter()
             .enumerate()
             .filter(|(_, v)| {
-                v.key.kind == kind
-                    && v.key.counter == counter
-                    && v.key.seen() == seen
-                    && v.hits > 0
+                v.key.kind == kind && v.key.counter == counter && v.key.seen() == seen && v.hits > 0
             })
             .max_by_key(|(_, v)| v.hits)
             .map(|(i, _)| i as VertexId)
@@ -312,9 +305,8 @@ impl MarkovModel {
                 indegree[e.to as usize] += 1;
             }
         }
-        let mut stack: Vec<VertexId> = (0..n as VertexId)
-            .filter(|&i| indegree[i as usize] == 0)
-            .collect();
+        let mut stack: Vec<VertexId> =
+            (0..n as VertexId).filter(|&i| indegree[i as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         let mut emitted = vec![false; n];
         while let Some(id) = stack.pop() {
@@ -347,8 +339,7 @@ impl MarkovModel {
                 indegree[e.to as usize] += 1;
             }
         }
-        let mut stack: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut seen = 0;
         while let Some(id) = stack.pop() {
             seen += 1;

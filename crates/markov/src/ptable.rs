@@ -191,11 +191,7 @@ mod tests {
     #[test]
     fn accessed_partition_overridden() {
         let m = linear_model();
-        let q = m
-            .vertices()
-            .iter()
-            .position(|v| v.name == "Q")
-            .unwrap() as VertexId;
+        let q = m.vertices().iter().position(|v| v.name == "Q").unwrap() as VertexId;
         let t = &m.vertex(q).table;
         assert_eq!(t.partitions[0].write, 1.0, "query writes partition 0");
         assert_eq!(t.partitions[0].finish, 0.0);

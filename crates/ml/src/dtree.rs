@@ -19,12 +19,7 @@ pub struct DecisionTree {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
     Leaf(usize),
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 impl DecisionTree {
@@ -88,13 +83,7 @@ pub fn train_tree(xs: &[Vec<f64>], ys: &[usize], max_depth: usize) -> DecisionTr
     DecisionTree { root, splits }
 }
 
-fn build(
-    xs: &[Vec<f64>],
-    ys: &[usize],
-    idx: &[usize],
-    depth: usize,
-    splits: &mut usize,
-) -> Node {
+fn build(xs: &[Vec<f64>], ys: &[usize], idx: &[usize], depth: usize, splits: &mut usize) -> Node {
     let labels: Vec<usize> = idx.iter().map(|&i| ys[i]).collect();
     let first = labels.first().copied().unwrap_or(0);
     if depth == 0 || idx.len() < 4 || labels.iter().all(|&l| l == first) {
@@ -135,9 +124,8 @@ fn build(
                 continue;
             }
             let n = idx.len() as f64;
-            let gain = parent_h
-                - (ln as f64 / n) * entropy(&lc, ln)
-                - (rn as f64 / n) * entropy(&rc, rn);
+            let gain =
+                parent_h - (ln as f64 / n) * entropy(&lc, ln) - (rn as f64 / n) * entropy(&rc, rn);
             // Split info for gain ratio (C4.5).
             let (pl, pr) = (ln as f64 / n, rn as f64 / n);
             let split_info = -(pl * pl.log2() + pr * pr.log2());

@@ -147,8 +147,7 @@ fn fit_k(data: &[Vec<f64>], k: usize, cfg: &EmConfig) -> EmModel {
             }
             model.weights[c] = nc / n as f64;
             for d in 0..dims {
-                let mean: f64 =
-                    data.iter().zip(&resp).map(|(x, r)| r[c] * x[d]).sum::<f64>() / nc;
+                let mean: f64 = data.iter().zip(&resp).map(|(x, r)| r[c] * x[d]).sum::<f64>() / nc;
                 model.means[c][d] = mean;
                 let var: f64 = data
                     .iter()

@@ -114,20 +114,14 @@ pub fn extract_features(
     args: &[Value],
     num_partitions: u32,
 ) -> Vec<Option<f64>> {
-    schema
-        .iter()
-        .map(|f| extract_feature(f, args, num_partitions))
-        .collect()
+    schema.iter().map(|f| extract_feature(f, args, num_partitions)).collect()
 }
 
 /// Projects selected features into a dense numeric vector for the
 /// clusterer/tree, encoding nulls as `-1.0` (all genuine feature values here
 /// are non-negative).
 pub fn densify(vector: &[Option<f64>], selected: &[usize]) -> Vec<f64> {
-    selected
-        .iter()
-        .map(|&i| vector[i].unwrap_or(-1.0))
-        .collect()
+    selected.iter().map(|&i| vector[i].unwrap_or(-1.0)).collect()
 }
 
 #[cfg(test)]
@@ -148,11 +142,8 @@ mod tests {
             Value::Array(vec![Value::Int(0), Value::Int(1)]),
             Value::Array(vec![Value::Int(2), Value::Int(7)]),
         ];
-        let hv_w = extract_feature(
-            &Feature { category: FeatureCategory::HashValue, param: 0 },
-            &args,
-            2,
-        );
+        let hv_w =
+            extract_feature(&Feature { category: FeatureCategory::HashValue, param: 0 }, &args, 2);
         assert_eq!(hv_w, Some(0.0));
         let al_w = extract_feature(
             &Feature { category: FeatureCategory::ArrayLength, param: 0 },
@@ -166,11 +157,8 @@ mod tests {
             2,
         );
         assert_eq!(al_ids, Some(2.0));
-        let hv_ids = extract_feature(
-            &Feature { category: FeatureCategory::HashValue, param: 1 },
-            &args,
-            2,
-        );
+        let hv_ids =
+            extract_feature(&Feature { category: FeatureCategory::HashValue, param: 1 }, &args, 2);
         assert_eq!(hv_ids, None, "arrays have no scalar hash");
     }
 

@@ -38,11 +38,7 @@ impl Default for SelectionConfig {
 /// Runs the feed-forward search over `features`, evaluating candidate sets
 /// with `eval` (lower cost = better). Returns the best feature set found
 /// (possibly empty if `features` is empty).
-pub fn feed_forward_select<F>(
-    features: &[usize],
-    cfg: &SelectionConfig,
-    mut eval: F,
-) -> Vec<usize>
+pub fn feed_forward_select<F>(features: &[usize], cfg: &SelectionConfig, mut eval: F) -> Vec<usize>
 where
     F: FnMut(&[usize]) -> f64,
 {
@@ -58,10 +54,8 @@ where
         if candidates.is_empty() {
             break;
         }
-        let mut scored: Vec<(f64, Vec<usize>)> = candidates
-            .into_iter()
-            .map(|s| (eval(&s), s))
-            .collect();
+        let mut scored: Vec<(f64, Vec<usize>)> =
+            candidates.into_iter().map(|s| (eval(&s), s)).collect();
         // total_cmp with NaN pushed last: a degenerate cost (e.g. a
         // log-likelihood that went NaN on a pathological cluster) must not
         // abort the search, and must never be selected as the round best.
@@ -75,13 +69,10 @@ where
         }
         // Features appearing in the top 10% of this round's sets survive
         // (always at least two sets, so the pool can keep growing).
-        let keep = ((scored.len() as f64 * cfg.survivor_frac).ceil() as usize)
-            .max(2)
-            .min(scored.len());
-        let mut survivors: Vec<usize> = scored[..keep]
-            .iter()
-            .flat_map(|(_, s)| s.iter().copied())
-            .collect();
+        let keep =
+            ((scored.len() as f64 * cfg.survivor_frac).ceil() as usize).max(2).min(scored.len());
+        let mut survivors: Vec<usize> =
+            scored[..keep].iter().flat_map(|(_, s)| s.iter().copied()).collect();
         survivors.sort_unstable();
         survivors.dedup();
         pool = survivors;
@@ -93,7 +84,13 @@ where
 fn sets_of_size(pool: &[usize], size: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut cur = Vec::with_capacity(size);
-    fn rec(pool: &[usize], size: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        pool: &[usize],
+        size: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if cur.len() == size {
             out.push(cur.clone());
             return;

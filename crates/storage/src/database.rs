@@ -29,10 +29,7 @@ impl DbMeta {
 
     /// Table id for `name`.
     pub fn table_id(&self, name: &str) -> Result<usize> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+        self.by_name.get(name).copied().ok_or_else(|| Error::NotFound(format!("table {name}")))
     }
 
     /// Schema of table `id`.
@@ -127,11 +124,7 @@ impl Shard {
 
     /// Equality lookup on an arbitrary column.
     pub fn lookup_by(&self, table: usize, column: usize, value: &Value) -> Vec<Row> {
-        self.tables[table]
-            .lookup_by(column, value)
-            .into_iter()
-            .cloned()
-            .collect()
+        self.tables[table].lookup_by(column, value).into_iter().cloned().collect()
     }
 
     /// Rolls back every change recorded in `undo`, in reverse order. Every
@@ -192,19 +185,19 @@ pub struct Database {
 impl Database {
     /// Creates an empty database with the given schemas and partition count.
     /// `secondary_indexes` lists `(table_name, column)` pairs to index.
-    pub fn new(schemas: Vec<Schema>, num_partitions: u32, secondary_indexes: &[(&str, usize)]) -> Self {
+    pub fn new(
+        schemas: Vec<Schema>,
+        num_partitions: u32,
+        secondary_indexes: &[(&str, usize)],
+    ) -> Self {
         assert!((1..=common::PartitionSet::MAX_PARTITIONS).contains(&num_partitions));
-        let by_name: FxHashMap<String, usize> = schemas
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.name.clone(), i))
-            .collect();
+        let by_name: FxHashMap<String, usize> =
+            schemas.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
         assert_eq!(by_name.len(), schemas.len(), "duplicate table names");
         let meta = Arc::new(DbMeta { schemas, by_name, num_partitions });
         let mut shards = Vec::with_capacity(num_partitions as usize);
         for p in 0..num_partitions {
-            let mut tables: Vec<Table> =
-                (0..meta.schemas.len()).map(|_| Table::new()).collect();
+            let mut tables: Vec<Table> = (0..meta.schemas.len()).map(|_| Table::new()).collect();
             for (name, col) in secondary_indexes {
                 let id = meta.by_name[*name];
                 tables[id].add_secondary_index(*col);
@@ -376,8 +369,7 @@ mod tests {
         let mut d = db();
         let mut undo = UndoLog::new();
         let t = d.table_id("A").unwrap();
-        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut undo)
-            .unwrap();
+        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut undo).unwrap();
         assert_eq!(d.get(0, t, &[Value::Int(1)]).unwrap()[1], Value::Int(10));
         assert!(d.get(1, t, &[Value::Int(1)]).is_none(), "other partition empty");
     }
@@ -387,16 +379,12 @@ mod tests {
         let mut d = db();
         let t = d.table_id("A").unwrap();
         let mut setup = UndoLog::new();
-        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut setup)
-            .unwrap();
-        d.insert(0, t, vec![Value::Int(2), Value::Int(20)], &mut setup)
-            .unwrap();
+        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut setup).unwrap();
+        d.insert(0, t, vec![Value::Int(2), Value::Int(20)], &mut setup).unwrap();
 
         let mut undo = UndoLog::new();
-        d.insert(0, t, vec![Value::Int(3), Value::Int(30)], &mut undo)
-            .unwrap();
-        d.update(0, t, &[Value::Int(1)], |r| r[1] = Value::Int(99), &mut undo)
-            .unwrap();
+        d.insert(0, t, vec![Value::Int(3), Value::Int(30)], &mut undo).unwrap();
+        d.update(0, t, &[Value::Int(1)], |r| r[1] = Value::Int(99), &mut undo).unwrap();
         d.delete(0, t, &[Value::Int(2)], &mut undo).unwrap();
 
         d.rollback(&mut undo).unwrap();
@@ -410,12 +398,8 @@ mod tests {
         let mut d = db();
         let t = d.table_id("A").unwrap();
         let mut undo = UndoLog::disabled();
-        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut undo)
-            .unwrap();
-        assert!(matches!(
-            d.rollback(&mut undo),
-            Err(Error::UnrecoverableAbort { .. })
-        ));
+        d.insert(0, t, vec![Value::Int(1), Value::Int(10)], &mut undo).unwrap();
+        assert!(matches!(d.rollback(&mut undo), Err(Error::UnrecoverableAbort { .. })));
     }
 
     #[test]
@@ -444,8 +428,7 @@ mod tests {
         let mut undo = UndoLog::new();
         for i in 0..10i64 {
             let p = d.partition_for_value(&Value::Int(i));
-            d.insert(p, t, vec![Value::Int(i), Value::Int(0)], &mut undo)
-                .unwrap();
+            d.insert(p, t, vec![Value::Int(i), Value::Int(0)], &mut undo).unwrap();
         }
         assert_eq!(d.total_rows(t), 10);
     }
@@ -457,16 +440,13 @@ mod tests {
         let mut undo = UndoLog::new();
         for i in 0..8i64 {
             let p = d.partition_for_value(&Value::Int(i));
-            d.insert(p, t, vec![Value::Int(i), Value::Int(i)], &mut undo)
-                .unwrap();
+            d.insert(p, t, vec![Value::Int(i), Value::Int(i)], &mut undo).unwrap();
         }
         let mut shards = d.into_shards();
         assert_eq!(shards.len(), 4);
         // Shards are independently ownable: mutate one in isolation.
         let mut frag_undo = UndoLog::new();
-        shards[2]
-            .update(t, &[Value::Int(2)], |r| r[1] = Value::Int(77), &mut frag_undo)
-            .unwrap();
+        shards[2].update(t, &[Value::Int(2)], |r| r[1] = Value::Int(77), &mut frag_undo).unwrap();
         // Out-of-order reassembly is fine.
         shards.reverse();
         let d = Database::from_shards(shards);
@@ -479,13 +459,10 @@ mod tests {
         let mut d = db();
         let t = d.table_id("A").unwrap();
         let mut undo = UndoLog::new();
-        d.insert(1, t, vec![Value::Int(1), Value::Int(10)], &mut undo)
-            .unwrap();
+        d.insert(1, t, vec![Value::Int(1), Value::Int(10)], &mut undo).unwrap();
         let mut shards = d.into_shards();
         let mut frag = UndoLog::new();
-        shards[1]
-            .update(t, &[Value::Int(1)], |r| r[1] = Value::Int(0), &mut frag)
-            .unwrap();
+        shards[1].update(t, &[Value::Int(1)], |r| r[1] = Value::Int(0), &mut frag).unwrap();
         shards[1].rollback(&mut frag).unwrap();
         let d = Database::from_shards(shards);
         assert_eq!(d.get(1, t, &[Value::Int(1)]).unwrap()[1], Value::Int(10));
@@ -503,8 +480,7 @@ mod tests {
         let t = d.table_id("A").unwrap();
         let mut setup = UndoLog::new();
         for i in 0..4i64 {
-            d.insert(0, t, vec![Value::Int(i * 4), Value::Int(i)], &mut setup)
-                .unwrap();
+            d.insert(0, t, vec![Value::Int(i * 4), Value::Int(i)], &mut setup).unwrap();
         }
         let mut shards = d.into_shards();
         let shard = &mut shards[0];
@@ -513,24 +489,16 @@ mod tests {
 
         // The distributed transaction's fragment: update + insert.
         let mut frag = UndoLog::new();
-        shard
-            .update(t, &[Value::Int(0)], |r| r[1] = Value::Int(99), &mut frag)
-            .unwrap();
-        shard
-            .insert(t, vec![Value::Int(100), Value::Int(7)], &mut frag)
-            .unwrap();
+        shard.update(t, &[Value::Int(0)], |r| r[1] = Value::Int(99), &mut frag).unwrap();
+        shard.insert(t, vec![Value::Int(100), Value::Int(7)], &mut frag).unwrap();
         let mut stack = crate::SpeculationStack::new(frag);
 
         // Two speculative transactions commit on top of it, the second
         // overwriting rows the first (and the base) touched.
         for v in [5i64, 6] {
             let mut undo = UndoLog::new();
-            shard
-                .update(t, &[Value::Int(0)], |r| r[1] = Value::Int(v), &mut undo)
-                .unwrap();
-            shard
-                .update(t, &[Value::Int(100)], |r| r[1] = Value::Int(v), &mut undo)
-                .unwrap();
+            shard.update(t, &[Value::Int(0)], |r| r[1] = Value::Int(v), &mut undo).unwrap();
+            shard.update(t, &[Value::Int(100)], |r| r[1] = Value::Int(v), &mut undo).unwrap();
             shard.delete(t, &[Value::Int(4 * v - 12)], &mut undo).ok();
             stack.push_commit(undo);
         }

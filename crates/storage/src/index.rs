@@ -26,10 +26,7 @@ impl SecondaryIndex {
 
     /// Registers `row` (stored under `key`).
     pub fn insert(&mut self, row: &Row, key: &[Value]) {
-        self.map
-            .entry(row[self.column].clone())
-            .or_default()
-            .insert(key.to_vec());
+        self.map.entry(row[self.column].clone()).or_default().insert(key.to_vec());
     }
 
     /// Unregisters `row`.

@@ -79,15 +79,8 @@ impl Table {
     /// Updates a row in place via `f`; returns the pre-image for undo, or
     /// `NotFound` if the key does not exist. Secondary indexes are kept
     /// consistent even if `f` modifies indexed columns.
-    pub fn update(
-        &mut self,
-        key: &[Value],
-        f: impl FnOnce(&mut Row),
-    ) -> Result<Row> {
-        let row = self
-            .rows
-            .get_mut(key)
-            .ok_or_else(|| Error::NotFound(format!("key {key:?}")))?;
+    pub fn update(&mut self, key: &[Value], f: impl FnOnce(&mut Row)) -> Result<Row> {
+        let row = self.rows.get_mut(key).ok_or_else(|| Error::NotFound(format!("key {key:?}")))?;
         let before = row.clone();
         f(row);
         let after = row.clone();
@@ -132,11 +125,8 @@ impl Table {
                 })
                 .unwrap_or_default()
         } else {
-            let mut matches: Vec<(&Key, &Row)> = self
-                .rows
-                .iter()
-                .filter(|(_, r)| &r[column] == value)
-                .collect();
+            let mut matches: Vec<(&Key, &Row)> =
+                self.rows.iter().filter(|(_, r)| &r[column] == value).collect();
             matches.sort_by(|a, b| a.0.cmp(b.0));
             matches.into_iter().map(|(_, r)| r).collect()
         }
@@ -178,10 +168,7 @@ mod tests {
         let s = schema();
         let mut t = Table::new();
         t.insert(&s, row(1, 10, 100)).unwrap();
-        assert!(matches!(
-            t.insert(&s, row(1, 11, 101)),
-            Err(Error::Constraint(_))
-        ));
+        assert!(matches!(t.insert(&s, row(1, 11, 101)), Err(Error::Constraint(_))));
     }
 
     #[test]
@@ -196,9 +183,7 @@ mod tests {
         let s = schema();
         let mut t = Table::new();
         t.insert(&s, row(1, 10, 100)).unwrap();
-        let before = t
-            .update(&[Value::Int(1)], |r| r[2] = Value::Int(999))
-            .unwrap();
+        let before = t.update(&[Value::Int(1)], |r| r[2] = Value::Int(999)).unwrap();
         assert_eq!(before[2], Value::Int(100));
         assert_eq!(t.get(&[Value::Int(1)]).unwrap()[2], Value::Int(999));
         assert!(t.update(&[Value::Int(7)], |_| {}).is_err());
@@ -226,16 +211,8 @@ mod tests {
             plain.insert(&s, row(i, i % 3, i)).unwrap();
         }
         for g in 0..3 {
-            let a: Vec<Row> = indexed
-                .lookup_by(1, &Value::Int(g))
-                .into_iter()
-                .cloned()
-                .collect();
-            let b: Vec<Row> = plain
-                .lookup_by(1, &Value::Int(g))
-                .into_iter()
-                .cloned()
-                .collect();
+            let a: Vec<Row> = indexed.lookup_by(1, &Value::Int(g)).into_iter().cloned().collect();
+            let b: Vec<Row> = plain.lookup_by(1, &Value::Int(g)).into_iter().cloned().collect();
             assert_eq!(a, b, "group {g}");
         }
     }

@@ -13,25 +13,11 @@ use common::PartitionId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UndoRecord {
     /// A row was inserted; undo removes it.
-    Inserted {
-        partition: PartitionId,
-        table: usize,
-        key: Key,
-    },
+    Inserted { partition: PartitionId, table: usize, key: Key },
     /// A row was updated; undo restores the pre-image.
-    Updated {
-        partition: PartitionId,
-        table: usize,
-        key: Key,
-        before: Row,
-    },
+    Updated { partition: PartitionId, table: usize, key: Key, before: Row },
     /// A row was deleted; undo re-inserts the pre-image.
-    Deleted {
-        partition: PartitionId,
-        table: usize,
-        key: Key,
-        before: Row,
-    },
+    Deleted { partition: PartitionId, table: usize, key: Key, before: Row },
 }
 
 /// A per-transaction undo buffer.

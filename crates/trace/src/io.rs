@@ -10,8 +10,7 @@ use std::io::{BufRead, Write};
 /// Serializes a workload as JSON lines into `w`.
 pub fn write_trace<W: Write>(workload: &Workload, mut w: W) -> Result<()> {
     for rec in &workload.records {
-        let line =
-            serde_json::to_string(rec).map_err(|e| Error::Serde(e.to_string()))?;
+        let line = serde_json::to_string(rec).map_err(|e| Error::Serde(e.to_string()))?;
         writeln!(w, "{line}").map_err(|e| Error::Serde(e.to_string()))?;
     }
     Ok(())
@@ -47,12 +46,7 @@ mod tests {
                     queries: vec![QueryRecord { query: 0, params: vec![Value::Int(1)] }],
                     aborted: false,
                 },
-                TraceRecord {
-                    proc: 1,
-                    params: vec![Value::Null],
-                    queries: vec![],
-                    aborted: true,
-                },
+                TraceRecord { proc: 1, params: vec![Value::Null], queries: vec![], aborted: true },
             ],
         }
     }

@@ -53,12 +53,7 @@ pub mod tables {
 pub fn database(parts: u32) -> Database {
     let schemas = vec![
         Schema::new("USERACCT", &["U_ID", "RATING", "BALANCE"], &[0], Some(0)),
-        Schema::new(
-            "ITEM",
-            &["SELLER_ID", "I_ID", "PRICE", "STATUS", "NBIDS"],
-            &[0, 1],
-            Some(0),
-        ),
+        Schema::new("ITEM", &["SELLER_ID", "I_ID", "PRICE", "STATUS", "NBIDS"], &[0, 1], Some(0)),
         Schema::new(
             "BID",
             &["SELLER_ID", "I_ID", "BID_ID", "BUYER_ID", "AMOUNT"],
@@ -99,7 +94,13 @@ pub fn database(parts: u32) -> Database {
             db.insert(
                 p,
                 tables::ITEM,
-                vec![Value::Int(u), Value::Int(i_id), Value::Int(100), Value::Int(st), Value::Int(2)],
+                vec![
+                    Value::Int(u),
+                    Value::Int(i_id),
+                    Value::Int(100),
+                    Value::Int(st),
+                    Value::Int(2),
+                ],
                 &mut undo,
             )
             .expect("load item");
@@ -259,11 +260,8 @@ impl ProcInstance for CheckWinningBidsRun {
             }
             1 => {
                 let rows = &results.unwrap()[0];
-                self.items = rows
-                    .iter()
-                    .take(CWB_ITEMS)
-                    .map(|r| (r[0].clone(), r[1].clone()))
-                    .collect();
+                self.items =
+                    rows.iter().take(CWB_ITEMS).map(|r| (r[0].clone(), r[1].clone())).collect();
                 if self.items.is_empty() {
                     return Step::Commit;
                 }
@@ -435,10 +433,8 @@ impl Procedure for GetUserInfo {
 
 // Procedure P: GetWatchedItems(user_id)
 linear_proc!(GetWatchedItems, |args: &[Value]| {
-    Box::new(Linear::new(
-        vec![vec![QueryInvocation::new(0, vec![args[0].clone()])]],
-        vec![false],
-    )) as Box<dyn ProcInstance>
+    Box::new(Linear::new(vec![vec![QueryInvocation::new(0, vec![args[0].clone()])]], vec![false]))
+        as Box<dyn ProcInstance>
 });
 
 impl GetWatchedItems {
@@ -913,10 +909,7 @@ impl RequestGenerator for Generator {
         let unique = 1_000_000 + self.counter;
         let total_users = i64::from(self.parts * USERS_PER_PARTITION);
         let seed = self.seed;
-        let rng = self
-            .rngs
-            .entry(client)
-            .or_insert_with(|| seeded_rng(derive_seed(seed, client)));
+        let rng = self.rngs.entry(client).or_insert_with(|| seeded_rng(derive_seed(seed, client)));
         let seller = rng.gen_range(0..total_users);
         let buyer = rng.gen_range(0..total_users);
         let item = Value::Int(seller * 10 + rng.gen_range(0..ITEMS_PER_USER));
@@ -987,10 +980,7 @@ impl RequestGenerator for Generator {
                     items.push(Value::Int(s * 10 + rng.gen_range(0..ITEMS_PER_USER)));
                     buyers.push(Value::Int(rng.gen_range(0..total_users)));
                 }
-                (
-                    8,
-                    vec![Value::Array(sellers), Value::Array(items), Value::Array(buyers)],
-                )
+                (8, vec![Value::Array(sellers), Value::Array(items), Value::Array(buyers)])
             }
             _ => (0, vec![]), // CheckWinningBids 0.5%
         }
@@ -1015,15 +1005,8 @@ mod tests {
         let mut db = database(4);
         let reg = registry();
         let cat = reg.catalog();
-        let out = run_offline(
-            &mut db,
-            &reg,
-            &cat,
-            1,
-            &[Value::Int(5), Value::Int(50)],
-            true,
-        )
-        .unwrap();
+        let out =
+            run_offline(&mut db, &reg, &cat, 1, &[Value::Int(5), Value::Int(50)], true).unwrap();
         assert!(out.committed);
         assert!(out.touched.is_single());
     }
@@ -1039,23 +1022,14 @@ mod tests {
             &reg,
             &cat,
             4,
-            &[
-                Value::Int(1),
-                Value::Int(10),
-                Value::Int(777_777),
-                Value::Int(2),
-                Value::Int(50),
-            ],
+            &[Value::Int(1), Value::Int(10), Value::Int(777_777), Value::Int(2), Value::Int(50)],
             true,
         )
         .unwrap();
         assert!(out.committed);
         assert_eq!(out.touched.len(), 2);
         // Buyer balance decremented.
-        assert_eq!(
-            db.get(2, tables::USERACCT, &[Value::Int(2)]).unwrap()[2],
-            Value::Int(950)
-        );
+        assert_eq!(db.get(2, tables::USERACCT, &[Value::Int(2)]).unwrap()[2], Value::Int(950));
     }
 
     #[test]
@@ -1069,13 +1043,7 @@ mod tests {
             &reg,
             &cat,
             7,
-            &[
-                Value::Int(1),
-                Value::Int(10),
-                Value::Int(888_888),
-                Value::Int(2),
-                Value::Int(100),
-            ],
+            &[Value::Int(1), Value::Int(10), Value::Int(888_888), Value::Int(2), Value::Int(100)],
             true,
         )
         .unwrap();
@@ -1084,13 +1052,7 @@ mod tests {
             &reg,
             &cat,
             4,
-            &[
-                Value::Int(1),
-                Value::Int(10),
-                Value::Int(999_999),
-                Value::Int(3),
-                Value::Int(60),
-            ],
+            &[Value::Int(1), Value::Int(10), Value::Int(999_999), Value::Int(3), Value::Int(60)],
             true,
         )
         .unwrap();
@@ -1133,11 +1095,7 @@ mod tests {
         let cat = reg.catalog();
         let out = run_offline(&mut db, &reg, &cat, 0, &[], true).unwrap();
         assert!(out.committed);
-        assert!(
-            out.record.queries.len() > 175,
-            "only {} queries",
-            out.record.queries.len()
-        );
+        assert!(out.record.queries.len() > 175, "only {} queries", out.record.queries.len());
         assert_eq!(out.touched.len(), 4, "broadcast plus per-seller accesses");
     }
 

@@ -104,12 +104,7 @@ pub fn database(parts: u32) -> Database {
                     db.insert(
                         p,
                         tables::CALL_FORWARDING,
-                        vec![
-                            Value::Int(s),
-                            Value::Int(sf),
-                            Value::Int(st),
-                            Value::Str(sub_nbr(s)),
-                        ],
+                        vec![Value::Int(s), Value::Int(sf), Value::Int(st), Value::Str(sub_nbr(s))],
                         &mut undo,
                     )
                     .expect("load call_forwarding");
@@ -251,10 +246,7 @@ impl Procedure for GetAccessData {
         &self.def
     }
     fn instantiate(&self, args: &[Value]) -> Box<dyn ProcInstance> {
-        Box::new(OneShot {
-            invs: vec![QueryInvocation::new(0, args.to_vec())],
-            fired: false,
-        })
+        Box::new(OneShot { invs: vec![QueryInvocation::new(0, args.to_vec())], fired: false })
     }
 }
 
@@ -361,10 +353,7 @@ impl Procedure for GetSubscriberData {
         &self.def
     }
     fn instantiate(&self, args: &[Value]) -> Box<dyn ProcInstance> {
-        Box::new(OneShot {
-            invs: vec![QueryInvocation::new(0, args.to_vec())],
-            fired: false,
-        })
+        Box::new(OneShot { invs: vec![QueryInvocation::new(0, args.to_vec())], fired: false })
     }
 }
 
@@ -602,28 +591,52 @@ impl ProcInstance for UpdateSubscriberRun {
 /// Builds the TATP procedure registry (procedure letters A–G of Table 4).
 pub fn registry() -> ProcedureRegistry {
     ProcedureRegistry::new(vec![
-        Box::new(DeleteCallFwrd::new()),     // A
-        Box::new(GetAccessData::new()),      // B
-        Box::new(GetNewDest::new()),         // C
-        Box::new(GetSubscriberData::new()),  // D
-        Box::new(InsertCallFwrd::new()),     // E
-        Box::new(UpdateLocation::new()),     // F
-        Box::new(UpdateSubscriber::new()),   // G
+        Box::new(DeleteCallFwrd::new()),    // A
+        Box::new(GetAccessData::new()),     // B
+        Box::new(GetNewDest::new()),        // C
+        Box::new(GetSubscriberData::new()), // D
+        Box::new(InsertCallFwrd::new()),    // E
+        Box::new(UpdateLocation::new()),    // F
+        Box::new(UpdateSubscriber::new()),  // G
     ])
 }
 
 /// TATP request generator with the standard transaction mix.
+///
+/// Subscriber ids are drawn uniformly from the whole population by
+/// default; [`Generator::with_hot_partitions`] narrows the draw to the
+/// subscribers of a *partition* range (subscribers map to partitions by
+/// `s_id % parts`, so an id-range skew would still touch every partition),
+/// and [`Generator::with_partition_flip`] makes the hot range switch
+/// mid-stream — the workload-shift scenario of the paper's §4.5
+/// maintenance loop (Fig. 11), used by the `live-drift` experiment.
 pub struct Generator {
     parts: u32,
     seed: u64,
     rngs: FxHashMap<u64, SmallRng>,
     insert_counter: i64,
+    /// Hot partition range `[lo, hi)`; `None` = all partitions.
+    hot: Option<(u32, u32)>,
+    /// After `flip_after` requests from this generator, `hot` becomes
+    /// `flip_to` (a mid-stream skew flip).
+    flip_to: Option<(u32, u32)>,
+    flip_after: u64,
+    issued: u64,
 }
 
 impl Generator {
     /// New generator for a cluster of `parts` partitions.
     pub fn new(parts: u32, seed: u64) -> Self {
-        Generator { parts, seed, rngs: FxHashMap::default(), insert_counter: 0 }
+        Generator {
+            parts,
+            seed,
+            rngs: FxHashMap::default(),
+            insert_counter: 0,
+            hot: None,
+            flip_to: None,
+            flip_after: 0,
+            issued: 0,
+        }
     }
 
     /// An independent generator for one client stream. Per-client RNG
@@ -632,12 +645,38 @@ impl Generator {
     /// only the unique insert timestamps come from a per-client block
     /// (stride 2^40) so concurrent streams never collide.
     pub fn for_client(parts: u32, seed: u64, client: u64) -> Self {
-        Generator {
-            parts,
-            seed,
-            rngs: FxHashMap::default(),
-            insert_counter: (client as i64) << 40,
-        }
+        Generator { insert_counter: (client as i64) << 40, ..Generator::new(parts, seed) }
+    }
+
+    /// Restricts subscriber draws to partitions `[lo, hi)` — partition
+    /// skew. The standard procedure mix is preserved in distribution (the
+    /// mix draw is independent of the subscriber draw).
+    #[must_use]
+    pub fn with_hot_partitions(mut self, lo: u32, hi: u32) -> Self {
+        assert!(lo < hi && hi <= self.parts, "bad hot partition range");
+        self.hot = Some((lo, hi));
+        self
+    }
+
+    /// Switches the hot partitions to `[lo, hi)` after this generator has
+    /// issued `after` requests: the mid-run skew flip of the `live-drift`
+    /// experiment.
+    #[must_use]
+    pub fn with_partition_flip(mut self, lo: u32, hi: u32, after: u64) -> Self {
+        assert!(lo < hi && hi <= self.parts, "bad flip partition range");
+        self.flip_to = Some((lo, hi));
+        self.flip_after = after;
+        self
+    }
+
+    /// Uniform subscriber draw over the partitions `[lo, hi)`: subscriber
+    /// `s` lives at partition `s % parts`, so the draw picks an index and
+    /// a partition within the hot range and recombines them.
+    fn draw_subscriber(rng: &mut SmallRng, parts: u32, range: (u32, u32)) -> i64 {
+        let (lo, hi) = range;
+        let width = i64::from(hi - lo);
+        let k = rng.gen_range(0..width * i64::from(SUBS_PER_PARTITION));
+        (k / width) * i64::from(parts) + i64::from(lo) + (k % width)
     }
 
     fn total_subs(&self) -> i64 {
@@ -647,23 +686,24 @@ impl Generator {
 
 impl RequestGenerator for Generator {
     fn next_request(&mut self, client: u64) -> (ProcId, Vec<Value>) {
+        self.issued += 1;
+        if let Some(flip) = self.flip_to {
+            if self.issued > self.flip_after {
+                self.hot = Some(flip);
+            }
+        }
         let seed = self.seed;
-        let rng = self
-            .rngs
-            .entry(client)
-            .or_insert_with(|| seeded_rng(derive_seed(seed, client)));
-        let total = i64::from(self.parts * SUBS_PER_PARTITION);
-        let s_id = rng.gen_range(0..total);
+        let parts = self.parts;
+        let range = self.hot.unwrap_or((0, parts));
+        let rng = self.rngs.entry(client).or_insert_with(|| seeded_rng(derive_seed(seed, client)));
+        let s_id = Self::draw_subscriber(rng, parts, range);
         let mix: u32 = rng.gen_range(0..100);
         // TATP standard mix: GetSubscriber 35, GetAccessData 35, GetNewDest
         // 10, UpdateLocation 14, UpdateSubscriber 2, InsertCallFwrd 2,
         // DeleteCallFwrd 2.
         match mix {
             0..=34 => (3, vec![Value::Int(s_id)]), // GetSubscriber
-            35..=69 => (
-                1,
-                vec![Value::Int(s_id), Value::Int(rng.gen_range(1..=2))],
-            ), // GetAccessData
+            35..=69 => (1, vec![Value::Int(s_id), Value::Int(rng.gen_range(1..=2))]), // GetAccessData
             70..=79 => (
                 2,
                 vec![
@@ -672,10 +712,7 @@ impl RequestGenerator for Generator {
                     Value::Int(if rng.gen_bool(0.5) { 0 } else { 8 }),
                 ],
             ), // GetNewDest
-            80..=93 => (
-                5,
-                vec![Value::Str(sub_nbr(s_id)), Value::Int(rng.gen_range(0..1 << 20))],
-            ), // UpdateLocation
+            80..=93 => (5, vec![Value::Str(sub_nbr(s_id)), Value::Int(rng.gen_range(0..1 << 20))]), // UpdateLocation
             94..=95 => (
                 6,
                 vec![
@@ -739,23 +776,14 @@ mod tests {
         let mut db = database(4);
         let reg = registry();
         let cat = reg.catalog();
-        let out = run_offline(
-            &mut db,
-            &reg,
-            &cat,
-            5,
-            &[Value::Str(sub_nbr(6)), Value::Int(42)],
-            true,
-        )
-        .unwrap();
+        let out =
+            run_offline(&mut db, &reg, &cat, 5, &[Value::Str(sub_nbr(6)), Value::Int(42)], true)
+                .unwrap();
         assert!(out.committed);
         assert_eq!(out.touched.len(), 4, "broadcast touches everything");
         assert_eq!(out.record.queries.len(), 2);
         // Effect landed on subscriber 6 (partition 2).
-        assert_eq!(
-            db.get(2, tables::SUBSCRIBER, &[Value::Int(6)]).unwrap()[4],
-            Value::Int(42)
-        );
+        assert_eq!(db.get(2, tables::SUBSCRIBER, &[Value::Int(6)]).unwrap()[4], Value::Int(42));
     }
 
     #[test]
@@ -786,22 +814,13 @@ mod tests {
             &reg,
             &cat,
             4,
-            &[
-                Value::Str(sub_nbr(9)),
-                Value::Int(1),
-                Value::Int(999),
-                Value::Str("X".into()),
-            ],
+            &[Value::Str(sub_nbr(9)), Value::Int(1), Value::Int(999), Value::Str("X".into())],
             true,
         )
         .unwrap();
         assert!(out.committed);
         assert!(db
-            .get(
-                1,
-                tables::CALL_FORWARDING,
-                &[Value::Int(9), Value::Int(1), Value::Int(999)]
-            )
+            .get(1, tables::CALL_FORWARDING, &[Value::Int(9), Value::Int(1), Value::Int(999)])
             .is_some());
     }
 
@@ -818,6 +837,54 @@ mod tests {
         }
         // GetSubscriber (id 3) should dominate alongside GetAccessData.
         assert!(seen[3] > seen[0] * 5);
+    }
+
+    #[test]
+    fn skewed_generator_flips_hot_partitions_mid_stream() {
+        let total = i64::from(4 * SUBS_PER_PARTITION);
+        let mut g = Generator::new(4, 3).with_hot_partitions(0, 2).with_partition_flip(2, 4, 100);
+        let s_of = |args: &[Value]| match &args[0] {
+            Value::Int(s) => *s,
+            Value::Str(nbr) => nbr[3..].parse::<i64>().unwrap(),
+            other => panic!("unexpected arg {other:?}"),
+        };
+        for i in 0..200u64 {
+            let (_, args) = g.next_request(0);
+            let s = s_of(&args);
+            assert!((0..total).contains(&s), "subscriber {s} out of range");
+            if i < 100 {
+                assert!(s % 4 < 2, "request {i} drew partition {} pre-flip", s % 4);
+            } else {
+                assert!(s % 4 >= 2, "request {i} drew partition {} post-flip", s % 4);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_generator_still_hits_every_procedure() {
+        let mut g = Generator::new(4, 11).with_hot_partitions(0, 2);
+        let mut seen = [0u32; 7];
+        for i in 0..2000 {
+            let (p, _) = g.next_request(i % 8);
+            seen[p as usize] += 1;
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 0, "procedure {i} never generated under skew");
+        }
+    }
+
+    #[test]
+    fn default_draw_matches_the_unskewed_stream() {
+        // The hot-partition machinery with the full range must reproduce
+        // the historical uniform draw bit-for-bit (recorded expectations
+        // elsewhere depend on the stream).
+        let mut a = Generator::new(4, 5);
+        let mut b = Generator::new(4, 5).with_hot_partitions(0, 4);
+        for c in 0..4 {
+            for _ in 0..100 {
+                assert_eq!(a.next_request(c), b.next_request(c));
+            }
+        }
     }
 
     #[test]

@@ -55,12 +55,7 @@ pub fn database(parts: u32) -> Database {
             &[0, 1],
             Some(0),
         ),
-        Schema::new(
-            "ORDERS",
-            &["O_W_ID", "O_ID", "O_C_ID", "O_CARRIER_ID"],
-            &[0, 1],
-            Some(0),
-        ),
+        Schema::new("ORDERS", &["O_W_ID", "O_ID", "O_C_ID", "O_CARRIER_ID"], &[0, 1], Some(0)),
         Schema::new(
             "ORDER_LINE",
             &["OL_SUPPLY_W_ID", "OL_W_ID", "OL_O_ID", "OL_NUMBER", "OL_I_ID", "OL_QTY"],
@@ -118,7 +113,12 @@ pub fn database(parts: u32) -> Database {
             db.insert(
                 p,
                 tables::ORDERS,
-                vec![Value::Int(w), Value::Int(o), Value::Int(o % CUSTOMERS_PER_WAREHOUSE), Value::Int(0)],
+                vec![
+                    Value::Int(w),
+                    Value::Int(o),
+                    Value::Int(o % CUSTOMERS_PER_WAREHOUSE),
+                    Value::Int(0),
+                ],
                 &mut undo,
             )
             .expect("load order");
@@ -235,10 +235,7 @@ impl ProcInstance for DeliveryRun {
         match self.stage {
             0 => {
                 self.stage = 1;
-                Step::Queries(vec![QueryInvocation::new(
-                    0,
-                    vec![self.w_id.clone(), Value::Int(0)],
-                )])
+                Step::Queries(vec![QueryInvocation::new(0, vec![self.w_id.clone(), Value::Int(0)])])
             }
             1 => {
                 let rows = &results.unwrap()[0];
@@ -282,10 +279,7 @@ impl DeliveryRun {
     fn emit_order(&self) -> Step {
         let (o_id, _) = &self.orders[self.cursor];
         Step::Queries(vec![
-            QueryInvocation::new(
-                1,
-                vec![self.w_id.clone(), o_id.clone(), self.carrier.clone()],
-            ),
+            QueryInvocation::new(1, vec![self.w_id.clone(), o_id.clone(), self.carrier.clone()]),
             QueryInvocation::new(2, vec![self.w_id.clone(), o_id.clone()]),
         ])
     }
@@ -317,12 +311,7 @@ impl NewOrder {
                         QueryOp::GetByKey { key_params: vec![1, 0] }, // (S_W_ID, S_I_ID) from (i_id, w_id)
                         PartitionHint::Param(1),
                     ),
-                    q(
-                        "InsertOrder",
-                        tables::ORDERS,
-                        QueryOp::InsertRow,
-                        PartitionHint::Param(0),
-                    ),
+                    q("InsertOrder", tables::ORDERS, QueryOp::InsertRow, PartitionHint::Param(0)),
                     q(
                         "InsertOrdLine",
                         tables::ORDER_LINE,
@@ -400,19 +389,10 @@ impl ProcInstance for NewOrderRun {
                 // Batch 2 (Fig. 2): InsertOrder + (InsertOrdLine, UpdateStock)*.
                 let mut invs = vec![QueryInvocation::new(
                     2,
-                    vec![
-                        self.w_id.clone(),
-                        self.o_id.clone(),
-                        self.c_id.clone(),
-                        Value::Int(0),
-                    ],
+                    vec![self.w_id.clone(), self.o_id.clone(), self.c_id.clone(), Value::Int(0)],
                 )];
-                for (ol, ((i_id, i_w), qty)) in self
-                    .i_ids
-                    .iter()
-                    .zip(&self.i_w_ids)
-                    .zip(&self.i_qtys)
-                    .enumerate()
+                for (ol, ((i_id, i_w), qty)) in
+                    self.i_ids.iter().zip(&self.i_w_ids).zip(&self.i_qtys).enumerate()
                 {
                     invs.push(QueryInvocation::new(
                         3,
@@ -427,12 +407,7 @@ impl ProcInstance for NewOrderRun {
                     ));
                     invs.push(QueryInvocation::new(
                         4,
-                        vec![
-                            i_w.clone(),
-                            i_id.clone(),
-                            Value::Int(-qty.expect_int()),
-                            qty.clone(),
-                        ],
+                        vec![i_w.clone(), i_id.clone(), Value::Int(-qty.expect_int()), qty.clone()],
                     ));
                 }
                 Step::Queries(invs)
@@ -642,10 +617,7 @@ impl ProcInstance for PaymentRun {
                 self.stage = 2;
                 let cust_update = if bad_credit { 4 } else { 3 };
                 Step::Queries(vec![
-                    QueryInvocation::new(
-                        2,
-                        vec![self.w_id.clone(), self.amount.clone()],
-                    ),
+                    QueryInvocation::new(2, vec![self.w_id.clone(), self.amount.clone()]),
                     QueryInvocation::new(
                         cust_update,
                         vec![self.c_w_id.clone(), self.c_id.clone(), self.amount.clone()],
@@ -726,14 +698,12 @@ impl ProcInstance for StockLevelRun {
         match self.stage {
             0 => {
                 self.stage = 1;
-                Step::Queries(vec![QueryInvocation::new(
-                    0,
-                    vec![self.w_id.clone(), Value::Int(0)],
-                )])
+                Step::Queries(vec![QueryInvocation::new(0, vec![self.w_id.clone(), Value::Int(0)])])
             }
             1 => {
                 let orders = &results.unwrap()[0];
-                let recent: Vec<i64> = orders.iter().rev().take(5).map(|r| r[1].expect_int()).collect();
+                let recent: Vec<i64> =
+                    orders.iter().rev().take(5).map(|r| r[1].expect_int()).collect();
                 if recent.is_empty() {
                     return Step::Commit;
                 }
@@ -830,21 +800,15 @@ impl Generator {
         let seed = self.seed;
         let remote_prob = self.remote_item_prob;
         let invalid_prob = self.invalid_item_prob;
-        let rng = self
-            .rngs
-            .entry(client)
-            .or_insert_with(|| seeded_rng(derive_seed(seed, client)));
+        let rng = self.rngs.entry(client).or_insert_with(|| seeded_rng(derive_seed(seed, client)));
         let n_items = rng.gen_range(3..=8);
         let invalid = invalid_prob > 0.0 && rng.gen_bool(invalid_prob);
         let mut i_ids = Vec::with_capacity(n_items);
         let mut i_w_ids = Vec::with_capacity(n_items);
         let mut i_qtys = Vec::with_capacity(n_items);
         for k in 0..n_items {
-            let id = if invalid && k == n_items - 1 {
-                INVALID_ITEM
-            } else {
-                rng.gen_range(0..ITEMS)
-            };
+            let id =
+                if invalid && k == n_items - 1 { INVALID_ITEM } else { rng.gen_range(0..ITEMS) };
             i_ids.push(Value::Int(id));
             let remote = parts > 1 && remote_prob > 0.0 && rng.gen_bool(remote_prob);
             let i_w = if remote {
@@ -875,10 +839,8 @@ impl RequestGenerator for Generator {
         let parts = i64::from(self.parts);
         let seed = self.seed;
         let (mix, w) = {
-            let rng = self
-                .rngs
-                .entry(client)
-                .or_insert_with(|| seeded_rng(derive_seed(seed, client)));
+            let rng =
+                self.rngs.entry(client).or_insert_with(|| seeded_rng(derive_seed(seed, client)));
             (rng.gen_range(0..100u32), rng.gen_range(0..parts))
         };
         match mix {
@@ -978,11 +940,7 @@ mod tests {
         assert_eq!(out.touched.len(), 2);
         // Remote order line stored at the supplying warehouse's partition.
         assert!(db
-            .get(
-                1,
-                tables::ORDER_LINE,
-                &[Value::Int(0), Value::Int(1001), Value::Int(1)]
-            )
+            .get(1, tables::ORDER_LINE, &[Value::Int(0), Value::Int(1001), Value::Int(1)])
             .is_some());
     }
 
@@ -1026,10 +984,7 @@ mod tests {
                 .iter()
                 .map(|qr| cat.proc(3).query(qr.query).name.clone())
                 .collect();
-            assert!(
-                names.iter().any(|n| n == expected_query),
-                "customer {c}: {names:?}"
-            );
+            assert!(names.iter().any(|n| n == expected_query), "customer {c}: {names:?}");
         }
     }
 
@@ -1038,13 +993,8 @@ mod tests {
         let mut db = database(2);
         let reg = registry();
         let cat = reg.catalog();
-        let args = vec![
-            Value::Int(0),
-            Value::Int(1),
-            Value::Int(7),
-            Value::Int(100),
-            Value::Int(5000),
-        ];
+        let args =
+            vec![Value::Int(0), Value::Int(1), Value::Int(7), Value::Int(100), Value::Int(5000)];
         let out = run_offline(&mut db, &reg, &cat, 3, &args, true).unwrap();
         assert!(out.committed);
         assert_eq!(out.touched.len(), 2);

@@ -21,8 +21,7 @@ fn main() {
     let mut records = Vec::new();
     for i in 0..4000u64 {
         let (proc, args) = gen.next_request(i % 8);
-        let out =
-            run_offline(&mut db, &registry, &catalog, proc, &args, true).expect("trace txn");
+        let out = run_offline(&mut db, &registry, &catalog, proc, &args, true).expect("trace txn");
         if proc == no {
             records.push(out.record);
         }
@@ -39,9 +38,11 @@ fn main() {
     );
 
     // Fig. 5: the probability table of the partition-0 GetWarehouse state.
-    if let Some(v) = model.vertices().iter().find(|v| {
-        v.name == "GetWarehouse" && v.key.partitions == PartitionSet::single(0)
-    }) {
+    if let Some(v) = model
+        .vertices()
+        .iter()
+        .find(|v| v.name == "GetWarehouse" && v.key.partitions == PartitionSet::single(0))
+    {
         eprintln!("GetWarehouse@p0 probability table:");
         eprintln!("  single-partitioned = {:.2}", v.table.single_partition);
         eprintln!("  abort              = {:.2}", v.table.abort);

@@ -20,12 +20,7 @@ fn main() {
     let catalog = registry.catalog();
 
     // Show Table 1/Table 2 feature extraction on one request.
-    let args = vec![
-        Value::Int(7),
-        Value::Int(1),
-        Value::Int(0),
-        Value::Int(0),
-    ];
+    let args = vec![Value::Int(7), Value::Int(1), Value::Int(0), Value::Int(0)];
     let schema = feature_schema(args.len());
     println!("feature vector for GetUserInfo{args:?} (Table 2 style):");
     let fv = extract_features(&schema, &args, parts);
@@ -65,7 +60,7 @@ fn main() {
                     "  {name:<18} {} clusters on {feats:?}, tree depth {}, {} total states",
                     models.len(),
                     tree.depth(),
-                    models.iter().map(markov::MarkovModel::len).sum::<usize>()
+                    models.iter().map(|m| m.len()).sum::<usize>()
                 );
             }
         }

@@ -25,8 +25,7 @@ fn main() {
     let mut records = Vec::new();
     for i in 0..4000u64 {
         let (proc, args) = gen.next_request(i % 16);
-        let out =
-            run_offline(&mut db, &registry, &catalog, proc, &args, true).expect("trace");
+        let out = run_offline(&mut db, &registry, &catalog, proc, &args, true).expect("trace");
         records.push(out.record);
     }
     let preds = train(&catalog, parts, &Workload { records }, &TrainingConfig::default());
@@ -49,10 +48,7 @@ fn main() {
     println!("  estimated path:");
     for &v in &est.vertices {
         let vx = model.vertex(v);
-        println!(
-            "    {} partitions={} previous={}",
-            vx.name, vx.key.partitions, vx.key.previous
-        );
+        println!("    {} partitions={} previous={}", vx.name, vx.key.partitions, vx.key.previous);
     }
     println!("  uncertain steps : {}", est.uncertain_steps);
     println!("  touched         : {} (broadcast forces lock-all)", est.touched);
@@ -60,11 +56,8 @@ fn main() {
 
     // The runtime update at the narrow state declares every other partition
     // finished — the early prepare that keeps the cluster busy (OP4).
-    let narrow = est
-        .vertices
-        .iter()
-        .map(|&v| model.vertex(v))
-        .find(|vx| vx.name == "UpdateSubscriberLoc");
+    let narrow =
+        est.vertices.iter().map(|&v| model.vertex(v)).find(|vx| vx.name == "UpdateSubscriberLoc");
     if let Some(vx) = narrow {
         println!("  finish probabilities at the narrow state:");
         for p in 0..parts {

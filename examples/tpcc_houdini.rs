@@ -20,22 +20,12 @@ fn run(bench: Bench, parts: u32, advisor: &mut dyn TxnAdvisor) -> engine::RunMet
         measure_us: 500_000.0,
         ..Default::default()
     };
-    let sim = Simulation::new(
-        &mut db,
-        &registry,
-        advisor,
-        &mut gen,
-        CostModel::default(),
-        cfg,
-    );
+    let sim = Simulation::new(&mut db, &registry, advisor, &mut gen, CostModel::default(), cfg);
     sim.run().expect("simulation").0
 }
 
 fn main() {
-    let parts: u32 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(16);
+    let parts: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
     let bench = Bench::Tpcc;
     println!("TPC-C, {parts} partitions, 0.5 simulated seconds measured\n");
 
@@ -47,8 +37,8 @@ fn main() {
     let mut records = Vec::new();
     for i in 0..4000u64 {
         let (proc, args) = gen.next_request(i % 16);
-        let out = engine::run_offline(&mut db, &registry, &catalog, proc, &args, true)
-            .expect("trace");
+        let out =
+            engine::run_offline(&mut db, &registry, &catalog, proc, &args, true).expect("trace");
         records.push(out.record);
     }
     let preds = train(&catalog, parts, &Workload { records }, &TrainingConfig::default());
@@ -69,9 +59,7 @@ fn main() {
     );
     for (name, advisor) in runs {
         let m = run(bench, parts, advisor);
-        let lat = m
-            .mean_latency_ms()
-            .map_or_else(|| "-".to_string(), |ms| format!("{ms:.2}"));
+        let lat = m.mean_latency_ms().map_or_else(|| "-".to_string(), |ms| format!("{ms:.2}"));
         println!(
             "{name:<26} {:>9.0} {lat:>9} {:>9} {:>9} {:>9}",
             m.throughput_tps(),

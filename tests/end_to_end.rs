@@ -1,9 +1,9 @@
 //! End-to-end integration tests: trace collection → training → timed
 //! simulation for every benchmark, plus cross-advisor sanity properties.
 
-use predictive_oltp::prelude::*;
 use engine::baselines::{AssumeDistributed, AssumeSinglePartition, Oracle};
 use engine::run_offline;
+use predictive_oltp::prelude::*;
 
 fn collect(bench: Bench, parts: u32, n: usize, seed: u64) -> (engine::Catalog, Workload) {
     let mut db = bench.database(parts);
@@ -20,7 +20,12 @@ fn collect(bench: Bench, parts: u32, n: usize, seed: u64) -> (engine::Catalog, W
     (catalog, Workload { records })
 }
 
-fn simulate(bench: Bench, parts: u32, advisor: &mut dyn TxnAdvisor, seed: u64) -> engine::RunMetrics {
+fn simulate(
+    bench: Bench,
+    parts: u32,
+    advisor: &mut dyn TxnAdvisor,
+    seed: u64,
+) -> engine::RunMetrics {
     let mut db = bench.database(parts);
     let registry = bench.registry();
     let mut gen = bench.generator(parts, seed);
@@ -30,14 +35,7 @@ fn simulate(bench: Bench, parts: u32, advisor: &mut dyn TxnAdvisor, seed: u64) -
         measure_us: 250_000.0,
         ..Default::default()
     };
-    let sim = Simulation::new(
-        &mut db,
-        &registry,
-        advisor,
-        &mut gen,
-        CostModel::default(),
-        cfg,
-    );
+    let sim = Simulation::new(&mut db, &registry, advisor, &mut gen, CostModel::default(), cfg);
     sim.run().expect("simulation must not halt").0
 }
 
@@ -50,12 +48,7 @@ fn houdini_runs_every_benchmark() {
         let mut houdini = Houdini::new(preds, catalog, parts, HoudiniConfig::default());
         let m = simulate(bench, parts, &mut houdini, 13);
         assert!(m.committed > 200, "{}: committed = {}", bench.name(), m.committed);
-        assert!(
-            m.throughput_tps() > 500.0,
-            "{}: tps = {}",
-            bench.name(),
-            m.throughput_tps()
-        );
+        assert!(m.throughput_tps() > 500.0, "{}: tps = {}", bench.name(), m.throughput_tps());
     }
 }
 
@@ -142,14 +135,7 @@ fn database_invariants_hold_after_tpcc_run() {
         measure_us: 200_000.0,
         ..Default::default()
     };
-    let sim = Simulation::new(
-        &mut db,
-        &registry,
-        &mut oracle,
-        &mut gen,
-        CostModel::default(),
-        cfg,
-    );
+    let sim = Simulation::new(&mut db, &registry, &mut oracle, &mut gen, CostModel::default(), cfg);
     sim.run().expect("run");
     let _ = catalog;
     assert_eq!(db.total_rows(workloads::tpcc::tables::WAREHOUSE), warehouses_before);
@@ -182,11 +168,6 @@ fn accuracy_pipeline_runs_for_all_benchmarks() {
             bench.name(),
             agg.op3_pct()
         );
-        assert!(
-            agg.total_pct() > 60.0,
-            "{}: total accuracy {:.1}%",
-            bench.name(),
-            agg.total_pct()
-        );
+        assert!(agg.total_pct() > 60.0, "{}: total accuracy {:.1}%", bench.name(), agg.total_pct());
     }
 }

@@ -33,9 +33,7 @@ struct SplitGen {
 impl SplitGen {
     fn new(clients: u64) -> Self {
         SplitGen {
-            gens: (0..clients)
-                .map(|c| Bench::Tatp.client_generator(PARTS, SEED, c))
-                .collect(),
+            gens: (0..clients).map(|c| Bench::Tatp.client_generator(PARTS, SEED, c)).collect(),
         }
     }
 }
@@ -84,6 +82,7 @@ fn run_live_runtime(advisor: &Houdini) -> (RunMetrics, storage::Database) {
         seed: SEED,
         commit_flush_us: 0,
         msg_delay_us: 0,
+        ..Default::default()
     };
     let make_gen = |client: u64| Bench::Tatp.client_generator(PARTS, SEED, client);
     run_live(db, &reg, advisor, &make_gen, &cfg).expect("live runtime must not halt")
@@ -199,6 +198,7 @@ fn tpcc_speculation_conserves_requests_and_rows() {
         seed: 37,
         commit_flush_us: 50,
         msg_delay_us: 0,
+        ..Default::default()
     };
     let make_gen = |client: u64| Bench::Tpcc.client_generator(PARTS, 37, client);
     let (m, db) =
@@ -231,6 +231,7 @@ fn workers_shut_down_cleanly_when_generators_run_dry() {
             seed: 11,
             commit_flush_us: 0,
             msg_delay_us: 0,
+            ..Default::default()
         };
         let make_gen = |client: u64| Bench::Tatp.client_generator(PARTS, 11, client);
         let (m, db) = run_live(db, &reg, &advisor, &make_gen, &cfg).expect("no halts");

@@ -18,8 +18,7 @@ fn tpcc_trace(parts: u32, n: usize, remote_prob: f64, seed: u64) -> (engine::Cat
     let mut records = Vec::with_capacity(n);
     for i in 0..n {
         let (proc, args) = gen.next_request(i as u64 % 8);
-        let out =
-            run_offline(&mut db, &registry, &catalog, proc, &args, true).expect("trace txn");
+        let out = run_offline(&mut db, &registry, &catalog, proc, &args, true).expect("trace txn");
         records.push(out.record);
     }
     (catalog, Workload { records })
@@ -45,14 +44,8 @@ fn drifted_workload_triggers_recomputation_and_still_commits() {
         measure_us: 400_000.0,
         ..Default::default()
     };
-    let sim = Simulation::new(
-        &mut db,
-        &registry,
-        &mut houdini,
-        &mut gen,
-        CostModel::default(),
-        cfg,
-    );
+    let sim =
+        Simulation::new(&mut db, &registry, &mut houdini, &mut gen, CostModel::default(), cfg);
     let (metrics, _) = sim.run().expect("drifted run must not halt");
 
     assert!(metrics.committed > 200, "committed = {}", metrics.committed);
@@ -81,14 +74,8 @@ fn stable_workload_does_not_thrash_the_models() {
         measure_us: 300_000.0,
         ..Default::default()
     };
-    let sim = Simulation::new(
-        &mut db,
-        &registry,
-        &mut houdini,
-        &mut gen,
-        CostModel::default(),
-        cfg,
-    );
+    let sim =
+        Simulation::new(&mut db, &registry, &mut houdini, &mut gen, CostModel::default(), cfg);
     let (metrics, _) = sim.run().expect("stable run");
     assert!(metrics.committed > 200);
     assert!(

@@ -1,7 +1,7 @@
 //! Property-based tests on the core data structures and invariants.
 
 use common::{PartitionSet, Value};
-use engine::{CatalogResolver, ProcDef, QueryDef, QueryOp, PartitionHint};
+use engine::{CatalogResolver, PartitionHint, ProcDef, QueryDef, QueryOp};
 use mapping::{build_mapping, MappingConfig};
 use markov::build_model;
 use proptest::prelude::*;
@@ -364,8 +364,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
         "[a-z]{0,8}".prop_map(Value::Str),
-        proptest::collection::vec(any::<i64>().prop_map(Value::Int), 0..4)
-            .prop_map(Value::Array),
+        proptest::collection::vec(any::<i64>().prop_map(Value::Int), 0..4).prop_map(Value::Array),
     ]
 }
 

@@ -3,8 +3,8 @@
 //! this test exists so `cargo test smoke` gives a fast signal that the
 //! whole stack is wired together.
 
-use predictive_oltp::prelude::*;
 use engine::run_offline;
+use predictive_oltp::prelude::*;
 
 #[test]
 fn tatp_collect_train_simulate_smoke() {
@@ -41,14 +41,8 @@ fn tatp_collect_train_simulate_smoke() {
         measure_us: 25_000.0,
         ..Default::default()
     };
-    let sim = Simulation::new(
-        &mut db,
-        &registry,
-        &mut houdini,
-        &mut gen,
-        CostModel::default(),
-        cfg,
-    );
+    let sim =
+        Simulation::new(&mut db, &registry, &mut houdini, &mut gen, CostModel::default(), cfg);
     let (metrics, _) = sim.run().expect("simulation must not halt");
     assert!(metrics.committed > 0, "smoke simulation must commit transactions");
 }

@@ -45,11 +45,7 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            parent: self,
-            name: name.to_string(),
-            sample_size: None,
-        }
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
     }
 }
 

@@ -266,6 +266,30 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        T::deserialize(c).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        T::deserialize(c).map(std::rc::Rc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Content {
         match self {
@@ -387,10 +411,9 @@ where
 {
     fn deserialize(c: &Content) -> Result<Self, DeError> {
         match c {
-            Content::Map(entries) => entries
-                .iter()
-                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
-                .collect(),
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?))).collect()
+            }
             other => Err(DeError::custom(format!("expected object, got {}", other.kind()))),
         }
     }
@@ -405,10 +428,9 @@ impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
 impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn deserialize(c: &Content) -> Result<Self, DeError> {
         match c {
-            Content::Map(entries) => entries
-                .iter()
-                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
-                .collect(),
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?))).collect()
+            }
             other => Err(DeError::custom(format!("expected object, got {}", other.kind()))),
         }
     }

@@ -75,9 +75,7 @@ fn expand(input: TokenStream, dir: Direction) -> TokenStream {
         Direction::Deserialize => gen_deserialize(&parsed),
     };
     code.parse().unwrap_or_else(|e| {
-        format!("compile_error!(\"serde_derive codegen parse failure: {e:?}\");")
-            .parse()
-            .unwrap()
+        format!("compile_error!(\"serde_derive codegen parse failure: {e:?}\");").parse().unwrap()
     })
 }
 
@@ -92,7 +90,12 @@ fn is_pound(t: &TokenTree) -> bool {
 
 /// Collects `skip` / `from` / `into` markers out of one `#[serde(...)]`
 /// attribute body.
-fn scan_serde_attr(body: TokenStream, skip: &mut bool, from: &mut Option<String>, into: &mut Option<String>) {
+fn scan_serde_attr(
+    body: TokenStream,
+    skip: &mut bool,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut i = 0;
     while i < tokens.len() {
@@ -238,7 +241,9 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         };
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => return Err(format!("serde_derive: expected `:` after `{name}`, got {other:?}")),
+            other => {
+                return Err(format!("serde_derive: expected `:` after `{name}`, got {other:?}"))
+            }
         }
         // consume the type up to a top-level comma
         let mut angle: i32 = 0;
@@ -437,9 +442,8 @@ fn ser_fields_expr(name: &str, fields: &Fields, _access: FieldAccess) -> String 
         Fields::Unit => "::serde::Content::Null".to_string(),
         Fields::Unnamed(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
         Fields::Unnamed(n) => {
-            let sers: Vec<String> = (0..*n)
-                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
-                .collect();
+            let sers: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
             format!("::serde::Content::Seq(vec![{}])", sers.join(", "))
         }
         Fields::Named(fs) => {
@@ -498,9 +502,9 @@ fn gen_deserialize(input: &Input) -> String {
     }
     let body = match &input.kind {
         Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
-        Kind::Struct(Fields::Unnamed(1)) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))"
-        ),
+        Kind::Struct(Fields::Unnamed(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))")
+        }
         Kind::Struct(Fields::Unnamed(n)) => {
             let mut des = String::new();
             for i in 0..*n {
