@@ -1,11 +1,13 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! Usage: `experiments [--full] <id>...` where ids are `fig3 fig4 fig5 fig7
-//! fig8 fig9 fig10 table3 fig11 table4 fig12 fig13 live live-drift` or
-//! `all`. `--full` uses the larger trace sizes and longer simulated windows
-//! recorded in EXPERIMENTS.md; the default quick scale finishes in seconds
-//! per experiment. `live` measures real wall-clock throughput on the
-//! multi-threaded partition runtime instead of simulated time; `live-drift`
+//! fig8 fig9 fig10 table3 fig11 table4 fig12 fig13 live live-latency
+//! live-drift` or `all`. `--full` uses the larger trace sizes and longer
+//! simulated windows recorded in EXPERIMENTS.md; the default quick scale
+//! finishes in seconds per experiment. `live` measures real wall-clock
+//! throughput on the multi-threaded partition runtime instead of simulated
+//! time (closed-loop sweeps plus the open-loop latency-vs-offered-load
+//! sweep); `live-latency` runs just the open-loop sweep; `live-drift`
 //! measures on-line model maintenance (§4.5) under a mid-run TATP skew
 //! flip.
 
@@ -19,7 +21,7 @@ fn main() {
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|live|live-drift|all>..."
+            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|live|live-latency|live-drift|all>..."
         );
         std::process::exit(2);
     }

@@ -2,6 +2,7 @@
 //! formatted rows it prints, so the `experiments` binary and EXPERIMENTS.md
 //! stay in sync.
 
+use crate::open_loop::{open_loop_measure, OpenLoopConfig};
 use crate::setup::{
     collect_trace, new_order_generator, run_live_bench, run_sim, sim_config, trained_houdini, Scale,
 };
@@ -15,6 +16,7 @@ use houdini::{
 use mapping::ParamSource;
 use markov::{estimate_path, to_dot, EstimateConfig, QueryKind};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use trace::TraceRecord;
 use workloads::{tatp, Bench};
 
@@ -484,7 +486,7 @@ fn live_config(scale: Scale, seed: u64, requests_quick: u64, msg_delay_us: u64) 
     }
 }
 
-fn measure_live<A: engine::LiveAdvisor>(
+fn measure_live<A: engine::LiveAdvisor + Clone + 'static>(
     bench: Bench,
     label: &'static str,
     parts: u32,
@@ -500,7 +502,7 @@ fn measure_live<A: engine::LiveAdvisor>(
 /// with the deterministic simulator: every issued request either commits
 /// or user-aborts — speculative cascades are retried transparently and
 /// must not lose or duplicate requests.
-fn measure_once<A: engine::LiveAdvisor>(
+fn measure_once<A: engine::LiveAdvisor + Clone + 'static>(
     bench: Bench,
     label: &str,
     parts: u32,
@@ -533,7 +535,7 @@ fn median_run(mut runs: Vec<engine::RunMetrics>) -> engine::RunMetrics {
 /// ablation measures — so back-to-back interleaving turns the drift into
 /// paired noise the medians cancel.
 #[allow(clippy::too_many_arguments)]
-fn measure_live_pair<A: engine::LiveAdvisor, B: engine::LiveAdvisor>(
+fn measure_live_pair<A, B>(
     bench: Bench,
     label_a: &'static str,
     label_b: &'static str,
@@ -543,7 +545,11 @@ fn measure_live_pair<A: engine::LiveAdvisor, B: engine::LiveAdvisor>(
     cfg: &LiveConfig,
     seed: u64,
     rounds: u32,
-) -> (LiveRow, LiveRow) {
+) -> (LiveRow, LiveRow)
+where
+    A: engine::LiveAdvisor + Clone + 'static,
+    B: engine::LiveAdvisor + Clone + 'static,
+{
     let mut runs_a = Vec::new();
     let mut runs_b = Vec::new();
     for _ in 0..rounds.max(1) {
@@ -576,11 +582,12 @@ pub fn live_rows(scale: Scale) -> Vec<LiveRow> {
     // overlapping commit flushes).
     for parts in LIVE_WORKER_COUNTS {
         let cfg = live_config(scale, 71, 250, 0);
-        let houdini = trained_houdini(Bench::Tatp, parts, scale.trace_len(), true, 0.5, 71);
+        let houdini =
+            Arc::new(trained_houdini(Bench::Tatp, parts, scale.trace_len(), true, 0.5, 71));
         rows.push(measure_live(Bench::Tatp, "houdini", parts, &houdini, &cfg, 73));
-        let asp = AssumeSinglePartition::new();
+        let asp = Arc::new(AssumeSinglePartition::new());
         rows.push(measure_live(Bench::Tatp, "asp", parts, &asp, &cfg, 73));
-        let adist = AssumeDistributed::new();
+        let adist = Arc::new(AssumeDistributed::new());
         rows.push(measure_live(Bench::Tatp, "lock-all", parts, &adist, &cfg, 73));
     }
     // TPC-C is the distributed-heavy workload that actually exercises OP4:
@@ -596,13 +603,14 @@ pub fn live_rows(scale: Scale) -> Vec<LiveRow> {
         // knob is read only at plan time, never during training.
         let (catalog, workload) = collect_trace(Bench::Tpcc, parts, scale.trace_len(), 79);
         let preds = train(&catalog, parts, &workload, &TrainingConfig::default());
-        let op4 = Houdini::new(preds.clone(), catalog.clone(), parts, HoudiniConfig::default());
-        let no_op4 = Houdini::new(
+        let op4 =
+            Arc::new(Houdini::new(preds.clone(), catalog.clone(), parts, HoudiniConfig::default()));
+        let no_op4 = Arc::new(Houdini::new(
             preds,
             catalog,
             parts,
             HoudiniConfig { early_prepare: false, ..Default::default() },
-        );
+        ));
         let (row_on, row_off) = measure_live_pair(
             Bench::Tpcc,
             "houdini",
@@ -619,11 +627,99 @@ pub fn live_rows(scale: Scale) -> Vec<LiveRow> {
         // The lock-all baseline is an order of magnitude slower under 2PC
         // rounds + message latency; a shorter stream keeps its wall-clock
         // bounded without touching the ablation pair.
-        let adist = AssumeDistributed::new();
+        let adist = Arc::new(AssumeDistributed::new());
         let cfg_lockall = live_config(scale, 79, 250, 60);
         rows.push(measure_live(Bench::Tpcc, "lock-all", parts, &adist, &cfg_lockall, 83));
     }
     rows
+}
+
+/// Offered-load fractions of the measured closed-loop capacity swept by
+/// the open-loop latency experiment.
+pub const OPEN_LOOP_LOAD_FRACTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// One measured open-loop configuration: a row of the `latency` section
+/// of `BENCH_live.json` (latency quantiles vs offered load).
+pub struct LatencyRow {
+    /// Benchmark name (`TATP`).
+    pub bench: &'static str,
+    /// Advisor label (`houdini`).
+    pub advisor: &'static str,
+    /// Worker threads (= partitions).
+    pub workers: u32,
+    /// Offered load (scheduled arrivals/second).
+    pub offered_tps: f64,
+    /// Achieved committed throughput (wall-clock).
+    pub achieved_tps: f64,
+    /// Open-loop latency quantiles (ms), measured from *scheduled*
+    /// arrival to completion (coordinated-omission-corrected).
+    pub p50_ms: Option<f64>,
+    /// 95th percentile (ms).
+    pub p95_ms: Option<f64>,
+    /// 99th percentile (ms).
+    pub p99_ms: Option<f64>,
+    /// Committed transactions in the window.
+    pub committed: u64,
+    /// User aborts in the window.
+    pub user_aborts: u64,
+}
+
+/// The open-loop offered-load sweep (`latency` section of
+/// `BENCH_live.json`): Poisson-ish arrivals against a TATP
+/// `LiveRuntime` at fractions of the measured closed-loop capacity.
+/// Closed loops hide queueing delay (a saturated server just slows the
+/// arrival stream down); this sweep is where latency-under-load becomes
+/// visible, and it only exists because the handle API lets submitter
+/// threads own their arrival schedules.
+pub fn latency_rows(scale: Scale) -> Vec<LatencyRow> {
+    let houdini =
+        Arc::new(trained_houdini(Bench::Tatp, LATENCY_PARTS, scale.trace_len(), true, 0.5, 71));
+    // Closed-loop capacity anchors the sweep: offered load is expressed
+    // as a fraction of what saturated closed-loop clients achieve on this
+    // host, so the sweep lands on the interesting part of the latency
+    // curve whatever the hardware. (`live` reuses its own scaling-row
+    // measurement instead of running this extra benchmark.)
+    let cfg = live_config(scale, 107, 250, 0);
+    let capacity =
+        measure_once(Bench::Tatp, "houdini", LATENCY_PARTS, &houdini, &cfg, 109).throughput_tps();
+    latency_rows_at(scale, &houdini, capacity)
+}
+
+/// Worker count (= partitions) of the open-loop latency sweep.
+const LATENCY_PARTS: u32 = 4;
+
+/// The sweep core behind [`latency_rows`]: takes the trained advisor and
+/// the closed-loop capacity anchor from the caller, so `live` — which has
+/// both in hand from its scaling rows — does not retrain or re-measure.
+fn latency_rows_at(scale: Scale, houdini: &Arc<Houdini>, capacity: f64) -> Vec<LatencyRow> {
+    let parts = LATENCY_PARTS;
+    let cfg = live_config(scale, 107, 250, 0);
+    let window_s = match scale {
+        Scale::Quick => 0.6,
+        Scale::Full => 2.0,
+    };
+    let submitters = parts * 4;
+    OPEN_LOOP_LOAD_FRACTIONS
+        .iter()
+        .map(|&frac| {
+            let offered = (capacity * frac).max(200.0);
+            let requests = (offered * window_s) as u64;
+            let ol = OpenLoopConfig { offered_tps: offered, submitters, requests, seed: 113 };
+            let m = open_loop_measure(Bench::Tatp, parts, houdini, &cfg, &ol);
+            LatencyRow {
+                bench: "TATP",
+                advisor: "houdini",
+                workers: parts,
+                offered_tps: m.offered_tps,
+                achieved_tps: m.achieved_tps,
+                p50_ms: m.latency.p50_ms(),
+                p95_ms: m.latency.p95_ms(),
+                p99_ms: m.latency.p99_ms(),
+                committed: m.metrics.committed,
+                user_aborts: m.metrics.user_aborts,
+            }
+        })
+        .collect()
 }
 
 /// One measured configuration of the `live-drift` experiment: an arm
@@ -649,6 +745,7 @@ fn render_rows_section(rows: &[LiveRow]) -> String {
     let mut s = String::from("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let m = &r.metrics;
+        let sum = m.summary();
         let _ = write!(
             s,
             "    {{\"bench\": \"{}\", \"advisor\": \"{}\", \"workers\": {}, \
@@ -659,13 +756,13 @@ fn render_rows_section(rows: &[LiveRow]) -> String {
             r.bench,
             r.advisor,
             r.workers,
-            m.throughput_tps(),
-            fmt_opt(m.latency.p50_ms()),
-            fmt_opt(m.latency.p95_ms()),
-            fmt_opt(m.latency.p99_ms()),
-            m.committed,
-            m.user_aborts,
-            m.restarts,
+            sum.throughput_tps,
+            fmt_opt(sum.p50_ms),
+            fmt_opt(sum.p95_ms),
+            fmt_opt(sum.p99_ms),
+            sum.committed,
+            sum.user_aborts,
+            sum.restarts,
             m.distributed,
             m.speculative,
             m.cascaded_aborts,
@@ -673,6 +770,32 @@ fn render_rows_section(rows: &[LiveRow]) -> String {
             fmt_opt(m.lock_hold.p95_ms()),
             m.model_swaps,
             m.feedback_dropped,
+        );
+        s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]");
+    s
+}
+
+/// Renders the `"latency"` section of `BENCH_live.json`.
+fn render_latency_section(rows: &[LatencyRow]) -> String {
+    let mut s = String::from("  \"latency\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"bench\": \"{}\", \"advisor\": \"{}\", \"workers\": {}, \
+             \"offered_tps\": {:.1}, \"achieved_tps\": {:.1}, \"p50_ms\": {}, \
+             \"p95_ms\": {}, \"p99_ms\": {}, \"committed\": {}, \"user_aborts\": {}}}",
+            r.bench,
+            r.advisor,
+            r.workers,
+            r.offered_tps,
+            r.achieved_tps,
+            fmt_opt(r.p50_ms),
+            fmt_opt(r.p95_ms),
+            fmt_opt(r.p99_ms),
+            r.committed,
+            r.user_aborts,
         );
         s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
@@ -743,12 +866,15 @@ fn extract_section(existing: &str, key: &str) -> Option<String> {
 
 /// Machine-readable form of the live measurements, for tracking the perf
 /// trajectory across PRs (flat JSON, no serde dependency needed for a
-/// fixed schema). Schema 2: `rows` (scaling/ablation sweeps, written by
-/// `live`) and `drift` (the `live-drift` maintenance experiment); each
-/// experiment rewrites its own section and carries the other forward from
-/// `existing` (the previous file contents, if any).
+/// fixed schema). Schema 3: `rows` (scaling/ablation sweeps, written by
+/// `live`), `latency` (the open-loop offered-load sweep, written by
+/// `live` and `live-latency`), and `drift` (the `live-drift` maintenance
+/// experiment); each experiment rewrites its own section(s) and carries
+/// the others forward from `existing` (the previous file contents, if
+/// any).
 pub fn bench_live_json(
     rows: Option<&[LiveRow]>,
+    latency: Option<&[LatencyRow]>,
     drift: Option<&[DriftRow]>,
     scale: Scale,
     existing: Option<&str>,
@@ -759,30 +885,52 @@ pub fn bench_live_json(
             .and_then(|e| extract_section(e, "rows"))
             .unwrap_or_else(|| String::from("  \"rows\": []")),
     };
+    let latency_section = match latency {
+        Some(l) => render_latency_section(l),
+        None => existing
+            .and_then(|e| extract_section(e, "latency"))
+            .unwrap_or_else(|| String::from("  \"latency\": []")),
+    };
     let drift_section = match drift {
         Some(d) => render_drift_section(d),
         None => existing
             .and_then(|e| extract_section(e, "drift"))
             .unwrap_or_else(|| String::from("  \"drift\": []")),
     };
-    let mut s = String::from("{\n  \"schema\": 2,\n");
+    let mut s = String::from("{\n  \"schema\": 3,\n");
     let _ =
         writeln!(s, "  \"scale\": \"{}\",", if scale == Scale::Full { "full" } else { "quick" });
     s.push_str(&rows_section);
+    s.push_str(",\n");
+    s.push_str(&latency_section);
     s.push_str(",\n");
     s.push_str(&drift_section);
     s.push_str("\n}\n");
     s
 }
 
-/// Rewrites `BENCH_live.json` with the given section, preserving the
-/// other section from the existing file. Returns a status line.
-fn write_bench_live(rows: Option<&[LiveRow]>, drift: Option<&[DriftRow]>, scale: Scale) -> String {
+/// Rewrites `BENCH_live.json` with the given section(s), preserving the
+/// others from the existing file. Returns a status line.
+fn write_bench_live(
+    rows: Option<&[LiveRow]>,
+    latency: Option<&[LatencyRow]>,
+    drift: Option<&[DriftRow]>,
+    scale: Scale,
+) -> String {
     let existing = std::fs::read_to_string("BENCH_live.json").ok();
-    let section = if rows.is_some() { "rows" } else { "drift" };
-    let json = bench_live_json(rows, drift, scale, existing.as_deref());
+    let mut written = Vec::new();
+    if rows.is_some() {
+        written.push("rows");
+    }
+    if latency.is_some() {
+        written.push("latency");
+    }
+    if drift.is_some() {
+        written.push("drift");
+    }
+    let json = bench_live_json(rows, latency, drift, scale, existing.as_deref());
     match std::fs::write("BENCH_live.json", json) {
-        Ok(()) => format!("({section} section written to BENCH_live.json)"),
+        Ok(()) => format!("({} section(s) written to BENCH_live.json)", written.join("+")),
         Err(e) => format!("(could not write BENCH_live.json: {e})"),
     }
 }
@@ -799,6 +947,20 @@ fn write_bench_live(rows: Option<&[LiveRow]>, drift: Option<&[DriftRow]>, scale:
 /// on machines with fewer cores than workers (DESIGN.md §"Live runtime").
 pub fn live(scale: Scale) -> String {
     let rows = live_rows(scale);
+    // The open-loop sweep anchors on closed-loop capacity; the scaling
+    // rows just measured exactly that configuration (TATP / houdini /
+    // LATENCY_PARTS workers), so reuse it instead of re-benchmarking.
+    // The advisor is retrained with the same inputs as the rows' one
+    // (training is deterministic), so the sweep plans identically.
+    let houdini =
+        Arc::new(trained_houdini(Bench::Tatp, LATENCY_PARTS, scale.trace_len(), true, 0.5, 71));
+    let capacity = rows
+        .iter()
+        .find(|r| r.bench == "TATP" && r.advisor == "houdini" && r.workers == LATENCY_PARTS)
+        .expect("scaling sweep measured the latency anchor configuration")
+        .metrics
+        .throughput_tps();
+    let latency = latency_rows_at(scale, &houdini, capacity);
     let get = |bench: &str, advisor: &str, workers: u32| -> &engine::RunMetrics {
         &rows
             .iter()
@@ -813,20 +975,21 @@ pub fn live(scale: Scale) -> String {
     );
     for parts in LIVE_WORKER_COUNTS {
         let hm = get("TATP", "houdini", parts);
+        let hs = hm.summary();
         let am = get("TATP", "asp", parts);
         let dm = get("TATP", "lock-all", parts);
         let _ = writeln!(
             out,
             "{parts:7}  {:7.0}  {:7.0}  {:8.0}  {}  {}  {}  {:8}  {:7}  {:9}  {:6}",
-            hm.throughput_tps(),
+            hs.throughput_tps,
             am.throughput_tps(),
             dm.throughput_tps(),
-            q(hm.latency.p50_ms()),
-            q(hm.latency.p95_ms()),
-            q(hm.latency.p99_ms()),
-            hm.committed,
-            hm.user_aborts,
-            hm.restarts,
+            q(hs.p50_ms),
+            q(hs.p95_ms),
+            q(hs.p99_ms),
+            hs.committed,
+            hs.user_aborts,
+            hs.restarts,
             hm.speculative,
         );
     }
@@ -851,7 +1014,44 @@ pub fn live(scale: Scale) -> String {
             q(off.lock_hold.mean_us().map(|us| us / 1000.0)),
         );
     }
-    let _ = writeln!(out, "\n{}", write_bench_live(Some(&rows), None, scale));
+    out.push('\n');
+    out.push_str(&render_latency_table(&latency));
+    let _ = writeln!(out, "\n{}", write_bench_live(Some(&rows), Some(&latency), None, scale));
+    out
+}
+
+/// Renders the human-readable open-loop sweep table shared by `live` and
+/// `live-latency`.
+fn render_latency_table(latency: &[LatencyRow]) -> String {
+    let q = |v: Option<f64>| v.map_or_else(|| "      -".into(), |x| format!("{x:7.2}"));
+    let mut out = String::from(
+        "# Open loop: TATP latency vs offered load (Poisson arrivals, 4 workers, houdini)\n\
+         # latency measured from scheduled arrival (coordinated-omission corrected)\n\
+         offered-tps  achieved-tps  p50ms    p95ms    p99ms    committed  aborts\n",
+    );
+    for r in latency {
+        let _ = writeln!(
+            out,
+            "{:11.0}  {:12.0}  {}  {}  {}  {:9}  {:6}",
+            r.offered_tps,
+            r.achieved_tps,
+            q(r.p50_ms),
+            q(r.p95_ms),
+            q(r.p99_ms),
+            r.committed,
+            r.user_aborts,
+        );
+    }
+    out
+}
+
+/// `live-latency` — just the open-loop offered-load sweep (the `latency`
+/// section of `BENCH_live.json`), runnable standalone at smoke scale for
+/// CI; `live` runs it too, alongside the closed-loop sweeps.
+pub fn live_latency(scale: Scale) -> String {
+    let latency = latency_rows(scale);
+    let mut out = render_latency_table(&latency);
+    let _ = writeln!(out, "\n{}", write_bench_live(None, Some(&latency), None, scale));
     out
 }
 
@@ -901,7 +1101,7 @@ pub fn live_drift(scale: Scale) -> String {
     };
     let preds = train(&catalog, parts, &workload, &TrainingConfig::default());
 
-    let run_window = |h: &Houdini, requests: u64, lo: u32, hi: u32| -> RunMetrics {
+    let run_window = |h: &Arc<Houdini>, requests: u64, lo: u32, hi: u32| -> RunMetrics {
         let db = Bench::Tatp.database(parts);
         let reg = Bench::Tatp.registry();
         let gen_seed = derive_seed(101, 0x6E6);
@@ -911,7 +1111,7 @@ pub fn live_drift(scale: Scale) -> String {
             ) as Box<dyn RequestGenerator + Send>
         };
         let cfg = cfg(requests);
-        let (m, _) = engine::run_live(db, &reg, h, &make_gen, &cfg)
+        let (m, _) = engine::run_live(db, reg, h.clone(), &make_gen, &cfg)
             .expect("live drift window must not halt");
         let issued = u64::from(parts * cfg.clients_per_partition) * requests;
         assert_eq!(m.committed + m.user_aborts, issued, "lost transactions in drift window");
@@ -920,12 +1120,14 @@ pub fn live_drift(scale: Scale) -> String {
 
     let mut drift_rows: Vec<DriftRow> = Vec::new();
     for (label, maintenance) in [("houdini-maint", true), ("houdini-frozen", false)] {
-        let h = Houdini::new(
+        // Arc-shared so the same advisor instance (and its learned epochs)
+        // serves both measurement windows back to back.
+        let h = Arc::new(Houdini::new(
             preds.clone(),
             catalog.clone(),
             parts,
             HoudiniConfig { maintenance, ..Default::default() },
-        );
+        ));
         // Window 1: traffic matches the training skew (low partitions).
         let m1 = run_window(&h, w1_requests, 0, half);
         // Window 2: the skew flips to the high partitions — the same
@@ -985,7 +1187,7 @@ pub fn live_drift(scale: Scale) -> String {
             );
         }
     }
-    let _ = writeln!(out, "\n{}", write_bench_live(None, Some(&drift_rows), scale));
+    let _ = writeln!(out, "\n{}", write_bench_live(None, None, Some(&drift_rows), scale));
     out
 }
 
@@ -1005,6 +1207,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> String {
         "fig12" => fig12(scale),
         "fig13" => fig13(scale),
         "live" => live(scale),
+        "live-latency" => live_latency(scale),
         "live-drift" => live_drift(scale),
         "all" => {
             let ids = [
@@ -1041,8 +1244,11 @@ mod tests {
             workers: 2,
             metrics: RunMetrics::default(),
         };
-        let first = bench_live_json(Some(std::slice::from_ref(&row)), None, Scale::Quick, None);
+        let first =
+            bench_live_json(Some(std::slice::from_ref(&row)), None, None, Scale::Quick, None);
+        assert!(first.contains("\"schema\": 3"));
         assert!(first.contains("\"rows\": [\n"));
+        assert!(first.contains("\"latency\": []"));
         assert!(first.contains("\"drift\": []"));
         // Writing the drift section preserves the measured rows verbatim.
         let drift = DriftRow {
@@ -1051,13 +1257,47 @@ mod tests {
             workers: 2,
             metrics: RunMetrics::default(),
         };
-        let second =
-            bench_live_json(None, Some(std::slice::from_ref(&drift)), Scale::Quick, Some(&first));
+        let second = bench_live_json(
+            None,
+            None,
+            Some(std::slice::from_ref(&drift)),
+            Scale::Quick,
+            Some(&first),
+        );
         assert!(second.contains("\"advisor\": \"houdini\""), "rows lost: {second}");
         assert!(second.contains("\"advisor\": \"houdini-maint\""));
-        // And re-writing rows preserves drift.
-        let third =
-            bench_live_json(Some(std::slice::from_ref(&row)), None, Scale::Quick, Some(&second));
+        // The open-loop latency section preserves both of the others.
+        let lat = LatencyRow {
+            bench: "TATP",
+            advisor: "houdini",
+            workers: 4,
+            offered_tps: 1000.0,
+            achieved_tps: 990.0,
+            p50_ms: Some(0.5),
+            p95_ms: Some(2.0),
+            p99_ms: None,
+            committed: 500,
+            user_aborts: 1,
+        };
+        let third = bench_live_json(
+            None,
+            Some(std::slice::from_ref(&lat)),
+            None,
+            Scale::Quick,
+            Some(&second),
+        );
+        assert!(third.contains("\"offered_tps\": 1000.0"), "latency missing: {third}");
+        assert!(third.contains("\"advisor\": \"houdini\""), "rows lost: {third}");
         assert!(third.contains("\"houdini-maint\""), "drift lost: {third}");
+        // And re-writing rows preserves latency + drift.
+        let fourth = bench_live_json(
+            Some(std::slice::from_ref(&row)),
+            None,
+            None,
+            Scale::Quick,
+            Some(&third),
+        );
+        assert!(fourth.contains("\"offered_tps\": 1000.0"), "latency lost: {fourth}");
+        assert!(fourth.contains("\"houdini-maint\""), "drift lost: {fourth}");
     }
 }

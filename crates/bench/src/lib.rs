@@ -6,8 +6,10 @@
 //! `benches/` exercise the same kernels at reduced scale.
 
 pub mod experiments;
+pub mod open_loop;
 pub mod setup;
 
+pub use open_loop::{open_loop_measure, OpenLoopConfig, OpenLoopMeasurement};
 pub use setup::{
     collect_trace, new_order_generator, run_sim, sim_config, trained_houdini, trained_houdini_cfg,
     Scale,

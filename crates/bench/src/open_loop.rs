@@ -1,0 +1,145 @@
+//! Open-loop (offered-load) measurement on the embeddable live runtime.
+//!
+//! The closed-loop harness (`engine::run_live`) measures throughput at
+//! saturation: each client submits its next request the moment the
+//! previous one returns, so queueing delay — the thing a production user
+//! actually feels under load — is structurally invisible (a slow server
+//! simply slows the arrival stream down). An *open-loop* client instead
+//! submits on a Poisson-ish arrival schedule that does not react to
+//! completions, which is only expressible against the handle API: each
+//! submitter thread owns an [`engine::Client`] and its own arrival
+//! schedule, and the runtime serves whatever shows up.
+//!
+//! Latency is measured from the **scheduled** arrival time, not from the
+//! moment the submitter got around to sending: when a submitter falls
+//! behind schedule (the server is saturated), the time spent queued behind
+//! its own earlier requests is part of what the offered load costs — the
+//! standard correction for coordinated omission.
+
+use common::{derive_seed, seeded_rng};
+use engine::{LatencyHistogram, LiveAdvisor, LiveConfig, LiveRuntime, RunMetrics};
+use rand::Rng;
+use std::time::{Duration, Instant};
+use workloads::Bench;
+
+/// Parameters of one open-loop measurement window.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Total offered load (arrivals/second) across all submitters.
+    pub offered_tps: f64,
+    /// Submitter threads; each runs an independent Poisson process at
+    /// `offered_tps / submitters`.
+    pub submitters: u32,
+    /// Total requests across all submitters (rounded down to a multiple
+    /// of `submitters`); bounds the window at `requests / offered_tps`
+    /// seconds of scheduled arrivals.
+    pub requests: u64,
+    /// Seed for the request generators and arrival schedules.
+    pub seed: u64,
+}
+
+/// What one open-loop window measured.
+#[derive(Debug, Clone)]
+pub struct OpenLoopMeasurement {
+    /// The offered load (arrivals/second) the schedule targeted.
+    pub offered_tps: f64,
+    /// Committed transactions per wall-clock second actually served.
+    pub achieved_tps: f64,
+    /// Client-visible latency from *scheduled* arrival to completion.
+    pub latency: LatencyHistogram,
+    /// Full runtime counters for the window.
+    pub metrics: RunMetrics,
+}
+
+/// Runs one open-loop window: starts a [`LiveRuntime`], spawns
+/// `submitters` threads that each drive a [`engine::Client`] handle on an
+/// exponential inter-arrival schedule, and shuts the runtime down when
+/// every schedule is exhausted. Panics if any transaction fails
+/// unrecoverably or if requests are lost (conservation is asserted).
+pub fn open_loop_measure<A: LiveAdvisor + Clone + 'static>(
+    bench: Bench,
+    parts: u32,
+    advisor: &A,
+    cfg: &LiveConfig,
+    ol: &OpenLoopConfig,
+) -> OpenLoopMeasurement {
+    assert!(ol.offered_tps > 0.0, "offered load must be positive");
+    let submitters = ol.submitters.max(1);
+    let per = ol.requests / u64::from(submitters);
+    let rate = ol.offered_tps / f64::from(submitters);
+    let gen_seed = derive_seed(ol.seed, 0x6E6);
+    let db = bench.database(parts);
+    let reg = bench.registry();
+    let runtime = LiveRuntime::start(db, reg, advisor.clone(), cfg.clone());
+    let window_started = Instant::now();
+    let hists: Vec<LatencyHistogram> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|_| {
+                let mut client = runtime.client();
+                s.spawn(move || {
+                    let id = client.id();
+                    let mut gen = bench.client_generator(parts, gen_seed, id);
+                    let mut rng = seeded_rng(derive_seed(ol.seed, 0x09E7 ^ id));
+                    let mut hist = LatencyHistogram::default();
+                    let t0 = Instant::now();
+                    let mut next_s = 0.0f64;
+                    for _ in 0..per {
+                        // Exponential inter-arrival: a Poisson process at
+                        // `rate` arrivals/second per submitter.
+                        let u: f64 = rng.gen();
+                        next_s += -(1.0 - u).ln() / rate;
+                        let sched = t0 + Duration::from_secs_f64(next_s);
+                        let now = Instant::now();
+                        if sched > now {
+                            std::thread::sleep(sched - now);
+                        }
+                        let (proc, args) = gen.next_request(id);
+                        client.call(proc, args).expect("open-loop transaction failed");
+                        hist.record_us(sched.elapsed().as_secs_f64() * 1e6);
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("submitter thread panicked")).collect()
+    });
+    // The serving window: first scheduled arrival to last completion
+    // (runtime startup and shutdown excluded — they are not load).
+    let window_s = window_started.elapsed().as_secs_f64();
+    let (metrics, _db) = runtime.shutdown();
+    let issued = per * u64::from(submitters);
+    assert_eq!(
+        metrics.committed + metrics.user_aborts,
+        issued,
+        "open-loop window lost transactions"
+    );
+    let mut latency = LatencyHistogram::default();
+    for h in &hists {
+        latency.merge(h);
+    }
+    OpenLoopMeasurement {
+        offered_tps: ol.offered_tps,
+        achieved_tps: metrics.committed as f64 / window_s,
+        latency,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::baselines::AssumeSinglePartition;
+    use std::sync::Arc;
+
+    #[test]
+    fn open_loop_conserves_requests_and_measures_latency() {
+        let advisor = Arc::new(AssumeSinglePartition::new());
+        let cfg = LiveConfig { seed: 5, ..Default::default() };
+        let ol = OpenLoopConfig { offered_tps: 2_000.0, submitters: 4, requests: 200, seed: 5 };
+        let m = open_loop_measure(Bench::Tatp, 2, &advisor, &cfg, &ol);
+        assert_eq!(m.metrics.committed + m.metrics.user_aborts, 200);
+        assert_eq!(m.latency.count(), 200, "every request records an open-loop sample");
+        assert!(m.achieved_tps > 0.0);
+        assert!(m.latency.p50_ms().unwrap() <= m.latency.p99_ms().unwrap());
+    }
+}

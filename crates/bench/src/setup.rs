@@ -124,8 +124,10 @@ pub fn run_sim(
 
 /// Runs one wall-clock measurement of `bench` under a live advisor: real
 /// worker threads (one per partition), real closed-loop client threads,
-/// per-client split request generators.
-pub fn run_live_bench<A: LiveAdvisor>(
+/// per-client split request generators. The runtime takes its advisor by
+/// value, so measurement helpers take a cheap handle (`Arc<A>` — the
+/// blanket `LiveAdvisor for Arc<A>` impl delegates) and clone it per run.
+pub fn run_live_bench<A: LiveAdvisor + Clone + 'static>(
     bench: Bench,
     parts: u32,
     advisor: &A,
@@ -137,7 +139,7 @@ pub fn run_live_bench<A: LiveAdvisor>(
     let gen_seed = derive_seed(seed, 0x6E6);
     let make_gen = move |client: u64| bench.client_generator(parts, gen_seed, client);
     let (metrics, _db) =
-        run_live(db, &reg, advisor, &make_gen, cfg).expect("live runtime must not halt");
+        run_live(db, reg, advisor.clone(), &make_gen, cfg).expect("live runtime must not halt");
     metrics
 }
 

@@ -144,12 +144,11 @@ pub struct TxnFeedback {
 }
 
 /// Background on-line model maintenance (§4.5), owned by the live
-/// runtime's maintenance thread. [`crate::run_live`] obtains one from
+/// runtime's maintenance thread. [`crate::LiveRuntime`] obtains one from
 /// [`LiveAdvisor::maintainer`], feeds it every [`TxnFeedback`] record the
 /// clients emit (in channel-arrival order), and collects the final report
-/// when the feedback channel closes. The maintainer may publish new model
-/// epochs at any point; in-flight transactions keep the snapshot they
-/// planned with.
+/// at shutdown. The maintainer may publish new model epochs at any point;
+/// in-flight transactions keep the snapshot they planned with.
 pub trait LiveMaintainer: Send {
     /// Consumes one feedback record, possibly recomputing stale models and
     /// publishing a new epoch.
@@ -193,8 +192,11 @@ pub struct PlanContext<'a> {
 /// (epoch-swapped advisor state; see DESIGN.md §5).
 pub trait LiveAdvisor: Send + Sync {
     /// Per-transaction scratch state carried between `plan_live`,
-    /// `on_query_live`, and `on_end_live`.
-    type Session: Send;
+    /// `on_query_live`, and `on_end_live`. Sessions travel to worker
+    /// threads owned by a [`crate::LiveRuntime`], so they must be
+    /// self-contained (`'static`): anything borrowed from the advisor has
+    /// to ride in an `Arc` snapshot instead of a reference.
+    type Session: Send + 'static;
 
     /// Advisor name for reports.
     fn name(&self) -> &str;
@@ -229,6 +231,44 @@ pub trait LiveAdvisor: Send + Sync {
     /// disables the feedback channel and maintenance thread entirely.
     fn maintainer(&self) -> Option<Box<dyn LiveMaintainer + '_>> {
         None
+    }
+}
+
+/// Sharing an advisor between a [`crate::LiveRuntime`] (which takes its
+/// advisor by value) and other owners — a second runtime window, accuracy
+/// probes, training inspection — works by wrapping it in an [`Arc`](std::sync::Arc): the
+/// handle delegates every call to the inner advisor.
+impl<A: LiveAdvisor> LiveAdvisor for std::sync::Arc<A> {
+    type Session = A::Session;
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn plan_live(&self, req: &Request, ctx: &PlanContext<'_>) -> (TxnPlan, Self::Session) {
+        (**self).plan_live(req, ctx)
+    }
+
+    fn on_query_live(&self, session: &mut Self::Session, q: &ExecutedQuery) -> Updates {
+        (**self).on_query_live(session, q)
+    }
+
+    fn replan_live(
+        &self,
+        req: &Request,
+        observed: PartitionSet,
+        attempt: u32,
+        ctx: &PlanContext<'_>,
+    ) -> (TxnPlan, Self::Session) {
+        (**self).replan_live(req, observed, attempt, ctx)
+    }
+
+    fn on_end_live(&self, session: Self::Session, outcome: TxnOutcome) -> Option<TxnFeedback> {
+        (**self).on_end_live(session, outcome)
+    }
+
+    fn maintainer(&self) -> Option<Box<dyn LiveMaintainer + '_>> {
+        (**self).maintainer()
     }
 }
 

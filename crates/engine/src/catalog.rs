@@ -1,6 +1,6 @@
 //! The stored-procedure catalog: named parameterized queries with enough
 //! metadata for the engine to execute them and for the partition-estimation
-//! API (paper §3.1, reference [5]) to predict what they touch.
+//! API (paper §3.1, reference \[5\]) to predict what they touch.
 
 use common::{PartitionSet, ProcId, QueryId, Value};
 use storage::Database;

@@ -15,7 +15,7 @@ pub struct CostModel {
     /// Extra CPU for a write on top of `query_exec_us`.
     pub write_extra_us: f64,
     /// CPU to append one undo record (the OP3 saving; ~30% of write cost,
-    /// echoing the concurrency-control share reported by [14] in §1).
+    /// echoing the concurrency-control share reported by \[14\] in §1).
     pub undo_record_us: f64,
     /// CPU per control-code step (one batch dispatch) at the base partition.
     pub control_code_us: f64,

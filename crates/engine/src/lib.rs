@@ -40,8 +40,10 @@ pub use advisor::{
 pub use catalog::{Catalog, CatalogResolver, ColumnOp, PartitionHint, ProcDef, QueryDef, QueryOp};
 pub use cost::CostModel;
 pub use exec::{run_offline, ExecutedQuery, OfflineOutcome};
-pub use metrics::{EpochAccuracy, LatencyHistogram, MaintenanceReport, OpCounters, RunMetrics};
+pub use metrics::{
+    EpochAccuracy, LatencyHistogram, MaintenanceReport, MetricsSummary, OpCounters, RunMetrics,
+};
 pub use procedure::{ProcInstance, Procedure, ProcedureRegistry, QueryInvocation, Step};
 pub use profiler::{Bucket, Profiler};
-pub use runtime::{run_live, LiveConfig};
+pub use runtime::{run_live, Client, LiveConfig, LiveRuntime};
 pub use sim::{RequestGenerator, SimConfig, Simulation};

@@ -300,6 +300,49 @@ pub struct RunMetrics {
     pub epoch_accuracy: Vec<EpochAccuracy>,
 }
 
+/// The headline numbers of one run, extracted by [`RunMetrics::summary`]:
+/// what every report ultimately prints — throughput, outcome counts, and
+/// the client-visible latency quantiles — in one place instead of each
+/// call site recomputing them from the raw counters.
+#[derive(Debug, Clone)]
+pub struct MetricsSummary {
+    /// Committed transactions per (simulated or wall-clock) second.
+    pub throughput_tps: f64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// User aborts (control-code rollbacks).
+    pub user_aborts: u64,
+    /// Mispredict restarts.
+    pub restarts: u64,
+    /// Median client-visible latency (ms), `None` when nothing committed.
+    pub p50_ms: Option<f64>,
+    /// 95th-percentile client-visible latency (ms).
+    pub p95_ms: Option<f64>,
+    /// 99th-percentile client-visible latency (ms).
+    pub p99_ms: Option<f64>,
+    /// Mean client-visible latency (ms).
+    pub mean_latency_ms: Option<f64>,
+}
+
+impl std::fmt::Display for MetricsSummary {
+    /// One human-readable line, with `-` for empty-window latencies.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let q = |v: Option<f64>| v.map_or_else(|| "-".into(), |x| format!("{x:.2}"));
+        write!(
+            f,
+            "{:.0} tps, {} committed / {} aborted / {} restarts, \
+             p50/p95/p99 {}/{}/{} ms",
+            self.throughput_tps,
+            self.committed,
+            self.user_aborts,
+            self.restarts,
+            q(self.p50_ms),
+            q(self.p95_ms),
+            q(self.p99_ms),
+        )
+    }
+}
+
 impl RunMetrics {
     /// Committed transactions per (simulated or wall-clock) second.
     pub fn throughput_tps(&self) -> f64 {
@@ -307,6 +350,21 @@ impl RunMetrics {
             return 0.0;
         }
         self.committed as f64 / (self.window_us / 1_000_000.0)
+    }
+
+    /// The headline numbers in one ready-to-print bundle (throughput,
+    /// outcomes, latency quantiles) — see [`MetricsSummary`].
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            throughput_tps: self.throughput_tps(),
+            committed: self.committed,
+            user_aborts: self.user_aborts,
+            restarts: self.restarts,
+            p50_ms: self.latency.p50_ms(),
+            p95_ms: self.latency.p95_ms(),
+            p99_ms: self.latency.p99_ms(),
+            mean_latency_ms: self.mean_latency_ms(),
+        }
     }
 
     /// Mean client-visible latency in milliseconds. `None` when no
@@ -461,6 +519,29 @@ mod tests {
         assert_eq!(m.throughput_tps(), 0.0);
         assert_eq!(m.mean_latency_ms(), None, "no commits -> no mean latency");
         assert_eq!(m.latency.p50_ms(), None);
+    }
+
+    #[test]
+    fn summary_bundles_headline_numbers() {
+        let mut m = RunMetrics {
+            committed: 10,
+            user_aborts: 2,
+            restarts: 3,
+            window_us: 2_000_000.0,
+            ..Default::default()
+        };
+        m.record_latency(0, 1000.0);
+        m.record_latency(0, 2000.0);
+        let s = m.summary();
+        assert!((s.throughput_tps - 5.0).abs() < 1e-9);
+        assert_eq!((s.committed, s.user_aborts, s.restarts), (10, 2, 3));
+        assert!(s.p50_ms.unwrap() <= s.p99_ms.unwrap());
+        let line = s.to_string();
+        assert!(line.contains("5 tps") && line.contains("10 committed"), "line = {line}");
+
+        let empty = RunMetrics::default().summary();
+        assert_eq!(empty.p50_ms, None);
+        assert!(empty.to_string().contains("-/-/-"), "empty quantiles render as dashes");
     }
 
     #[test]

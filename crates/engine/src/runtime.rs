@@ -3,24 +3,35 @@
 //! Where [`crate::Simulation`] charges a cost model for time, this module
 //! runs the paper's architecture (§2, Fig. 1) for real: one OS worker
 //! thread per partition with *exclusive ownership* of that partition's
-//! [`storage::Shard`], a channel-based dispatcher, and closed-loop client
-//! threads that route every request through a shared, trained, read-only
-//! [`LiveAdvisor`].
+//! [`storage::Shard`], a channel-based dispatcher, and any number of
+//! caller-owned [`Client`] handles that route every request through a
+//! shared, trained, read-only [`LiveAdvisor`].
 //!
 //! ## Thread and ownership model
+//!
+//! The runtime is a *server*, embeddable as a library: [`LiveRuntime::
+//! start`] owns the worker threads, the lock manager, and (when the
+//! advisor learns) the maintenance thread; everything those threads share
+//! lives in one `Arc`-held `Shared` block, so the runtime outlives the
+//! stack frame that started it. [`LiveRuntime::client`] mints cheap `Send`
+//! [`Client`] handles; [`Client::call`] plans, coordinates, and blocks for
+//! one transaction. [`LiveRuntime::shutdown`] drains in-flight work, stops
+//! every owned thread, and reassembles the [`Database`]. The closed-loop
+//! benchmark entry point [`run_live`] is a thin wrapper over exactly this
+//! lifecycle.
 //!
 //! * **Workers** (one per partition) own their shard outright — no locks
 //!   guard row access, ever. A worker drains a queue of messages: whole
 //!   single-partition transactions (the lock-free fast path) and
 //!   reservations from distributed transactions.
-//! * **Clients** (closed-loop, like the paper's §6.4 load generators) plan
-//!   each request via the shared advisor, then either hand the whole
-//!   transaction to its base partition's worker, or — for a multi-partition
-//!   lock set — become the transaction's *coordinator*: they acquire the
-//!   cluster lock atomically, reserve every participating worker, drive the
-//!   control code themselves, and ship per-partition query fragments over
-//!   per-transaction channels (the blocking base-partition coordination
-//!   path).
+//! * **Clients** (the paper's §6.4 load generators, or any embedding
+//!   application thread) plan each request via the shared advisor, then
+//!   either hand the whole transaction to its base partition's worker, or
+//!   — for a multi-partition lock set — become the transaction's
+//!   *coordinator*: they acquire the cluster lock atomically, reserve
+//!   every participating worker, drive the control code themselves, and
+//!   ship per-partition query fragments over per-transaction channels (the
+//!   blocking base-partition coordination path).
 //! * **The lock manager** grants a distributed transaction its entire lock
 //!   set atomically (all-or-nothing under one mutex) with FIFO fairness
 //!   among conflicting waiters. Because no transaction ever holds one
@@ -58,7 +69,7 @@
 //! participant whose fragment *wrote* flushes (its early vote), keeps the
 //! fragment's undo log as the base of a [`storage::SpeculationStack`], and
 //! opens a speculation window: until the 2PC outcome arrives — pushed on
-//! the worker's main queue as [`WorkerMsg::SpecFinish`] — queued
+//! the worker's main queue as `WorkerMsg::SpecFinish` — queued
 //! single-partition transactions execute *speculatively*, with undo
 //! logging force-enabled regardless of OP3 (§4.3). A speculative
 //! transaction that touched no table written inside the window (by the
@@ -89,8 +100,8 @@
 //! Every session teardown (commit, user abort, or mispredict replan) may
 //! yield structured [`TxnFeedback`]; clients push it into a *bounded*
 //! channel with `try_send` — never blocking the acknowledgement path — and
-//! a background **maintenance thread** (spawned by [`run_live`] when the
-//! advisor provides a [`LiveMaintainer`]) drains it, accumulates per-model
+//! a background **maintenance thread** (spawned by [`LiveRuntime::start`]
+//! when the advisor provides a [`LiveMaintainer`]) drains it, accumulates per-model
 //! accuracy and transition deltas, rebuilds only drifted models, and
 //! publishes them as new advisor epochs that *fresh* transactions pick up
 //! while in-flight ones keep their snapshot (see DESIGN.md §5). Dropped
@@ -108,14 +119,19 @@ use common::{
     derive_seed, seeded_rng, Error, FxHashMap, PartitionId, PartitionSet, ProcId, QueryId, Result,
     Value,
 };
+use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
 };
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use storage::{Database, Row, Shard, SpeculationStack, UndoLog};
+
+use crate::metrics::MaintenanceReport;
 
 /// Watchdog interval of a speculating worker. The 2PC outcome normally
 /// arrives *pushed* on the worker's main queue ([`WorkerMsg::SpecFinish`]),
@@ -134,12 +150,17 @@ const SPEC_WATCHDOG: Duration = Duration::from_millis(25);
 /// partition.
 const MAX_CASCADE_RETRIES: u32 = 8;
 
-/// Live-runtime parameters.
+/// Live-runtime parameters. The first two fields drive only the
+/// closed-loop [`run_live`] wrapper (an embedding application mints its
+/// own [`Client`] handles and decides its own request volume); the rest
+/// configure the [`LiveRuntime`] itself.
 #[derive(Debug, Clone)]
 pub struct LiveConfig {
-    /// Closed-loop client threads per partition (the paper uses 4).
+    /// Closed-loop client threads per partition in [`run_live`] (the paper
+    /// uses 4). Ignored by [`LiveRuntime::start`].
     pub clients_per_partition: u32,
-    /// Requests each client issues before its stream runs dry.
+    /// Requests each [`run_live`] client issues before its stream runs
+    /// dry. Ignored by [`LiveRuntime::start`].
     pub requests_per_client: u64,
     /// Mispredict restarts before falling back to lock-all.
     pub max_restarts: u32,
@@ -363,13 +384,45 @@ enum WorkerMsg<S> {
     Shutdown,
 }
 
-struct WorkerEnv<'a, A: LiveAdvisor> {
-    registry: &'a ProcedureRegistry,
-    catalog: &'a Catalog,
-    advisor: &'a A,
+/// A record or a shutdown sentinel on the session-teardown → maintenance
+/// channel. The explicit `Stop` lets [`LiveRuntime::shutdown`] end the
+/// maintenance thread even while [`Client`] handles (each holding a sender
+/// clone through [`Shared`]) are still alive in the embedding application.
+enum FeedbackMsg {
+    Record(TxnFeedback),
+    Stop,
+}
+
+/// Everything the runtime's threads share. One `Arc<Shared>` is held by
+/// the [`LiveRuntime`] handle, every worker thread, the maintenance
+/// thread, and every minted [`Client`] — the ownership inversion that lets
+/// the runtime outlive the stack frame that started it (no scoped
+/// borrows).
+struct Shared<A: LiveAdvisor> {
+    registry: ProcedureRegistry,
+    catalog: Catalog,
+    advisor: A,
+    cfg: LiveConfig,
     num_partitions: u32,
     commit_flush: Duration,
     msg_delay: Duration,
+    /// One sender per partition worker's queue.
+    workers: Vec<Sender<WorkerMsg<A::Session>>>,
+    locks: LockManager,
+    /// Run-wide counters: [`Client::call`] folds each transaction's
+    /// partial in here, so [`LiveRuntime::metrics`] can snapshot mid-run.
+    /// The per-call fold is a deliberate trade-off: it costs one short
+    /// mutex section (~300 word-adds) per transaction, and the closed-loop
+    /// sweeps measure within run-to-run noise of the old accumulate-per-
+    /// client design — while a lazier fold would make mid-run snapshots
+    /// stale by however much traffic is still buffered client-side.
+    metrics: Mutex<RunMetrics>,
+    /// Bounded feedback channel toward the maintenance thread (§4.5);
+    /// `None` when the advisor has no [`LiveMaintainer`].
+    fb_tx: Option<SyncSender<FeedbackMsg>>,
+    /// Next [`Client`] id — also selects the client's RNG stream.
+    next_client: AtomicU64,
+    started: Instant,
 }
 
 fn flush(d: Duration) {
@@ -385,7 +438,7 @@ fn flush(d: Duration) {
 fn worker_loop<A: LiveAdvisor>(
     mut shard: Shard,
     rx: &Receiver<WorkerMsg<A::Session>>,
-    env: &WorkerEnv<'_, A>,
+    env: &Shared<A>,
 ) -> Shard {
     let mut pending: VecDeque<Reserve> = VecDeque::new();
     let mut shutdown = false;
@@ -444,7 +497,7 @@ impl<S> SingleOutcome<S> {
 /// clearing it.
 fn run_single<A: LiveAdvisor>(
     shard: &mut Shard,
-    env: &WorkerEnv<'_, A>,
+    env: &Shared<A>,
     req: &Request,
     plan: &TxnPlan,
     mut session: A::Session,
@@ -618,7 +671,7 @@ struct SpecSession {
 /// caller to speculate under.
 fn serve_reservation<A: LiveAdvisor>(
     shard: &mut Shard,
-    env: &WorkerEnv<'_, A>,
+    env: &Shared<A>,
     r: Reserve,
 ) -> Option<SpecSession> {
     let mut undo = UndoLog::new();
@@ -715,7 +768,7 @@ fn serve_reservation<A: LiveAdvisor>(
 /// shutdown was observed while speculating.
 fn speculate<A: LiveAdvisor>(
     shard: &mut Shard,
-    env: &WorkerEnv<'_, A>,
+    env: &Shared<A>,
     rx: &Receiver<WorkerMsg<A::Session>>,
     mut spec: SpecSession,
     pending: &mut VecDeque<Reserve>,
@@ -859,20 +912,19 @@ fn record_remaining_hold(
 /// (OP4), 2PC outcome.
 #[allow(clippy::too_many_lines)]
 fn run_distributed<A: LiveAdvisor>(
-    env: &WorkerEnv<'_, A>,
-    workers: &[Sender<WorkerMsg<A::Session>>],
-    locks: &LockManager,
+    env: &Shared<A>,
     req: &Request,
     plan: &TxnPlan,
     mut session: A::Session,
     metrics: &mut RunMetrics,
 ) -> Attempt<A::Session> {
+    let workers = &env.workers;
     let lock_set = plan.lock_set;
     // Held for the whole coordination; the drop guard also releases on an
     // unwind, so a panicking coordinator cannot wedge later transactions.
     // Declared before the fragment channels so an unwind closes those first
     // (parked workers roll back their fragments) and releases locks last.
-    let mut locks_held = locks.guard(lock_set);
+    let mut locks_held = env.locks.guard(lock_set);
     let t_locked = Instant::now();
     // Early-released partitions: `released` is the union the mispredict
     // rule and metrics see; `windowed` is the subset whose fragment wrote
@@ -1134,58 +1186,93 @@ fn run_distributed<A: LiveAdvisor>(
 /// a full channel sheds the record and bumps the drop counter.
 fn emit_feedback(
     metrics: &mut RunMetrics,
-    fb_tx: Option<&SyncSender<TxnFeedback>>,
+    fb_tx: Option<&SyncSender<FeedbackMsg>>,
     record: Option<TxnFeedback>,
 ) {
     if let (Some(tx), Some(rec)) = (fb_tx, record) {
-        if tx.try_send(rec).is_err() {
+        if tx.try_send(FeedbackMsg::Record(rec)).is_err() {
             metrics.feedback_dropped += 1;
         }
     }
 }
 
-/// One closed-loop client: issue requests, route them through the advisor,
-/// dispatch, restart on mispredicts. Returns this client's metrics partial.
-#[allow(clippy::too_many_arguments)]
-fn client_loop<A: LiveAdvisor>(
-    env: &WorkerEnv<'_, A>,
-    workers: &[Sender<WorkerMsg<A::Session>>],
-    locks: &LockManager,
-    gen: &mut (dyn RequestGenerator + Send),
-    client: u64,
-    cfg: &LiveConfig,
-    fb_tx: Option<&SyncSender<TxnFeedback>>,
-) -> Result<RunMetrics> {
-    let mut rng = seeded_rng(derive_seed(cfg.seed, 0xC11E47 ^ client));
-    let mut metrics = RunMetrics::default();
-    let (reply_tx, reply_rx) = channel::<SingleReply<A::Session>>();
-    for _ in 0..cfg.requests_per_client {
-        let (proc, args) = gen.next_request(client);
+/// A `Send` handle for submitting transactions to a [`LiveRuntime`].
+///
+/// Handles are cheap (one `Arc` clone) and independent: mint one per
+/// application thread with [`LiveRuntime::client`], move it there, and
+/// drive it with [`Client::call`]. Dropping a handle just leaves the
+/// runtime; handles may join and leave at any point of the run.
+///
+/// Each handle owns a deterministic RNG stream derived from
+/// `(LiveConfig::seed, id)` — the pre-drawn `random_local_partition`
+/// advisors see — so a fixed set of handles issuing fixed requests plans
+/// reproducibly.
+pub struct Client<A: LiveAdvisor + 'static> {
+    shared: Arc<Shared<A>>,
+    id: u64,
+    rng: SmallRng,
+}
+
+impl<A: LiveAdvisor + 'static> Client<A> {
+    /// This handle's id, unique within its runtime (assigned in mint
+    /// order, starting at 0). Useful as a per-stream seed, e.g. for
+    /// `workloads::Bench::client_generator`.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Invokes stored procedure `proc` with `args` and blocks until the
+    /// transaction finishes: plans via the runtime's advisor, dispatches
+    /// to the lock-free single-partition fast path or coordinates the
+    /// distributed path (2PC, OP4 early prepare), restarts transparently
+    /// on mispredicts and speculation cascades, and falls back to a
+    /// lock-all plan after `LiveConfig::max_restarts`.
+    ///
+    /// Returns [`TxnOutcome::Committed`] or [`TxnOutcome::UserAborted`];
+    /// `Err` means the transaction could not be completed — an
+    /// unrecoverable abort inside the engine, or the runtime shut down
+    /// while the call was in flight (calls racing
+    /// [`LiveRuntime::shutdown`] fail cleanly, they never hang).
+    ///
+    /// The transaction's counters (commit/abort, latency, restarts, OP
+    /// tallies) are folded into the runtime-wide metrics before the call
+    /// returns, so [`LiveRuntime::metrics`] sees it immediately.
+    #[allow(clippy::too_many_lines)]
+    pub fn call(&mut self, proc: ProcId, args: Vec<Value>) -> Result<TxnOutcome> {
+        let env = &*self.shared;
+        let fb_tx = env.fb_tx.as_ref();
+        let mut metrics = RunMetrics::default();
         let req = Request { proc, args, origin_node: 0 };
         let ctx = PlanContext {
-            catalog: env.catalog,
+            catalog: &env.catalog,
             num_partitions: env.num_partitions,
-            random_local_partition: rng.gen_range(0..env.num_partitions),
+            random_local_partition: self.rng.gen_range(0..env.num_partitions),
         };
         let t0 = Instant::now();
         let (mut plan, mut session) = env.advisor.plan_live(&req, &ctx);
         let mut attempt = 0u32;
         let mut cascades = 0u32;
         let mut last_observed = PartitionSet::EMPTY;
-        loop {
+        let result = loop {
             plan.lock_set.insert(plan.base_partition);
             let outcome = if plan.lock_set.is_single() {
                 let base = plan.base_partition as usize;
-                if workers[base]
+                // The reply sender travels *inside* the message (no clone
+                // kept here): if the worker exits with this message still
+                // queued behind the shutdown sentinel, dropping the queue
+                // disconnects the channel and the recv below turns into a
+                // clean error instead of blocking forever.
+                let (reply_tx, reply_rx) = channel();
+                if env.workers[base]
                     .send(WorkerMsg::Single {
                         req: req.clone(),
                         plan: plan.clone(),
                         session,
-                        reply: reply_tx.clone(),
+                        reply: reply_tx,
                     })
                     .is_err()
                 {
-                    return Err(Error::Other(format!("worker {base} is gone")));
+                    break Err(Error::Other(format!("worker {base} is gone")));
                 }
                 match reply_rx.recv() {
                     Ok(SingleReply::Done {
@@ -1212,7 +1299,7 @@ fn client_loop<A: LiveAdvisor>(
                     Err(_) => Attempt::Fatal(Error::Other(format!("worker {base} hung up"))),
                 }
             } else {
-                run_distributed(env, workers, locks, &req, &plan, session, &mut metrics)
+                run_distributed(env, &req, &plan, session, &mut metrics)
             };
             match outcome {
                 Attempt::Done {
@@ -1256,16 +1343,16 @@ fn client_loop<A: LiveAdvisor>(
                             speculative,
                             early_released,
                         );
-                    } else {
-                        metrics.user_aborts += 1;
+                        break Ok(TxnOutcome::Committed);
                     }
-                    break;
+                    metrics.user_aborts += 1;
+                    break Ok(TxnOutcome::UserAborted);
                 }
                 Attempt::Mispredict { observed, session: s } => {
                     attempt += 1;
                     metrics.restarts += 1;
                     last_observed = observed;
-                    if attempt > cfg.max_restarts {
+                    if attempt > env.cfg.max_restarts {
                         // Forced fallback: the *plan* is lock-all without
                         // consulting the advisor — exactly like the
                         // simulator past `max_restarts`, guaranteeing
@@ -1319,131 +1406,299 @@ fn client_loop<A: LiveAdvisor>(
                     plan = p;
                     session = ns;
                 }
-                Attempt::Fatal(e) => return Err(e),
+                Attempt::Fatal(e) => break Err(e),
             }
-        }
+        };
+        // Fold this transaction's partial into the run-wide counters even
+        // on an error path: restarts and cascades that happened are real.
+        env.metrics.lock().expect("metrics poisoned").absorb(&metrics);
+        result
     }
-    Ok(metrics)
 }
 
-/// Runs the live runtime to completion: spawns one worker per shard and
-/// `clients_per_partition × num_partitions` closed-loop clients, drives
-/// every client stream dry, then shuts the workers down and reassembles the
-/// database.
+/// The threads a running [`LiveRuntime`] owns; `None` once torn down.
+struct Running {
+    workers: Vec<JoinHandle<Shard>>,
+    maintenance: Option<JoinHandle<MaintenanceReport>>,
+}
+
+/// An embeddable, running instance of the live partition runtime — the
+/// *server* of the paper's Fig. 1, usable as a library.
+///
+/// The runtime owns its threads outright (no scoped borrows):
+///
+/// ```text
+/// LiveRuntime ──owns──> worker thread per partition (owns its Shard)
+///      │      ──owns──> maintenance thread (when the advisor learns, §4.5)
+///      │      ──Arc───> Shared { registry, catalog, advisor, lock manager,
+///      │                         worker queues, metrics, feedback channel }
+///      └─mints─> Client handles (Send; Arc into Shared) — application-owned
+/// ```
+///
+/// [`LiveRuntime::start`] consumes the database (splitting it into
+/// per-worker shards), the procedure registry, and the advisor; wrap the
+/// advisor in an `Arc` to keep a handle on it (the blanket
+/// `LiveAdvisor for Arc<A>` impl delegates). [`LiveRuntime::client`] mints
+/// any number of [`Client`] handles for application threads;
+/// [`LiveRuntime::metrics`] snapshots run-wide counters mid-run;
+/// [`LiveRuntime::shutdown`] drains in-flight work and returns the final
+/// metrics plus the reassembled [`Database`]. Dropping the runtime without
+/// calling `shutdown` tears it down the same way, discarding the results.
+pub struct LiveRuntime<A: LiveAdvisor + 'static> {
+    shared: Arc<Shared<A>>,
+    running: Option<Running>,
+}
+
+impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
+    /// Boots the runtime: splits `db` into per-partition shards, spawns
+    /// one owned worker thread per shard, and — when `advisor.maintainer()`
+    /// yields a [`LiveMaintainer`] — the §4.5 feedback channel plus its
+    /// background maintenance thread. Returns immediately; the server is
+    /// ready for [`Client::call`] traffic as soon as this returns.
+    pub fn start(db: Database, registry: ProcedureRegistry, advisor: A, cfg: LiveConfig) -> Self {
+        let num_partitions = db.num_partitions();
+        let catalog = registry.catalog();
+        let shards = db.into_shards();
+        // The §4.5 feedback pipeline exists only when the advisor can
+        // learn: a bounded channel from session teardown to one background
+        // maintenance thread that owns the advisor's `LiveMaintainer`.
+        let (fb_tx, fb_rx) = if advisor.maintainer().is_some() {
+            let (tx, rx) = sync_channel::<FeedbackMsg>(cfg.feedback_capacity.max(1));
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
+        let mut worker_tx: Vec<Sender<WorkerMsg<A::Session>>> = Vec::new();
+        let mut worker_rx: Vec<Receiver<WorkerMsg<A::Session>>> = Vec::new();
+        for _ in 0..num_partitions {
+            let (tx, rx) = channel();
+            worker_tx.push(tx);
+            worker_rx.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            commit_flush: Duration::from_micros(cfg.commit_flush_us),
+            msg_delay: Duration::from_micros(cfg.msg_delay_us),
+            registry,
+            catalog,
+            advisor,
+            cfg,
+            num_partitions,
+            workers: worker_tx,
+            locks: LockManager::new(),
+            metrics: Mutex::new(RunMetrics::default()),
+            fb_tx,
+            next_client: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let workers = shards
+            .into_iter()
+            .zip(worker_rx)
+            .enumerate()
+            .map(|(p, (shard, rx))| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("partition-{p}"))
+                    .spawn(move || worker_loop::<A>(shard, &rx, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let maintenance = fb_rx.map(|rx| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("maintenance".into())
+                .spawn(move || {
+                    // The maintainer borrows the advisor; building it here,
+                    // on the thread's own stack over its own Arc, keeps the
+                    // runtime free of self-references. Drain until Stop (or
+                    // every sender is gone): records queued before shutdown
+                    // are consumed, so `feedback_records + feedback_dropped`
+                    // equals the records the clients emitted.
+                    let mut mt: Box<dyn LiveMaintainer + '_> =
+                        shared.advisor.maintainer().expect("advisor withdrew its maintainer");
+                    while let Ok(FeedbackMsg::Record(fb)) = rx.recv() {
+                        mt.absorb(fb);
+                    }
+                    mt.report()
+                })
+                .expect("spawn maintenance thread")
+        });
+        LiveRuntime { shared, running: Some(Running { workers, maintenance }) }
+    }
+
+    /// Mints a new [`Client`] handle. Handles are `Send`, independent, and
+    /// may be created and dropped at any point of the run; ids are
+    /// assigned in mint order starting at 0 and never reused.
+    pub fn client(&self) -> Client<A> {
+        let id = self.shared.next_client.fetch_add(1, Ordering::Relaxed);
+        Client {
+            rng: seeded_rng(derive_seed(self.shared.cfg.seed, 0xC11E47 ^ id)),
+            shared: Arc::clone(&self.shared),
+            id,
+        }
+    }
+
+    /// The advisor serving this runtime (e.g. to inspect published epochs).
+    pub fn advisor(&self) -> &A {
+        &self.shared.advisor
+    }
+
+    /// Number of partitions (= worker threads) this runtime serves.
+    pub fn num_partitions(&self) -> u32 {
+        self.shared.num_partitions
+    }
+
+    /// Snapshots the run-wide counters without stopping traffic:
+    /// everything [`Client::call`] has folded in so far, with `window_us`
+    /// set to the elapsed wall-clock time since [`LiveRuntime::start`].
+    /// Maintenance-thread counters (`model_swaps`, `feedback_records`,
+    /// per-epoch accuracy) are folded in at [`LiveRuntime::shutdown`] only.
+    pub fn metrics(&self) -> RunMetrics {
+        let mut m = self.shared.metrics.lock().expect("metrics poisoned").clone();
+        m.window_us = self.shared.started.elapsed().as_secs_f64() * 1e6;
+        m
+    }
+
+    /// Stops the runtime: drains in-flight work (worker queues are FIFO,
+    /// so every transaction already accepted completes — including
+    /// distributed transactions whose reservations are still being
+    /// served), joins every owned thread, folds the maintenance report
+    /// into the final metrics, and reassembles the [`Database`] from the
+    /// workers' shards.
+    ///
+    /// Outstanding [`Client`] handles stay valid as objects but their
+    /// subsequent [`Client::call`]s return `Err`; calls racing the
+    /// shutdown either complete normally or fail cleanly — they never
+    /// hang. Panics if a worker or the maintenance thread panicked.
+    pub fn shutdown(mut self) -> (RunMetrics, Database) {
+        let (metrics, shards) = self.teardown().expect("LiveRuntime::shutdown called twice");
+        (metrics, Database::from_shards(shards))
+    }
+
+    /// Shared teardown for [`LiveRuntime::shutdown`] and `Drop`. `None` if
+    /// the runtime was already torn down. A panicked worker or maintenance
+    /// thread re-raises here — unless this teardown itself runs during an
+    /// unwind (`Drop` while panicking), where a second panic would abort
+    /// the process and mask the original error.
+    fn teardown(&mut self) -> Option<(RunMetrics, Vec<Shard>)> {
+        let running = self.running.take()?;
+        // Workers first: their queues drain every message accepted before
+        // the Shutdown sentinel, so in-flight transactions complete and
+        // their feedback records get a chance to precede the Stop below.
+        for tx in &self.shared.workers {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        let mut thread_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut shards: Vec<Shard> = Vec::with_capacity(running.workers.len());
+        for h in running.workers {
+            match h.join() {
+                Ok(shard) => shards.push(shard),
+                Err(p) => thread_panic = Some(p),
+            }
+        }
+        let maint_report = running.maintenance.and_then(|h| {
+            // The explicit Stop ends the maintenance thread even while
+            // Client handles (each holding the channel open through
+            // `Shared`) are still alive somewhere in the application. A
+            // failed send means the thread is already gone; join tells.
+            if let Some(tx) = &self.shared.fb_tx {
+                let _ = tx.send(FeedbackMsg::Stop);
+            }
+            match h.join() {
+                Ok(report) => Some(report),
+                Err(p) => {
+                    thread_panic = Some(p);
+                    None
+                }
+            }
+        });
+        if let Some(p) = thread_panic {
+            // Re-raise a worker/maintainer panic — but never on top of an
+            // unwind already in progress (that would abort).
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(p);
+            }
+        }
+        let mut metrics =
+            self.shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        if let Some(report) = maint_report {
+            metrics.absorb_maintenance(&report);
+        }
+        metrics.window_us = self.shared.started.elapsed().as_secs_f64() * 1e6;
+        Some((metrics, shards))
+    }
+}
+
+impl<A: LiveAdvisor + 'static> Drop for LiveRuntime<A> {
+    /// Best-effort teardown for runtimes dropped without
+    /// [`LiveRuntime::shutdown`]: stops and joins every owned thread
+    /// (worker panics propagate), discarding metrics and database.
+    fn drop(&mut self) {
+        let _ = self.teardown();
+    }
+}
+
+/// Runs the live runtime as a closed-loop benchmark: starts a
+/// [`LiveRuntime`], spawns `clients_per_partition × num_partitions`
+/// closed-loop client threads, drives every generator stream dry
+/// (`requests_per_client` each), then shuts down and returns the final
+/// metrics plus the reassembled database. A thin wrapper over the handle
+/// API, preserved for the exact sim↔live agreement tests and the closed-
+/// loop experiments.
 ///
 /// `make_gen` builds the independent request generator for one client
-/// stream (see `workloads::Bench::client_generator`).
+/// stream (see `workloads::Bench::client_generator`). To keep using the
+/// advisor (or share it across runs), pass an `Arc<A>` — the blanket
+/// `LiveAdvisor for Arc<A>` impl delegates.
 ///
 /// Errors only on an unrecoverable abort (mirroring
 /// [`crate::Simulation::run`]); the database is consumed either way since
 /// partially-failed clusters are not reassembled.
-pub fn run_live<A: LiveAdvisor>(
+pub fn run_live<A: LiveAdvisor + 'static>(
     db: Database,
-    registry: &ProcedureRegistry,
-    advisor: &A,
+    registry: ProcedureRegistry,
+    advisor: A,
     make_gen: &(dyn Fn(u64) -> Box<dyn RequestGenerator + Send> + Sync),
     cfg: &LiveConfig,
 ) -> Result<(RunMetrics, Database)> {
-    let num_partitions = db.num_partitions();
-    let catalog = registry.catalog();
-    let env = WorkerEnv {
-        registry,
-        catalog: &catalog,
-        advisor,
-        num_partitions,
-        commit_flush: Duration::from_micros(cfg.commit_flush_us),
-        msg_delay: Duration::from_micros(cfg.msg_delay_us),
-    };
-    let locks = LockManager::new();
-    let shards = db.into_shards();
-    let clients = u64::from(num_partitions * cfg.clients_per_partition);
-
-    let mut worker_tx: Vec<Sender<WorkerMsg<A::Session>>> = Vec::new();
-    let mut worker_rx: Vec<Receiver<WorkerMsg<A::Session>>> = Vec::new();
-    for _ in 0..num_partitions {
-        let (tx, rx) = channel();
-        worker_tx.push(tx);
-        worker_rx.push(rx);
-    }
-    // The §4.5 feedback pipeline exists only when the advisor can learn:
-    // a bounded channel from session teardown to one background
-    // maintenance thread that owns the advisor's `LiveMaintainer`.
-    let maintainer: Option<Box<dyn LiveMaintainer + '_>> = advisor.maintainer();
-    let (fb_tx, fb_rx) = if maintainer.is_some() {
-        let (tx, rx) = sync_channel::<TxnFeedback>(cfg.feedback_capacity.max(1));
-        (Some(tx), Some(rx))
-    } else {
-        (None, None)
-    };
-
-    let started = Instant::now();
-    let (metrics, shards) = std::thread::scope(|s| {
-        let mut worker_handles = Vec::new();
-        for shard in shards {
-            let rx = worker_rx.remove(0);
-            let env = &env;
-            worker_handles.push(s.spawn(move || worker_loop::<A>(shard, &rx, env)));
-        }
-        let maint_handle = maintainer.map(|mut mt| {
-            let rx = fb_rx.expect("feedback receiver exists with a maintainer");
-            s.spawn(move || {
-                // Drain until every sender (one clone per client) is gone;
-                // records still queued at client exit are consumed, so
-                // `feedback_records + feedback_dropped` equals the records
-                // the clients emitted.
-                while let Ok(fb) = rx.recv() {
-                    mt.absorb(fb);
-                }
-                mt.report()
-            })
-        });
-        let mut client_handles = Vec::new();
-        for c in 0..clients {
-            let env = &env;
-            let worker_tx = &worker_tx;
-            let locks = &locks;
-            let fb_tx = fb_tx.clone();
-            client_handles.push(s.spawn(move || {
-                let mut gen = make_gen(c);
-                client_loop::<A>(env, worker_tx, locks, gen.as_mut(), c, cfg, fb_tx.as_ref())
-            }));
-        }
-        // The scope's copy of the sender must die with the clients or the
-        // maintenance thread would wait on the channel forever.
-        drop(fb_tx);
-        // Collect client outcomes WITHOUT panicking yet: the workers must
-        // receive their Shutdown messages first, or a panicking client
-        // (generator bug, poisoned lock) would leave them parked in recv()
-        // and hang the scope join forever.
-        let client_results: Vec<std::thread::Result<Result<RunMetrics>>> =
-            client_handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect();
-        for tx in &worker_tx {
-            let _ = tx.send(WorkerMsg::Shutdown);
-        }
-        let shards: Vec<Shard> =
-            worker_handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect();
-        let maint_report = maint_handle.map(|h| h.join().expect("maintenance thread panicked"));
-        let mut merged: Result<RunMetrics> = Ok(RunMetrics::default());
-        for r in client_results {
-            match r {
-                Ok(Ok(part)) => {
-                    if let Ok(m) = merged.as_mut() {
-                        m.absorb(&part);
+    let clients = u64::from(db.num_partitions() * cfg.clients_per_partition);
+    let requests = cfg.requests_per_client;
+    let runtime = LiveRuntime::start(db, registry, advisor, cfg.clone());
+    let mut failure: Option<Error> = None;
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                // Minted in order on this thread, so ids equal 0..clients
+                // deterministically (they seed the per-client RNG streams).
+                let mut client = runtime.client();
+                s.spawn(move || -> Result<()> {
+                    let mut gen = make_gen(c);
+                    for _ in 0..requests {
+                        let (proc, args) = gen.next_request(client.id());
+                        client.call(proc, args)?;
                     }
-                }
-                Ok(Err(e)) => merged = Err(e),
-                // Workers are already down; now it is safe to propagate.
-                Err(panic) => std::panic::resume_unwind(panic),
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => failure = Some(e),
+                // Deferred: the runtime must shut down its workers first,
+                // or unwinding here would leak parked threads.
+                Err(p) => panic = Some(p),
             }
         }
-        if let (Ok(m), Some(report)) = (merged.as_mut(), maint_report) {
-            m.absorb_maintenance(&report);
-        }
-        (merged, shards)
     });
-    let mut metrics = metrics?;
-    metrics.window_us = started.elapsed().as_secs_f64() * 1e6;
-    Ok((metrics, Database::from_shards(shards)))
+    let (metrics, db) = runtime.shutdown();
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    match failure {
+        None => Ok((metrics, db)),
+        Some(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -1472,8 +1727,8 @@ mod tests {
         }
     }
 
-    fn live_run<A: LiveAdvisor>(
-        advisor: &A,
+    fn live_run<A: LiveAdvisor + 'static>(
+        advisor: A,
         spread: u32,
         parts: u32,
         cfg: &LiveConfig,
@@ -1482,7 +1737,7 @@ mod tests {
         let reg = kv_registry();
         run_live(
             db,
-            &reg,
+            reg,
             advisor,
             &move |client| {
                 Box::new(KvGen { spread, parts, client, counter: 0 })
@@ -1503,7 +1758,7 @@ mod tests {
     fn lock_all_commits_everything_without_restarts() {
         let cfg = LiveConfig { requests_per_client: 40, ..Default::default() };
         let advisor = AssumeDistributed::new();
-        let (m, db) = live_run(&advisor, 2, 4, &cfg);
+        let (m, db) = live_run(advisor, 2, 4, &cfg);
         let total = u64::from(cfg.clients_per_partition) * 4 * cfg.requests_per_client;
         assert_eq!(m.committed + m.user_aborts, total);
         assert_eq!(m.restarts, 0);
@@ -1518,7 +1773,7 @@ mod tests {
     fn assume_single_partition_restarts_and_stays_consistent() {
         let cfg = LiveConfig { requests_per_client: 40, ..Default::default() };
         let advisor = AssumeSinglePartition::new();
-        let (m, db) = live_run(&advisor, 2, 4, &cfg);
+        let (m, db) = live_run(advisor, 2, 4, &cfg);
         let total = u64::from(cfg.clients_per_partition) * 4 * cfg.requests_per_client;
         assert_eq!(m.committed + m.user_aborts, total);
         assert!(m.restarts > 0, "spread-2 work must trigger mispredicts");
@@ -1531,7 +1786,7 @@ mod tests {
         // is exact, so most work runs on the lock-free fast path.
         let cfg = LiveConfig { requests_per_client: 50, ..Default::default() };
         let advisor = AssumeSinglePartition::new();
-        let (m, db) = live_run(&advisor, 1, 4, &cfg);
+        let (m, db) = live_run(advisor, 1, 4, &cfg);
         assert!(m.single_partition > 0);
         assert_eq!(sum_vals(&db, 4), m.committed as i64);
     }
@@ -1540,7 +1795,7 @@ mod tests {
     fn latency_histogram_is_populated() {
         let cfg = LiveConfig { requests_per_client: 20, ..Default::default() };
         let advisor = AssumeDistributed::new();
-        let (m, _) = live_run(&advisor, 1, 2, &cfg);
+        let (m, _) = live_run(advisor, 1, 2, &cfg);
         assert_eq!(m.latency.count(), m.committed);
         assert!(m.mean_latency_ms().is_some());
         assert!(m.latency.p50_ms().unwrap() <= m.latency.p99_ms().unwrap());
@@ -1573,14 +1828,22 @@ mod tests {
         let db = kv_database(2, 8);
         let reg = kv_registry();
         let catalog = reg.catalog();
-        let advisor = AssumeSinglePartition::new();
-        let env = WorkerEnv {
-            registry: &reg,
-            catalog: &catalog,
-            advisor: &advisor,
+        // A worker-only Shared: no clients are minted, so the worker-queue
+        // senders, lock manager, and feedback plumbing stay unused.
+        let env = Shared {
+            catalog,
+            registry: reg,
+            advisor: AssumeSinglePartition::new(),
+            cfg: LiveConfig::default(),
             num_partitions: 2,
             commit_flush: Duration::ZERO,
             msg_delay: Duration::ZERO,
+            workers: Vec::new(),
+            locks: LockManager::new(),
+            metrics: Mutex::new(RunMetrics::default()),
+            fb_tx: None,
+            next_client: AtomicU64::new(0),
+            started: Instant::now(),
         };
         let mut shards = db.into_shards();
         shards.truncate(1); // partition 0's worker only
@@ -1752,7 +2015,7 @@ mod tests {
                 ..Default::default()
             };
             let advisor = AssumeDistributed::new();
-            let (m, _) = live_run(&advisor, 1, parts, &cfg);
+            let (m, _) = live_run(advisor, 1, parts, &cfg);
             m.throughput_tps()
         };
         // Lock-all cannot overlap flushes (every commit holds all
@@ -1766,7 +2029,7 @@ mod tests {
             ..Default::default()
         };
         let advisor = AssumeSinglePartition::new();
-        let (m, _) = live_run(&advisor, 1, 2, &cfg);
+        let (m, _) = live_run(advisor, 1, 2, &cfg);
         assert!(
             m.throughput_tps() > serialized,
             "fast path {} <= lock-all {}",

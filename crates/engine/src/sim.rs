@@ -35,7 +35,7 @@ pub trait RequestGenerator {
     fn next_request(&mut self, client: u64) -> (ProcId, Vec<Value>);
 }
 
-impl RequestGenerator for Box<dyn RequestGenerator> {
+impl<G: RequestGenerator + ?Sized> RequestGenerator for Box<G> {
     fn next_request(&mut self, client: u64) -> (ProcId, Vec<Value>) {
         self.as_mut().next_request(client)
     }

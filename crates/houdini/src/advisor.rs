@@ -546,7 +546,7 @@ impl TxnAdvisor for Houdini {
 }
 
 /// Per-transaction scratch state for the live runtime: the shared
-/// [`TxnCore`] decision state plus a *read-only* model walk against the
+/// `TxnCore` decision state plus a *read-only* model walk against the
 /// predictor epoch the transaction planned with. The session pins that
 /// epoch's snapshot, so a maintenance swap mid-transaction never moves the
 /// model under an in-flight walk; states the snapshot has never seen turn

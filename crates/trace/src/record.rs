@@ -38,7 +38,7 @@ impl TraceRecord {
 }
 
 /// Resolves which partitions a query invocation touches under the *current*
-/// cluster configuration — the paper's "DBMS internal API" ([5], §3.1). The
+/// cluster configuration — the paper's "DBMS internal API" (\[5\], §3.1). The
 /// engine's catalog implements this; model generation and Houdini both call
 /// it.
 pub trait PartitionResolver {

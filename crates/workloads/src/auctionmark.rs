@@ -1,4 +1,4 @@
-//! AuctionMark (paper §6.1, [1]).
+//! AuctionMark (paper §6.1, \[1\]).
 //!
 //! Ten stored procedures over auction data partitioned by the *seller's*
 //! user id. Buyer/seller interactions (`NewBid`, `NewPurchase`) touch two

@@ -1,4 +1,4 @@
-//! TATP — Telecom Application Transaction Processing (paper §6.1, [25]).
+//! TATP — Telecom Application Transaction Processing (paper §6.1, \[25\]).
 //!
 //! Seven stored procedures over four tables partitioned by subscriber id.
 //! Four procedures are always single-partition; `DeleteCallFwrd`,

@@ -185,7 +185,7 @@ fn drift_run(maintenance: bool) -> RunMetrics {
                 .with_partition_flip(1, 2, FLIP_AFTER),
         ) as Box<dyn RequestGenerator + Send>
     };
-    let (m, _) = run_live(db, &reg, &h, &make_gen, &cfg).expect("drift run must not halt");
+    let (m, _) = run_live(db, reg, h, &make_gen, &cfg).expect("drift run must not halt");
     let issued = u64::from(PARTS * CLIENTS_PER_PARTITION) * REQUESTS;
     assert_eq!(m.committed + m.user_aborts, issued, "lost transactions");
     m

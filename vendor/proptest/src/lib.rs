@@ -324,7 +324,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count bounds for [`vec`]; converts from the range forms the
+    /// Element-count bounds for [`vec()`]; converts from the range forms the
     /// tests write (`0..20`, `1..=5`).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
