@@ -2,14 +2,16 @@
 //!
 //! Usage: `experiments [--full] <id>...` where ids are `fig3 fig4 fig5 fig7
 //! fig8 fig9 fig10 table3 fig11 table4 fig12 fig13 live live-latency
-//! live-drift` or `all`. `--full` uses the larger trace sizes and longer
-//! simulated windows recorded in EXPERIMENTS.md; the default quick scale
-//! finishes in seconds per experiment. `live` measures real wall-clock
-//! throughput on the multi-threaded partition runtime instead of simulated
-//! time (closed-loop sweeps plus the open-loop latency-vs-offered-load
-//! sweep); `live-latency` runs just the open-loop sweep; `live-drift`
-//! measures on-line model maintenance (§4.5) under a mid-run TATP skew
-//! flip.
+//! live-drift live-profile` or `all`. `--full` uses the larger trace sizes
+//! and longer simulated windows recorded in EXPERIMENTS.md; the default
+//! quick scale finishes in seconds per experiment. `live` measures real
+//! wall-clock throughput on the multi-threaded partition runtime instead of
+//! simulated time (closed-loop sweeps plus the open-loop
+//! latency-vs-offered-load sweep); `live-latency` runs just the open-loop
+//! sweep; `live-drift` measures on-line model maintenance (§4.5) under a
+//! mid-run TATP skew flip; `live-profile` measures the live Fig. 11
+//! per-stage wall-clock breakdown (estimation / execution / coordination /
+//! queueing).
 
 use bench::experiments::run_experiment;
 use bench::Scale;
@@ -21,7 +23,7 @@ fn main() {
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|live|live-latency|live-drift|all>..."
+            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|live|live-latency|live-drift|live-profile|all>..."
         );
         std::process::exit(2);
     }

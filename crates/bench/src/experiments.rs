@@ -327,7 +327,7 @@ pub fn fig11(scale: Scale) -> String {
     let parts = 16;
     let mut out = String::from(
         "# Fig. 11: % of transaction time per bucket (partitioned models, 16 partitions)\n\
-         proc                      estim   exec   plan  coord  other\n",
+         proc                      estim   exec   plan  coord  queue  other\n",
     );
     for bench in Bench::ALL {
         let mut houdini = trained_houdini(bench, parts, scale.trace_len(), true, 0.5, 31);
@@ -336,14 +336,18 @@ pub fn fig11(scale: Scale) -> String {
         for proc in profiler.procs() {
             let name = &catalog.proc(proc).name;
             let letter = proc_letter(bench, proc as usize);
+            // Queueing is always zero here (the simulator has no worker
+            // queues); the column keeps the legend aligned with the live
+            // breakdown of `live-profile`.
             let _ = writeln!(
                 out,
-                "{letter} {:<22}  {:5.1}  {:5.1}  {:5.1}  {:5.1}  {:5.1}",
+                "{letter} {:<22}  {:5.1}  {:5.1}  {:5.1}  {:5.1}  {:5.1}  {:5.1}",
                 name,
                 100.0 * profiler.share(proc, Bucket::Estimation),
                 100.0 * profiler.share(proc, Bucket::Execution),
                 100.0 * profiler.share(proc, Bucket::Planning),
                 100.0 * profiler.share(proc, Bucket::Coordination),
+                100.0 * profiler.share(proc, Bucket::Queueing),
                 100.0 * profiler.share(proc, Bucket::Other),
             );
         }
@@ -579,16 +583,31 @@ pub fn live_rows(scale: Scale) -> Vec<LiveRow> {
     let mut rows = Vec::new();
     // TATP: the worker-count scaling sweep, directly comparable with the
     // PR 2 run log (no modeled message latency; scaling comes from
-    // overlapping commit flushes).
+    // overlapping commit flushes). Like the OP4 ablation below, arms are
+    // interleaved round-robin and each arm records its median-of-3 run:
+    // single runs on a shared 1-core host swing ±8% — more than the
+    // advisor effects the sweep compares.
     for parts in LIVE_WORKER_COUNTS {
         let cfg = live_config(scale, 71, 250, 0);
         let houdini =
             Arc::new(trained_houdini(Bench::Tatp, parts, scale.trace_len(), true, 0.5, 71));
-        rows.push(measure_live(Bench::Tatp, "houdini", parts, &houdini, &cfg, 73));
         let asp = Arc::new(AssumeSinglePartition::new());
-        rows.push(measure_live(Bench::Tatp, "asp", parts, &asp, &cfg, 73));
         let adist = Arc::new(AssumeDistributed::new());
-        rows.push(measure_live(Bench::Tatp, "lock-all", parts, &adist, &cfg, 73));
+        let (mut h_runs, mut a_runs, mut d_runs) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..3 {
+            h_runs.push(measure_once(Bench::Tatp, "houdini", parts, &houdini, &cfg, 73));
+            a_runs.push(measure_once(Bench::Tatp, "asp", parts, &asp, &cfg, 73));
+            d_runs.push(measure_once(Bench::Tatp, "lock-all", parts, &adist, &cfg, 73));
+        }
+        let row = |advisor, runs| LiveRow {
+            bench: Bench::Tatp.name(),
+            advisor,
+            workers: parts,
+            metrics: median_run(runs),
+        };
+        rows.push(row("houdini", h_runs));
+        rows.push(row("asp", a_runs));
+        rows.push(row("lock-all", d_runs));
     }
     // TPC-C is the distributed-heavy workload that actually exercises OP4:
     // remote NewOrder/Payment hold multi-partition lock sets across the
@@ -846,6 +865,68 @@ fn render_drift_section(rows: &[DriftRow]) -> String {
     s
 }
 
+/// Renders the `"profile"` section of `BENCH_live.json` (schema 4): the
+/// live runtime's Fig. 11 breakdown — per-stage shares of the attributed
+/// call wall time, plus the mean attributed microseconds per resolved
+/// call, per measured configuration.
+fn render_profile_section(rows: &[LiveRow]) -> String {
+    let mut s = String::from("  \"profile\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let p = &r.metrics.profile;
+        let txns = p.total_txns();
+        let mean_call_us = if txns > 0 { p.grand_total_us() / txns as f64 } else { 0.0 };
+        let pct = |b: Bucket| 100.0 * p.overall_share(b);
+        let _ = write!(
+            s,
+            "    {{\"bench\": \"{}\", \"advisor\": \"{}\", \"workers\": {}, \"txns\": {}, \
+             \"est_pct\": {:.2}, \"exec_pct\": {:.2}, \"coord_pct\": {:.2}, \
+             \"queue_pct\": {:.2}, \"other_pct\": {:.2}, \"mean_call_us\": {:.1}}}",
+            r.bench,
+            r.advisor,
+            r.workers,
+            txns,
+            pct(Bucket::Estimation),
+            pct(Bucket::Execution),
+            pct(Bucket::Coordination),
+            pct(Bucket::Queueing),
+            pct(Bucket::Other),
+            mean_call_us,
+        );
+        s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]");
+    s
+}
+
+/// Renders the human-readable live Fig. 11 table (per-stage shares of the
+/// attributed call wall time) shared by `live` and `live-profile`.
+fn render_profile_table<'a>(rows: impl IntoIterator<Item = &'a LiveRow>) -> String {
+    let mut out = String::from(
+        "# Live Fig. 11: % of attributed call time per stage (wall clock)\n\
+         bench   advisor          workers   est%  exec%  coord%  queue%  other%  mean-call-us    txns\n",
+    );
+    for r in rows {
+        let p = &r.metrics.profile;
+        let txns = p.total_txns();
+        let mean_call_us = if txns > 0 { p.grand_total_us() / txns as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{:<7} {:<16} {:7}  {:5.1}  {:5.1}  {:6.1}  {:6.1}  {:6.1}  {:12.1}  {:6}",
+            r.bench,
+            r.advisor,
+            r.workers,
+            100.0 * p.overall_share(Bucket::Estimation),
+            100.0 * p.overall_share(Bucket::Execution),
+            100.0 * p.overall_share(Bucket::Coordination),
+            100.0 * p.overall_share(Bucket::Queueing),
+            100.0 * p.overall_share(Bucket::Other),
+            mean_call_us,
+            txns,
+        );
+    }
+    out
+}
+
 /// Extracts a top-level section (`"rows"` or `"drift"`) from a previously
 /// written `BENCH_live.json`, so the experiment that measures one section
 /// carries the other forward instead of clobbering it. Relies on the fixed
@@ -866,16 +947,18 @@ fn extract_section(existing: &str, key: &str) -> Option<String> {
 
 /// Machine-readable form of the live measurements, for tracking the perf
 /// trajectory across PRs (flat JSON, no serde dependency needed for a
-/// fixed schema). Schema 3: `rows` (scaling/ablation sweeps, written by
+/// fixed schema). Schema 4: `rows` (scaling/ablation sweeps, written by
 /// `live`), `latency` (the open-loop offered-load sweep, written by
-/// `live` and `live-latency`), and `drift` (the `live-drift` maintenance
-/// experiment); each experiment rewrites its own section(s) and carries
-/// the others forward from `existing` (the previous file contents, if
-/// any).
+/// `live` and `live-latency`), `drift` (the `live-drift` maintenance
+/// experiment), and `profile` (the live Fig. 11 per-stage breakdown,
+/// written by `live` and `live-profile`); each experiment rewrites its
+/// own section(s) and carries the others forward from `existing` (the
+/// previous file contents, if any).
 pub fn bench_live_json(
     rows: Option<&[LiveRow]>,
     latency: Option<&[LatencyRow]>,
     drift: Option<&[DriftRow]>,
+    profile: Option<&[LiveRow]>,
     scale: Scale,
     existing: Option<&str>,
 ) -> String {
@@ -897,7 +980,13 @@ pub fn bench_live_json(
             .and_then(|e| extract_section(e, "drift"))
             .unwrap_or_else(|| String::from("  \"drift\": []")),
     };
-    let mut s = String::from("{\n  \"schema\": 3,\n");
+    let profile_section = match profile {
+        Some(p) => render_profile_section(p),
+        None => existing
+            .and_then(|e| extract_section(e, "profile"))
+            .unwrap_or_else(|| String::from("  \"profile\": []")),
+    };
+    let mut s = String::from("{\n  \"schema\": 4,\n");
     let _ =
         writeln!(s, "  \"scale\": \"{}\",", if scale == Scale::Full { "full" } else { "quick" });
     s.push_str(&rows_section);
@@ -905,6 +994,8 @@ pub fn bench_live_json(
     s.push_str(&latency_section);
     s.push_str(",\n");
     s.push_str(&drift_section);
+    s.push_str(",\n");
+    s.push_str(&profile_section);
     s.push_str("\n}\n");
     s
 }
@@ -915,6 +1006,7 @@ fn write_bench_live(
     rows: Option<&[LiveRow]>,
     latency: Option<&[LatencyRow]>,
     drift: Option<&[DriftRow]>,
+    profile: Option<&[LiveRow]>,
     scale: Scale,
 ) -> String {
     let existing = std::fs::read_to_string("BENCH_live.json").ok();
@@ -928,7 +1020,10 @@ fn write_bench_live(
     if drift.is_some() {
         written.push("drift");
     }
-    let json = bench_live_json(rows, latency, drift, scale, existing.as_deref());
+    if profile.is_some() {
+        written.push("profile");
+    }
+    let json = bench_live_json(rows, latency, drift, profile, scale, existing.as_deref());
     match std::fs::write("BENCH_live.json", json) {
         Ok(()) => format!("({} section(s) written to BENCH_live.json)", written.join("+")),
         Err(e) => format!("(could not write BENCH_live.json: {e})"),
@@ -1016,7 +1111,13 @@ pub fn live(scale: Scale) -> String {
     }
     out.push('\n');
     out.push_str(&render_latency_table(&latency));
-    let _ = writeln!(out, "\n{}", write_bench_live(Some(&rows), Some(&latency), None, scale));
+    out.push('\n');
+    out.push_str(&render_profile_table(rows.iter().filter(|r| r.advisor == "houdini")));
+    let _ = writeln!(
+        out,
+        "\n{}",
+        write_bench_live(Some(&rows), Some(&latency), None, Some(&rows), scale)
+    );
     out
 }
 
@@ -1051,7 +1152,7 @@ fn render_latency_table(latency: &[LatencyRow]) -> String {
 pub fn live_latency(scale: Scale) -> String {
     let latency = latency_rows(scale);
     let mut out = render_latency_table(&latency);
-    let _ = writeln!(out, "\n{}", write_bench_live(None, Some(&latency), None, scale));
+    let _ = writeln!(out, "\n{}", write_bench_live(None, Some(&latency), None, None, scale));
     out
 }
 
@@ -1187,7 +1288,30 @@ pub fn live_drift(scale: Scale) -> String {
             );
         }
     }
-    let _ = writeln!(out, "\n{}", write_bench_live(None, None, Some(&drift_rows), scale));
+    let _ = writeln!(out, "\n{}", write_bench_live(None, None, Some(&drift_rows), None, scale));
+    out
+}
+
+/// `live-profile` — the live-runtime counterpart of Fig. 11: per-stage
+/// wall-clock attribution (estimation / execution / coordination /
+/// queueing / other) for houdini on TATP (single-partition heavy, 1 and
+/// 4 workers) and TPC-C (distributed-txn heavy, 4 workers). Runnable
+/// standalone at smoke scale for CI; `live` persists the same section
+/// from its full scaling sweep.
+pub fn live_profile(scale: Scale) -> String {
+    let mut rows = Vec::new();
+    for workers in [1u32, 4] {
+        let cfg = live_config(scale, 71, 150, 0);
+        let houdini =
+            Arc::new(trained_houdini(Bench::Tatp, workers, scale.trace_len(), true, 0.5, 71));
+        rows.push(measure_live(Bench::Tatp, "houdini", workers, &houdini, &cfg, 73));
+    }
+    let workers = 4u32;
+    let cfg = live_config(scale, 79, 150, 60);
+    let houdini = Arc::new(trained_houdini(Bench::Tpcc, workers, scale.trace_len(), true, 0.5, 79));
+    rows.push(measure_live(Bench::Tpcc, "houdini", workers, &houdini, &cfg, 83));
+    let mut out = render_profile_table(&rows);
+    let _ = writeln!(out, "\n{}", write_bench_live(None, None, None, Some(&rows), scale));
     out
 }
 
@@ -1209,6 +1333,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> String {
         "live" => live(scale),
         "live-latency" => live_latency(scale),
         "live-drift" => live_drift(scale),
+        "live-profile" => live_profile(scale),
         "all" => {
             let ids = [
                 "fig3",
@@ -1225,6 +1350,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> String {
                 "fig13",
                 "live",
                 "live-drift",
+                "live-profile",
             ];
             ids.iter().map(|i| run_experiment(i, scale) + "\n").collect()
         }
@@ -1245,11 +1371,12 @@ mod tests {
             metrics: RunMetrics::default(),
         };
         let first =
-            bench_live_json(Some(std::slice::from_ref(&row)), None, None, Scale::Quick, None);
-        assert!(first.contains("\"schema\": 3"));
+            bench_live_json(Some(std::slice::from_ref(&row)), None, None, None, Scale::Quick, None);
+        assert!(first.contains("\"schema\": 4"));
         assert!(first.contains("\"rows\": [\n"));
         assert!(first.contains("\"latency\": []"));
         assert!(first.contains("\"drift\": []"));
+        assert!(first.contains("\"profile\": []"));
         // Writing the drift section preserves the measured rows verbatim.
         let drift = DriftRow {
             advisor: "houdini-maint",
@@ -1261,6 +1388,7 @@ mod tests {
             None,
             None,
             Some(std::slice::from_ref(&drift)),
+            None,
             Scale::Quick,
             Some(&first),
         );
@@ -1283,21 +1411,42 @@ mod tests {
             None,
             Some(std::slice::from_ref(&lat)),
             None,
+            None,
             Scale::Quick,
             Some(&second),
         );
         assert!(third.contains("\"offered_tps\": 1000.0"), "latency missing: {third}");
         assert!(third.contains("\"advisor\": \"houdini\""), "rows lost: {third}");
         assert!(third.contains("\"houdini-maint\""), "drift lost: {third}");
-        // And re-writing rows preserves latency + drift.
+        // The profile section renders per-stage shares and carries the
+        // other three sections forward.
+        let mut prof_metrics = RunMetrics::default();
+        prof_metrics.profile.add(0, Bucket::Execution, 75.0);
+        prof_metrics.profile.add(0, Bucket::Coordination, 25.0);
+        prof_metrics.profile.finish_txn(0);
+        let prof = LiveRow { bench: "TATP", advisor: "houdini", workers: 4, metrics: prof_metrics };
         let fourth = bench_live_json(
-            Some(std::slice::from_ref(&row)),
             None,
             None,
+            None,
+            Some(std::slice::from_ref(&prof)),
             Scale::Quick,
             Some(&third),
         );
+        assert!(fourth.contains("\"exec_pct\": 75.00"), "profile missing: {fourth}");
         assert!(fourth.contains("\"offered_tps\": 1000.0"), "latency lost: {fourth}");
         assert!(fourth.contains("\"houdini-maint\""), "drift lost: {fourth}");
+        // And re-writing rows preserves latency + drift + profile.
+        let fifth = bench_live_json(
+            Some(std::slice::from_ref(&row)),
+            None,
+            None,
+            None,
+            Scale::Quick,
+            Some(&fourth),
+        );
+        assert!(fifth.contains("\"offered_tps\": 1000.0"), "latency lost: {fifth}");
+        assert!(fifth.contains("\"houdini-maint\""), "drift lost: {fifth}");
+        assert!(fifth.contains("\"exec_pct\": 75.00"), "profile lost: {fifth}");
     }
 }

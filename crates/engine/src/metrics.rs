@@ -3,6 +3,7 @@
 //! deterministic [`crate::Simulation`] (simulated microseconds) and the live
 //! runtime (wall-clock microseconds).
 
+use crate::profiler::Profiler;
 use common::{FxHashMap, PartitionId, PartitionSet, ProcId};
 
 /// Per-procedure counters of how often each optimization was applied
@@ -76,10 +77,14 @@ impl OpCounters {
 /// Fixed-bucket latency histogram over microsecond samples.
 ///
 /// Buckets are geometric: [`LatencyHistogram::BUCKETS_PER_DECADE`] buckets
-/// per decade spanning 1 µs to 10^7 µs (10 s), with one underflow and one
-/// overflow bucket. That bounds quantile error at ~12% per sample — plenty
-/// for p50/p95/p99 reporting — while keeping the struct a flat, mergeable
-/// array (each runtime worker records locally and merges at shutdown).
+/// per decade spanning 1 µs to 10^9 µs (~17 min), with one underflow and
+/// one overflow bucket. That bounds quantile error at ~12% per sample —
+/// plenty for p50/p95/p99 reporting — while keeping the struct a flat,
+/// mergeable array (each runtime worker records locally and merges at
+/// shutdown). Samples past the ceiling land in the overflow bucket;
+/// [`LatencyHistogram::quantile_us`] reports quantiles that fall there as
+/// `None` rather than inventing an in-range edge, and
+/// [`LatencyHistogram::overflow_count`] exposes how many samples saturated.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
@@ -96,8 +101,8 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Geometric resolution: buckets per factor-of-ten.
     pub const BUCKETS_PER_DECADE: usize = 20;
-    /// Decades covered: 1 µs .. 10^7 µs.
-    const DECADES: usize = 7;
+    /// Decades covered: 1 µs .. 10^9 µs.
+    const DECADES: usize = 9;
     /// Underflow + geometric grid + overflow.
     const NUM_BUCKETS: usize = Self::DECADES * Self::BUCKETS_PER_DECADE + 2;
 
@@ -143,21 +148,31 @@ impl LatencyHistogram {
         }
     }
 
-    /// The latency (µs) at quantile `q` in `[0, 1]`, `None` when empty.
-    /// Reported as the containing bucket's upper edge.
+    /// The latency (µs) at quantile `q` in `[0, 1]`, reported as the
+    /// containing bucket's upper edge. `None` when empty, and `None` when
+    /// the quantile lands in the overflow bucket — the bucket has no real
+    /// upper edge, and reporting the histogram's top edge used to silently
+    /// cap p99 at the range (exact-edge values masquerading as data).
     pub fn quantile_us(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
             return None;
         }
         let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (i, &c) in self.counts.iter().enumerate().take(Self::NUM_BUCKETS - 1) {
             seen += c;
             if seen >= rank {
                 return Some(Self::bucket_upper_us(i));
             }
         }
-        Some(Self::bucket_upper_us(Self::NUM_BUCKETS - 1))
+        None
+    }
+
+    /// Samples that saturated past the histogram's range (callers report
+    /// these distinctly — a `None` quantile with a non-zero overflow count
+    /// means "beyond range", not "no data").
+    pub fn overflow_count(&self) -> u64 {
+        self.counts[Self::NUM_BUCKETS - 1]
     }
 
     /// Median latency (ms).
@@ -298,6 +313,10 @@ pub struct RunMetrics {
     pub feedback_dropped: u64,
     /// Per-advisor-epoch prediction accuracy (maintenance thread's view).
     pub epoch_accuracy: Vec<EpochAccuracy>,
+    /// Fig. 11 per-stage time attribution (estimation / execution /
+    /// planning / coordination / queueing / other) per procedure —
+    /// simulated µs in the simulator, wall-clock µs in the live runtime.
+    pub profile: Profiler,
 }
 
 /// The headline numbers of one run, extracted by [`RunMetrics::summary`]:
@@ -438,6 +457,7 @@ impl RunMetrics {
         }
         self.latency.merge(&other.latency);
         self.lock_hold.merge(&other.lock_hold);
+        self.profile.merge(&other.profile);
         for (&proc, &n) in &other.committed_by_proc {
             *self.committed_by_proc.entry(proc).or_insert(0) += n;
         }
@@ -584,11 +604,37 @@ mod tests {
         h.record_us(0.0);
         h.record_us(-3.0);
         h.record_us(f64::NAN);
-        h.record_us(1e12); // over the 10 s ceiling -> overflow bucket
+        h.record_us(1e12); // over the ~17 min ceiling -> overflow bucket
         assert_eq!(h.count(), 4);
         assert!(h.quantile_us(0.0).unwrap() >= 1.0);
-        assert!(h.quantile_us(1.0).is_some());
+        assert_eq!(h.quantile_us(1.0), None, "max sample saturated -> no fake edge");
+        assert_eq!(h.overflow_count(), 1);
         assert!(h.mean_us().unwrap().is_finite(), "a NaN sample must not poison the mean");
+    }
+
+    #[test]
+    fn histogram_overflow_is_reported_not_capped() {
+        // Regression: an out-of-range sample used to be reported as the
+        // histogram's top edge, silently capping p99 at the range.
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record_us(100.0);
+        }
+        h.record_us(1e15); // way past the ceiling
+        assert_eq!(h.overflow_count(), 1);
+        // In-range quantiles still report normally...
+        let p50 = h.quantile_us(0.50).unwrap();
+        assert!((90.0..=130.0).contains(&p50), "p50 = {p50}");
+        // ...but a quantile that lands in the overflow bucket refuses to
+        // invent a value instead of claiming the top edge.
+        assert_eq!(h.quantile_us(1.0), None);
+        assert_eq!(h.p99_ms(), Some(h.quantile_us(0.99).unwrap() / 1000.0));
+        // A 10-second sample is comfortably in range after widening.
+        let mut wide = LatencyHistogram::default();
+        wide.record_us(10_000_000.0);
+        assert_eq!(wide.overflow_count(), 0);
+        let q = wide.quantile_us(1.0).unwrap();
+        assert!((9_000_000.0..=13_000_000.0).contains(&q), "q = {q}");
     }
 
     #[test]

@@ -5,10 +5,17 @@
 //! and queries, (3) planning, (4) coordinating execution, and (5) other
 //! setup operations. Profiling starts when a request arrives at a node and
 //! stops when the result is sent back to the client.
+//!
+//! The live runtime adds a sixth bucket, `Queueing` — wall time a request
+//! spends parked on a worker's inbound queue before its partition thread
+//! picks it up. The simulator has no queues (it charges modeled service
+//! times directly), so `Queueing` stays zero there; conversely the live
+//! runtime ships pre-compiled fragments and never plans queries, so
+//! `Planning` is a sim-only bucket.
 
 use common::{FxHashMap, ProcId};
 
-/// The five attribution buckets of Fig. 11.
+/// The five attribution buckets of Fig. 11, plus live-runtime `Queueing`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Bucket {
     /// Advisor time: initial path estimate + runtime updates.
@@ -19,17 +26,21 @@ pub enum Bucket {
     Planning,
     /// Network, locking, and two-phase-commit coordination.
     Coordination,
+    /// Time spent parked on a worker's inbound queue (live runtime only).
+    Queueing,
     /// Miscellaneous setup.
     Other,
 }
 
 impl Bucket {
-    /// All buckets, in Fig. 11's legend order.
-    pub const ALL: [Bucket; 5] = [
+    /// All buckets, in Fig. 11's legend order (with `Queueing` inserted
+    /// before the catch-all).
+    pub const ALL: [Bucket; 6] = [
         Bucket::Estimation,
         Bucket::Execution,
         Bucket::Planning,
         Bucket::Coordination,
+        Bucket::Queueing,
         Bucket::Other,
     ];
 
@@ -40,6 +51,7 @@ impl Bucket {
             Bucket::Execution => "Execution",
             Bucket::Planning => "Planning",
             Bucket::Coordination => "Coordination",
+            Bucket::Queueing => "Queueing",
             Bucket::Other => "Other",
         }
     }
@@ -47,12 +59,13 @@ impl Bucket {
 
 #[derive(Debug, Clone, Default)]
 struct ProcTimes {
-    us: [f64; 5],
+    us: [f64; 6],
     txns: u64,
 }
 
-/// Accumulates simulated microseconds per (procedure, bucket).
-#[derive(Debug, Default)]
+/// Accumulates microseconds per (procedure, bucket) — simulated time in the
+/// simulator, wall time in the live runtime.
+#[derive(Debug, Clone, Default)]
 pub struct Profiler {
     per_proc: FxHashMap<ProcId, ProcTimes>,
 }
@@ -73,6 +86,28 @@ impl Profiler {
     /// Marks one completed transaction of `proc` (for averaging).
     pub fn finish_txn(&mut self, proc: ProcId) {
         self.per_proc.entry(proc).or_default().txns += 1;
+    }
+
+    /// Folds another profiler's accumulations into this one (used when
+    /// per-call metrics are absorbed into the run-wide aggregate).
+    pub fn merge(&mut self, other: &Profiler) {
+        for (proc, times) in &other.per_proc {
+            let entry = self.per_proc.entry(*proc).or_default();
+            for (acc, us) in entry.us.iter_mut().zip(times.us.iter()) {
+                *acc += us;
+            }
+            entry.txns += times.txns;
+        }
+    }
+
+    /// Total recorded microseconds across all procedures and buckets.
+    pub fn grand_total_us(&self) -> f64 {
+        self.per_proc.values().map(|t| t.us.iter().sum::<f64>()).sum()
+    }
+
+    /// Total transactions recorded across all procedures.
+    pub fn total_txns(&self) -> u64 {
+        self.per_proc.values().map(|t| t.txns).sum()
     }
 
     /// Total recorded microseconds for `proc` across buckets.
@@ -154,6 +189,27 @@ mod tests {
         assert_eq!(p.total_us(9), 0.0);
         assert_eq!(p.share(9, Bucket::Other), 0.0);
         assert_eq!(p.mean_us(9, Bucket::Other), 0.0);
+    }
+
+    #[test]
+    fn merge_folds_per_proc_totals() {
+        let mut a = Profiler::new();
+        a.add(0, Bucket::Execution, 40.0);
+        a.add(0, Bucket::Queueing, 10.0);
+        a.finish_txn(0);
+        let mut b = Profiler::new();
+        b.add(0, Bucket::Execution, 60.0);
+        b.add(2, Bucket::Coordination, 5.0);
+        b.finish_txn(0);
+        b.finish_txn(2);
+        a.merge(&b);
+        assert!((a.total_us(0) - 110.0).abs() < 1e-12);
+        assert!((a.mean_us(0, Bucket::Execution) - 50.0).abs() < 1e-12);
+        assert_eq!(a.txns(0), 2);
+        assert_eq!(a.txns(2), 1);
+        assert_eq!(a.total_txns(), 3);
+        assert!((a.grand_total_us() - 115.0).abs() < 1e-12);
+        assert_eq!(a.procs(), vec![0, 2]);
     }
 
     #[test]

@@ -21,9 +21,14 @@
 //! lifecycle.
 //!
 //! * **Workers** (one per partition) own their shard outright — no locks
-//!   guard row access, ever. A worker drains a queue of messages: whole
-//!   single-partition transactions (the lock-free fast path) and
-//!   reservations from distributed transactions.
+//!   guard row access, ever. A worker drains its queue *in runs*: one
+//!   blocking receive, then everything already buffered. Consecutive
+//!   single-partition transactions in a run execute as one group — their
+//!   durable effects share a single commit flush and their
+//!   acknowledgements go out together in completion order (group commit +
+//!   group ack) — while a reservation from a distributed transaction
+//!   closes the group (everything queued before it must be flushed and
+//!   acknowledged first, preserving strict queue-order semantics).
 //! * **Clients** (the paper's §6.4 load generators, or any embedding
 //!   application thread) plan each request via the shared advisor, then
 //!   either hand the whole transaction to its base partition's worker, or
@@ -32,13 +37,17 @@
 //!   every participating worker, drive the control code themselves, and
 //!   ship per-partition query fragments over per-transaction channels (the
 //!   blocking base-partition coordination path).
-//! * **The lock manager** grants a distributed transaction its entire lock
-//!   set atomically (all-or-nothing under one mutex) with FIFO fairness
-//!   among conflicting waiters. Because no transaction ever holds one
-//!   partition while waiting for another, and a reservation only ever waits
-//!   behind finite single-partition work or reservations of already-granted
-//!   (and therefore progressing) transactions, the runtime is deadlock-free
-//!   by construction.
+//! * **The lock manager** is sharded by partition: one FIFO ticket queue
+//!   and condvar per partition, claimed in ascending partition order —
+//!   distributed transactions on disjoint shards never touch the same
+//!   mutex. The globally consistent claim order makes lock acquisition
+//!   deadlock-free (the classic ordered-resource argument), and no wait
+//!   edge ever points *into* the lock manager after acquisition: workers
+//!   never take locks, and a coordinator acquires its whole set up front
+//!   and only releases afterwards. A reservation only ever waits behind
+//!   finite single-partition work or reservations of already-granted (and
+//!   therefore progressing) transactions, so the runtime as a whole stays
+//!   deadlock-free by construction.
 //!
 //! Mispredicts are handled exactly like [`crate::Simulation`]: a query
 //! batch that targets a partition outside the lock set rolls the
@@ -46,12 +55,16 @@
 //! `max_restarts` the transaction falls back to a lock-all plan that cannot
 //! mispredict.
 //!
-//! Commit runs real two-phase commit: a `Vote` round in which every
-//! reserved participant flushes its written fragment and votes, then the
-//! `Finish` decision round (aborts skip the vote). `LiveConfig::
-//! msg_delay_us` optionally sleeps at the participant before each fragment
-//! command — the live twin of `CostModel::remote_msg_us` — so those rounds
-//! cost wall-clock lock-hold time as they would over a network.
+//! Commit runs real two-phase commit, coalesced per (coordinator,
+//! participant) pair: participants in this engine always vote yes (every
+//! fragment error already surfaced at execution), so the coordinator ships
+//! one `VoteFinish` message carrying the flush-and-vote *and* the decision
+//! together and awaits one acknowledgement — halving the per-participant
+//! round trips and the modeled network hops of the split `Vote` + `Finish`
+//! rounds while keeping identical outcomes. `LiveConfig::msg_delay_us`
+//! optionally sleeps at the participant before each fragment command — the
+//! live twin of `CostModel::remote_msg_us` — so 2PC costs wall-clock
+//! lock-hold time as it would over a network.
 //!
 //! ## Early prepare + speculative execution (OP4, §2/§4.4)
 //!
@@ -106,6 +119,17 @@
 //! publishes them as new advisor epochs that *fresh* transactions pick up
 //! while in-flight ones keep their snapshot (see DESIGN.md §5). Dropped
 //! records (`RunMetrics::feedback_dropped`) cost signal, not correctness.
+//!
+//! ## Per-stage time attribution (Fig. 11, live)
+//!
+//! Every [`Client::call`] attributes its wall time across the paper's
+//! Fig. 11 buckets into `RunMetrics::profile`: advisor planning/updates →
+//! `Estimation`; fragment/control-code execution → `Execution`; lock
+//! acquisition, reservation setup, and 2PC → `Coordination`; time a
+//! fast-path message sat on the worker queue → `Queueing`; the
+//! unattributed remainder (channel hops, group-commit waits measured at
+//! the worker, cascade retries) → `Other`. `Planning` stays a sim-only
+//! bucket — the live runtime ships pre-compiled fragments.
 
 use crate::advisor::{
     LiveAdvisor, LiveMaintainer, PlanContext, Request, TxnFeedback, TxnOutcome, TxnPlan,
@@ -114,6 +138,7 @@ use crate::catalog::Catalog;
 use crate::exec::{execute_fragment, ExecutedQuery};
 use crate::metrics::RunMetrics;
 use crate::procedure::{ProcedureRegistry, Step};
+use crate::profiler::Bucket;
 use crate::sim::RequestGenerator;
 use common::{
     derive_seed, seeded_rng, Error, FxHashMap, PartitionId, PartitionSet, ProcId, QueryId, Result,
@@ -199,79 +224,81 @@ impl Default for LiveConfig {
     }
 }
 
-/// Grants distributed transactions their whole lock set atomically.
+/// Grants distributed transactions their whole lock set, sharded by
+/// partition.
 ///
-/// A waiter is granted only when (a) every partition it wants is free and
-/// (b) no *earlier* still-waiting transaction wants any of those partitions
-/// — FIFO among conflicting waiters, bypass for disjoint ones. Single-
-/// partition transactions never touch this structure: their ordering is the
-/// owning worker's queue itself.
+/// One FIFO ticket queue and condvar per partition: transactions on
+/// disjoint shards never touch the same mutex (the previous design
+/// serialized every grant, release, and wakeup of the whole cluster on one
+/// global mutex — a scalability ceiling exactly where distributed traffic
+/// is hottest). A transaction claims its partitions one at a time in
+/// ascending partition order, waiting FIFO at each; the globally
+/// consistent claim order means no cycle of lock waits can form (the
+/// classic ordered-resource argument — it replaces the old design's
+/// all-or-nothing-under-one-mutex argument). Single-partition
+/// transactions never touch this structure: their ordering is the owning
+/// worker's queue itself.
+///
+/// Fairness: per-partition FIFO by global ticket, which preserves the old
+/// manager's FIFO-among-conflicting behaviour and additionally keeps a
+/// lock-all transaction from being starved by a stream of small disjoint
+/// ones (it holds its low partitions while queueing at the contended one).
 struct LockManager {
-    state: Mutex<LockState>,
+    next_ticket: AtomicU64,
+    shards: Vec<LockShard>,
+}
+
+struct LockShard {
+    state: Mutex<ShardQueue>,
     cv: Condvar,
 }
 
-struct LockState {
-    busy: u64,
-    waiters: VecDeque<(u64, u64)>, // (seq, mask)
-    next_seq: u64,
+#[derive(Default)]
+struct ShardQueue {
+    /// Whether some transaction currently holds this partition's slot.
+    busy: bool,
+    /// Tickets waiting for this partition, FIFO.
+    waiters: VecDeque<u64>,
 }
 
 impl LockManager {
-    fn new() -> Self {
+    fn new(num_partitions: u32) -> Self {
         LockManager {
-            state: Mutex::new(LockState { busy: 0, waiters: VecDeque::new(), next_seq: 0 }),
-            cv: Condvar::new(),
+            next_ticket: AtomicU64::new(0),
+            shards: (0..num_partitions.max(1))
+                .map(|_| LockShard { state: Mutex::new(ShardQueue::default()), cv: Condvar::new() })
+                .collect(),
         }
     }
 
     fn acquire(&self, set: PartitionSet) {
-        let mask = set.0;
-        let mut st = self.state.lock().expect("lock manager poisoned");
-        let seq = st.next_seq;
-        st.next_seq += 1;
-        st.waiters.push_back((seq, mask));
-        loop {
-            let mut earlier_wanted = 0u64;
-            let mut grantable = false;
-            for &(s, m) in &st.waiters {
-                if s == seq {
-                    grantable = st.busy & mask == 0 && earlier_wanted & mask == 0;
-                    break;
-                }
-                earlier_wanted |= m;
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        for p in set.iter() {
+            let shard = &self.shards[p as usize];
+            let mut st = shard.state.lock().expect("lock shard poisoned");
+            st.waiters.push_back(ticket);
+            while st.busy || st.waiters.front() != Some(&ticket) {
+                st = shard.cv.wait(st).expect("lock shard poisoned");
             }
-            if grantable {
-                st.busy |= mask;
-                st.waiters.retain(|&(s, _)| s != seq);
-                return;
-            }
-            st = self.cv.wait(st).expect("lock manager poisoned");
+            st.waiters.pop_front();
+            st.busy = true;
         }
     }
 
     fn release(&self, set: PartitionSet) {
-        let mut st = self.state.lock().expect("lock manager poisoned");
-        st.busy &= !set.0;
-        // Wake waiters only if this release actually made one grantable.
-        // Partial releases (OP4 early prepare) usually free partitions that
-        // lock-all waiters cannot use while the base stays held; blindly
-        // waking every waiter to rescan and fail is a context-switch storm
-        // per released partition on small hosts. A waiter not woken here
-        // stays correct: grants only consume partitions (busy grows), so
-        // nothing becomes grantable between releases.
-        let mut earlier_wanted = 0u64;
-        let mut grantable = false;
-        for &(_, m) in &st.waiters {
-            if st.busy & m == 0 && earlier_wanted & m == 0 {
-                grantable = true;
-                break;
+        for p in set.iter() {
+            let shard = &self.shards[p as usize];
+            let mut st = shard.state.lock().expect("lock shard poisoned");
+            debug_assert!(st.busy, "released a partition nobody holds");
+            st.busy = false;
+            let wake = !st.waiters.is_empty();
+            drop(st);
+            if wake {
+                // Distinct tickets share the shard's condvar and only the
+                // front one may proceed, so notify_all — a notify_one could
+                // land on a non-front waiter and strand the front.
+                shard.cv.notify_all();
             }
-            earlier_wanted |= m;
-        }
-        drop(st);
-        if grantable {
-            self.cv.notify_all();
         }
     }
 
@@ -319,22 +346,20 @@ enum FragCmd {
     /// or decide — the worker drops the reservation outright and never
     /// hears from this transaction again.
     Prepare { speculate: bool },
-    /// 2PC prepare round: make the fragment durable (flush) and vote. Only
-    /// sent to participants that were not early-prepared — an early prepare
-    /// is exactly this vote, unsolicited.
-    Vote,
-    /// Two-phase-commit outcome: commit (already durable after the vote) or
-    /// abort (roll back this partition's fragment effects — cascading over
-    /// speculative work if the partition was early-prepared).
-    Finish { commit: bool },
+    /// Both 2PC rounds coalesced into one message per (coordinator,
+    /// participant) pair: flush-and-vote plus the decision together.
+    /// Outcome-equivalent to a split prepare/decide exchange because
+    /// participants in this engine always vote yes (every fragment error
+    /// already surfaced at execution, so the decision never depends on the
+    /// vote round) — but one round trip and one modeled network hop where
+    /// split rounds would cost two.
+    VoteFinish { commit: bool },
 }
 
 /// A reserved worker's answer to a fragment command.
 enum FragReply {
     Rows(Vec<Row>),
     Constraint(String),
-    /// Prepare-round vote (always yes: fragment errors surfaced earlier).
-    Voted,
     Finished,
     Fatal(Error),
 }
@@ -343,6 +368,20 @@ enum FragReply {
 struct Reserve {
     frags: Receiver<FragCmd>,
     results: Sender<FragReply>,
+}
+
+/// Wall-clock stage timings measured at the worker for one fast-path
+/// transaction, reported back to the coordinating client for Fig. 11
+/// attribution (the client cannot observe queue wait or execution time
+/// from its side of the channel).
+#[derive(Debug, Clone, Copy, Default)]
+struct StageTimes {
+    /// Time the message sat on the worker queue before being picked up.
+    queued_us: f64,
+    /// Advisor time inside execution (`on_query_live`).
+    est_us: f64,
+    /// Execution time at the worker, minus the advisor share.
+    exec_us: f64,
 }
 
 /// How a single-partition fast-path transaction ended at its worker.
@@ -355,10 +394,12 @@ enum SingleReply<S> {
         undo_disabled_ever: bool,
         /// Executed inside a speculation window (deferred acknowledgement).
         speculative: bool,
+        times: StageTimes,
     },
     Mispredict {
         observed: PartitionSet,
         session: S,
+        times: StageTimes,
     },
     /// The transaction executed speculatively and was rolled back by the
     /// cascade after the early-prepared transaction aborted; the client
@@ -373,6 +414,9 @@ enum WorkerMsg<S> {
         plan: TxnPlan,
         session: S,
         reply: Sender<SingleReply<S>>,
+        /// When the client enqueued the message — the worker derives the
+        /// queue-wait time (Fig. 11 `Queueing`) at pickup.
+        enqueued: Instant,
     },
     Reserve(Reserve),
     /// 2PC outcome for the speculation window this worker has open — sent
@@ -431,36 +475,103 @@ fn flush(d: Duration) {
     }
 }
 
-/// One partition's server loop: drain messages until shutdown, then hand
-/// the shard back. Reservations that arrived during a speculation window
-/// are parked in `pending` and admitted once the window resolves (they may
-/// open windows of their own).
+/// One partition's server loop: drain messages *in runs* until shutdown,
+/// then hand the shard back. One blocking receive picks up everything
+/// already buffered behind it (`try_recv` drain into `backlog`), and the
+/// run is served strictly front-to-back — FIFO per client is preserved
+/// exactly because the global queue order is preserved exactly.
+///
+/// Consecutive single-partition transactions in a run form one *group*:
+/// every member executes, then a single commit flush covers the whole
+/// group's durable writes (group commit — the flush is the dominant
+/// per-transaction cost when `commit_flush_us` is real), then the
+/// acknowledgements go out together in completion (= queue) order (group
+/// ack). A reservation from a distributed transaction closes the group:
+/// the group is flushed and acknowledged *before* the reservation is
+/// served, so the distributed transaction observes exactly the state a
+/// one-message-at-a-time loop would have produced.
+///
+/// Reservations that arrived during a speculation window are parked in
+/// `pending` and admitted once the window resolves (they may open windows
+/// of their own).
+/// A fast-path reply held back until its drain group's commit flush
+/// completes (group commit: one flush covers every write in the group).
+type DeferredAck<S> = (Sender<SingleReply<S>>, SingleReply<S>);
+
 fn worker_loop<A: LiveAdvisor>(
     mut shard: Shard,
     rx: &Receiver<WorkerMsg<A::Session>>,
     env: &Shared<A>,
 ) -> Shard {
     let mut pending: VecDeque<Reserve> = VecDeque::new();
+    let mut backlog: VecDeque<WorkerMsg<A::Session>> = VecDeque::new();
     let mut shutdown = false;
     while !shutdown {
         if let Some(r) = pending.pop_front() {
             if let Some(spec) = serve_reservation(&mut shard, env, r) {
-                shutdown = speculate(&mut shard, env, rx, spec, &mut pending);
+                shutdown = speculate(&mut shard, env, rx, spec, &mut pending, &mut backlog);
             }
             continue;
         }
-        match rx.recv() {
-            Ok(WorkerMsg::Single { req, plan, session, reply }) => {
-                let out = run_single(&mut shard, env, &req, &plan, session, false);
-                debug_assert!(out.spec_undo.is_none(), "non-speculative commit retained undo");
-                let _ = reply.send(out.reply);
+        if backlog.is_empty() {
+            match rx.recv() {
+                Ok(m) => backlog.push_back(m),
+                Err(_) => break,
             }
-            Ok(WorkerMsg::Reserve(r)) => pending.push_back(r),
-            // An outcome for a window that already resolved (its
-            // coordinator died and the disconnect watchdog cascaded it):
-            // nothing left to apply it to.
-            Ok(WorkerMsg::SpecFinish { .. }) => {}
-            Ok(WorkerMsg::Shutdown) | Err(_) => shutdown = true,
+            while let Ok(m) = rx.try_recv() {
+                backlog.push_back(m);
+            }
+        }
+        let mut acks: Vec<DeferredAck<A::Session>> = Vec::new();
+        let mut group_wrote = false;
+        while let Some(msg) = backlog.pop_front() {
+            match msg {
+                WorkerMsg::Single { req, plan, session, reply, enqueued } => {
+                    let queued_us = us_since(enqueued);
+                    let t_exec = Instant::now();
+                    let mut out = run_single(&mut shard, env, &req, &plan, session, false);
+                    debug_assert!(out.spec_undo.is_none(), "non-speculative commit retained undo");
+                    stamp_times(&mut out, queued_us, t_exec);
+                    if group_wrote || out.needs_flush() {
+                        // From the first durable write onward every reply
+                        // waits for the group flush: later transactions may
+                        // have observed the unflushed writes.
+                        group_wrote = true;
+                        acks.push((reply, out.reply));
+                    } else {
+                        // Nothing unflushed precedes this one in the group,
+                        // so its result depends on durable state only — ack
+                        // now, at the latency the one-at-a-time loop gave
+                        // read-only traffic.
+                        let _ = reply.send(out.reply);
+                    }
+                }
+                // A reservation closes the group: the distributed
+                // transaction must observe everything queued before it
+                // flushed and acknowledged first.
+                WorkerMsg::Reserve(r) => {
+                    pending.push_back(r);
+                    break;
+                }
+                // An outcome for a window that already resolved (its
+                // coordinator died and the disconnect watchdog cascaded
+                // it): nothing left to apply it to.
+                WorkerMsg::SpecFinish { .. } => {}
+                WorkerMsg::Shutdown => {
+                    // Messages queued after the sentinel are dropped; their
+                    // closed reply channels surface as clean client errors,
+                    // exactly as if they were still on the queue at exit.
+                    shutdown = true;
+                    backlog.clear();
+                    break;
+                }
+            }
+        }
+        if group_wrote {
+            flush(env.commit_flush);
+        }
+        for (tx, reply) in acks {
+            let _ = tx.send(reply);
         }
     }
     shard
@@ -477,11 +588,40 @@ struct SingleOutcome<S> {
     touched_tables: u64,
     /// Mask of tables written.
     wrote_tables: u64,
+    /// Advisor time (`on_query_live`) inside this execution, for Fig. 11.
+    est_us: f64,
 }
 
 impl<S> SingleOutcome<S> {
     fn plain(reply: SingleReply<S>) -> Self {
-        SingleOutcome { reply, spec_undo: None, touched_tables: 0, wrote_tables: 0 }
+        SingleOutcome { reply, spec_undo: None, touched_tables: 0, wrote_tables: 0, est_us: 0.0 }
+    }
+
+    /// Whether this transaction's group needs a commit flush: it committed
+    /// and wrote something durable. The flush itself is the *caller's* job
+    /// — one flush covers every such transaction in a drained run (group
+    /// commit).
+    fn needs_flush(&self) -> bool {
+        matches!(self.reply, SingleReply::Done { committed: true, .. }) && self.wrote_tables != 0
+    }
+}
+
+/// Microseconds elapsed since `t`.
+fn us_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e6
+}
+
+/// Stamps the worker-side stage timings (queue wait, advisor share,
+/// execution) onto a fast-path reply; `t_exec` is when execution started.
+fn stamp_times<S>(out: &mut SingleOutcome<S>, queued_us: f64, t_exec: Instant) {
+    let times = StageTimes {
+        queued_us,
+        est_us: out.est_us,
+        exec_us: (us_since(t_exec) - out.est_us).max(0.0),
+    };
+    match &mut out.reply {
+        SingleReply::Done { times: t, .. } | SingleReply::Mispredict { times: t, .. } => *t = times,
+        SingleReply::Cascaded | SingleReply::Fatal(_) => {}
     }
 }
 
@@ -515,6 +655,7 @@ fn run_single<A: LiveAdvisor>(
     let mut access_counts: FxHashMap<PartitionId, u32> = FxHashMap::default();
     let mut touched_tables = 0u64;
     let mut wrote_tables = 0u64;
+    let mut est_us = 0.0f64;
     let mut pending_abort: Option<String> = None;
     loop {
         let step = match pending_abort.take() {
@@ -547,10 +688,15 @@ fn run_single<A: LiveAdvisor>(
                         return SingleOutcome::plain(SingleReply::Fatal(e));
                     }
                     return SingleOutcome {
-                        reply: SingleReply::Mispredict { observed: accessed.union(seen), session },
+                        reply: SingleReply::Mispredict {
+                            observed: accessed.union(seen),
+                            session,
+                            times: StageTimes::default(),
+                        },
                         spec_undo: None,
                         touched_tables,
                         wrote_tables,
+                        est_us,
                     };
                 }
                 let mut batch_results = Vec::with_capacity(batch.len());
@@ -571,6 +717,7 @@ fn run_single<A: LiveAdvisor>(
                     if is_write {
                         wrote_tables |= crate::sim::table_bit(def.table);
                     }
+                    let t_est = Instant::now();
                     let upd = env.advisor.on_query_live(
                         &mut session,
                         &ExecutedQuery {
@@ -580,6 +727,7 @@ fn run_single<A: LiveAdvisor>(
                             is_write,
                         },
                     );
+                    est_us += us_since(t_est);
                     // Runtime OP3 is ignored while speculating: a
                     // speculative transaction must stay able to cascade.
                     if upd.disable_undo && !speculating && undo.is_enabled() {
@@ -591,11 +739,11 @@ fn run_single<A: LiveAdvisor>(
                 results = Some(batch_results);
             }
             Step::Commit => {
-                // Group commit flushes only durable effects: a read-only
-                // commit has nothing to log.
-                if wrote_tables != 0 {
-                    flush(env.commit_flush);
-                }
+                // Durable effects are *not* flushed here: the caller
+                // applies one group-commit flush per drained run, covering
+                // every committed write in it (see [`worker_loop`]) —
+                // `SingleOutcome::needs_flush` tells it whether this
+                // transaction participates.
                 let reply = SingleReply::Done {
                     committed: true,
                     session,
@@ -603,6 +751,7 @@ fn run_single<A: LiveAdvisor>(
                     access_counts,
                     undo_disabled_ever,
                     speculative: speculating,
+                    times: StageTimes::default(),
                 };
                 if speculating {
                     // The commit is contingent on the early-prepared
@@ -617,10 +766,17 @@ fn run_single<A: LiveAdvisor>(
                         spec_undo: Some(undo),
                         touched_tables,
                         wrote_tables,
+                        est_us,
                     };
                 }
                 undo.clear();
-                return SingleOutcome { reply, spec_undo: None, touched_tables, wrote_tables };
+                return SingleOutcome {
+                    reply,
+                    spec_undo: None,
+                    touched_tables,
+                    wrote_tables,
+                    est_us,
+                };
             }
             Step::Abort(_) => {
                 if !undo.can_rollback() {
@@ -639,12 +795,14 @@ fn run_single<A: LiveAdvisor>(
                         access_counts,
                         undo_disabled_ever,
                         speculative: speculating,
+                        times: StageTimes::default(),
                     },
                     // Aborted effects are already rolled back; nothing for
                     // the stack, but the masks still classify conflicts.
                     spec_undo: None,
                     touched_tables,
                     wrote_tables,
+                    est_us,
                 };
             }
         }
@@ -676,7 +834,6 @@ fn serve_reservation<A: LiveAdvisor>(
 ) -> Option<SpecSession> {
     let mut undo = UndoLog::new();
     let mut wrote_tables = 0u64;
-    let mut voted = false;
     loop {
         match r.frags.recv() {
             Ok(FragCmd::Exec { proc, query, params }) => {
@@ -722,27 +879,17 @@ fn serve_reservation<A: LiveAdvisor>(
                     written_tables: wrote_tables,
                 });
             }
-            Ok(FragCmd::Vote) => {
-                // Prepare round: make the fragment durable and vote yes.
-                flush(env.msg_delay);
-                if wrote_tables != 0 {
-                    flush(env.commit_flush);
-                }
-                voted = true;
-                if r.results.send(FragReply::Voted).is_err() {
-                    let _ = shard.rollback(&mut undo);
-                    return None;
-                }
-            }
-            Ok(FragCmd::Finish { commit }) => {
+            Ok(FragCmd::VoteFinish { commit }) => {
+                // Coalesced 2PC: flush-and-vote plus the decision in one
+                // message — one modeled network hop, one durability flush,
+                // one acknowledgement. Outcome-identical to Vote + Finish
+                // because the vote is always yes.
                 flush(env.msg_delay);
                 let reply = if commit {
-                    undo.clear();
-                    // Already durable if the prepare round ran; flush here
-                    // only on the voteless path (tests, legacy callers).
-                    if !voted && wrote_tables != 0 {
+                    if wrote_tables != 0 {
                         flush(env.commit_flush);
                     }
+                    undo.clear();
                     FragReply::Finished
                 } else {
                     match shard.rollback(&mut undo) {
@@ -764,14 +911,20 @@ fn serve_reservation<A: LiveAdvisor>(
 /// Runs the worker through one speculation window: queued single-partition
 /// transactions execute speculatively (deferred acknowledgement, undo
 /// force-enabled) and new reservations are parked in `pending` until the
-/// early-prepared transaction's 2PC outcome arrives. Returns true if a
-/// shutdown was observed while speculating.
+/// early-prepared transaction's 2PC outcome arrives. The queue is drained
+/// in runs exactly like [`worker_loop`] — one group flush covers a run's
+/// speculative commits (they must be durable before any acknowledgement,
+/// immediate or deferred, goes out), and non-conflicting acknowledgements
+/// leave as a group. Messages left in `backlog` when the window resolves
+/// (queued behind the outcome) are served by the caller afterwards, in
+/// order. Returns true if a shutdown was observed while speculating.
 fn speculate<A: LiveAdvisor>(
     shard: &mut Shard,
     env: &Shared<A>,
     rx: &Receiver<WorkerMsg<A::Session>>,
     mut spec: SpecSession,
     pending: &mut VecDeque<Reserve>,
+    backlog: &mut VecDeque<WorkerMsg<A::Session>>,
 ) -> bool {
     type Deferred<S> = (Sender<SingleReply<S>>, SingleReply<S>);
     let mut deferred: Vec<Deferred<A::Session>> = Vec::new();
@@ -779,73 +932,110 @@ fn speculate<A: LiveAdvisor>(
     // `None` = the coordinator disappeared without an outcome (it unwound);
     // the window resolves exactly like an abort.
     let outcome: Option<bool> = 'window: loop {
-        match rx.recv_timeout(SPEC_WATCHDOG) {
-            Ok(WorkerMsg::SpecFinish { commit }) => break 'window Some(commit),
-            Ok(WorkerMsg::Single { req, plan, session, reply }) => {
-                let out = run_single(shard, env, &req, &plan, session, true);
-                // Same conflict rule as the simulator (§2 OP4): contingent
-                // means having touched a table written inside the window —
-                // by the early-prepared fragment or by a deferred
-                // speculative commit. A non-conflicting transaction read
-                // nothing contingent, so its outcome is final whatever the
-                // 2PC decides, and even its *writes* are safe to keep off
-                // the stack: on a cascade, the deferred transactions'
-                // row-level pre-images restore around them (their tables
-                // are disjoint from everything the cascade undoes up to
-                // their own later — also undone — overwrites).
-                let conflict = out.touched_tables & spec.written_tables != 0;
-                match out.spec_undo {
-                    Some(u) if conflict => {
-                        // A contingent commit: effects join the window (and
-                        // its conflict mask), the acknowledgement waits.
-                        spec.stack.push_commit(u);
-                        spec.written_tables |= out.wrote_tables;
-                        deferred.push((reply, out.reply));
+        if backlog.is_empty() {
+            match rx.recv_timeout(SPEC_WATCHDOG) {
+                Ok(m) => {
+                    backlog.push_back(m);
+                    while let Ok(m) = rx.try_recv() {
+                        backlog.push_back(m);
                     }
-                    None if conflict => deferred.push((reply, out.reply)),
-                    // Non-conflicting (commit, user abort, or mispredict):
-                    // acknowledge immediately, effects (if any) are final.
-                    Some(_) | None => {
-                        let _ = reply.send(out.reply);
+                }
+                Err(e) => {
+                    if e == RecvTimeoutError::Disconnected {
+                        // Teardown: the sleep keeps the disconnect-
+                        // resolution loop from spinning while the
+                        // coordinator unwinds.
+                        shutdown = true;
+                        std::thread::sleep(SPEC_WATCHDOG);
                     }
+                    // Watchdog: the outcome is pushed on the main queue, so
+                    // an empty 25 ms is only expected for a long-running
+                    // coordinator — unless it died (its reservation channel
+                    // disconnects without a buffered outcome) or it still
+                    // speaks the reservation-channel protocol (tests,
+                    // legacy).
+                    loop {
+                        match spec.frags.try_recv() {
+                            Ok(FragCmd::VoteFinish { commit }) => break 'window Some(commit),
+                            Ok(FragCmd::Prepare { .. }) => {} // duplicate: already prepared
+                            Ok(FragCmd::Exec { .. }) => {
+                                // The coordinator treats a batch that
+                                // re-targets a released partition as a
+                                // mispredict before shipping anything:
+                                // protocol violation.
+                                let _ = spec.results.send(FragReply::Fatal(Error::Other(
+                                    "fragment shipped to an early-prepared partition".into(),
+                                )));
+                            }
+                            Err(TryRecvError::Empty) => break,
+                            Err(TryRecvError::Disconnected) => break 'window None,
+                        }
+                    }
+                    continue 'window;
                 }
             }
-            Ok(WorkerMsg::Reserve(r)) => pending.push_back(r),
-            Ok(WorkerMsg::Shutdown) => shutdown = true,
-            Err(e) => {
-                if e == RecvTimeoutError::Disconnected {
-                    // Teardown: the sleep keeps the disconnect-resolution
-                    // loop from spinning while the coordinator unwinds.
-                    shutdown = true;
-                    std::thread::sleep(SPEC_WATCHDOG);
+        }
+        // Serve the drained run front-to-back, same group structure as the
+        // non-speculating loop; the 2PC outcome ends the run (everything
+        // behind it stays in `backlog` for after the window).
+        let mut acks: Vec<Deferred<A::Session>> = Vec::new();
+        let mut group_wrote = false;
+        let mut finish: Option<bool> = None;
+        while let Some(msg) = backlog.pop_front() {
+            match msg {
+                WorkerMsg::SpecFinish { commit } => {
+                    finish = Some(commit);
+                    break;
                 }
-                // Watchdog: the outcome is pushed on the main queue, so an
-                // empty 25 ms is only expected for a long-running
-                // coordinator — unless it died (its reservation channel
-                // disconnects without a buffered outcome) or it still
-                // speaks the reservation-channel protocol (tests, legacy).
-                loop {
-                    match spec.frags.try_recv() {
-                        Ok(FragCmd::Finish { commit }) => break 'window Some(commit),
-                        Ok(FragCmd::Prepare { .. }) => {} // duplicate: already prepared
-                        Ok(FragCmd::Vote) => {
-                            // Already voted via the unsolicited early
-                            // prepare; re-affirm for robustness.
-                            let _ = spec.results.send(FragReply::Voted);
+                WorkerMsg::Single { req, plan, session, reply, enqueued } => {
+                    let queued_us = us_since(enqueued);
+                    let t_exec = Instant::now();
+                    let mut out = run_single(shard, env, &req, &plan, session, true);
+                    group_wrote |= out.needs_flush();
+                    stamp_times(&mut out, queued_us, t_exec);
+                    // Same conflict rule as the simulator (§2 OP4):
+                    // contingent means having touched a table written
+                    // inside the window — by the early-prepared fragment or
+                    // by a deferred speculative commit. A non-conflicting
+                    // transaction read nothing contingent, so its outcome
+                    // is final whatever the 2PC decides, and even its
+                    // *writes* are safe to keep off the stack: on a
+                    // cascade, the deferred transactions' row-level
+                    // pre-images restore around them (their tables are
+                    // disjoint from everything the cascade undoes up to
+                    // their own later — also undone — overwrites).
+                    let conflict = out.touched_tables & spec.written_tables != 0;
+                    match out.spec_undo {
+                        Some(u) if conflict => {
+                            // A contingent commit: effects join the window
+                            // (and its conflict mask), the ack waits.
+                            spec.stack.push_commit(u);
+                            spec.written_tables |= out.wrote_tables;
+                            deferred.push((reply, out.reply));
                         }
-                        Ok(FragCmd::Exec { .. }) => {
-                            // The coordinator treats a batch that re-targets
-                            // a released partition as a mispredict before
-                            // shipping anything: protocol violation.
-                            let _ = spec.results.send(FragReply::Fatal(Error::Other(
-                                "fragment shipped to an early-prepared partition".into(),
-                            )));
-                        }
-                        Err(TryRecvError::Empty) => break,
-                        Err(TryRecvError::Disconnected) => break 'window None,
+                        None if conflict => deferred.push((reply, out.reply)),
+                        // Non-conflicting (commit, user abort, or
+                        // mispredict): acknowledge with the group, effects
+                        // (if any) are final.
+                        Some(_) | None => acks.push((reply, out.reply)),
                     }
                 }
+                WorkerMsg::Reserve(r) => pending.push_back(r),
+                WorkerMsg::Shutdown => shutdown = true,
             }
+        }
+        // Speculative commits must be durable before *any* acknowledgement
+        // tied to them leaves — flush the group first, then release the
+        // non-conflicting acks (deferred ones wait for the outcome, which
+        // arrives strictly later).
+        if group_wrote {
+            flush(env.commit_flush);
+        }
+        for (tx, reply) in acks {
+            let _ = tx.send(reply);
+        }
+        if let Some(commit) = finish {
+            break 'window Some(commit);
         }
     };
     if outcome == Some(true) {
@@ -893,6 +1083,29 @@ enum Attempt<S> {
     Fatal(Error),
 }
 
+/// Client-side Fig. 11 stage accumulator for one [`Client::call`]: folded
+/// into `RunMetrics::profile` once the call resolves, with the residual
+/// against total wall time reported as `Other`.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageAcc {
+    est_us: f64,
+    exec_us: f64,
+    coord_us: f64,
+    queue_us: f64,
+}
+
+impl StageAcc {
+    /// Folds one fast-path round trip: the stages the worker measured,
+    /// plus the round trip's unexplained remainder (channel hops, waiting
+    /// for the group flush and groupmates) as coordination.
+    fn fold_reply(&mut self, times: StageTimes, round_trip_us: f64) {
+        self.queue_us += times.queued_us;
+        self.est_us += times.est_us;
+        self.exec_us += times.exec_us;
+        self.coord_us += (round_trip_us - times.queued_us - times.est_us - times.exec_us).max(0.0);
+    }
+}
+
 /// Records one lock-hold sample (acquisition → now) for every partition
 /// still held in `lock_set` minus `released`.
 fn record_remaining_hold(
@@ -917,6 +1130,7 @@ fn run_distributed<A: LiveAdvisor>(
     plan: &TxnPlan,
     mut session: A::Session,
     metrics: &mut RunMetrics,
+    acc: &mut StageAcc,
 ) -> Attempt<A::Session> {
     let workers = &env.workers;
     let lock_set = plan.lock_set;
@@ -924,7 +1138,9 @@ fn run_distributed<A: LiveAdvisor>(
     // unwind, so a panicking coordinator cannot wedge later transactions.
     // Declared before the fragment channels so an unwind closes those first
     // (parked workers roll back their fragments) and releases locks last.
+    let t_acquire = Instant::now();
     let mut locks_held = env.locks.guard(lock_set);
+    acc.coord_us += us_since(t_acquire);
     let t_locked = Instant::now();
     // Early-released partitions: `released` is the union the mispredict
     // rule and metrics see; `windowed` is the subset whose fragment wrote
@@ -951,9 +1167,13 @@ fn run_distributed<A: LiveAdvisor>(
             .send(WorkerMsg::Reserve(Reserve { frags: frx, results: rtx }))
             .is_err()
         {
+            // Locks were already acquired: this release path records hold
+            // time like every other (the guard drop does the release).
+            record_remaining_hold(metrics, lock_set, released, t_locked);
             return Attempt::Fatal(Error::Other(format!("worker {p} is gone")));
         }
     }
+    acc.coord_us += us_since(t_locked);
     // Sends the 2PC outcome everywhere and waits for every ack; every call
     // site returns immediately afterwards, so the lock guard releases only
     // after all fragment effects are durable (commit) or undone (abort).
@@ -969,23 +1189,17 @@ fn run_distributed<A: LiveAdvisor>(
                       commit: bool|
      -> Result<()> {
         let mut failure = None;
-        // Commit prepare round (§2): every participant that was not
-        // early-prepared must flush and vote before the decision; early
-        // prepares already voted, unsolicited, off the critical path —
-        // this round is exactly the lock-hold time OP4 removes.
-        if commit {
-            for p in lock_set.difference(released).iter() {
-                let _ = frag_tx[p as usize].as_ref().expect("reserved").send(FragCmd::Vote);
-            }
-            for p in lock_set.difference(released).iter() {
-                match res_rx[p as usize].as_ref().expect("reserved").recv() {
-                    Ok(FragReply::Voted) => {}
-                    Ok(FragReply::Fatal(e)) => failure = Some(e),
-                    Ok(_) => failure = Some(Error::Other("vote protocol violation".into())),
-                    Err(_) => failure = Some(Error::Other(format!("worker {p} hung up"))),
-                }
-            }
-        }
+        // Coalesced 2PC (§2): each still-reserved participant gets one
+        // `VoteFinish` carrying the flush-and-vote *and* the decision —
+        // the split Vote round bought no information (participants always
+        // vote yes; fragment errors surfaced at execution), only an extra
+        // message round of lock-hold time per participant. Early prepares
+        // already voted, unsolicited, off the critical path; windowed
+        // participants take the outcome on their worker's main queue (the
+        // speculating worker blocks there); read-only released
+        // participants hear nothing (they are already out). All sends go
+        // out before any acknowledgement is awaited, so participant-side
+        // flushes and modeled delays overlap in wall-clock time.
         for p in lock_set.iter() {
             if windowed.contains(p) {
                 let _ = workers[p as usize].send(WorkerMsg::SpecFinish { commit });
@@ -993,7 +1207,7 @@ fn run_distributed<A: LiveAdvisor>(
                 let _ = frag_tx[p as usize]
                     .as_ref()
                     .expect("reserved")
-                    .send(FragCmd::Finish { commit });
+                    .send(FragCmd::VoteFinish { commit });
             }
         }
         for p in lock_set.difference(released).union(windowed).iter() {
@@ -1016,12 +1230,17 @@ fn run_distributed<A: LiveAdvisor>(
     let mut access_counts: FxHashMap<PartitionId, u32> = FxHashMap::default();
     let mut pending_abort: Option<String> = None;
     loop {
+        // Control code runs here on the coordinator: Execution time.
+        let t_step = Instant::now();
         let step = match pending_abort.take() {
             Some(msg) => Step::Abort(msg),
             None => inst.next(results.as_deref()),
         };
+        acc.exec_us += us_since(t_step);
         match step {
             Step::Queries(batch) => {
+                let t_batch = Instant::now();
+                let mut batch_est_us = 0.0f64;
                 let mut seen = PartitionSet::EMPTY;
                 let mut violation = false;
                 for inv in &batch {
@@ -1037,7 +1256,9 @@ fn run_distributed<A: LiveAdvisor>(
                     }
                 }
                 if violation {
+                    let t_fin = Instant::now();
                     let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
+                    acc.coord_us += us_since(t_fin);
                     record_remaining_hold(metrics, lock_set, released, t_locked);
                     return match fin {
                         Ok(()) => Attempt::Mispredict { observed: accessed.union(seen), session },
@@ -1068,14 +1289,16 @@ fn run_distributed<A: LiveAdvisor>(
                             Ok(FragReply::Rows(mut r)) => rows.append(&mut r),
                             Ok(FragReply::Constraint(msg)) => constraint = Some(msg),
                             Ok(FragReply::Fatal(e)) => fatal = Some(e),
-                            Ok(FragReply::Finished | FragReply::Voted) => {
+                            Ok(FragReply::Finished) => {
                                 fatal = Some(Error::Other("fragment protocol violation".into()));
                             }
                             Err(_) => fatal = Some(Error::Other(format!("worker {p} hung up"))),
                         }
                     }
                     if let Some(e) = fatal {
+                        let t_fin = Instant::now();
                         let _ = finish_all(&frag_tx, &res_rx, released, windowed, false);
+                        acc.coord_us += us_since(t_fin);
                         record_remaining_hold(metrics, lock_set, released, t_locked);
                         return Attempt::Fatal(e);
                     }
@@ -1093,6 +1316,7 @@ fn run_distributed<A: LiveAdvisor>(
                     // Runtime updates: OP3 is ignored on the distributed
                     // path (undo stays on), but OP4 finish declarations
                     // accumulate for the end-of-batch early prepare.
+                    let t_est = Instant::now();
                     let upd = env.advisor.on_query_live(
                         &mut session,
                         &ExecutedQuery {
@@ -1102,6 +1326,7 @@ fn run_distributed<A: LiveAdvisor>(
                             is_write,
                         },
                     );
+                    batch_est_us += us_since(t_est);
                     if plan.early_prepare {
                         pending_release = pending_release.union(upd.finished);
                     }
@@ -1133,6 +1358,11 @@ fn run_distributed<A: LiveAdvisor>(
                         .send(FragCmd::Prepare { speculate })
                         .is_err()
                     {
+                        // The guard drop releases everything still held —
+                        // record the hold time for those partitions like
+                        // every other release path (this partition's slot
+                        // is still held too: `released` not yet updated).
+                        record_remaining_hold(metrics, lock_set, released, t_locked);
                         return Attempt::Fatal(Error::Other(format!("worker {p} is gone")));
                     }
                     released.insert(p);
@@ -1143,9 +1373,17 @@ fn run_distributed<A: LiveAdvisor>(
                     locks_held.release_early(p);
                 }
                 results = Some(batch_results);
+                // Everything in this arm except the advisor calls —
+                // fragment shipping, participant execution, reply
+                // collection, early-prepare sends — counts as Execution;
+                // the advisor share is Estimation.
+                acc.est_us += batch_est_us;
+                acc.exec_us += (us_since(t_batch) - batch_est_us).max(0.0);
             }
             Step::Commit => {
+                let t_fin = Instant::now();
                 let fin = finish_all(&frag_tx, &res_rx, released, windowed, true);
+                acc.coord_us += us_since(t_fin);
                 record_remaining_hold(metrics, lock_set, released, t_locked);
                 return match fin {
                     Ok(()) => Attempt::Done {
@@ -1161,7 +1399,9 @@ fn run_distributed<A: LiveAdvisor>(
                 };
             }
             Step::Abort(_) => {
+                let t_fin = Instant::now();
                 let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
+                acc.coord_us += us_since(t_fin);
                 record_remaining_hold(metrics, lock_set, released, t_locked);
                 return match fin {
                     Ok(()) => Attempt::Done {
@@ -1249,7 +1489,9 @@ impl<A: LiveAdvisor + 'static> Client<A> {
             random_local_partition: self.rng.gen_range(0..env.num_partitions),
         };
         let t0 = Instant::now();
+        let mut acc = StageAcc::default();
         let (mut plan, mut session) = env.advisor.plan_live(&req, &ctx);
+        acc.est_us += us_since(t0);
         let mut attempt = 0u32;
         let mut cascades = 0u32;
         let mut last_observed = PartitionSet::EMPTY;
@@ -1263,12 +1505,14 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                 // disconnects the channel and the recv below turns into a
                 // clean error instead of blocking forever.
                 let (reply_tx, reply_rx) = channel();
+                let t_send = Instant::now();
                 if env.workers[base]
                     .send(WorkerMsg::Single {
                         req: req.clone(),
                         plan: plan.clone(),
                         session,
                         reply: reply_tx,
+                        enqueued: t_send,
                     })
                     .is_err()
                 {
@@ -1282,24 +1526,31 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                         access_counts,
                         undo_disabled_ever,
                         speculative,
-                    }) => Attempt::Done {
-                        committed,
-                        accessed,
-                        access_counts,
-                        undo_disabled_ever,
-                        speculative,
-                        early_released: false,
-                        session,
-                    },
-                    Ok(SingleReply::Mispredict { observed, session }) => {
+                        times,
+                    }) => {
+                        acc.fold_reply(times, us_since(t_send));
+                        Attempt::Done {
+                            committed,
+                            accessed,
+                            access_counts,
+                            undo_disabled_ever,
+                            speculative,
+                            early_released: false,
+                            session,
+                        }
+                    }
+                    Ok(SingleReply::Mispredict { observed, session, times }) => {
+                        acc.fold_reply(times, us_since(t_send));
                         Attempt::Mispredict { observed, session }
                     }
+                    // A cascaded attempt's worker time was discarded with
+                    // its effects; it lands in the call's Other residual.
                     Ok(SingleReply::Cascaded) => Attempt::Cascaded,
                     Ok(SingleReply::Fatal(e)) => Attempt::Fatal(e),
                     Err(_) => Attempt::Fatal(Error::Other(format!("worker {base} hung up"))),
                 }
             } else {
-                run_distributed(env, &req, &plan, session, &mut metrics)
+                run_distributed(env, &req, &plan, session, &mut metrics, &mut acc)
             };
             match outcome {
                 Attempt::Done {
@@ -1363,7 +1614,9 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                         // one feedback path and intern phantom states.
                         let record = env.advisor.on_end_live(s, TxnOutcome::Mispredicted);
                         emit_feedback(&mut metrics, fb_tx, record);
+                        let t_est = Instant::now();
                         let (_, ns) = env.advisor.replan_live(&req, observed, attempt, &ctx);
+                        acc.est_us += us_since(t_est);
                         plan = TxnPlan::lock_all(
                             observed.first().unwrap_or(plan.base_partition),
                             env.num_partitions,
@@ -1375,7 +1628,9 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                         // same way, §4.5) before the replan replaces it.
                         let record = env.advisor.on_end_live(s, TxnOutcome::Mispredicted);
                         emit_feedback(&mut metrics, fb_tx, record);
+                        let t_est = Instant::now();
                         let (p, ns) = env.advisor.replan_live(&req, observed, attempt, &ctx);
+                        acc.est_us += us_since(t_est);
                         plan = p;
                         session = ns;
                     }
@@ -1390,6 +1645,7 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                     // plan — target validation catches any mispredict.
                     metrics.cascaded_aborts += 1;
                     cascades += 1;
+                    let t_est = Instant::now();
                     let (p, ns) = if cascades > MAX_CASCADE_RETRIES {
                         // Liveness backstop: a hot partition whose windows
                         // keep aborting could cascade the same transaction
@@ -1403,6 +1659,7 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                     } else {
                         env.advisor.replan_live(&req, last_observed, attempt, &ctx)
                     };
+                    acc.est_us += us_since(t_est);
                     plan = p;
                     session = ns;
                 }
@@ -1411,6 +1668,18 @@ impl<A: LiveAdvisor + 'static> Client<A> {
         };
         // Fold this transaction's partial into the run-wide counters even
         // on an error path: restarts and cascades that happened are real.
+        // Per-stage attribution (Fig. 11): whatever the staged accumulators
+        // didn't claim of the call's wall time — cascaded attempts, channel
+        // hops outside a timed region, fatal-path teardown — is `Other`.
+        let total_us = us_since(t0);
+        let p = &mut metrics.profile;
+        p.add(proc, Bucket::Estimation, acc.est_us);
+        p.add(proc, Bucket::Execution, acc.exec_us);
+        p.add(proc, Bucket::Coordination, acc.coord_us);
+        p.add(proc, Bucket::Queueing, acc.queue_us);
+        let known = acc.est_us + acc.exec_us + acc.coord_us + acc.queue_us;
+        p.add(proc, Bucket::Other, (total_us - known).max(0.0));
+        p.finish_txn(proc);
         env.metrics.lock().expect("metrics poisoned").absorb(&metrics);
         result
     }
@@ -1484,7 +1753,7 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
             cfg,
             num_partitions,
             workers: worker_tx,
-            locks: LockManager::new(),
+            locks: LockManager::new(num_partitions),
             metrics: Mutex::new(RunMetrics::default()),
             fb_tx,
             next_client: AtomicU64::new(0),
@@ -1595,6 +1864,12 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
                 Err(p) => thread_panic = Some(p),
             }
         }
+        // Pin the measurement window at drain completion: every accepted
+        // transaction has finished once the workers join. Charging the
+        // maintenance join below (which can lag far behind on a deep
+        // feedback backlog) to `window_us` would deflate `throughput_tps`
+        // for work that finished long before.
+        let window_us = self.shared.started.elapsed().as_secs_f64() * 1e6;
         let maint_report = running.maintenance.and_then(|h| {
             // The explicit Stop ends the maintenance thread even while
             // Client handles (each holding the channel open through
@@ -1623,7 +1898,7 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
         if let Some(report) = maint_report {
             metrics.absorb_maintenance(&report);
         }
-        metrics.window_us = self.shared.started.elapsed().as_secs_f64() * 1e6;
+        metrics.window_us = window_us;
         Some((metrics, shards))
     }
 }
@@ -1839,7 +2114,7 @@ mod tests {
             commit_flush: Duration::ZERO,
             msg_delay: Duration::ZERO,
             workers: Vec::new(),
-            locks: LockManager::new(),
+            locks: LockManager::new(2),
             metrics: Mutex::new(RunMetrics::default()),
             fb_tx: None,
             next_client: AtomicU64::new(0),
@@ -1884,6 +2159,7 @@ mod tests {
                 plan,
                 session: (),
                 reply: srtx,
+                enqueued: Instant::now(),
             })
             .unwrap();
             // Outcome delivery: commits take the pushed main-queue route
@@ -1893,7 +2169,7 @@ mod tests {
                 if commit {
                     tx.send(WorkerMsg::SpecFinish { commit }).unwrap();
                 } else {
-                    ftx.send(FragCmd::Finish { commit }).unwrap();
+                    ftx.send(FragCmd::VoteFinish { commit }).unwrap();
                 }
             };
             let reply = if expect_deferred {
@@ -1987,7 +2263,7 @@ mod tests {
 
     #[test]
     fn lock_guard_release_early_frees_the_slot() {
-        let mgr = LockManager::new();
+        let mgr = LockManager::new(2);
         let mut guard = mgr.guard(PartitionSet::from_iter([0u32, 1]));
         guard.release_early(0);
         // Partition 0 is grantable again while 1 stays held.
@@ -2036,5 +2312,340 @@ mod tests {
             m.throughput_tps(),
             serialized
         );
+    }
+
+    /// Runs one worker over the same six-message sequence — three bump
+    /// singles, a reservation whose fragment reads the bumped row, then two
+    /// more singles — and returns (reply shapes in send order, the row
+    /// value the fragment observed, final table snapshot). With `batched`
+    /// every message (and the reservation's whole fragment script) is
+    /// queued before the worker thread starts, so the sequence is served
+    /// out of backlog drains: one group flush and group ack ahead of the
+    /// reservation, another behind it. Without it each message waits for
+    /// its reply before the next is sent — the one-message-at-a-time
+    /// schedule batching must be indistinguishable from.
+    #[allow(clippy::type_complexity)]
+    fn drive_batched_drain(batched: bool) -> (Vec<(bool, bool)>, i64, Vec<(Vec<Value>, Row)>) {
+        let reg = kv_registry();
+        let catalog = reg.catalog();
+        let env = Shared {
+            catalog,
+            registry: reg,
+            advisor: AssumeSinglePartition::new(),
+            cfg: LiveConfig::default(),
+            num_partitions: 1,
+            commit_flush: Duration::from_micros(100),
+            msg_delay: Duration::ZERO,
+            workers: Vec::new(),
+            locks: LockManager::new(1),
+            metrics: Mutex::new(RunMetrics::default()),
+            fb_tx: None,
+            next_client: AtomicU64::new(0),
+            started: Instant::now(),
+        };
+        let mut shards = kv_database(1, 8).into_shards();
+        let shard = shards.pop().unwrap();
+        let single_plan = TxnPlan {
+            base_partition: 0,
+            lock_set: PartitionSet::single(0),
+            disable_undo: false,
+            early_prepare: false,
+            estimate_cost_us: 0.0,
+        };
+        let mk_single = |reply| WorkerMsg::Single {
+            req: Request { proc: 0, args: vec![Value::Array(vec![Value::Int(0)])], origin_node: 0 },
+            plan: single_plan.clone(),
+            session: (),
+            reply,
+            enqueued: Instant::now(),
+        };
+        let mut observed = 0i64;
+        let mut replies = Vec::new();
+        let shard = std::thread::scope(|s| {
+            let env = &env;
+            let (tx, rx) = channel::<WorkerMsg<()>>();
+            let (ftx, frx) = channel();
+            let (rtx, rrx) = channel();
+            let exec = FragCmd::Exec { proc: 0, query: 0, params: vec![Value::Int(0)] };
+            let done_shape = |reply| match reply {
+                SingleReply::Done { committed, speculative, .. } => (committed, speculative),
+                _ => panic!("expected Done"),
+            };
+            if batched {
+                let mut reply_rx = Vec::new();
+                for _ in 0..3 {
+                    let (srtx, srrx) = channel();
+                    tx.send(mk_single(srtx)).unwrap();
+                    reply_rx.push(srrx);
+                }
+                tx.send(WorkerMsg::Reserve(Reserve { frags: frx, results: rtx })).unwrap();
+                ftx.send(exec).unwrap();
+                ftx.send(FragCmd::VoteFinish { commit: true }).unwrap();
+                for _ in 0..2 {
+                    let (srtx, srrx) = channel();
+                    tx.send(mk_single(srtx)).unwrap();
+                    reply_rx.push(srrx);
+                }
+                tx.send(WorkerMsg::Shutdown).unwrap();
+                // Everything above is already buffered: the worker's first
+                // blocking recv plus its try_recv drain picks the whole
+                // sequence up as one backlog.
+                let h = s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &rx, env));
+                match rrx.recv().unwrap() {
+                    FragReply::Rows(rows) => observed = rows[0][2].expect_int(),
+                    _ => panic!("expected rows"),
+                }
+                assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
+                for srx in &reply_rx {
+                    replies.push(done_shape(srx.recv().unwrap()));
+                }
+                h.join().unwrap()
+            } else {
+                let h = s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &rx, env));
+                let serve_single = || {
+                    let (srtx, srrx) = channel();
+                    tx.send(mk_single(srtx)).unwrap();
+                    done_shape(srrx.recv().unwrap())
+                };
+                for _ in 0..3 {
+                    replies.push(serve_single());
+                }
+                tx.send(WorkerMsg::Reserve(Reserve { frags: frx, results: rtx })).unwrap();
+                ftx.send(exec).unwrap();
+                match rrx.recv().unwrap() {
+                    FragReply::Rows(rows) => observed = rows[0][2].expect_int(),
+                    _ => panic!("expected rows"),
+                }
+                ftx.send(FragCmd::VoteFinish { commit: true }).unwrap();
+                assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
+                for _ in 0..2 {
+                    replies.push(serve_single());
+                }
+                tx.send(WorkerMsg::Shutdown).unwrap();
+                h.join().unwrap()
+            }
+        });
+        (replies, observed, table_snapshot(&shard, 0))
+    }
+
+    #[test]
+    fn batched_drain_matches_one_at_a_time() {
+        let (batched, b_obs, b_state) = drive_batched_drain(true);
+        let (serial, s_obs, s_state) = drive_batched_drain(false);
+        assert_eq!(batched, serial, "per-client replies must match in order and content");
+        // The reservation closed the group: all three prior bumps were
+        // committed, flushed, and acknowledged before the fragment ran.
+        assert_eq!(b_obs, 3, "reservation must observe every earlier queued commit");
+        assert_eq!(s_obs, 3);
+        assert_eq!(b_state, s_state, "final shard state must be byte-identical");
+        let id0 = b_state.iter().find(|(k, _)| k[0] == Value::Int(0)).unwrap();
+        assert_eq!(id0.1[2], Value::Int(5), "all five bumps are durable");
+    }
+
+    #[test]
+    fn disjoint_lock_sets_do_not_serialize() {
+        let mgr = LockManager::new(4);
+        mgr.acquire(PartitionSet::from_iter([0u32, 1]));
+        // A disjoint set is grantable while {0,1} is held — the sharded
+        // manager must not serialize them on one mutex.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                mgr.acquire(PartitionSet::from_iter([2u32, 3]));
+                mgr.release(PartitionSet::from_iter([2u32, 3]));
+            })
+            .join()
+            .expect("disjoint shards must not serialize");
+        });
+        // An overlapping set still excludes until the holder releases.
+        let (tx, rx) = channel();
+        std::thread::scope(|s| {
+            let mgr = &mgr;
+            s.spawn(move || {
+                mgr.acquire(PartitionSet::from_iter([1u32, 2]));
+                tx.send(()).unwrap();
+                mgr.release(PartitionSet::from_iter([1u32, 2]));
+            });
+            assert!(
+                rx.recv_timeout(Duration::from_millis(100)).is_err(),
+                "overlapping set acquired while partition 1 was held"
+            );
+            mgr.release(PartitionSet::from_iter([0u32, 1]));
+            rx.recv_timeout(Duration::from_secs(30)).expect("blocked acquirer must wake");
+        });
+    }
+
+    /// Plans `{0, 1}` for every request regardless of its true target, so
+    /// work on partition 2 mispredicts on every attempt until the forced
+    /// lock-all fallback.
+    struct WrongLockSet;
+
+    impl LiveAdvisor for WrongLockSet {
+        type Session = ();
+
+        fn name(&self) -> &str {
+            "wrong-lock-set"
+        }
+
+        fn plan_live(&self, _req: &Request, _ctx: &PlanContext<'_>) -> (TxnPlan, ()) {
+            (
+                TxnPlan {
+                    base_partition: 0,
+                    lock_set: PartitionSet::from_iter([0u32, 1]),
+                    disable_undo: false,
+                    early_prepare: false,
+                    estimate_cost_us: 0.0,
+                },
+                (),
+            )
+        }
+
+        fn replan_live(
+            &self,
+            req: &Request,
+            _observed: PartitionSet,
+            _attempt: u32,
+            ctx: &PlanContext<'_>,
+        ) -> (TxnPlan, ()) {
+            self.plan_live(req, ctx)
+        }
+    }
+
+    #[test]
+    fn lock_hold_recorded_on_mispredict_and_commit_releases() {
+        // MultiGet over id 2 (partition 2 of 4) under a {0,1} plan: three
+        // mispredicted attempts (max_restarts = 2) each release two held
+        // partitions without reaching a commit, then the lock-all fallback
+        // commits holding four. Before the fix only the commit path
+        // recorded, so exactly the contended attempts went missing.
+        let rt = LiveRuntime::start(
+            kv_database(4, 8),
+            kv_registry(),
+            WrongLockSet,
+            LiveConfig::default(),
+        );
+        let mut client = rt.client();
+        let outcome = client.call(0, vec![Value::Array(vec![Value::Int(2)])]).unwrap();
+        assert!(matches!(outcome, TxnOutcome::Committed));
+        let (m, _) = rt.shutdown();
+        assert_eq!(m.restarts, 3);
+        assert_eq!(
+            m.lock_hold.count(),
+            3 * 2 + 4,
+            "every release path must record one sample per held partition"
+        );
+    }
+
+    /// Single-partition advisor whose maintainer sleeps per record,
+    /// building a feedback backlog that drains long after the workers
+    /// finish.
+    struct SlowMaintained;
+
+    impl LiveAdvisor for SlowMaintained {
+        type Session = ();
+
+        fn name(&self) -> &str {
+            "slow-maintained"
+        }
+
+        fn plan_live(&self, _req: &Request, ctx: &PlanContext<'_>) -> (TxnPlan, ()) {
+            (TxnPlan::single(ctx.random_local_partition), ())
+        }
+
+        fn replan_live(
+            &self,
+            _req: &Request,
+            _observed: PartitionSet,
+            _attempt: u32,
+            ctx: &PlanContext<'_>,
+        ) -> (TxnPlan, ()) {
+            (TxnPlan::lock_all(ctx.random_local_partition, ctx.num_partitions), ())
+        }
+
+        fn on_end_live(&self, _session: (), _outcome: TxnOutcome) -> Option<TxnFeedback> {
+            Some(TxnFeedback {
+                proc: 0,
+                model: 0,
+                epoch: 0,
+                path: Vec::new(),
+                terminal: Some(true),
+                deviated: false,
+                predicted: PartitionSet::single(0),
+            })
+        }
+
+        fn maintainer(&self) -> Option<Box<dyn LiveMaintainer + '_>> {
+            Some(Box::new(SleepyMaintainer { seen: 0 }))
+        }
+    }
+
+    struct SleepyMaintainer {
+        seen: u64,
+    }
+
+    impl LiveMaintainer for SleepyMaintainer {
+        fn absorb(&mut self, _fb: TxnFeedback) {
+            self.seen += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        fn report(&self) -> MaintenanceReport {
+            MaintenanceReport { feedback_records: self.seen, ..Default::default() }
+        }
+    }
+
+    #[test]
+    fn window_pins_at_drain_completion_not_maintenance_join() {
+        let rt = LiveRuntime::start(
+            kv_database(1, 8),
+            kv_registry(),
+            SlowMaintained,
+            LiveConfig::default(),
+        );
+        let mut client = rt.client();
+        for _ in 0..100 {
+            client.call(0, vec![Value::Array(vec![Value::Int(0)])]).unwrap();
+        }
+        let mid = rt.metrics();
+        let t_shutdown = Instant::now();
+        let (fin, _) = rt.shutdown();
+        let shutdown_ms = t_shutdown.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(fin.feedback_records + fin.feedback_dropped, 100);
+        assert!(
+            shutdown_ms >= 50.0,
+            "expected a maintenance backlog to drain; took {shutdown_ms:.1} ms"
+        );
+        // The final window must exclude the maintenance drain: it may
+        // exceed the mid-run snapshot only by the (fast) worker join.
+        assert!(
+            fin.window_us <= mid.window_us + 50_000.0,
+            "teardown leaked into the window: final {} µs vs mid {} µs",
+            fin.window_us,
+            mid.window_us
+        );
+        // Closed-loop throughput stays consistent across the snapshots
+        // (same committed count, near-identical window).
+        assert!(
+            fin.throughput_tps() >= mid.throughput_tps() * 0.5,
+            "final tps {:.0} collapsed vs mid-run tps {:.0}",
+            fin.throughput_tps(),
+            mid.throughput_tps()
+        );
+    }
+
+    #[test]
+    fn live_profile_attributes_every_resolved_call() {
+        let cfg = LiveConfig { requests_per_client: 40, ..Default::default() };
+        let (m, _) = live_run(AssumeSinglePartition::new(), 2, 4, &cfg);
+        let total = m.committed + m.user_aborts;
+        assert_eq!(m.profile.total_txns(), total, "one profile record per resolved call");
+        assert!(m.profile.grand_total_us() > 0.0);
+        assert!(m.profile.overall_share(Bucket::Execution) > 0.0);
+        assert_eq!(m.profile.overall_share(Bucket::Planning), 0.0, "live runtime never plans");
+        assert!(
+            m.profile.overall_share(Bucket::Coordination) > 0.0,
+            "spread-2 work must coordinate"
+        );
+        let sum: f64 = Bucket::ALL.iter().map(|&b| m.profile.overall_share(b)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
     }
 }
