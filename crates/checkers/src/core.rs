@@ -1,0 +1,1151 @@
+//! The model-checking core: a cooperative scheduler over real OS threads
+//! plus a DFS explorer that enumerates every scheduling decision.
+//!
+//! # How a check runs
+//!
+//! [`check`]/[`explore`] re-run the user's *scenario* closure once per
+//! schedule. Each run spawns the model threads as real OS threads, but only
+//! one of them executes at a time: every operation on a
+//! [`crate::sync`] primitive parks the thread and hands control to the
+//! controller, which asks the [`Explorer`] which thread runs next. The
+//! explorer replays a prescribed prefix of decisions and takes the first
+//! untried branch at the end, i.e. a depth-first search over the schedule
+//! tree. A bounded-preemption cap (see [`Options::preemption_bound`]) keeps
+//! the tree tractable: beyond the budget, the currently running thread keeps
+//! running until it blocks.
+//!
+//! # Weak memory
+//!
+//! Atomics are modeled with vector clocks and a per-atomic store history: a
+//! load may observe *any* store that is not superseded by a
+//! happens-before-later store, and the choice of which store to observe is
+//! itself a decision point. `Release` stores carry the writer's clock;
+//! `Acquire` loads that observe them join it (synchronizes-with). `SeqCst`
+//! is treated as `AcqRel` — the checker can therefore miss bugs that only a
+//! total SC order would catch, but never reports a false positive for them.
+//!
+//! # Failure reporting
+//!
+//! A panic in a model thread, a deadlock (every live thread blocked), or a
+//! stuck run surfaces as an [`Outcome::Failed`] carrying a [`Trace`]: the
+//! exact decision vector plus human-readable step labels. Feeding the
+//! decision vector back through [`replay`] deterministically reproduces the
+//! failing schedule.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Hard cap on model threads per scenario (vector clocks are fixed-width).
+pub const MAX_THREADS: usize = 8;
+
+/// Sentinel tid for the controller (scenario setup + `Model::after`).
+const CONTROLLER: usize = usize::MAX;
+
+/// Wall-clock watchdog: if no model thread reaches a schedule point for this
+/// long, the run is declared stuck (e.g. a model thread spinning in a loop
+/// with no sync operations).
+const STUCK_SECS: u64 = 30;
+
+// ---------------------------------------------------------------------------
+// Options / Report / Outcome
+// ---------------------------------------------------------------------------
+
+/// Exploration bounds.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Maximum number of *preemptions* (switching away from a thread that
+    /// could have kept running) per schedule. `None` = unbounded, i.e. a
+    /// fully exhaustive search. Most real concurrency bugs manifest within
+    /// 2 preemptions (the CHESS observation), so the default is `Some(2)`.
+    pub preemption_bound: Option<u32>,
+    /// Abort the search after this many schedules. Hitting the cap is
+    /// reported as [`Outcome::Capped`] — and is a *failure* for
+    /// [`check`], because it means the stated bounds were not actually
+    /// verified.
+    pub max_schedules: u64,
+    /// Abort a single schedule after this many scheduling decisions
+    /// (guards against models that livelock under a legal schedule).
+    pub max_steps: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { preemption_bound: Some(2), max_schedules: 1_000_000, max_steps: 10_000 }
+    }
+}
+
+/// What a finished exploration found.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Every schedule within bounds ran to completion without failure.
+    Pass,
+    /// A schedule failed; the trace pins it for replay.
+    Failed(Failure),
+    /// `max_schedules` was reached before the space was exhausted.
+    Capped,
+}
+
+/// Why a schedule failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure in the model).
+    Panic,
+    /// Every live thread was blocked: classic deadlock or a lost wakeup.
+    Deadlock,
+    /// The run exceeded `max_steps`, or a thread stopped reaching schedule
+    /// points entirely (non-cooperative spin).
+    Stuck,
+}
+
+/// A failing schedule: kind, message, and the replayable trace.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Panic payload, deadlock description, or stuck diagnosis.
+    pub message: String,
+    pub trace: Trace,
+}
+
+/// A replayable schedule: the raw decision vector plus one label per
+/// decision describing what was picked.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Index picked at each decision point; feed back into [`replay`].
+    pub picks: Vec<usize>,
+    /// Human-readable label per decision, e.g. `t1:lock(m0) [1/2]`.
+    pub steps: Vec<String>,
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule picks: {:?}", self.picks)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  #{i:<3} {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exploration statistics and verdict.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules fully executed (including the failing one, if any).
+    pub schedules: u64,
+    /// Deepest decision vector seen across all schedules.
+    pub max_depth: usize,
+    /// Total wall-clock time of the exploration.
+    pub wall: Duration,
+    pub outcome: Outcome,
+}
+
+impl Report {
+    /// True iff the whole bounded space was explored without failure.
+    pub fn passed(&self) -> bool {
+        matches!(self.outcome, Outcome::Pass)
+    }
+
+    /// The failure, if the outcome is `Failed`.
+    pub fn failure(&self) -> Option<&Failure> {
+        match &self.outcome {
+            Outcome::Failed(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = match &self.outcome {
+            Outcome::Pass => "pass".to_string(),
+            Outcome::Capped => "CAPPED (bounds not verified)".to_string(),
+            Outcome::Failed(fail) => format!("FAILED ({:?}): {}", fail.kind, fail.message),
+        };
+        write!(
+            f,
+            "{} schedules, max depth {}, {:.3}s: {}",
+            self.schedules,
+            self.max_depth,
+            self.wall.as_secs_f64(),
+            verdict
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model (scenario builder)
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Handed to the scenario closure each schedule; collects the model threads
+/// and an optional post-condition.
+#[derive(Default)]
+pub struct Model {
+    threads: Vec<Job>,
+    after: Option<Box<dyn FnOnce()>>,
+}
+
+impl Model {
+    /// Register a model thread. Threads are numbered `t0, t1, …` in
+    /// registration order (the numbers appear in traces).
+    pub fn thread(&mut self, f: impl FnOnce() + Send + 'static) {
+        assert!(self.threads.len() < MAX_THREADS, "at most {MAX_THREADS} model threads");
+        self.threads.push(Box::new(f));
+    }
+
+    /// Register a post-condition run by the controller after every thread
+    /// has finished. Sync operations inside it execute eagerly (the model
+    /// is quiescent, so there is nothing left to interleave with); a panic
+    /// here fails the schedule like any model-thread panic.
+    pub fn after(&mut self, f: impl FnOnce() + 'static) {
+        self.after = Some(Box::new(f));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks & atomic store history
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+/// One store in an atomic's modification order.
+#[derive(Clone, Debug)]
+struct StoreEv {
+    val: u64,
+    /// Writer thread and its clock component at the store — used for the
+    /// happens-before visibility test (`reader.clock[tid] >= seq` means the
+    /// store happens-before the reader, hiding all earlier stores).
+    tid: usize,
+    seq: u32,
+    /// `Some(clock)` iff the store had release semantics: acquire loads
+    /// that observe it join this clock (synchronizes-with).
+    sync: Option<VClock>,
+}
+
+#[derive(Debug)]
+struct AtomicState {
+    stores: Vec<StoreEv>,
+    /// Per-thread index of the newest store this thread has observed
+    /// (coherence: a thread never reads older than what it has seen).
+    last_seen: [usize; MAX_THREADS],
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+/// What a parked thread is waiting to do. Determines enabledness.
+#[derive(Clone, Debug)]
+enum OpKind {
+    /// Initial park before the thread body runs.
+    Start,
+    Yield,
+    Lock(usize),
+    Unlock(usize),
+    /// First phase of `Condvar::wait`: atomically release the mutex and
+    /// become a waiter. Always enabled (the thread holds the mutex).
+    CvWait {
+        cv: usize,
+        mutex: usize,
+    },
+    /// Second phase: waiting for a notify. Never enabled — only a notify
+    /// moves the thread to `CvReacquire`. A run where every live thread
+    /// sits here is a lost wakeup, reported as deadlock.
+    CvBlocked {
+        cv: usize,
+        mutex: usize,
+    },
+    /// Notified; waiting to reacquire the mutex. Enabled iff mutex free.
+    CvReacquire {
+        mutex: usize,
+    },
+    Notify {
+        cv: usize,
+        all: bool,
+    },
+    /// Any atomic load/store/RMW (the concrete effect runs after grant).
+    Atomic {
+        desc: &'static str,
+        obj: usize,
+    },
+    /// A pure nondeterministic branch (e.g. `recv_timeout` firing).
+    Choice {
+        desc: &'static str,
+    },
+    Finished,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Start => write!(f, "start"),
+            OpKind::Yield => write!(f, "yield"),
+            OpKind::Lock(m) => write!(f, "lock(m{m})"),
+            OpKind::Unlock(m) => write!(f, "unlock(m{m})"),
+            OpKind::CvWait { cv, mutex } => write!(f, "cv{cv}.wait(m{mutex})"),
+            OpKind::CvBlocked { cv, .. } => write!(f, "blocked(cv{cv})"),
+            OpKind::CvReacquire { mutex } => write!(f, "relock(m{mutex})"),
+            OpKind::Notify { cv, all } => {
+                write!(f, "cv{cv}.notify_{}", if *all { "all" } else { "one" })
+            }
+            OpKind::Atomic { desc, obj } => write!(f, "{desc}(a{obj})"),
+            OpKind::Choice { desc } => write!(f, "choice({desc})"),
+            OpKind::Finished => write!(f, "finished"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    pending: OpKind,
+    /// Parked at a schedule point (or finished), i.e. not running user code.
+    parked: bool,
+    clock: VClock,
+}
+
+impl ThreadState {
+    fn new(tid: usize) -> Self {
+        let mut clock = VClock::default();
+        // Distinguish "has executed nothing" from component 0 of others.
+        clock.0[tid] = 1;
+        ThreadState { pending: OpKind::Start, parked: false, clock }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    held_by: Option<usize>,
+    /// Release clock of the last unlocker; joined by the next locker.
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct CvState {
+    waiters: Vec<usize>,
+}
+
+pub(crate) struct CoreState {
+    threads: Vec<ThreadState>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CvState>,
+    atomics: Vec<AtomicState>,
+    /// Thread granted the CPU; consumed (reset to None) by that thread.
+    granted: Option<usize>,
+    /// Set when the run is over (failure or teardown): parked threads must
+    /// unwind out instead of waiting for a grant that will never come.
+    abandoned: bool,
+    /// All model threads have finished; controller-side ops (from
+    /// `Model::after`) execute eagerly.
+    post_phase: bool,
+    failure: Option<(FailureKind, String)>,
+    last_running: Option<usize>,
+    preemptions: u32,
+    steps: usize,
+    explorer: Explorer,
+    opts: Options,
+}
+
+impl CoreState {
+    fn enabled(&self, tid: usize) -> bool {
+        match self.threads[tid].pending {
+            OpKind::Start
+            | OpKind::Yield
+            | OpKind::Unlock(_)
+            | OpKind::CvWait { .. }
+            | OpKind::Notify { .. }
+            | OpKind::Atomic { .. }
+            | OpKind::Choice { .. } => true,
+            OpKind::Lock(m) | OpKind::CvReacquire { mutex: m } => self.mutexes[m].held_by.is_none(),
+            OpKind::CvBlocked { .. } | OpKind::Finished => false,
+        }
+    }
+
+    fn lock_effect(&mut self, tid: usize, m: usize) {
+        debug_assert!(self.mutexes[m].held_by.is_none(), "granted lock on held mutex");
+        let mclock = self.mutexes[m].clock.clone();
+        self.threads[tid].clock.join(&mclock);
+        self.mutexes[m].held_by = Some(tid);
+    }
+
+    fn unlock_effect(&mut self, tid: usize, m: usize) {
+        debug_assert_eq!(self.mutexes[m].held_by, Some(tid), "unlock by non-holder");
+        self.threads[tid].clock.0[tid] += 1;
+        let tclock = self.threads[tid].clock.clone();
+        self.mutexes[m].clock.join(&tclock);
+        self.mutexes[m].held_by = None;
+    }
+
+    /// Pick which store a load observes: any store not superseded by one
+    /// that happens-before the reader. More than one candidate = decision.
+    fn atomic_load(&mut self, tid: usize, obj: usize, acquire: bool) -> u64 {
+        if self.post_phase || self.abandoned {
+            // Eager mode (post-condition or teardown): read the final value
+            // deterministically; no explorer decisions may be consumed here.
+            let a = &mut self.atomics[obj];
+            let idx = a.stores.len() - 1;
+            a.last_seen[tid] = idx;
+            return a.stores[idx].val;
+        }
+        let mut floor = self.atomics[obj].last_seen[tid];
+        for i in (floor + 1)..self.atomics[obj].stores.len() {
+            let ev = &self.atomics[obj].stores[i];
+            if self.threads[tid].clock.0[ev.tid] >= ev.seq {
+                floor = i;
+            }
+        }
+        let n = self.atomics[obj].stores.len() - floor;
+        let idx = if n > 1 {
+            floor + self.choose(n, |k| format!("t{tid}:read(a{obj})<-store#{}", floor + k))
+        } else {
+            floor
+        };
+        self.atomics[obj].last_seen[tid] = idx;
+        let ev = &self.atomics[obj].stores[idx];
+        let val = ev.val;
+        if acquire {
+            if let Some(sync) = ev.sync.clone() {
+                self.threads[tid].clock.join(&sync);
+            }
+        }
+        val
+    }
+
+    fn atomic_store(&mut self, tid: usize, obj: usize, val: u64, release: bool) {
+        self.threads[tid].clock.0[tid] += 1;
+        let seq = self.threads[tid].clock.0[tid];
+        let sync = release.then(|| self.threads[tid].clock.clone());
+        let a = &mut self.atomics[obj];
+        a.stores.push(StoreEv { val, tid, seq, sync });
+        a.last_seen[tid] = a.stores.len() - 1;
+    }
+
+    /// Read-modify-write: always reads the newest store (atomic RMWs read
+    /// the latest value in modification order), then appends.
+    fn atomic_rmw(
+        &mut self,
+        tid: usize,
+        obj: usize,
+        acquire: bool,
+        release: bool,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let last = self.atomics[obj].stores.len() - 1;
+        let old = self.atomics[obj].stores[last].val;
+        let sync = self.atomics[obj].stores[last].sync.clone();
+        if acquire {
+            if let Some(s) = sync {
+                self.threads[tid].clock.join(&s);
+            }
+        }
+        self.atomic_store(tid, obj, f(old), release);
+        old
+    }
+
+    fn choose(&mut self, n: usize, label: impl FnOnce(usize) -> String) -> usize {
+        self.explorer.choose(n, label)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS explorer
+// ---------------------------------------------------------------------------
+
+/// Depth-first enumeration over the decision tree. A run replays the
+/// prescribed `picks` prefix and answers 0 for decisions beyond it;
+/// `next_schedule` then advances the deepest pick that still has an untried
+/// branch (lexicographic DFS with implicit stack).
+struct Explorer {
+    picks: Vec<usize>,
+    /// Options available at each decision of the *current* run.
+    counts: Vec<usize>,
+    labels: Vec<String>,
+    depth: usize,
+    max_depth: usize,
+}
+
+impl Explorer {
+    fn new() -> Self {
+        Explorer {
+            picks: Vec::new(),
+            counts: Vec::new(),
+            labels: Vec::new(),
+            depth: 0,
+            max_depth: 0,
+        }
+    }
+
+    fn begin_run(&mut self) {
+        self.counts.clear();
+        self.labels.clear();
+        self.depth = 0;
+    }
+
+    fn choose(&mut self, n: usize, label: impl FnOnce(usize) -> String) -> usize {
+        debug_assert!(n >= 1);
+        let d = self.depth;
+        let pick = if d < self.picks.len() {
+            debug_assert!(
+                self.picks[d] < n,
+                "replay divergence at decision {d}: pick {} of {n}",
+                self.picks[d]
+            );
+            self.picks[d].min(n - 1)
+        } else {
+            0
+        };
+        self.counts.push(n);
+        self.labels.push(format!("{} [{}/{}]", label(pick), pick + 1, n));
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+        pick
+    }
+
+    /// Advance to the next unexplored schedule; false when exhausted.
+    fn next_schedule(&mut self) -> bool {
+        // Current run's effective pick vector.
+        let mut picks: Vec<usize> =
+            (0..self.counts.len()).map(|d| self.picks.get(d).copied().unwrap_or(0)).collect();
+        while let Some(last) = picks.pop() {
+            let n = self.counts[picks.len()];
+            if last + 1 < n {
+                picks.push(last + 1);
+                self.picks = picks;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn trace(&self) -> Trace {
+        let picks =
+            (0..self.counts.len()).map(|d| self.picks.get(d).copied().unwrap_or(0)).collect();
+        Trace { picks, steps: self.labels.clone() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core: the shared scheduler object
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Core {
+    state: Mutex<CoreState>,
+    cv: Condvar,
+}
+
+/// Panic payload used to unwind model threads out of an abandoned run.
+struct Abandon;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Core>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<Core>, usize) {
+    CTX.with(|c| c.borrow().clone().expect("checkers::sync primitive used outside a model run"))
+}
+
+fn set_ctx(core: Option<(Arc<Core>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = core);
+}
+
+/// True while a `check`/`explore`/`replay` run is active on this thread
+/// (controller or model thread).
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+impl Core {
+    fn lock(&self) -> MutexGuard<'_, CoreState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Park at a schedule point and wait to be granted the CPU. Returns the
+    /// state guard with the grant consumed; the caller applies the op's
+    /// effect under it. Panics with `Abandon` if the run was abandoned.
+    fn grant_wait<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, CoreState>,
+        tid: usize,
+        op: OpKind,
+    ) -> MutexGuard<'a, CoreState> {
+        st.threads[tid].pending = op;
+        st.threads[tid].parked = true;
+        self.cv.notify_all();
+        loop {
+            if st.abandoned {
+                drop(st);
+                std::panic::panic_any(Abandon);
+            }
+            if st.granted == Some(tid) {
+                st.granted = None;
+                st.threads[tid].parked = false;
+                st.last_running = Some(tid);
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// True when ops must execute eagerly instead of parking: the thread is
+    /// unwinding (drops during a panic must not double-panic), the run has
+    /// been abandoned, or the controller is in the post phase.
+    fn bypass(&self, tid: usize) -> bool {
+        if std::thread::panicking() {
+            return true;
+        }
+        let st = self.lock();
+        st.abandoned || (tid == CONTROLLER && st.post_phase)
+    }
+
+    // -- operations called from crate::sync --------------------------------
+
+    pub(crate) fn op_lock(self: &Arc<Self>, m: usize) {
+        let (_, tid) = ctx();
+        if self.bypass(tid) {
+            let mut st = self.lock();
+            st.mutexes[m].held_by = Some(tid);
+            return;
+        }
+        assert!(tid != CONTROLLER, "sync op outside a model thread (use Model::after)");
+        let st = self.lock();
+        let mut st = self.grant_wait(st, tid, OpKind::Lock(m));
+        st.lock_effect(tid, m);
+    }
+
+    pub(crate) fn op_unlock(self: &Arc<Self>, m: usize) {
+        let (_, tid) = ctx();
+        if self.bypass(tid) {
+            let mut st = self.lock();
+            st.mutexes[m].held_by = None;
+            return;
+        }
+        assert!(tid != CONTROLLER, "sync op outside a model thread (use Model::after)");
+        let st = self.lock();
+        let mut st = self.grant_wait(st, tid, OpKind::Unlock(m));
+        st.unlock_effect(tid, m);
+    }
+
+    pub(crate) fn op_cv_wait(self: &Arc<Self>, cv: usize, m: usize) {
+        let (_, tid) = ctx();
+        if self.bypass(tid) {
+            return;
+        }
+        assert!(tid != CONTROLLER, "sync op outside a model thread (use Model::after)");
+        let st = self.lock();
+        // Phase 1: scheduled once to atomically release the mutex + block.
+        let mut st = self.grant_wait(st, tid, OpKind::CvWait { cv, mutex: m });
+        st.unlock_effect(tid, m);
+        st.condvars[cv].waiters.push(tid);
+        st.threads[tid].pending = OpKind::CvBlocked { cv, mutex: m };
+        st.threads[tid].parked = true;
+        self.cv.notify_all();
+        // Phase 2: a notify moves us to CvReacquire; the next grant means
+        // the mutex is free and ours again.
+        loop {
+            if st.abandoned {
+                drop(st);
+                std::panic::panic_any(Abandon);
+            }
+            if st.granted == Some(tid) {
+                st.granted = None;
+                st.threads[tid].parked = false;
+                st.last_running = Some(tid);
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.lock_effect(tid, m);
+    }
+
+    pub(crate) fn op_notify(self: &Arc<Self>, cv: usize, all: bool) {
+        let (_, tid) = ctx();
+        if self.bypass(tid) {
+            return;
+        }
+        assert!(tid != CONTROLLER, "sync op outside a model thread (use Model::after)");
+        let st = self.lock();
+        let mut st = self.grant_wait(st, tid, OpKind::Notify { cv, all });
+        if all {
+            let waiters = std::mem::take(&mut st.condvars[cv].waiters);
+            for w in waiters {
+                if let OpKind::CvBlocked { mutex, .. } = st.threads[w].pending {
+                    st.threads[w].pending = OpKind::CvReacquire { mutex };
+                }
+            }
+        } else if !st.condvars[cv].waiters.is_empty() {
+            // Which waiter wakes is nondeterministic: a decision point.
+            let n = st.condvars[cv].waiters.len();
+            let k = if n > 1 {
+                st.choose(n, |k| format!("t{tid}:cv{cv}.notify_one->t?#{k}"))
+            } else {
+                0
+            };
+            let w = st.condvars[cv].waiters.remove(k);
+            if let OpKind::CvBlocked { mutex, .. } = st.threads[w].pending {
+                st.threads[w].pending = OpKind::CvReacquire { mutex };
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// An atomic op: scheduled as one point; `f` runs the concrete effect
+    /// (possibly consuming further decision points for load visibility).
+    pub(crate) fn op_atomic<R>(
+        self: &Arc<Self>,
+        desc: &'static str,
+        obj: usize,
+        f: impl FnOnce(&mut CoreState, usize) -> R,
+    ) -> R {
+        let (_, tid) = ctx();
+        if self.bypass(tid) {
+            // Force eager semantics so the effect consumes no explorer
+            // decisions even when the bypass is due to an unwinding thread.
+            let mut st = self.lock();
+            let saved = st.post_phase;
+            st.post_phase = true;
+            let r = f(&mut st, if tid == CONTROLLER { 0 } else { tid });
+            st.post_phase = saved;
+            return r;
+        }
+        assert!(tid != CONTROLLER, "sync op outside a model thread (use Model::after)");
+        let st = self.lock();
+        let mut st = self.grant_wait(st, tid, OpKind::Atomic { desc, obj });
+        f(&mut st, tid)
+    }
+
+    /// A pure nondeterministic branch with `n` outcomes (e.g. whether a
+    /// `recv_timeout` fires). Returns the branch index.
+    pub(crate) fn op_choice(self: &Arc<Self>, desc: &'static str, n: usize) -> usize {
+        let (_, tid) = ctx();
+        if self.bypass(tid) || n <= 1 {
+            return 0;
+        }
+        assert!(tid != CONTROLLER, "sync op outside a model thread (use Model::after)");
+        let st = self.lock();
+        let mut st = self.grant_wait(st, tid, OpKind::Choice { desc });
+        st.choose(n, |k| format!("t{tid}:{desc}#{k}"))
+    }
+
+    pub(crate) fn op_yield(self: &Arc<Self>) {
+        let (_, tid) = ctx();
+        if self.bypass(tid) {
+            return;
+        }
+        assert!(tid != CONTROLLER, "sync op outside a model thread");
+        let st = self.lock();
+        let _st = self.grant_wait(st, tid, OpKind::Yield);
+    }
+
+    // -- object registration (runs in scenario setup or model threads) -----
+
+    pub(crate) fn add_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexState::default());
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn add_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.condvars.push(CvState::default());
+        st.condvars.len() - 1
+    }
+
+    pub(crate) fn add_atomic(&self, init: u64) -> usize {
+        let mut st = self.lock();
+        st.atomics.push(AtomicState {
+            // The initial value happens-before everything (the object is
+            // created before it is shared), encoded as tid 0 / seq 0 which
+            // every clock dominates.
+            stores: vec![StoreEv { val: init, tid: 0, seq: 0, sync: Some(VClock::default()) }],
+            last_seen: [0; MAX_THREADS],
+        });
+        st.atomics.len() - 1
+    }
+}
+
+// Concrete atomic entry points used by crate::sync (kept here so all
+// clock manipulation lives in one file).
+impl Core {
+    pub(crate) fn atomic_load(self: &Arc<Self>, obj: usize, acquire: bool) -> u64 {
+        self.op_atomic("load", obj, |st, tid| st.atomic_load(tid, obj, acquire))
+    }
+
+    pub(crate) fn atomic_store(self: &Arc<Self>, obj: usize, val: u64, release: bool) {
+        self.op_atomic("store", obj, |st, tid| st.atomic_store(tid, obj, val, release))
+    }
+
+    pub(crate) fn atomic_rmw(
+        self: &Arc<Self>,
+        obj: usize,
+        acquire: bool,
+        release: bool,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        self.op_atomic("rmw", obj, |st, tid| st.atomic_rmw(tid, obj, acquire, release, f))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run driver
+// ---------------------------------------------------------------------------
+
+enum RunOutcome {
+    Pass,
+    Failed(Failure),
+}
+
+fn model_thread_main(core: Arc<Core>, tid: usize, job: Job) {
+    set_ctx(Some((core.clone(), tid)));
+    // Park at Start: the thread body begins only when first scheduled.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let st = core.lock();
+        let _st = core.grant_wait(st, tid, OpKind::Start);
+        drop(_st);
+        job();
+    }));
+    let mut st = core.lock();
+    match result {
+        Ok(()) => {}
+        Err(payload) => {
+            if payload.downcast_ref::<Abandon>().is_none() && st.failure.is_none() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                st.failure = Some((FailureKind::Panic, format!("t{tid} panicked: {msg}")));
+            }
+        }
+    }
+    st.threads[tid].pending = OpKind::Finished;
+    st.threads[tid].parked = true;
+    drop(st);
+    core.cv.notify_all();
+    set_ctx(None);
+}
+
+/// Run one schedule; returns the explorer (with this run's decision record)
+/// and the outcome.
+/// Model-thread panics are reported through [`Failure`], so keep the
+/// default hook from spraying stderr with expected panics (including the
+/// `Abandon` unwinds used for teardown). Non-model threads are unaffected.
+fn silence_model_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model_thread =
+                std::thread::current().name().is_some_and(|n| n.starts_with("model-t"));
+            if !in_model_thread {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn run_schedule<F>(opts: &Options, scenario: &F, mut explorer: Explorer) -> (Explorer, RunOutcome)
+where
+    F: Fn(&mut Model),
+{
+    silence_model_panics();
+    explorer.begin_run();
+    let core = Arc::new(Core {
+        state: Mutex::new(CoreState {
+            threads: Vec::new(),
+            mutexes: Vec::new(),
+            condvars: Vec::new(),
+            atomics: Vec::new(),
+            granted: None,
+            abandoned: false,
+            // Scenario setup is single-threaded and runs on the controller:
+            // sync ops execute eagerly exactly like the post phase.
+            post_phase: true,
+            failure: None,
+            last_running: None,
+            preemptions: 0,
+            steps: 0,
+            explorer,
+            opts: opts.clone(),
+        }),
+        cv: Condvar::new(),
+    });
+
+    // Scenario setup runs with a controller context so model objects can be
+    // constructed before any thread exists.
+    set_ctx(Some((core.clone(), CONTROLLER)));
+    let mut model = Model::default();
+    let setup = catch_unwind(AssertUnwindSafe(|| scenario(&mut model)));
+    if let Err(p) = setup {
+        set_ctx(None);
+        std::panic::resume_unwind(p);
+    }
+    let jobs = std::mem::take(&mut model.threads);
+    let n = jobs.len();
+    assert!(n >= 1, "scenario registered no model threads");
+    {
+        let mut st = core.lock();
+        st.threads = (0..n).map(ThreadState::new).collect();
+        st.post_phase = false;
+    }
+
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(tid, job)| {
+            let core = core.clone();
+            std::thread::Builder::new()
+                .name(format!("model-t{tid}"))
+                .spawn(move || model_thread_main(core, tid, job))
+                .expect("spawn model thread")
+        })
+        .collect();
+
+    let outcome = controller_loop(&core, n);
+
+    // Tear down: release any still-parked threads and join.
+    let stuck = {
+        let mut st = core.lock();
+        st.abandoned = true;
+        core.cv.notify_all();
+        matches!(&outcome, RunOutcome::Failed(Failure { kind: FailureKind::Stuck, .. }))
+    };
+    for h in handles {
+        if stuck {
+            // A non-cooperative thread never reaches a schedule point; it
+            // would block join forever. Leak it — the process is already
+            // failing the test.
+            drop(h);
+        } else {
+            let _ = h.join();
+        }
+    }
+
+    // Run the post-condition with the model quiescent.
+    let mut outcome = outcome;
+    if let (RunOutcome::Pass, Some(after)) = (&outcome, model.after.take()) {
+        core.lock().post_phase = true;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(after)) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "post-condition panicked".to_string());
+            let trace = core.lock().explorer.trace();
+            outcome = RunOutcome::Failed(Failure {
+                kind: FailureKind::Panic,
+                message: format!("after(): {msg}"),
+                trace,
+            });
+        }
+    }
+    set_ctx(None);
+
+    let explorer = {
+        let mut st = core.lock();
+        std::mem::replace(&mut st.explorer, Explorer::new())
+    };
+    (explorer, outcome)
+}
+
+fn controller_loop(core: &Arc<Core>, n: usize) -> RunOutcome {
+    let mut st = core.lock();
+    loop {
+        // Wait until the previous grant is consumed and every model thread
+        // is parked at a point (or finished).
+        while st.granted.is_some() || !st.threads.iter().all(|t| t.parked) {
+            let (g, timeout) = core
+                .cv
+                .wait_timeout(st, Duration::from_secs(STUCK_SECS))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = g;
+            if timeout.timed_out() && (st.granted.is_some() || !st.threads.iter().all(|t| t.parked))
+            {
+                let trace = st.explorer.trace();
+                return RunOutcome::Failed(Failure {
+                    kind: FailureKind::Stuck,
+                    message: format!(
+                        "no schedule point reached for {STUCK_SECS}s (non-cooperative spin?)"
+                    ),
+                    trace,
+                });
+            }
+        }
+
+        if let Some((kind, message)) = st.failure.take() {
+            let trace = st.explorer.trace();
+            return RunOutcome::Failed(Failure { kind, message, trace });
+        }
+
+        let alive: Vec<usize> =
+            (0..n).filter(|&i| !matches!(st.threads[i].pending, OpKind::Finished)).collect();
+        if alive.is_empty() {
+            return RunOutcome::Pass;
+        }
+        let enabled: Vec<usize> = alive.iter().copied().filter(|&i| st.enabled(i)).collect();
+        if enabled.is_empty() {
+            let mut desc = String::from("deadlock:");
+            for &i in &alive {
+                desc.push_str(&format!(" t{i}@{}", st.threads[i].pending));
+            }
+            let trace = st.explorer.trace();
+            return RunOutcome::Failed(Failure {
+                kind: FailureKind::Deadlock,
+                message: desc,
+                trace,
+            });
+        }
+
+        st.steps += 1;
+        if st.steps > st.opts.max_steps {
+            let trace = st.explorer.trace();
+            return RunOutcome::Failed(Failure {
+                kind: FailureKind::Stuck,
+                message: format!("schedule exceeded max_steps={}", st.opts.max_steps),
+                trace,
+            });
+        }
+
+        // Bounded preemption: once the budget is spent, a still-enabled
+        // current thread keeps running (switching away from it is what
+        // costs budget; switching after it blocks is free).
+        let cur = st.last_running.filter(|c| enabled.contains(c));
+        let budget_left = st.opts.preemption_bound.is_none_or(|b| st.preemptions < b);
+        let options: Vec<usize> = match cur {
+            Some(c) if !budget_left => vec![c],
+            Some(c) => {
+                // Current thread first so pick 0 = "keep running".
+                let mut v = vec![c];
+                v.extend(enabled.iter().copied().filter(|&t| t != c));
+                v
+            }
+            None => enabled.clone(),
+        };
+        let pick = if options.len() > 1 {
+            let labels: Vec<String> =
+                options.iter().map(|&t| format!("t{t}:{}", st.threads[t].pending)).collect();
+            st.choose(options.len(), |k| labels[k].clone())
+        } else {
+            0
+        };
+        let t = options[pick];
+        if let Some(c) = cur {
+            if t != c {
+                st.preemptions += 1;
+            }
+        }
+        st.granted = Some(t);
+        core.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Explore every schedule within bounds; return the report (never panics on
+/// model failure — use this to assert that a seeded bug *is* caught).
+pub fn explore<F>(opts: Options, scenario: F) -> Report
+where
+    F: Fn(&mut Model),
+{
+    let start = Instant::now();
+    let mut explorer = Explorer::new();
+    let mut schedules = 0u64;
+    loop {
+        let (ex, outcome) = run_schedule(&opts, &scenario, explorer);
+        explorer = ex;
+        schedules += 1;
+        match outcome {
+            RunOutcome::Failed(f) => {
+                return Report {
+                    schedules,
+                    max_depth: explorer.max_depth,
+                    wall: start.elapsed(),
+                    outcome: Outcome::Failed(f),
+                };
+            }
+            RunOutcome::Pass => {}
+        }
+        if schedules >= opts.max_schedules {
+            return Report {
+                schedules,
+                max_depth: explorer.max_depth,
+                wall: start.elapsed(),
+                outcome: Outcome::Capped,
+            };
+        }
+        if !explorer.next_schedule() {
+            return Report {
+                schedules,
+                max_depth: explorer.max_depth,
+                wall: start.elapsed(),
+                outcome: Outcome::Pass,
+            };
+        }
+    }
+}
+
+/// Explore every schedule within bounds; panic with a replayable trace if
+/// any schedule fails (or if the search was capped before exhausting the
+/// space — capped means the stated bounds were *not* verified).
+pub fn check<F>(opts: Options, scenario: F) -> Report
+where
+    F: Fn(&mut Model),
+{
+    let report = explore(opts, scenario);
+    match &report.outcome {
+        Outcome::Pass => report,
+        Outcome::Capped => panic!(
+            "model checking capped after {} schedules without exhausting the space; \
+             raise Options::max_schedules or tighten the model",
+            report.schedules
+        ),
+        Outcome::Failed(f) => panic!(
+            "model checking failed ({:?}) after {} schedules: {}\n{}",
+            f.kind, report.schedules, f.message, f.trace
+        ),
+    }
+}
+
+/// Re-run exactly one schedule from a recorded decision vector. Decisions
+/// beyond the vector take branch 0. Returns that single run's report.
+pub fn replay<F>(opts: Options, scenario: F, picks: &[usize]) -> Report
+where
+    F: Fn(&mut Model),
+{
+    let start = Instant::now();
+    let mut explorer = Explorer::new();
+    explorer.picks = picks.to_vec();
+    let (explorer, outcome) = run_schedule(&opts, &scenario, explorer);
+    let outcome = match outcome {
+        RunOutcome::Pass => Outcome::Pass,
+        RunOutcome::Failed(f) => Outcome::Failed(f),
+    };
+    Report { schedules: 1, max_depth: explorer.max_depth, wall: start.elapsed(), outcome }
+}
+
+// Re-exported through sync for primitives to grab their core handle.
+pub(crate) fn current_core() -> Arc<Core> {
+    ctx().0
+}
+
+/// Cooperative yield: a pure schedule point with no effect. Lets models
+/// mark places where the real code does non-sync work worth interleaving.
+pub fn yield_now() {
+    if !in_model() {
+        return;
+    }
+    let core = current_core();
+    core.op_yield();
+}

@@ -1,0 +1,56 @@
+//! `checkers` — a loom-lite deterministic model checker for the runtime's
+//! concurrency protocols, written from scratch (no crates.io access, like
+//! `vendor/rand`).
+//!
+//! A *scenario* builds a handful of model threads over the primitives in
+//! [`sync`]; [`check`] then re-executes the scenario once per schedule,
+//! enumerating every interleaving (and every weakly-consistent atomic-load
+//! result) within a bounded-preemption cap via depth-first search. Model
+//! threads are real OS threads, but a cooperative scheduler runs exactly
+//! one at a time, so each run is fully deterministic and any failing
+//! schedule can be replayed from its recorded decision vector.
+//!
+//! What it detects:
+//! - **assertion failures** — any panic in a model thread, under any
+//!   explored interleaving;
+//! - **deadlocks and lost wakeups** — every live thread blocked on a
+//!   mutex or condvar with nobody left to wake it;
+//! - **weak-memory bugs** — atomics use a vector-clock store-history
+//!   model, so a `Relaxed` load really can observe stale values unless a
+//!   `Release`/`Acquire` edge forbids it.
+//!
+//! ```
+//! use checkers::sync::atomic::{AtomicU64, Ordering};
+//! use checkers::sync::Arc;
+//!
+//! // Message passing via Release/Acquire verifies exhaustively.
+//! let report = checkers::check(checkers::Options::default(), |model| {
+//!     let data = Arc::new(AtomicU64::new(0));
+//!     let ready = Arc::new(AtomicU64::new(0));
+//!     let (d2, r2) = (data.clone(), ready.clone());
+//!     model.thread(move || {
+//!         data.store(42, Ordering::Relaxed);
+//!         ready.store(1, Ordering::Release);
+//!     });
+//!     model.thread(move || {
+//!         if r2.load(Ordering::Acquire) == 1 {
+//!             assert_eq!(d2.load(Ordering::Relaxed), 42);
+//!         }
+//!     });
+//! });
+//! assert!(report.passed());
+//! ```
+//!
+//! The engine consumes this through `common::sync`, a facade that
+//! re-exports `std::sync` in production builds and these model types under
+//! `--features check`; the protocol models themselves live in
+//! `crates/common/tests/epoch_model.rs` and
+//! `crates/engine/tests/concurrency_models.rs`.
+
+mod core;
+pub mod sync;
+
+pub use crate::core::{
+    check, explore, replay, yield_now, Failure, FailureKind, Model, Options, Outcome, Report,
+    Trace, MAX_THREADS,
+};

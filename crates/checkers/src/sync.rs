@@ -1,0 +1,438 @@
+//! Model replacements for `std::sync` primitives, signature-compatible with
+//! the subset the engine uses so facade-ported modules compile unchanged.
+//!
+//! Construction and every operation must happen inside a model run (a
+//! [`crate::check`]/[`crate::explore`]/[`crate::replay`] scenario); the
+//! primitives interpose on the scheduler so each operation is a decision
+//! point. `Arc`, `Ordering`, and the mpsc error types are re-exported from
+//! std unchanged — `Arc`'s reference counting is assumed correct rather
+//! than modeled.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc as StdArc;
+
+use crate::core::{current_core, Core};
+
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+/// Atomic types: model `AtomicU64`/`AtomicUsize`, std `Ordering`.
+pub mod atomic {
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    // ordering: interpretation table for the model — Acquire/AcqRel/SeqCst
+    // loads join the observed store's release clock; SeqCst is treated as
+    // AcqRel (documented approximation: no total SC order is modeled).
+    fn acq(o: Ordering) -> bool {
+        matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    // ordering: Release/AcqRel/SeqCst stores publish the writer's vector
+    // clock so acquire loads that observe them synchronize-with the writer.
+    fn rel(o: Ordering) -> bool {
+        matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// Model atomic u64: value lives in the checker's store history, so
+    /// loads can observe any happens-before-consistent store.
+    pub struct AtomicU64 {
+        core: StdArc<Core>,
+        obj: usize,
+    }
+
+    impl AtomicU64 {
+        pub fn new(v: u64) -> Self {
+            let core = current_core();
+            let obj = core.add_atomic(v);
+            AtomicU64 { core, obj }
+        }
+
+        pub fn load(&self, order: Ordering) -> u64 {
+            self.core.atomic_load(self.obj, acq(order))
+        }
+
+        pub fn store(&self, val: u64, order: Ordering) {
+            self.core.atomic_store(self.obj, val, rel(order));
+        }
+
+        pub fn fetch_add(&self, val: u64, order: Ordering) -> u64 {
+            self.core.atomic_rmw(self.obj, acq(order), rel(order), |v| v.wrapping_add(val))
+        }
+    }
+
+    impl fmt::Debug for AtomicU64 {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "AtomicU64(a{})", self.obj)
+        }
+    }
+
+    /// Model atomic usize (backed by the same u64 store history).
+    pub struct AtomicUsize(AtomicU64);
+
+    impl AtomicUsize {
+        pub fn new(v: usize) -> Self {
+            AtomicUsize(AtomicU64::new(v as u64))
+        }
+
+        pub fn load(&self, order: Ordering) -> usize {
+            self.0.load(order) as usize
+        }
+
+        pub fn store(&self, val: usize, order: Ordering) {
+            self.0.store(val as u64, order);
+        }
+
+        pub fn fetch_add(&self, val: usize, order: Ordering) -> usize {
+            self.0.fetch_add(val as u64, order) as usize
+        }
+    }
+
+    impl fmt::Debug for AtomicUsize {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "AtomicUsize(a{})", self.0.obj)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------------
+
+/// Model mutex. `lock()` is a schedule point; never poisons (a model-thread
+/// panic fails the whole schedule instead).
+pub struct Mutex<T: ?Sized> {
+    core: StdArc<Core>,
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the scheduler serializes access — a guard only exists while its
+// thread holds the model lock, and only one thread runs at a time anyway.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        let core = current_core();
+        let id = core.add_mutex();
+        Mutex { core, id, data: UnsafeCell::new(data) }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        self.core.op_lock(self.id);
+        Ok(MutexGuard { mutex: self })
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mutex(m{})", self.id)
+    }
+}
+
+/// Guard for a model mutex; drop is the unlock schedule point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.core.op_unlock(self.mutex.id);
+    }
+}
+
+/// Model condvar. `notify_one` with several waiters is a decision point
+/// (which waiter wakes); a notify with no waiters is lost, which is exactly
+/// how lost-wakeup bugs surface (as a deadlock of the would-be waiter).
+pub struct Condvar {
+    core: StdArc<Core>,
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)] // mirrors std::sync::Condvar::new
+    pub fn new() -> Self {
+        let core = current_core();
+        let id = core.add_condvar();
+        Condvar { core, id }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        // The model releases + reacquires inside op_cv_wait; the real
+        // guard must not run its unlock on drop.
+        std::mem::forget(guard);
+        self.core.op_cv_wait(self.id, mutex.id);
+        Ok(MutexGuard { mutex })
+    }
+
+    pub fn notify_one(&self) {
+        self.core.op_notify(self.id, false);
+    }
+
+    pub fn notify_all(&self) {
+        self.core.op_notify(self.id, true);
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Condvar(cv{})", self.id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mpsc
+// ---------------------------------------------------------------------------
+
+/// Model mpsc channels, built on the model mutex/condvar so every send and
+/// receive is automatically a scheduler decision point. Error types are
+/// std's (they are plain data), so `match` arms in ported code compile
+/// unchanged. `recv_timeout` never sleeps: whether the timeout fires is a
+/// nondeterministic branch the explorer enumerates.
+pub mod mpsc {
+    use super::{Condvar, Mutex};
+    use crate::core::current_core;
+    use std::collections::VecDeque;
+    use std::sync::Arc as StdArc;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    struct Inner<T> {
+        q: VecDeque<T>,
+        senders: usize,
+        recv_alive: bool,
+    }
+
+    struct Chan<T> {
+        m: Mutex<Inner<T>>,
+        recv_cv: Condvar,
+        send_cv: Condvar,
+        bound: Option<usize>,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> super::MutexGuard<'_, Inner<T>> {
+            self.m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    /// Asynchronous (unbounded) sender half.
+    pub struct Sender<T>(StdArc<Chan<T>>);
+
+    /// Synchronous (bounded) sender half.
+    pub struct SyncSender<T>(StdArc<Chan<T>>);
+
+    /// Receiver half (either flavor).
+    pub struct Receiver<T>(StdArc<Chan<T>>);
+
+    fn new_chan<T>(bound: Option<usize>) -> StdArc<Chan<T>> {
+        StdArc::new(Chan {
+            m: Mutex::new(Inner { q: VecDeque::new(), senders: 1, recv_alive: true }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+            bound,
+        })
+    }
+
+    /// Model `std::sync::mpsc::channel`.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let c = new_chan(None);
+        (Sender(c.clone()), Receiver(c))
+    }
+
+    /// Model `std::sync::mpsc::sync_channel`. A zero bound is modeled as a
+    /// capacity of one (rendezvous handoff is not reproduced exactly; no
+    /// engine channel uses bound 0).
+    pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+        let c = new_chan(Some(bound.max(1)));
+        (SyncSender(c.clone()), Receiver(c))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut g = self.0.lock();
+            if !g.recv_alive {
+                return Err(SendError(t));
+            }
+            g.q.push_back(t);
+            self.0.recv_cv.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let bound = self.0.bound.expect("sync sender has a bound");
+            let mut g = self.0.lock();
+            loop {
+                if !g.recv_alive {
+                    return Err(SendError(t));
+                }
+                if g.q.len() < bound {
+                    g.q.push_back(t);
+                    self.0.recv_cv.notify_all();
+                    return Ok(());
+                }
+                g = self.0.send_cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+            let bound = self.0.bound.expect("sync sender has a bound");
+            let mut g = self.0.lock();
+            if !g.recv_alive {
+                return Err(TrySendError::Disconnected(t));
+            }
+            if g.q.len() < bound {
+                g.q.push_back(t);
+                self.0.recv_cv.notify_all();
+                Ok(())
+            } else {
+                Err(TrySendError::Full(t))
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            SyncSender(self.0.clone())
+        }
+    }
+
+    fn drop_sender<T>(chan: &Chan<T>) {
+        let mut g = chan.lock();
+        g.senders -= 1;
+        if g.senders == 0 {
+            chan.recv_cv.notify_all();
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            drop_sender(&self.0);
+        }
+    }
+
+    impl<T> Drop for SyncSender<T> {
+        fn drop(&mut self) {
+            drop_sender(&self.0);
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut g = self.0.lock();
+            loop {
+                if let Some(v) = g.q.pop_front() {
+                    self.0.send_cv.notify_all();
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvError);
+                }
+                g = self.0.recv_cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut g = self.0.lock();
+            if let Some(v) = g.q.pop_front() {
+                self.0.send_cv.notify_all();
+                Ok(v)
+            } else if g.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Whether the timeout fires is a branch the explorer enumerates,
+        /// so both the message-arrives and timeout paths get checked.
+        pub fn recv_timeout(&self, _timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let core = current_core();
+            loop {
+                {
+                    let mut g = self.0.lock();
+                    if let Some(v) = g.q.pop_front() {
+                        self.0.send_cv.notify_all();
+                        return Ok(v);
+                    }
+                    if g.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                }
+                // Not holding the model lock across the branch keeps the
+                // timeout path from blocking senders.
+                if core.op_choice("recv_timeout", 2) == 1 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let mut g = self.0.lock();
+                if g.q.is_empty() && g.senders > 0 {
+                    g = self.0.recv_cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                drop(g);
+            }
+        }
+
+        /// Drain-without-blocking iterator, mirroring std's `try_iter`.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut g = self.0.lock();
+            g.recv_alive = false;
+            g.q.clear();
+            self.0.send_cv.notify_all();
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+}

@@ -36,8 +36,8 @@
 //! only serialize behind another reader's `Arc` clone or a writer that has
 //! already raced two full publications past it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 
 /// A shared snapshot cell: readers clone the current epoch's `Arc`, a
 /// writer publishes a replacement snapshot as a new epoch.
@@ -64,6 +64,9 @@ impl<T> EpochCell<T> {
 
     /// The current epoch number (0 until the first [`EpochCell::store`]).
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire pairs with the Release publication store so a
+        // caller that observes epoch e also observes everything the writer
+        // did before publishing e (same edge the read path relies on).
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -77,6 +80,9 @@ impl<T> EpochCell<T> {
     /// *newer* snapshot it is publishing, which is equally valid (any value
     /// returned was fully constructed before publication).
     pub fn load_with_epoch(&self) -> (u64, Arc<T>) {
+        // ordering: Acquire pairs with the writer's Release store — a reader
+        // that observes epoch e sees the slot assignment for e (module docs
+        // walk the three reader/writer races).
         let e = self.epoch.load(Ordering::Acquire);
         let arc = self.slots[(e & 1) as usize].lock().expect("epoch slot poisoned").clone();
         (e, arc)
@@ -88,8 +94,16 @@ impl<T> EpochCell<T> {
     pub fn store(&self, value: T) -> u64 {
         let arc = Arc::new(value);
         let _w = self.writer.lock().expect("epoch writer poisoned");
+        // ordering: Relaxed is sufficient — every epoch store happens under
+        // the writer mutex, so acquiring it makes the previous writer's
+        // store (and counter value) visible; the mutex, not the atomic,
+        // carries the ordering here. Verified by the publish/pin model in
+        // common/tests/epoch_model.rs, which fails if the *publication*
+        // store below is weakened but passes with this read Relaxed.
         let next = self.epoch.load(Ordering::Relaxed) + 1;
         *self.slots[(next & 1) as usize].lock().expect("epoch slot poisoned") = arc;
+        // ordering: Release publishes the slot assignment above to readers'
+        // Acquire loads of the counter.
         self.epoch.store(next, Ordering::Release);
         next
     }

@@ -10,6 +10,7 @@ pub mod error;
 pub mod fxhash;
 pub mod ids;
 pub mod rng;
+pub mod sync;
 pub mod value;
 
 pub use epoch::EpochCell;

@@ -1,0 +1,50 @@
+//! Sync facade: `std::sync` in production, `checkers::sync` under
+//! `--features check`.
+//!
+//! Modules ported to this facade (`common::epoch`, `engine::runtime`)
+//! import every sync primitive from here instead of `std::sync` — enforced
+//! by `cargo xtask lint`, which forbids `std::sync` tokens in those files.
+//! Without the `check` feature the re-exports below compile to *exactly*
+//! the std types (zero-cost: no wrappers, no indirection); with it, the
+//! same paths resolve to the `checkers` model types so the ported code can
+//! be driven by the deterministic model checker.
+//!
+//! The `check` build is compile/clippy-only in CI today: the checked
+//! protocol models are compact reimplementations (see
+//! `crates/engine/tests/concurrency_models.rs`), and model-checking the
+//! full runtime through this facade is the documented next step.
+//!
+//! Note the swap is a cargo *feature*, not the bare `--cfg check` the
+//! original sketch used: features let the `checkers` dependency itself be
+//! optional, and custom cfgs would trip `unexpected_cfgs` under
+//! `-D warnings`.
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+#[cfg(not(feature = "check"))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(feature = "check"))]
+pub mod mpsc {
+    pub use std::sync::mpsc::{
+        channel, sync_channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        SyncSender, TryRecvError, TrySendError,
+    };
+}
+
+#[cfg(feature = "check")]
+pub use checkers::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+#[cfg(feature = "check")]
+pub use checkers::sync::atomic;
+
+#[cfg(feature = "check")]
+pub mod mpsc {
+    pub use checkers::sync::mpsc::{
+        channel, sync_channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        SyncSender, TryRecvError, TrySendError,
+    };
+}

@@ -1,0 +1,228 @@
+//! Model-checked publish/pin protocol of [`common::epoch::EpochCell`] (see
+//! DESIGN.md §"Concurrency model & checking").
+//!
+//! The module docs on `epoch.rs` make a three-case memory-ordering argument
+//! for why readers never observe a torn snapshot. These models check each
+//! leg of that argument and — via the seeded twins — that removing any one
+//! ingredient (build-before-publish, the `Release` publication store, the
+//! writer mutex) produces a failure the checker catches.
+
+use checkers::sync::atomic::{AtomicU64, Ordering};
+use checkers::sync::{Arc, Mutex};
+use checkers::{explore, FailureKind, Options, Report};
+
+fn opts() -> Options {
+    Options::default()
+}
+
+fn assert_pass(report: &Report, what: &str) {
+    assert!(report.passed(), "{what} must verify: {report}");
+    eprintln!("[model::{what}] {report}");
+}
+
+// ===========================================================================
+// 1. The full cell: double-buffered slots + epoch counter + writer mutex
+//    (mirrors EpochCell::{store, load_with_epoch} line for line)
+// ===========================================================================
+
+/// `EpochCell` with the `Arc<T>` snapshot replaced by a `(u64, u64)` pair
+/// whose halves must always agree — the model's stand-in for "a snapshot
+/// fully constructed before publication".
+struct CellModel {
+    epoch: AtomicU64,
+    slots: [Mutex<(u64, u64)>; 2],
+    writer: Mutex<()>,
+}
+
+impl CellModel {
+    fn new() -> Self {
+        CellModel {
+            epoch: AtomicU64::new(0),
+            slots: [Mutex::new((0, 0)), Mutex::new((0, 0))],
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// `EpochCell::store`. `serialize_writers = false` seeds the bug the
+    /// real code's writer mutex exists to exclude — and is the reason the
+    /// epoch *read* below is safe at `Relaxed` (the `// ordering:` comment
+    /// in epoch.rs cites this model).
+    fn store(&self, v: u64, serialize_writers: bool) -> u64 {
+        let _w = serialize_writers.then(|| self.writer.lock().unwrap());
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
+        *self.slots[(next & 1) as usize].lock().unwrap() = (v, v);
+        self.epoch.store(next, Ordering::Release);
+        next
+    }
+
+    /// `EpochCell::load_with_epoch`.
+    fn load(&self) -> (u64, (u64, u64)) {
+        let e = self.epoch.load(Ordering::Acquire);
+        let snap = *self.slots[(e & 1) as usize].lock().unwrap();
+        (e, snap)
+    }
+}
+
+/// One reader step: the snapshot must be coherent (halves agree) and must
+/// belong to the slot the loaded epoch points at (value published at epoch
+/// `v` has `v`'s parity; a racing writer may have replaced the slot with
+/// epoch `e + 2`, which keeps the parity).
+fn check_read(e: u64, snap: (u64, u64)) {
+    assert_eq!(snap.0, snap.1, "torn snapshot at epoch {e}: {snap:?}");
+    assert_eq!(snap.0 % 2, e % 2, "slot holds a foreign epoch's value");
+}
+
+#[test]
+fn epoch_publish_pin_passes() {
+    let r = explore(opts(), |model| {
+        let cell = Arc::new(CellModel::new());
+        let w = cell.clone();
+        model.thread(move || {
+            w.store(1, true);
+            w.store(2, true);
+        });
+        let r1 = cell.clone();
+        model.thread(move || {
+            let (e1, s1) = r1.load();
+            check_read(e1, s1);
+            let (e2, s2) = r1.load();
+            check_read(e2, s2);
+            assert!(e2 >= e1, "epoch went backwards: {e1} -> {e2}");
+        });
+        let r2 = cell.clone();
+        model.thread(move || {
+            let (e, s) = r2.load();
+            check_read(e, s);
+        });
+        let c = cell.clone();
+        model.after(move || {
+            assert_eq!(c.epoch.load(Ordering::Relaxed), 2);
+            assert_eq!(*c.slots[0].lock().unwrap(), (2, 2));
+            assert_eq!(*c.slots[1].lock().unwrap(), (1, 1));
+        });
+    });
+    assert_pass(&r, "epoch_publish_pin");
+}
+
+#[test]
+fn epoch_serialized_writers_pass() {
+    let r = explore(opts(), |model| {
+        let cell = Arc::new(CellModel::new());
+        for v in [1u64, 2] {
+            let w = cell.clone();
+            model.thread(move || {
+                w.store(v, true);
+            });
+        }
+        let c = cell.clone();
+        model.after(move || {
+            // Two serialized publications always advance the epoch twice.
+            assert_eq!(c.epoch.load(Ordering::Relaxed), 2, "a publication was lost");
+            let s0 = *c.slots[0].lock().unwrap();
+            let s1 = *c.slots[1].lock().unwrap();
+            assert_eq!(s0.0, s0.1);
+            assert_eq!(s1.0, s1.1);
+        });
+    });
+    assert_pass(&r, "epoch_serialized_writers");
+}
+
+#[test]
+fn seeded_unserialized_writers_lose_an_epoch() {
+    // Without the writer mutex both writers can read epoch 0, both compute
+    // `next = 1`, and one publication overwrites the other: exactly why the
+    // Relaxed epoch read in EpochCell::store is only sound under the mutex.
+    let r = explore(opts(), |model| {
+        let cell = Arc::new(CellModel::new());
+        for v in [1u64, 2] {
+            let w = cell.clone();
+            model.thread(move || {
+                w.store(v, false);
+            });
+        }
+        let c = cell.clone();
+        model.after(move || {
+            assert_eq!(c.epoch.load(Ordering::Relaxed), 2, "a publication was lost");
+        });
+    });
+    let f = r.failure().expect("unserialized writers must lose an epoch");
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(f.message.contains("a publication was lost"), "message: {}", f.message);
+    eprintln!("[model::seeded_unserialized_writers] {r}");
+}
+
+// ===========================================================================
+// 2. The publication edge in isolation: a two-word payload built before the
+//    epoch store that publishes it (the Release/Acquire leg of the argument)
+// ===========================================================================
+
+struct PayloadModel {
+    epoch: AtomicU64,
+    lo: AtomicU64,
+    hi: AtomicU64,
+}
+
+fn payload_scenario(
+    publish_mid_build: bool,
+    relaxed_publish: bool,
+) -> impl Fn(&mut checkers::Model) {
+    move |model| {
+        let p = Arc::new(PayloadModel {
+            epoch: AtomicU64::new(0),
+            lo: AtomicU64::new(0),
+            hi: AtomicU64::new(0),
+        });
+        let w = p.clone();
+        model.thread(move || {
+            w.lo.store(7, Ordering::Relaxed);
+            if publish_mid_build {
+                // Seeded: publish before the snapshot is fully built.
+                w.epoch.store(1, Ordering::Release);
+                w.hi.store(7, Ordering::Relaxed);
+            } else {
+                w.hi.store(7, Ordering::Relaxed);
+                let ord = if relaxed_publish {
+                    // Seeded: drop the Release on the publication store.
+                    Ordering::Relaxed
+                } else {
+                    Ordering::Release
+                };
+                w.epoch.store(1, ord);
+            }
+        });
+        let r = p.clone();
+        model.thread(move || {
+            // ordering: Acquire pairs with the writer's Release publication
+            // (the same edge EpochCell::load_with_epoch relies on).
+            if r.epoch.load(Ordering::Acquire) == 1 {
+                let lo = r.lo.load(Ordering::Relaxed);
+                let hi = r.hi.load(Ordering::Relaxed);
+                assert_eq!((lo, hi), (7, 7), "published snapshot observed torn");
+            }
+        });
+    }
+}
+
+#[test]
+fn payload_publication_passes() {
+    let r = explore(opts(), payload_scenario(false, false));
+    assert_pass(&r, "payload_publication");
+}
+
+#[test]
+fn seeded_publish_before_build_is_caught() {
+    let r = explore(opts(), payload_scenario(true, false));
+    let f = r.failure().expect("publishing mid-build must tear the snapshot");
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(f.message.contains("torn"), "message: {}", f.message);
+    eprintln!("[model::seeded_publish_mid_build] {r}");
+}
+
+#[test]
+fn seeded_relaxed_publication_is_caught() {
+    let r = explore(opts(), payload_scenario(false, true));
+    let f = r.failure().expect("a Relaxed publication store must tear the snapshot");
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(f.message.contains("torn"), "message: {}", f.message);
+    eprintln!("[model::seeded_relaxed_publication] {r}");
+}

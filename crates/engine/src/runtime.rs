@@ -140,6 +140,11 @@ use crate::metrics::RunMetrics;
 use crate::procedure::{ProcedureRegistry, Step};
 use crate::profiler::Bucket;
 use crate::sim::RequestGenerator;
+use common::sync::atomic::{AtomicU64, Ordering};
+use common::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
+};
+use common::sync::{Arc, Condvar, Mutex, PoisonError};
 use common::{
     derive_seed, seeded_rng, Error, FxHashMap, PartitionId, PartitionSet, ProcId, QueryId, Result,
     Value,
@@ -147,11 +152,6 @@ use common::{
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{
-    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
-};
-use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use storage::{Database, Row, Shard, SpeculationStack, UndoLog};
@@ -272,6 +272,11 @@ impl LockManager {
     }
 
     fn acquire(&self, set: PartitionSet) {
+        // ordering: Relaxed — the ticket only needs global uniqueness and
+        // atomicity of the counter itself; FIFO ordering per shard comes
+        // from the shard mutex (the ticket is enqueued and compared only
+        // under it), so no cross-thread publication rides on this RMW.
+        // Verified by the ticket-FIFO model in tests/concurrency_models.rs.
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         for p in set.iter() {
             let shard = &self.shards[p as usize];
@@ -1680,7 +1685,10 @@ impl<A: LiveAdvisor + 'static> Client<A> {
         let known = acc.est_us + acc.exec_us + acc.coord_us + acc.queue_us;
         p.add(proc, Bucket::Other, (total_us - known).max(0.0));
         p.finish_txn(proc);
-        env.metrics.lock().expect("metrics poisoned").absorb(&metrics);
+        // A worker that panicked mid-call poisons this mutex; the counters
+        // themselves are still consistent (absorb is additive), and calls
+        // racing a teardown must not turn one panic into many.
+        env.metrics.lock().unwrap_or_else(PoisonError::into_inner).absorb(&metrics);
         result
     }
 }
@@ -1782,8 +1790,16 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
                     // every sender is gone): records queued before shutdown
                     // are consumed, so `feedback_records + feedback_dropped`
                     // equals the records the clients emitted.
-                    let mut mt: Box<dyn LiveMaintainer + '_> =
-                        shared.advisor.maintainer().expect("advisor withdrew its maintainer");
+                    // An advisor that reported `maintains() == true` but
+                    // returns no maintainer is a contract violation; drain
+                    // the queue (so client try_sends keep succeeding and
+                    // shutdown still joins cleanly) and report zero work
+                    // instead of taking the maintenance thread down.
+                    let mt: Option<Box<dyn LiveMaintainer + '_>> = shared.advisor.maintainer();
+                    let Some(mut mt) = mt else {
+                        while let Ok(FeedbackMsg::Record(_)) = rx.recv() {}
+                        return MaintenanceReport::default();
+                    };
                     while let Ok(FeedbackMsg::Record(fb)) = rx.recv() {
                         mt.absorb(fb);
                     }
@@ -1798,6 +1814,9 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
     /// may be created and dropped at any point of the run; ids are
     /// assigned in mint order starting at 0 and never reused.
     pub fn client(&self) -> Client<A> {
+        // ordering: Relaxed — client ids only need to be unique; the handle
+        // itself is handed to its thread via ordinary Rust ownership (a
+        // `Send` move), which already synchronizes everything else.
         let id = self.shared.next_client.fetch_add(1, Ordering::Relaxed);
         Client {
             rng: seeded_rng(derive_seed(self.shared.cfg.seed, 0xC11E47 ^ id)),
@@ -1822,7 +1841,11 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
     /// Maintenance-thread counters (`model_swaps`, `feedback_records`,
     /// per-epoch accuracy) are folded in at [`LiveRuntime::shutdown`] only.
     pub fn metrics(&self) -> RunMetrics {
-        let mut m = self.shared.metrics.lock().expect("metrics poisoned").clone();
+        // Mid-run snapshots must stay available even if a client thread
+        // panicked while folding its per-call metrics in (same reasoning as
+        // teardown below: the aggregate is additive, never half-updated in
+        // a way a reader could misread).
+        let mut m = self.shared.metrics.lock().unwrap_or_else(PoisonError::into_inner).clone();
         m.window_us = self.shared.started.elapsed().as_secs_f64() * 1e6;
         m
     }
@@ -1894,7 +1917,7 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
             }
         }
         let mut metrics =
-            self.shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+            self.shared.metrics.lock().unwrap_or_else(PoisonError::into_inner).clone();
         if let Some(report) = maint_report {
             metrics.absorb_maintenance(&report);
         }
@@ -2630,6 +2653,77 @@ mod tests {
             fin.throughput_tps(),
             mid.throughput_tps()
         );
+    }
+
+    /// Advisor that offers a maintainer to the start-time probe, then
+    /// withdraws it when the maintenance thread asks again — the contract
+    /// violation the maintenance loop must survive (regression: this used
+    /// to panic the maintenance thread, turning shutdown into a join on a
+    /// panicked thread).
+    struct WithdrawnMaintainer {
+        probed: std::sync::atomic::AtomicBool,
+    }
+
+    impl LiveAdvisor for WithdrawnMaintainer {
+        type Session = ();
+
+        fn name(&self) -> &str {
+            "withdrawn-maintainer"
+        }
+
+        fn plan_live(&self, _req: &Request, ctx: &PlanContext<'_>) -> (TxnPlan, ()) {
+            (TxnPlan::single(ctx.random_local_partition), ())
+        }
+
+        fn replan_live(
+            &self,
+            _req: &Request,
+            _observed: PartitionSet,
+            _attempt: u32,
+            ctx: &PlanContext<'_>,
+        ) -> (TxnPlan, ()) {
+            (TxnPlan::lock_all(ctx.random_local_partition, ctx.num_partitions), ())
+        }
+
+        fn on_end_live(&self, _session: (), _outcome: TxnOutcome) -> Option<TxnFeedback> {
+            Some(TxnFeedback {
+                proc: 0,
+                model: 0,
+                epoch: 0,
+                path: Vec::new(),
+                terminal: Some(true),
+                deviated: false,
+                predicted: PartitionSet::single(0),
+            })
+        }
+
+        fn maintainer(&self) -> Option<Box<dyn LiveMaintainer + '_>> {
+            if self.probed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                None
+            } else {
+                Some(Box::new(SleepyMaintainer { seen: 0 }))
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_survives_withdrawn_maintainer() {
+        let rt = LiveRuntime::start(
+            kv_database(1, 8),
+            kv_registry(),
+            WithdrawnMaintainer { probed: std::sync::atomic::AtomicBool::new(false) },
+            LiveConfig::default(),
+        );
+        let mut client = rt.client();
+        for _ in 0..50 {
+            client.call(0, vec![Value::Array(vec![Value::Int(0)])]).unwrap();
+        }
+        // Shutdown must join a *live* maintenance thread (it drained the
+        // feedback instead of panicking) and fold in an all-zero report.
+        let (fin, _) = rt.shutdown();
+        assert_eq!(fin.committed, 50);
+        assert_eq!(fin.feedback_records, 0, "no maintainer, so no absorbed records");
+        assert_eq!(fin.model_swaps, 0);
     }
 
     #[test]

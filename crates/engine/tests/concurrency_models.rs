@@ -1,0 +1,443 @@
+//! Model-checked protocols of the live runtime (see DESIGN.md §"Concurrency
+//! model & checking").
+//!
+//! Each protocol here is a *compact reimplementation* of the corresponding
+//! `engine::runtime` mechanism over `checkers::sync`, small enough for the
+//! checker to exhaust its interleavings at the stated bounds, faithful
+//! enough that the line-level logic matches the production code
+//! (`LockManager::acquire`/`release`, the `worker_loop` group-commit drain,
+//! `Client::call`'s reply-sender handoff). Every model has a seeded-bug
+//! twin proving the checker actually catches the failure mode the real
+//! code's design prevents.
+
+use checkers::sync::atomic::{AtomicU64, Ordering};
+use checkers::sync::mpsc::{channel, Receiver, Sender};
+use checkers::sync::{Arc, Condvar, Mutex};
+use checkers::{explore, FailureKind, Options, Report};
+use std::collections::VecDeque;
+
+fn opts() -> Options {
+    Options::default()
+}
+
+fn assert_pass(report: &Report, what: &str) {
+    assert!(report.passed(), "{what} must verify: {report}");
+    eprintln!("[model::{what}] {report}");
+}
+
+// ===========================================================================
+// 1. Sharded lock manager: ticket FIFO + ascending-partition claim order
+//    (mirrors LockManager::acquire/release in engine/src/runtime.rs)
+// ===========================================================================
+
+struct ShardQueue {
+    busy: bool,
+    waiters: VecDeque<u64>,
+    /// Model-only audit: tickets in enqueue order. FIFO-fairness means the
+    /// grant log below replays this exactly (a ticket can't be overtaken by
+    /// one that arrived at the shard after it — note arrival order, not
+    /// global ticket order: a multi-partition claim may reach a shard after
+    /// a younger ticket that started there).
+    arrived: Vec<u64>,
+    /// Tickets in grant order.
+    granted: Vec<u64>,
+}
+
+struct LockModel {
+    next_ticket: AtomicU64,
+    shards: Vec<(Mutex<ShardQueue>, Condvar)>,
+}
+
+impl LockModel {
+    fn new(partitions: usize) -> Self {
+        LockModel {
+            next_ticket: AtomicU64::new(0),
+            shards: (0..partitions)
+                .map(|_| {
+                    (
+                        Mutex::new(ShardQueue {
+                            busy: false,
+                            waiters: VecDeque::new(),
+                            arrived: Vec::new(),
+                            granted: Vec::new(),
+                        }),
+                        Condvar::new(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// `LockManager::acquire`, line for line: Relaxed global ticket, then
+    /// each partition in ascending order; FIFO by ticket under the shard
+    /// mutex. `descending` / `skip_fifo` / `notify_one` seed the bugs the
+    /// real design excludes.
+    fn acquire(&self, set: &[usize], descending: bool, skip_fifo: bool) -> u64 {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let order: Vec<usize> =
+            if descending { set.iter().rev().copied().collect() } else { set.to_vec() };
+        for &p in &order {
+            let (m, cv) = &self.shards[p];
+            let mut st = m.lock().unwrap();
+            st.waiters.push_back(ticket);
+            st.arrived.push(ticket);
+            if skip_fifo {
+                // Seeded bug: wait only for the slot, not for FIFO turn.
+                while st.busy {
+                    st = cv.wait(st).unwrap();
+                }
+                let pos = st.waiters.iter().position(|&t| t == ticket).unwrap();
+                st.waiters.remove(pos);
+            } else {
+                while st.busy || st.waiters.front() != Some(&ticket) {
+                    st = cv.wait(st).unwrap();
+                }
+                st.waiters.pop_front();
+            }
+            st.busy = true;
+            st.granted.push(ticket);
+        }
+        ticket
+    }
+
+    /// `LockManager::release`: free each slot, notify_all (or the seeded
+    /// notify_one, which can land on a non-front waiter and strand the
+    /// front).
+    fn release(&self, set: &[usize], notify_one: bool) {
+        for &p in set {
+            let (m, cv) = &self.shards[p];
+            let mut st = m.lock().unwrap();
+            assert!(st.busy, "released a partition nobody holds");
+            st.busy = false;
+            let wake = !st.waiters.is_empty();
+            drop(st);
+            if wake {
+                if notify_one {
+                    cv.notify_one();
+                } else {
+                    cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Three transactions over two partitions, lock sets {0,1} / {0} / {1}:
+/// deadlock-freedom and per-partition FIFO-by-ticket must hold on every
+/// interleaving.
+fn lock_manager_scenario(
+    sets: &'static [&'static [usize]],
+    partitions: usize,
+    descending_in_last: bool,
+    skip_fifo: bool,
+    notify_one: bool,
+) -> impl Fn(&mut checkers::Model) {
+    move |model| {
+        let lm = Arc::new(LockModel::new(partitions));
+        for (i, set) in sets.iter().enumerate() {
+            let lm = lm.clone();
+            let descending = descending_in_last && i == sets.len() - 1;
+            model.thread(move || {
+                let _ticket = lm.acquire(set, descending, skip_fifo);
+                // Hold the set across one schedule point so conflicting
+                // claims really overlap, as they do during execution.
+                checkers::yield_now();
+                lm.release(set, notify_one);
+            });
+        }
+        let lm2 = lm.clone();
+        model.after(move || {
+            for (p, (m, _)) in lm2.shards.iter().enumerate() {
+                let st = m.lock().unwrap();
+                assert!(!st.busy, "partition {p} still held at quiescence");
+                assert!(st.waiters.is_empty(), "stranded waiters at partition {p}");
+                // FIFO-fairness: each partition serves its waiters in the
+                // order they joined its queue.
+                assert_eq!(st.granted, st.arrived, "partition {p} granted out of arrival order");
+            }
+        });
+    }
+}
+
+const SETS_2P: &[&[usize]] = &[&[0, 1], &[0], &[1]];
+const SETS_3P: &[&[usize]] = &[&[0, 1], &[1, 2], &[0, 2]];
+/// Three transactions fighting over one partition: the only configuration
+/// in which two waiters queue *simultaneously*, which is what the FIFO turn
+/// check and the `notify_all` wakeup exist for.
+const SETS_1P: &[&[usize]] = &[&[0], &[0], &[0]];
+
+#[test]
+fn lock_manager_fifo_and_deadlock_free_2p() {
+    let r = explore(opts(), lock_manager_scenario(SETS_2P, 2, false, false, false));
+    assert_pass(&r, "lock_manager_2p_x3");
+}
+
+#[test]
+fn lock_manager_fifo_and_deadlock_free_3p_overlapping() {
+    let r = explore(opts(), lock_manager_scenario(SETS_3P, 3, false, false, false));
+    assert_pass(&r, "lock_manager_3p_x3");
+}
+
+#[test]
+fn seeded_descending_claim_order_deadlocks() {
+    // One transaction claiming {0,2} as 2-then-0 against {0,1} and {1,2}
+    // ascending recreates the wait cycle the ascending rule excludes.
+    let r = explore(opts(), lock_manager_scenario(SETS_3P, 3, true, false, false));
+    let f = r.failure().expect("descending claim order must deadlock");
+    assert_eq!(f.kind, FailureKind::Deadlock);
+    eprintln!("[model::seeded_descending_deadlock] {r}");
+}
+
+#[test]
+fn lock_manager_single_partition_contention_is_fifo() {
+    let r = explore(opts(), lock_manager_scenario(SETS_1P, 1, false, false, false));
+    assert_pass(&r, "lock_manager_1p_x3");
+}
+
+#[test]
+fn seeded_fifo_skip_breaks_ticket_order() {
+    // Waiting only for the slot (not the FIFO turn) lets whichever waiter
+    // the wakeup reaches first overtake the queue front.
+    let r = explore(opts(), lock_manager_scenario(SETS_1P, 1, false, true, false));
+    let f = r.failure().expect("skipping the FIFO turn check must break arrival order");
+    assert!(
+        f.message.contains("granted out of arrival order") || f.kind == FailureKind::Deadlock,
+        "unexpected failure: {} ({:?})",
+        f.message,
+        f.kind
+    );
+    eprintln!("[model::seeded_fifo_skip] {r}");
+}
+
+#[test]
+fn seeded_notify_one_strands_the_front_waiter() {
+    // notify_one can wake a non-front waiter, which re-checks its FIFO turn
+    // and goes back to sleep with nobody left to wake the front: the exact
+    // lost wakeup the notify_all comment in LockManager::release cites.
+    let r = explore(opts(), lock_manager_scenario(SETS_1P, 1, false, false, true));
+    let f = r.failure().expect("notify_one must strand a waiter");
+    assert_eq!(f.kind, FailureKind::Deadlock);
+    eprintln!("[model::seeded_notify_one] {r}");
+}
+
+// ===========================================================================
+// 2. Worker group-commit drain (mirrors worker_loop's backlog drain: reads
+//    acked immediately only until the group has drained a write; from then
+//    on every ack waits for the group flush)
+// ===========================================================================
+
+enum DrainMsg {
+    /// A durable write; `seq` is its 1-based position among writes.
+    Write {
+        seq: u64,
+        ack: Sender<Ack>,
+    },
+    /// A read-only request.
+    Read {
+        ack: Sender<Ack>,
+    },
+    Shutdown,
+}
+
+struct Ack {
+    /// Writes flushed when the ack was sent (read off the shared counter by
+    /// the worker itself, under the ack channel's ordering).
+    flushed_at_ack: u64,
+    /// Writes drained before this request in its own group.
+    writes_before: u64,
+}
+
+/// The worker side of `worker_loop`'s drain: one blocking recv opens a
+/// group, try_recv extends it, the group flushes once at the end.
+/// `seeded_no_group_guard` acks *every* read immediately — dropping the
+/// `group_wrote` condition the real loop applies.
+fn drain_worker(rx: &Receiver<DrainMsg>, flushed: &AtomicU64, seeded_no_group_guard: bool) {
+    'outer: loop {
+        let Ok(first) = rx.recv() else { break };
+        let mut group = vec![first];
+        while let Ok(m) = rx.try_recv() {
+            group.push(m);
+        }
+        let mut group_wrote = false;
+        let mut deferred: Vec<(u64, Sender<Ack>)> = Vec::new();
+        let mut writes_in_group: Vec<u64> = Vec::new();
+        let mut shutdown = false;
+        for msg in group {
+            match msg {
+                DrainMsg::Write { seq, ack } => {
+                    group_wrote = true;
+                    writes_in_group.push(seq);
+                    deferred.push((writes_in_group.len() as u64 - 1, ack));
+                }
+                DrainMsg::Read { ack } => {
+                    let writes_before = writes_in_group.len() as u64;
+                    if !group_wrote || seeded_no_group_guard {
+                        // Read-only prefix (or the seeded bug): ack now,
+                        // before any flush of this group.
+                        let _ = ack.send(Ack {
+                            flushed_at_ack: flushed.load(Ordering::Relaxed),
+                            writes_before,
+                        });
+                    } else {
+                        deferred.push((writes_before, ack));
+                    }
+                }
+                DrainMsg::Shutdown => {
+                    shutdown = true;
+                }
+            }
+        }
+        // Group commit: one flush covers every write drained in this run,
+        // then the deferred acks go out.
+        if !writes_in_group.is_empty() {
+            flushed.fetch_add(writes_in_group.len() as u64, Ordering::Relaxed);
+        }
+        for (writes_before, ack) in deferred {
+            let _ =
+                ack.send(Ack { flushed_at_ack: flushed.load(Ordering::Relaxed), writes_before });
+        }
+        if shutdown {
+            break 'outer;
+        }
+    }
+}
+
+fn group_commit_scenario(seeded: bool) -> impl Fn(&mut checkers::Model) {
+    move |model| {
+        let (tx, rx) = channel::<DrainMsg>();
+        let flushed = Arc::new(AtomicU64::new(0));
+        let fw = flushed.clone();
+        model.thread(move || drain_worker(&rx, &fw, seeded));
+        model.thread(move || {
+            // One client, W then R then W: depending on how the drain
+            // groups them, R is either a read-only prefix of its group
+            // (ackable pre-flush) or rides behind W1's flush.
+            let (a1, r1) = channel::<Ack>();
+            let (a2, r2) = channel::<Ack>();
+            let (a3, r3) = channel::<Ack>();
+            tx.send(DrainMsg::Write { seq: 1, ack: a1 }).unwrap();
+            tx.send(DrainMsg::Read { ack: a2 }).unwrap();
+            tx.send(DrainMsg::Write { seq: 2, ack: a3 }).unwrap();
+            tx.send(DrainMsg::Shutdown).unwrap();
+            // Every write ack must follow its group's flush.
+            let w1 = r1.recv().unwrap();
+            assert!(w1.flushed_at_ack >= 1, "write 1 acked before its flush");
+            // The invariant under test: an ack never precedes a flush the
+            // request's position in its group requires. A read drained
+            // after a write in the same group must see that write flushed.
+            let rd = r2.recv().unwrap();
+            assert!(
+                rd.flushed_at_ack >= rd.writes_before,
+                "read acked with {} writes drained before it in-group but only {} flushed",
+                rd.writes_before,
+                rd.flushed_at_ack
+            );
+            let w2 = r3.recv().unwrap();
+            assert!(w2.flushed_at_ack >= 2, "write 2 acked before its flush");
+        });
+    }
+}
+
+#[test]
+fn group_commit_read_prefix_acks_never_precede_required_flush() {
+    let r = explore(opts(), group_commit_scenario(false));
+    assert_pass(&r, "group_commit_drain");
+}
+
+#[test]
+fn seeded_unconditional_read_ack_is_caught() {
+    let r = explore(opts(), group_commit_scenario(true));
+    let f =
+        r.failure().expect("acking reads past a drained write must violate the flush invariant");
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(f.message.contains("read acked with"), "message: {}", f.message);
+    eprintln!("[model::seeded_read_ack] {r}");
+}
+
+// ===========================================================================
+// 3. Shutdown vs. fast-path call race (mirrors Client::call sending its
+//    reply Sender inside the worker message, and Shutdown dropping the
+//    backlog)
+// ===========================================================================
+
+enum CallMsg {
+    Call { reply: Sender<u64> },
+    Shutdown,
+}
+
+/// `worker_loop`'s shutdown contract: on `Shutdown`, stop consuming; the
+/// receiver drop clears the backlog, which drops any queued reply senders,
+/// which is what disconnects in-flight callers.
+fn call_worker(rx: Receiver<CallMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CallMsg::Call { reply } => {
+                let _ = reply.send(7);
+            }
+            CallMsg::Shutdown => break,
+        }
+    }
+    // rx dropped here: queued Call messages (and their reply senders) die.
+}
+
+fn shutdown_race_scenario(seeded_keep_reply_clone: bool) -> impl Fn(&mut checkers::Model) {
+    move |model| {
+        let (tx, rx) = channel::<CallMsg>();
+        let tx_shutdown = tx.clone();
+        model.thread(move || call_worker(rx));
+        model.thread(move || {
+            let (reply_tx, reply_rx) = channel::<u64>();
+            // Seeded bug: holding a clone of the reply sender means the
+            // reply channel can never disconnect, so a dropped call hangs
+            // the client forever instead of erroring.
+            let kept = seeded_keep_reply_clone.then(|| reply_tx.clone());
+            if tx.send(CallMsg::Call { reply: reply_tx }).is_ok() {
+                // No deadlock, no lost reply: either the worker answered,
+                // or the shutdown dropped our call and the disconnect wakes
+                // us — hanging here is the bug the checker must rule out.
+                // Err means the call raced shutdown: a clean disconnect.
+                if let Ok(v) = reply_rx.recv() {
+                    assert_eq!(v, 7);
+                }
+            }
+            drop(kept);
+        });
+        model.thread(move || {
+            let _ = tx_shutdown.send(CallMsg::Shutdown);
+        });
+    }
+}
+
+#[test]
+fn shutdown_race_never_hangs_or_loses_a_reply() {
+    let r = explore(opts(), shutdown_race_scenario(false));
+    assert_pass(&r, "shutdown_fast_path_race");
+}
+
+#[test]
+fn seeded_reply_sender_leak_hangs_the_client() {
+    let r = explore(opts(), shutdown_race_scenario(true));
+    let f = r.failure().expect("a leaked reply sender must hang the client");
+    assert_eq!(f.kind, FailureKind::Deadlock);
+    eprintln!("[model::seeded_reply_leak] {r}");
+}
+
+// ===========================================================================
+// Replay: a failing schedule recorded from one seeded model reproduces
+// identically when fed back (the engine-side twin of the checker selftest).
+// ===========================================================================
+
+#[test]
+fn seeded_deadlock_replays_deterministically() {
+    let r = explore(opts(), lock_manager_scenario(SETS_3P, 3, true, false, false));
+    let f = r.failure().expect("seeded deadlock");
+    let replayed = checkers::replay(
+        opts(),
+        lock_manager_scenario(SETS_3P, 3, true, false, false),
+        &f.trace.picks,
+    );
+    let rf = replayed.failure().expect("replay must reproduce the deadlock");
+    assert_eq!(rf.kind, f.kind);
+    assert_eq!(rf.message, f.message);
+    assert_eq!(rf.trace.steps, f.trace.steps);
+}

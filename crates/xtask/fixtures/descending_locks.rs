@@ -1,0 +1,19 @@
+// Fixture: a LockManager::acquire whose claim loop reverses the partition
+// order — the seeded deadlock the ascending-locks rule exists to catch.
+
+impl LockManager {
+    fn acquire(&self, set: PartitionSet) {
+        // ordering: Relaxed — ticket only needs uniqueness.
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        for p in set.iter().rev() {
+            let shard = &self.shards[p as usize];
+            let mut st = shard.state.lock().expect("lock shard poisoned");
+            st.waiters.push_back(ticket);
+            while st.busy || st.waiters.front() != Some(&ticket) {
+                st = shard.cv.wait(st).expect("lock shard poisoned");
+            }
+            st.waiters.pop_front();
+            st.busy = true;
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: a properly annotated `Ordering::` use. With the matching
+// allowlist entry it passes; without one, only the allowlist rule trips.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    // ordering: Release publishes everything written before the flag flip.
+    flag.store(1, Ordering::Release);
+}

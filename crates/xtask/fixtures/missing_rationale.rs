@@ -1,0 +1,8 @@
+// Fixture: an atomic ordering use with no adjacent rationale comment
+// (the allowlist entry exists, so only the rationale rule should trip).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

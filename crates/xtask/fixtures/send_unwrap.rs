@@ -1,0 +1,9 @@
+// Fixture: worker-path channel sends that panic on disconnect instead of
+// handling the shutdown race.
+
+fn worker(tx: &Sender<u64>, results: &Sender<u64>) {
+    tx.send(1).unwrap();
+    results.send(2).expect("peer hung up");
+    // Fine: the disconnect is handled.
+    let _ = tx.send(3);
+}

@@ -1,0 +1,19 @@
+// Fixture: a facade-ported module naming `std::sync` directly — the model
+// checker would silently skip this mutex.
+
+use std::sync::Mutex;
+
+pub struct Cell {
+    inner: Mutex<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: integration-style tests run on real threads.
+    use std::sync::Arc;
+
+    #[test]
+    fn hammer() {
+        let _ = Arc::new(0u64);
+    }
+}
