@@ -1,0 +1,57 @@
+//! Microbenchmark of the live fast path: one steady-state [`Client::call`]
+//! round trip through the SPSC lane, the worker's fair sweep, and the
+//! reused reply slot — the per-transaction overhead Fig. 11 attributes to
+//! coordination and queueing, measured directly.
+//!
+//! Two advisors bracket the path: `assume_single_partition` is the floor
+//! (unit session, no estimation), `houdini` adds the paper's Markov-model
+//! estimate plus the spare-session graft, so the spread between the two is
+//! the model's true fast-path cost.
+
+use bench::trained_houdini;
+use common::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::baselines::AssumeSinglePartition;
+use engine::{Client, LiveAdvisor, LiveConfig, LiveRuntime};
+use std::hint::black_box;
+use std::sync::Arc;
+use workloads::Bench;
+
+const SUBS: i64 = 200; // one partition's subscriber population
+
+fn call_loop<A: LiveAdvisor + 'static>(c: &mut Criterion, name: &str, advisor: A) {
+    let bench = Bench::Tatp;
+    let db = bench.database(1);
+    let registry = bench.registry();
+    let proc = registry.catalog().proc_id("GetSubscriber").expect("TATP proc");
+    let cfg = LiveConfig { seed: 23, ..LiveConfig::default() };
+    let rt = LiveRuntime::start(db, registry, advisor, cfg);
+    let mut client: Client<A> = rt.client();
+    // Warm the session cache and lane registry off the measured path.
+    for s in 0..64 {
+        client.call(proc, vec![Value::Int(s % SUBS)]).expect("warm-up call");
+    }
+    let mut s = 0i64;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            s = (s + 13) % SUBS;
+            black_box(client.call(proc, vec![Value::Int(s)]).expect("runtime alive"))
+        })
+    });
+    drop(client);
+    rt.shutdown();
+}
+
+fn fastpath_asp(c: &mut Criterion) {
+    call_loop(c, "fastpath/call_asp", AssumeSinglePartition::new());
+}
+
+fn fastpath_houdini(c: &mut Criterion) {
+    // Quick-scale training: the bench measures the serving path, not the
+    // trainer; an Arc handle is the same shape the experiments use.
+    let houdini = Arc::new(trained_houdini(Bench::Tatp, 1, 1_500, true, 0.5, 23));
+    call_loop(c, "fastpath/call_houdini", houdini);
+}
+
+criterion_group!(fastpath, fastpath_asp, fastpath_houdini);
+criterion_main!(fastpath);

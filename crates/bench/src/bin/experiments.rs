@@ -2,7 +2,8 @@
 //!
 //! Usage: `experiments [--full] <id>...` where ids are `fig3 fig4 fig5 fig7
 //! fig8 fig9 fig10 table3 fig11 table4 fig12 fig13 live live-latency
-//! live-drift live-profile` or `all`. `--full` uses the larger trace sizes
+//! live-drift live-profile check-live-profile` or `all`. `--full` uses the
+//! larger trace sizes
 //! and longer simulated windows recorded in EXPERIMENTS.md; the default
 //! quick scale finishes in seconds per experiment. `live` measures real
 //! wall-clock throughput on the multi-threaded partition runtime instead of
@@ -11,7 +12,9 @@
 //! sweep; `live-drift` measures on-line model maintenance (§4.5) under a
 //! mid-run TATP skew flip; `live-profile` measures the live Fig. 11
 //! per-stage wall-clock breakdown (estimation / execution / coordination /
-//! queueing).
+//! queueing); `check-live-profile` is the CI smoke gate that fails (exits
+//! nonzero) if the 1-worker TATP coordination share regresses to the
+//! pre-SPSC-lane level.
 
 use bench::experiments::run_experiment;
 use bench::Scale;
@@ -23,7 +26,7 @@ fn main() {
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|live|live-latency|live-drift|live-profile|all>..."
+            "usage: experiments [--full] <fig3|fig4|fig5|fig7|fig8|fig9|fig10|table3|fig11|table4|fig12|fig13|live|live-latency|live-drift|live-profile|check-live-profile|all>..."
         );
         std::process::exit(2);
     }

@@ -865,7 +865,7 @@ fn render_drift_section(rows: &[DriftRow]) -> String {
     s
 }
 
-/// Renders the `"profile"` section of `BENCH_live.json` (schema 4): the
+/// Renders the `"profile"` section of `BENCH_live.json` (schema 5): the
 /// live runtime's Fig. 11 breakdown — per-stage shares of the attributed
 /// call wall time, plus the mean attributed microseconds per resolved
 /// call, per measured configuration.
@@ -945,15 +945,38 @@ fn extract_section(existing: &str, key: &str) -> Option<String> {
     Some(rest[..end + 4].to_string())
 }
 
+/// Renders the `"host"` section: the revision and machine that produced
+/// the numbers. Regenerated on every write — never carried forward — so
+/// the file always names the commit its measurements belong to, which is
+/// what makes cross-PR comparisons of the perf trajectory trustworthy.
+fn host_section() -> String {
+    let from_cmd = |cmd: &str, args: &[&str]| {
+        std::process::Command::new(cmd)
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into())
+    };
+    let commit = from_cmd("git", &["rev-parse", "--short=12", "HEAD"]);
+    let date = from_cmd("date", &["-u", "+%F"]);
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    format!("  \"host\": {{ \"commit\": \"{commit}\", \"cores\": {cores}, \"date\": \"{date}\" }}")
+}
+
 /// Machine-readable form of the live measurements, for tracking the perf
 /// trajectory across PRs (flat JSON, no serde dependency needed for a
-/// fixed schema). Schema 4: `rows` (scaling/ablation sweeps, written by
-/// `live`), `latency` (the open-loop offered-load sweep, written by
-/// `live` and `live-latency`), `drift` (the `live-drift` maintenance
-/// experiment), and `profile` (the live Fig. 11 per-stage breakdown,
-/// written by `live` and `live-profile`); each experiment rewrites its
-/// own section(s) and carries the others forward from `existing` (the
-/// previous file contents, if any).
+/// fixed schema). Schema 5: `host` (the commit, core count, and date the
+/// numbers were measured at — regenerated on every write), `rows`
+/// (scaling/ablation sweeps, written by `live`), `latency` (the open-loop
+/// offered-load sweep, written by `live` and `live-latency`), `drift`
+/// (the `live-drift` maintenance experiment), and `profile` (the live
+/// Fig. 11 per-stage breakdown, written by `live` and `live-profile`);
+/// each experiment rewrites its own section(s) and carries the others
+/// forward from `existing` (the previous file contents, if any).
 pub fn bench_live_json(
     rows: Option<&[LiveRow]>,
     latency: Option<&[LatencyRow]>,
@@ -986,9 +1009,11 @@ pub fn bench_live_json(
             .and_then(|e| extract_section(e, "profile"))
             .unwrap_or_else(|| String::from("  \"profile\": []")),
     };
-    let mut s = String::from("{\n  \"schema\": 4,\n");
+    let mut s = String::from("{\n  \"schema\": 5,\n");
     let _ =
         writeln!(s, "  \"scale\": \"{}\",", if scale == Scale::Full { "full" } else { "quick" });
+    s.push_str(&host_section());
+    s.push_str(",\n");
     s.push_str(&rows_section);
     s.push_str(",\n");
     s.push_str(&latency_section);
@@ -1315,6 +1340,35 @@ pub fn live_profile(scale: Scale) -> String {
     out
 }
 
+/// `check-live-profile` — the CI smoke gate for the fast-path work: runs
+/// the 1-worker TATP live profile and fails the process if the
+/// coordination share has regressed to the pre-SPSC-lane runtime's level
+/// (59.6% at the seed commit, same 1-core host; the ring-lane dispatch
+/// holds it near 40%). Median of three runs shrugs off scheduler noise.
+/// A gate, not a measurement: it never writes `BENCH_live.json`.
+pub fn check_live_profile(scale: Scale) -> String {
+    const SEED_COORD_PCT: f64 = 59.6;
+    let houdini = Arc::new(trained_houdini(Bench::Tatp, 1, scale.trace_len(), true, 0.5, 71));
+    let cfg = live_config(scale, 71, 150, 0);
+    let mut shares: Vec<f64> = (0..3)
+        .map(|i| {
+            let m = measure_once(Bench::Tatp, "houdini", 1, &houdini, &cfg, 73 + i);
+            100.0 * m.profile.overall_share(Bucket::Coordination)
+        })
+        .collect();
+    shares.sort_by(f64::total_cmp);
+    let median = shares[1];
+    assert!(
+        median < SEED_COORD_PCT,
+        "live fast path regressed: 1-worker TATP coordination share {median:.1}% >= \
+         {SEED_COORD_PCT}% (the seed's shared-MPSC level; runs: {shares:?})"
+    );
+    format!(
+        "# check-live-profile: 1-worker TATP coordination share {median:.1}% \
+         (gate: < {SEED_COORD_PCT}%; runs {shares:?})\n"
+    )
+}
+
 /// Runs one experiment by id (`fig3`, `table3`, ...; `all` runs everything).
 pub fn run_experiment(id: &str, scale: Scale) -> String {
     match id {
@@ -1334,6 +1388,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> String {
         "live-latency" => live_latency(scale),
         "live-drift" => live_drift(scale),
         "live-profile" => live_profile(scale),
+        "check-live-profile" => check_live_profile(scale),
         "all" => {
             let ids = [
                 "fig3",
@@ -1372,7 +1427,9 @@ mod tests {
         };
         let first =
             bench_live_json(Some(std::slice::from_ref(&row)), None, None, None, Scale::Quick, None);
-        assert!(first.contains("\"schema\": 4"));
+        assert!(first.contains("\"schema\": 5"));
+        assert!(first.contains("\"host\": {"), "host metadata missing: {first}");
+        assert!(first.contains("\"cores\": "));
         assert!(first.contains("\"rows\": [\n"));
         assert!(first.contains("\"latency\": []"));
         assert!(first.contains("\"drift\": []"));

@@ -167,6 +167,19 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a model [`Condvar::wait_timeout`]: whether the wait ended by
+/// timing out. Std's `WaitTimeoutResult` has no public constructor, so the
+/// model defines its own; the `common::sync` facade re-exports whichever
+/// arm is active and the two are method-compatible (`timed_out`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// Model condvar. `notify_one` with several waiters is a decision point
 /// (which waiter wakes); a notify with no waiters is lost, which is exactly
 /// how lost-wakeup bugs surface (as a deadlock of the would-be waiter).
@@ -190,6 +203,27 @@ impl Condvar {
         std::mem::forget(guard);
         self.core.op_cv_wait(self.id, mutex.id);
         Ok(MutexGuard { mutex })
+    }
+
+    /// Whether the timeout fires is a nondeterministic branch the explorer
+    /// enumerates. The timeout arm returns immediately with the guard still
+    /// held — equivalent to a schedule where the deadline expires before
+    /// anyone else touches the mutex; schedules where other threads
+    /// intervene are covered by the non-timeout arm plus preemptions.
+    /// Callers must therefore tolerate `timed_out()` with the predicate
+    /// already true, exactly as with std's spurious wakeups.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if self.core.op_choice("cv_wait_timeout", 2) == 1 {
+            return Ok((guard, WaitTimeoutResult(true)));
+        }
+        // Model waits never poison (a model-thread panic fails the whole
+        // schedule instead), so the inner LockResult is always Ok.
+        let g = self.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok((g, WaitTimeoutResult(false)))
     }
 
     pub fn notify_one(&self) {

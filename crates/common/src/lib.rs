@@ -9,6 +9,7 @@ pub mod epoch;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod ring;
 pub mod rng;
 pub mod sync;
 pub mod value;

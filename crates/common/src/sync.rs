@@ -20,7 +20,7 @@
 //! `-D warnings`.
 
 #[cfg(not(feature = "check"))]
-pub use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+pub use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
 
 #[cfg(not(feature = "check"))]
 pub mod atomic {
@@ -36,7 +36,9 @@ pub mod mpsc {
 }
 
 #[cfg(feature = "check")]
-pub use checkers::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+pub use checkers::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, WaitTimeoutResult,
+};
 
 #[cfg(feature = "check")]
 pub use checkers::sync::atomic;

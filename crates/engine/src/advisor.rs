@@ -32,7 +32,11 @@ pub struct Request {
 }
 
 /// The advisor's initial decisions for one transaction.
-#[derive(Debug, Clone)]
+///
+/// `Copy`: every field is a small scalar or bitset, and the live fast path
+/// moves a plan into each worker message — keeping it `Copy` pins that at
+/// zero allocations.
+#[derive(Debug, Clone, Copy)]
 pub struct TxnPlan {
     /// Partition whose node runs the control code (OP1).
     pub base_partition: PartitionId,
@@ -226,6 +230,38 @@ pub trait LiveAdvisor: Send + Sync {
         None
     }
 
+    /// Like [`LiveAdvisor::plan_live`], but offered a `spare` session
+    /// reclaimed by [`LiveAdvisor::end_live_reclaim`] from an earlier
+    /// transaction of the *same procedure* on the *same client*. Advisors
+    /// with allocation-heavy sessions override this to graft the spare's
+    /// already-sized buffers into the fresh session; the default drops the
+    /// spare and plans from scratch. Implementations must not let any
+    /// stale prediction state survive the graft — only raw capacity
+    /// (maps, vectors) may be reused.
+    fn plan_live_reusing(
+        &self,
+        req: &Request,
+        ctx: &PlanContext<'_>,
+        spare: Option<Self::Session>,
+    ) -> (TxnPlan, Self::Session) {
+        drop(spare);
+        self.plan_live(req, ctx)
+    }
+
+    /// Session teardown with scratch reclamation: returns exactly what
+    /// [`LiveAdvisor::on_end_live`] would, plus (optionally) the spent
+    /// session so the calling client can cache it and hand it back to the
+    /// next [`LiveAdvisor::plan_live_reusing`] for the same procedure.
+    /// The default preserves the consume-only contract and reclaims
+    /// nothing.
+    fn end_live_reclaim(
+        &self,
+        session: Self::Session,
+        outcome: TxnOutcome,
+    ) -> (Option<TxnFeedback>, Option<Self::Session>) {
+        (self.on_end_live(session, outcome), None)
+    }
+
     /// The advisor's background maintenance driver, if it learns from live
     /// feedback. Called once per [`crate::run_live`]; `None` (the default)
     /// disables the feedback channel and maintenance thread entirely.
@@ -265,6 +301,23 @@ impl<A: LiveAdvisor> LiveAdvisor for std::sync::Arc<A> {
 
     fn on_end_live(&self, session: Self::Session, outcome: TxnOutcome) -> Option<TxnFeedback> {
         (**self).on_end_live(session, outcome)
+    }
+
+    fn plan_live_reusing(
+        &self,
+        req: &Request,
+        ctx: &PlanContext<'_>,
+        spare: Option<Self::Session>,
+    ) -> (TxnPlan, Self::Session) {
+        (**self).plan_live_reusing(req, ctx, spare)
+    }
+
+    fn end_live_reclaim(
+        &self,
+        session: Self::Session,
+        outcome: TxnOutcome,
+    ) -> (Option<TxnFeedback>, Option<Self::Session>) {
+        (**self).end_live_reclaim(session, outcome)
     }
 
     fn maintainer(&self) -> Option<Box<dyn LiveMaintainer + '_>> {

@@ -3,9 +3,10 @@
 //! Where [`crate::Simulation`] charges a cost model for time, this module
 //! runs the paper's architecture (§2, Fig. 1) for real: one OS worker
 //! thread per partition with *exclusive ownership* of that partition's
-//! [`storage::Shard`], a channel-based dispatcher, and any number of
-//! caller-owned [`Client`] handles that route every request through a
-//! shared, trained, read-only [`LiveAdvisor`].
+//! [`storage::Shard`], a lock-free SPSC ring-lane dispatcher with a
+//! doorbell-parked control channel, and any number of caller-owned
+//! [`Client`] handles that route every request through a shared, trained,
+//! read-only [`LiveAdvisor`].
 //!
 //! ## Thread and ownership model
 //!
@@ -21,14 +22,26 @@
 //! lifecycle.
 //!
 //! * **Workers** (one per partition) own their shard outright — no locks
-//!   guard row access, ever. A worker drains its queue *in runs*: one
-//!   blocking receive, then everything already buffered. Consecutive
-//!   single-partition transactions in a run execute as one group — their
-//!   durable effects share a single commit flush and their
-//!   acknowledgements go out together in completion order (group commit +
-//!   group ack) — while a reservation from a distributed transaction
-//!   closes the group (everything queued before it must be flushed and
-//!   acknowledged first, preserving strict queue-order semantics).
+//!   guard row access, ever. Fast-path requests arrive on *per-client SPSC
+//!   ring lanes* ([`common::ring`]) — each [`Client`] registers a
+//!   dedicated bounded lock-free lane with each worker it talks to, so
+//!   the hot path crosses no shared mutex and no MPSC channel; rare
+//!   control traffic (lane registration, reservations, 2PC outcomes,
+//!   shutdown) rides a plain shared channel, and a [`common::ring::
+//!   Doorbell`] wakes a worker that parked with everything empty. A
+//!   worker collects work *in runs*: it drains the control channel, then
+//!   sweeps its lanes fairly (round-robin, one message per lane per pass)
+//!   until a pass comes up empty. The swept single-partition transactions
+//!   execute as one group — their durable effects share a single commit
+//!   flush and their acknowledgements go out together in completion order
+//!   (group commit + group ack) — and the flush window itself is
+//!   *adaptive*: sized by the backlog the lanes show when the group
+//!   closes, from zero (nobody waiting — flush immediately) up to the
+//!   `commit_flush_us` cap (deep backlog — widen the window so the next
+//!   group coalesces more). A reservation from a distributed transaction
+//!   is admitted after the current group (everything swept before it is
+//!   flushed and acknowledged first; per-client FIFO order is the lane
+//!   itself).
 //! * **Clients** (the paper's §6.4 load generators, or any embedding
 //!   application thread) plan each request via the shared advisor, then
 //!   either hand the whole transaction to its base partition's worker, or
@@ -82,7 +95,7 @@
 //! participant whose fragment *wrote* flushes (its early vote), keeps the
 //! fragment's undo log as the base of a [`storage::SpeculationStack`], and
 //! opens a speculation window: until the 2PC outcome arrives — pushed on
-//! the worker's main queue as `WorkerMsg::SpecFinish` — queued
+//! the worker's control channel as `CtrlMsg::SpecFinish` — queued
 //! single-partition transactions execute *speculatively*, with undo
 //! logging force-enabled regardless of OP3 (§4.3). A speculative
 //! transaction that touched no table written inside the window (by the
@@ -140,10 +153,9 @@ use crate::metrics::RunMetrics;
 use crate::procedure::{ProcedureRegistry, Step};
 use crate::profiler::Bucket;
 use crate::sim::RequestGenerator;
+use common::ring::{self, Doorbell, PushError};
 use common::sync::atomic::{AtomicU64, Ordering};
-use common::sync::mpsc::{
-    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
-};
+use common::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
 use common::sync::{Arc, Condvar, Mutex, PoisonError};
 use common::{
     derive_seed, seeded_rng, Error, FxHashMap, PartitionId, PartitionSet, ProcId, QueryId, Result,
@@ -159,13 +171,47 @@ use storage::{Database, Row, Shard, SpeculationStack, UndoLog};
 use crate::metrics::MaintenanceReport;
 
 /// Watchdog interval of a speculating worker. The 2PC outcome normally
-/// arrives *pushed* on the worker's main queue ([`WorkerMsg::SpecFinish`]),
-/// so the worker blocks like any idle worker; this timeout only bounds how
-/// long a window can dangle if its coordinator died without sending an
-/// outcome (detected as a disconnect of the reservation channel). Rare by
+/// arrives *pushed* on the worker's control channel
+/// ([`CtrlMsg::SpecFinish`]), whose sender rings the doorbell, so the
+/// worker parks like any idle worker; this timeout only bounds how long a
+/// window can dangle if its coordinator died without sending an outcome
+/// (detected as a disconnect of the reservation channel). Rare by
 /// construction, so it can be long — a speculating worker costs ~40
 /// wake-ups per second, which matters on single-core hosts.
 const SPEC_WATCHDOG: Duration = Duration::from_millis(25);
+
+/// Watchdog interval of a client parked on its reply slot. A reply
+/// normally arrives as a condvar signal; the tick only bounds how long a
+/// client can sleep past a shutdown that retired its lane with the call
+/// still buffered (the "calls racing shutdown fail cleanly" contract).
+const REPLY_WATCHDOG: Duration = Duration::from_millis(25);
+
+/// Capacity of one client→worker SPSC lane. A blocking [`Client`] has at
+/// most one call in flight, so any power of two ≥ 2 works; 8 leaves slack
+/// for embedders that pipeline a few calls per thread before blocking.
+const LANE_CAPACITY: usize = 8;
+
+/// Backlog depth at which the adaptive group-commit window reaches the
+/// full `commit_flush_us` cap (see [`adaptive_flush`]).
+const FLUSH_KNEE: usize = 8;
+
+/// Bounded yield-spin a client performs on its reply slot before falling
+/// back to the condvar ([`ReplySlot::take_or_abandon`]). Each iteration is
+/// one `yield_now`, so even on a single-core host the worker gets the CPU
+/// immediately. Sized past the typical closed-loop reply wait (a few
+/// peers' service plus scheduling) — a client that parks mid-steady-state
+/// costs a futex wait *and* puts a wake on the worker's ack path, so the
+/// budget errs long; it is only ever burned in full when no reply is
+/// coming (shutdown races), where the condvar backstop still bounds the
+/// wait.
+const REPLY_SPIN: u32 = 256;
+
+/// Bounded yield-spin re-sweeps an out-of-work worker performs before
+/// engaging the doorbell park protocol ([`worker_loop`]). Sized to cover
+/// a full closed-loop client cohort's between-call processing (each
+/// yield donates the CPU to one of them), so the steady state never pays
+/// a park/unpark futex cycle per batch.
+const IDLE_SPIN: u32 = 256;
 
 /// Transparent cascade redos of one request before the client falls back to
 /// a lock-all plan. Cascades are rare by construction (they need an
@@ -191,11 +237,17 @@ pub struct LiveConfig {
     pub max_restarts: u32,
     /// Seed for the clients' random-partition draws.
     pub seed: u64,
-    /// Synchronous commit-log flush time per partition (µs of real sleep at
-    /// commit, 0 = off). Models the durable group-commit H-Store overlaps;
-    /// it also makes worker-count scaling observable on machines with fewer
-    /// cores than partitions, because flushes on different partitions
-    /// overlap in wall-clock time while CPU work cannot.
+    /// *Maximum* group-commit coalescing window per partition (µs, 0 =
+    /// off). Models the durable group-commit H-Store overlaps. On the
+    /// fast path this caps the *adaptive* window a commit group may stay
+    /// open, scaled by the backlog observed as the group runs — zero when
+    /// no one is waiting (the group cannot grow, so flush immediately),
+    /// the full cap under deep backlog (see `adaptive_window`) — and
+    /// the window elapses under useful work, never as a sleep. 2PC
+    /// participant flushes are ungrouped and pay the full cap as a real
+    /// sleep, which also makes worker-count scaling observable on
+    /// machines with fewer cores than partitions: flushes on different
+    /// partitions overlap in wall-clock time while CPU work cannot.
     pub commit_flush_us: u64,
     /// One-way coordinator→participant message latency (µs of real sleep at
     /// the participant before it processes a fragment command, 0 = off) —
@@ -402,6 +454,9 @@ enum SingleReply<S> {
         times: StageTimes,
     },
     Mispredict {
+        /// The request handed back for the replan — the client moved it
+        /// into the message, so the reply returns ownership.
+        req: Request,
         observed: PartitionSet,
         session: S,
         times: StageTimes,
@@ -409,28 +464,165 @@ enum SingleReply<S> {
     /// The transaction executed speculatively and was rolled back by the
     /// cascade after the early-prepared transaction aborted; the client
     /// retries transparently with a fresh session (no restart counted).
-    Cascaded,
+    /// Carries the request back for the redo.
+    Cascaded {
+        req: Request,
+    },
     Fatal(Error),
 }
 
-enum WorkerMsg<S> {
-    Single {
-        req: Request,
-        plan: TxnPlan,
-        session: S,
-        reply: Sender<SingleReply<S>>,
-        /// When the client enqueued the message — the worker derives the
-        /// queue-wait time (Fig. 11 `Queueing`) at pickup.
-        enqueued: Instant,
-    },
+/// A single-partition fast-path message, carried on the issuing client's
+/// dedicated SPSC ring lane to the base partition's worker — never on the
+/// shared control channel (see [`WorkerGate`]).
+struct SingleMsg<S> {
+    req: Request,
+    plan: TxnPlan,
+    session: S,
+    /// The client's reusable reply mailbox (one per client, every call
+    /// reuses it — a blocking client has one call in flight at a time).
+    reply: Arc<ReplySlot<S>>,
+    /// When the client enqueued the message — the worker derives the
+    /// queue-wait time (Fig. 11 `Queueing`) at pickup.
+    enqueued: Instant,
+}
+
+/// Control-plane traffic to one worker. Rare by construction, so it stays
+/// on a plain shared MPSC channel; the hot fast path rides the SPSC lanes.
+enum CtrlMsg<S> {
+    /// A client registered a new fast-path lane with this worker.
+    Lane(ring::Consumer<SingleMsg<S>>),
     Reserve(Reserve),
     /// 2PC outcome for the speculation window this worker has open — sent
-    /// on the main queue (not the reservation channel) so a speculating
-    /// worker can block on one receiver instead of polling two.
+    /// on the control channel (not the reservation channel) so a
+    /// speculating worker parks on its doorbell instead of polling two
+    /// receivers.
     SpecFinish {
         commit: bool,
     },
     Shutdown,
+}
+
+/// A client's reusable one-shot reply mailbox: the worker fills it, the
+/// client sleeps on the condvar. Replaces a fresh channel per call — the
+/// `Arc` is cloned into each message but never reallocated.
+struct ReplySlot<S> {
+    state: Mutex<Option<SingleReply<S>>>,
+    cv: Condvar,
+    /// 1 while the owning client is blocked in a condvar wait (it spins
+    /// first — see [`ReplySlot::take_or_abandon`]). Lets [`ReplySlot::put`]
+    /// skip the futex-wake syscall in the common case where the client is
+    /// still spinning and will observe the reply on its next probe.
+    sleeper: AtomicU64,
+}
+
+impl<S> ReplySlot<S> {
+    fn new() -> Self {
+        ReplySlot { state: Mutex::new(None), cv: Condvar::new(), sleeper: AtomicU64::new(0) }
+    }
+
+    /// Fills the slot and wakes the waiting client. Empty by contract:
+    /// the owning client blocks for each call's reply before reusing it.
+    fn put(&self, reply: SingleReply<S>) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        debug_assert!(st.is_none(), "reply slot already full");
+        *st = Some(reply);
+        drop(st);
+        // ordering: Relaxed — no lost wakeup possible. A client only sets
+        // `sleeper` while holding `state`, before the wait releases it; if
+        // this load misses the flag, our mutex section above must have run
+        // *before* the client's final empty-check of the slot, so the
+        // client sees the reply under the lock and never sleeps. (The
+        // client's store happens-before our lock acquisition whenever it
+        // actually reached the wait, making the flag visible here.)
+        if self.sleeper.load(Ordering::Relaxed) != 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until a reply arrives. `abandoned` is polled on watchdog
+    /// ticks: once it reports true (the worker retired this client's lane
+    /// — possibly discarding the buffered call at shutdown) and the slot
+    /// is still empty, no reply can ever arrive, so give up with `None`.
+    fn take_or_abandon(&self, abandoned: impl Fn() -> bool) -> Option<SingleReply<S>> {
+        // Fast-path replies land within microseconds of the doorbell ring,
+        // so a bounded yield-spin usually collects them without paying the
+        // condvar's futex sleep/wake round trip — which would otherwise
+        // dominate the call's coordination share, especially on small
+        // hosts where the wake is a full scheduler pass. The condvar wait
+        // below stays the correctness path; the spin is best-effort.
+        for _ in 0..REPLY_SPIN {
+            {
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(r) = st.take() {
+                    return Some(r);
+                }
+            }
+            std::thread::yield_now();
+        }
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        // ordering: Relaxed — published to the worker by the mutex: the
+        // store precedes every release of `state` below (the waits), so a
+        // `put` that finds the slot unclaimed observes it (see `put`).
+        self.sleeper.store(1, Ordering::Relaxed);
+        let reply = loop {
+            if let Some(r) = st.take() {
+                break Some(r);
+            }
+            if abandoned() {
+                break None;
+            }
+            let (g, _) =
+                self.cv.wait_timeout(st, REPLY_WATCHDOG).unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        };
+        // ordering: Relaxed — same-thread cleanup; the next call's spin
+        // phase must not leave stale wake requests behind.
+        self.sleeper.store(0, Ordering::Relaxed);
+        reply
+    }
+
+    /// Waits up to `dur` for a reply — test hook for deferred-ack checks.
+    #[cfg(test)]
+    fn take_within(&self, dur: Duration) -> Option<SingleReply<S>> {
+        let deadline = Instant::now() + dur;
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        // ordering: Relaxed — published by the mutex, as in
+        // `take_or_abandon`.
+        self.sleeper.store(1, Ordering::Relaxed);
+        let reply = loop {
+            if let Some(r) = st.take() {
+                break Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break None;
+            }
+            let (g, _) =
+                self.cv.wait_timeout(st, deadline - now).unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        };
+        self.sleeper.store(0, Ordering::Relaxed);
+        reply
+    }
+}
+
+/// One worker's client-facing intake: the shared control channel plus the
+/// doorbell that wakes it out of an idle park. Fast-path producers push
+/// onto their own lane and then ring the bell directly.
+struct WorkerGate<S> {
+    ctrl: Sender<CtrlMsg<S>>,
+    bell: Doorbell,
+}
+
+impl<S> WorkerGate<S> {
+    /// Sends a control message and rings the doorbell — every sender must
+    /// ring after publishing work, or a parked worker sleeps through it.
+    /// Returns false if the worker is gone (its receiver dropped).
+    fn send_ctrl(&self, msg: CtrlMsg<S>) -> bool {
+        let ok = self.ctrl.send(msg).is_ok();
+        self.bell.ring();
+        ok
+    }
 }
 
 /// A record or a shutdown sentinel on the session-teardown → maintenance
@@ -455,16 +647,17 @@ struct Shared<A: LiveAdvisor> {
     num_partitions: u32,
     commit_flush: Duration,
     msg_delay: Duration,
-    /// One sender per partition worker's queue.
-    workers: Vec<Sender<WorkerMsg<A::Session>>>,
+    /// One control-channel + doorbell gate per partition worker. Fast-path
+    /// traffic bypasses the gate's channel entirely: it rides the issuing
+    /// client's SPSC lane and only rings the gate's bell.
+    workers: Vec<WorkerGate<A::Session>>,
     locks: LockManager,
     /// Run-wide counters: [`Client::call`] folds each transaction's
-    /// partial in here, so [`LiveRuntime::metrics`] can snapshot mid-run.
-    /// The per-call fold is a deliberate trade-off: it costs one short
-    /// mutex section (~300 word-adds) per transaction, and the closed-loop
-    /// sweeps measure within run-to-run noise of the old accumulate-per-
-    /// client design — while a lazier fold would make mid-run snapshots
-    /// stale by however much traffic is still buffered client-side.
+    /// tallies in here *once, at the end of the call* — per-call scratch
+    /// lives in cheap locals on the client, so the fast path touches this
+    /// mutex exactly once per transaction and allocates nothing for it.
+    /// Mid-run [`LiveRuntime::metrics`] snapshots therefore lag by at most
+    /// the calls currently in flight.
     metrics: Mutex<RunMetrics>,
     /// Bounded feedback channel toward the maintenance thread (§4.5);
     /// `None` when the advisor has no [`LiveMaintainer`].
@@ -480,112 +673,258 @@ fn flush(d: Duration) {
     }
 }
 
-/// One partition's server loop: drain messages *in runs* until shutdown,
-/// then hand the shard back. One blocking receive picks up everything
-/// already buffered behind it (`try_recv` drain into `backlog`), and the
-/// run is served strictly front-to-back — FIFO per client is preserved
-/// exactly because the global queue order is preserved exactly.
-///
-/// Consecutive single-partition transactions in a run form one *group*:
-/// every member executes, then a single commit flush covers the whole
-/// group's durable writes (group commit — the flush is the dominant
-/// per-transaction cost when `commit_flush_us` is real), then the
-/// acknowledgements go out together in completion (= queue) order (group
-/// ack). A reservation from a distributed transaction closes the group:
-/// the group is flushed and acknowledged *before* the reservation is
-/// served, so the distributed transaction observes exactly the state a
-/// one-message-at-a-time loop would have produced.
-///
-/// Reservations that arrived during a speculation window are parked in
-/// `pending` and admitted once the window resolves (they may open windows
-/// of their own).
-/// A fast-path reply held back until its drain group's commit flush
-/// completes (group commit: one flush covers every write in the group).
-type DeferredAck<S> = (Sender<SingleReply<S>>, SingleReply<S>);
+/// A fast-path reply held back until its group's commit flush completes
+/// (group commit: one flush covers every write in the group).
+type DeferredAck<S> = (Arc<ReplySlot<S>>, SingleReply<S>);
 
+/// Drains the control channel: registers new lanes, parks reservations,
+/// records shutdown. With `window_finish` set (a speculation window is
+/// open) the first 2PC outcome is stored there and the drain stops — the
+/// outcome ends the window, and everything behind it stays queued for
+/// after; without it a stray outcome (its window already resolved via the
+/// disconnect watchdog) is dropped. Never blocks: the doorbell is the
+/// only park/wake mechanism, and every control sender rings it.
+fn gather_ctrl<S>(
+    ctrl: &Receiver<CtrlMsg<S>>,
+    lanes: &mut Vec<ring::Consumer<SingleMsg<S>>>,
+    resv: &mut VecDeque<Reserve>,
+    shutdown: &mut bool,
+    mut window_finish: Option<&mut Option<bool>>,
+) {
+    while let Ok(m) = ctrl.try_recv() {
+        match m {
+            CtrlMsg::Lane(l) => lanes.push(l),
+            CtrlMsg::Reserve(r) => resv.push_back(r),
+            CtrlMsg::SpecFinish { commit } => {
+                if let Some(slot) = window_finish.as_deref_mut() {
+                    *slot = Some(commit);
+                    return;
+                }
+            }
+            CtrlMsg::Shutdown => *shutdown = true,
+        }
+    }
+}
+
+/// Fair sweep over the fast-path lanes: one pop per lane per pass,
+/// round-robin, until a full pass yields nothing — no lane can starve
+/// another, and a blocking client has at most one call in flight per
+/// lane, so the sweep is bounded and ends as soon as every client is
+/// waiting on a reply. Lanes whose producer dropped (client gone) are
+/// retired once drained.
+fn sweep_lanes<S>(lanes: &mut Vec<ring::Consumer<SingleMsg<S>>>, run: &mut Vec<SingleMsg<S>>) {
+    loop {
+        let mut any = false;
+        for lane in lanes.iter_mut() {
+            if let Some(m) = lane.pop() {
+                run.push(m);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    lanes.retain(|l| !l.is_closed());
+}
+
+/// Total fast-path backlog currently buffered across this worker's lanes.
+fn lane_depth<S>(lanes: &[ring::Consumer<SingleMsg<S>>]) -> usize {
+    lanes.iter().map(ring::Consumer::len).sum()
+}
+
+/// Adaptive group-commit coalescing window: how long commit
+/// acknowledgements may stay deferred past the oldest unflushed commit,
+/// as a function of the *observed backlog*. With nobody waiting the group
+/// is as large as it will get — zero window, flush immediately; as the
+/// backlog grows the window widens linearly, reaching the full
+/// `commit_flush_us` cap at [`FLUSH_KNEE`], coalescing more commits into
+/// one flush exactly when queue depth says load is high (the H-Store
+/// group-commit timeout, made adaptive). The worker keeps *serving* while
+/// a window is open — the deadline elapses under useful work, never under
+/// a sleep, so the cap bounds ack latency without adding any.
+fn adaptive_window(cap: Duration, depth: usize) -> Duration {
+    if depth == 0 || cap.is_zero() {
+        return Duration::ZERO;
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let k = depth.min(FLUSH_KNEE) as u32;
+    cap * k / FLUSH_KNEE as u32
+}
+
+/// Closes the current commit group: the held acknowledgements go out in
+/// completion order (group ack). The group's one flush is the adaptive
+/// window that just elapsed — spent serving, not sleeping (see
+/// [`adaptive_window`]); participant flushes on the 2PC path still pay
+/// the full cap in real time.
+fn release_acks<S>(pending: &mut Vec<DeferredAck<S>>) {
+    for (slot, reply) in pending.drain(..) {
+        slot.put(reply);
+    }
+}
+
+/// One partition's server loop: collect work *in runs* until shutdown,
+/// then hand the shard back. Each run is a control-channel drain
+/// ([`gather_ctrl`]) followed by a fair lane sweep ([`sweep_lanes`]); if
+/// both come up empty the worker parks on its doorbell under the
+/// [`common::ring::Doorbell`] protocol (announce intent, mandatory second
+/// sweep, then sleep).
+///
+/// Committed writes form one open *group* whose acknowledgements are
+/// held in `pending` until the group's single commit flush — and the
+/// group stays open *across* drained runs while backlog remains, up to
+/// the adaptive coalescing deadline ([`adaptive_window`]): the window
+/// elapses under useful work, so coalescing costs the backlog nothing.
+/// The moment the backlog empties (or the deadline passes, or a
+/// reservation / shutdown closes the group) the flush covers the whole
+/// group and the held acks go out in completion order (group ack). A
+/// reservation from a distributed transaction is admitted only after the
+/// open group is flushed and acknowledged, so the distributed transaction
+/// observes exactly the state a one-message-at-a-time loop would have
+/// produced.
+///
+/// Reservations that arrive during a speculation window stay parked in
+/// `resv` and are admitted once the window resolves (they may open
+/// windows of their own). At shutdown, calls still buffered in the lanes
+/// are failed cleanly ([`fail_lanes`]) rather than executed — a client
+/// racing shutdown gets an error, never silence.
 fn worker_loop<A: LiveAdvisor>(
     mut shard: Shard,
-    rx: &Receiver<WorkerMsg<A::Session>>,
+    ctrl: &Receiver<CtrlMsg<A::Session>>,
     env: &Shared<A>,
+    me: usize,
 ) -> Shard {
-    let mut pending: VecDeque<Reserve> = VecDeque::new();
-    let mut backlog: VecDeque<WorkerMsg<A::Session>> = VecDeque::new();
+    let bell = &env.workers[me].bell;
+    let mut lanes: Vec<ring::Consumer<SingleMsg<A::Session>>> = Vec::new();
+    let mut resv: VecDeque<Reserve> = VecDeque::new();
+    let mut run: Vec<SingleMsg<A::Session>> = Vec::new();
+    // Held acknowledgements of the open commit group, plus when its
+    // oldest unflushed commit completed (the coalescing deadline's
+    // anchor).
+    let mut pending: Vec<DeferredAck<A::Session>> = Vec::new();
+    let mut opened = Instant::now();
     let mut shutdown = false;
     while !shutdown {
-        if let Some(r) = pending.pop_front() {
+        if let Some(r) = resv.pop_front() {
+            // The reservation closes the open group: flush and ack before
+            // the distributed transaction reads anything.
+            release_acks(&mut pending);
             if let Some(spec) = serve_reservation(&mut shard, env, r) {
-                shutdown = speculate(&mut shard, env, rx, spec, &mut pending, &mut backlog);
+                shutdown = speculate(&mut shard, env, ctrl, bell, &mut lanes, &mut resv, spec);
             }
             continue;
         }
-        if backlog.is_empty() {
-            match rx.recv() {
-                Ok(m) => backlog.push_back(m),
-                Err(_) => break,
-            }
-            while let Ok(m) = rx.try_recv() {
-                backlog.push_back(m);
-            }
+        gather_ctrl(ctrl, &mut lanes, &mut resv, &mut shutdown, None);
+        sweep_lanes(&mut lanes, &mut run);
+        if shutdown {
+            break;
         }
-        let mut acks: Vec<DeferredAck<A::Session>> = Vec::new();
-        let mut group_wrote = false;
-        while let Some(msg) = backlog.pop_front() {
-            match msg {
-                WorkerMsg::Single { req, plan, session, reply, enqueued } => {
-                    let queued_us = us_since(enqueued);
-                    let t_exec = Instant::now();
-                    let mut out = run_single(&mut shard, env, &req, &plan, session, false);
-                    debug_assert!(out.spec_undo.is_none(), "non-speculative commit retained undo");
-                    stamp_times(&mut out, queued_us, t_exec);
-                    if group_wrote || out.needs_flush() {
-                        // From the first durable write onward every reply
-                        // waits for the group flush: later transactions may
-                        // have observed the unflushed writes.
-                        group_wrote = true;
-                        acks.push((reply, out.reply));
-                    } else {
-                        // Nothing unflushed precedes this one in the group,
-                        // so its result depends on durable state only — ack
-                        // now, at the latency the one-at-a-time loop gave
-                        // read-only traffic.
-                        let _ = reply.send(out.reply);
-                    }
-                }
-                // A reservation closes the group: the distributed
-                // transaction must observe everything queued before it
-                // flushed and acknowledged first.
-                WorkerMsg::Reserve(r) => {
-                    pending.push_back(r);
-                    break;
-                }
-                // An outcome for a window that already resolved (its
-                // coordinator died and the disconnect watchdog cascaded
-                // it): nothing left to apply it to.
-                WorkerMsg::SpecFinish { .. } => {}
-                WorkerMsg::Shutdown => {
-                    // Messages queued after the sentinel are dropped; their
-                    // closed reply channels surface as clean client errors,
-                    // exactly as if they were still on the queue at exit.
-                    shutdown = true;
-                    backlog.clear();
+        if run.is_empty() && resv.is_empty() {
+            // No work means no backlog: close the group (normally already
+            // closed by the post-run check below — this is the backstop
+            // for a group left open by a race with an emptying lane).
+            release_acks(&mut pending);
+            // Closed-loop clients resubmit within microseconds of their
+            // acks, so a bounded yield-spin re-sweep usually catches the
+            // next batch without a futex park/wake cycle (whose scheduler
+            // latency would land squarely in the Queueing bucket). Only a
+            // genuinely idle worker falls through to the park protocol.
+            let mut found = false;
+            for _ in 0..IDLE_SPIN {
+                std::thread::yield_now();
+                gather_ctrl(ctrl, &mut lanes, &mut resv, &mut shutdown, None);
+                sweep_lanes(&mut lanes, &mut run);
+                if !run.is_empty() || !resv.is_empty() || shutdown {
+                    found = true;
                     break;
                 }
             }
+            if found {
+                continue;
+            }
+            // Doorbell park protocol: announce intent, then the MANDATORY
+            // second look — a ring that landed before the parked bit went
+            // up is only visible here — and only then sleep.
+            let token = bell.prepare_park();
+            gather_ctrl(ctrl, &mut lanes, &mut resv, &mut shutdown, None);
+            sweep_lanes(&mut lanes, &mut run);
+            if run.is_empty() && resv.is_empty() && !shutdown {
+                bell.park(token);
+            } else {
+                bell.cancel_park();
+            }
+            continue;
         }
-        if group_wrote {
-            flush(env.commit_flush);
+        // One timestamp per completion bounds two intervals at once: the
+        // previous transaction's execution span and this one's queue wait
+        // (execution starts when the predecessor finishes) — halving the
+        // clock reads of a stamp-before-and-after scheme.
+        let mut t_cursor = Instant::now();
+        for msg in run.drain(..) {
+            let SingleMsg { req, plan, session, reply, enqueued } = msg;
+            let queued_us = t_cursor.duration_since(enqueued).as_secs_f64() * 1e6;
+            let mut out = run_single(&mut shard, env, req, &plan, session, false);
+            debug_assert!(out.spec_undo.is_none(), "non-speculative commit retained undo");
+            let t_done = Instant::now();
+            stamp_times(&mut out, queued_us, (t_done - t_cursor).as_secs_f64() * 1e6);
+            t_cursor = t_done;
+            if !pending.is_empty() || out.needs_flush() {
+                // From the first unflushed durable write onward every
+                // reply waits for the group flush: later transactions may
+                // have observed the unflushed writes.
+                if pending.is_empty() {
+                    opened = t_done;
+                }
+                pending.push((reply, out.reply));
+            } else {
+                // Nothing unflushed precedes this one in the group, so its
+                // result depends on durable state only — ack now, at the
+                // latency the one-at-a-time loop gave read-only traffic.
+                reply.put(out.reply);
+            }
         }
-        for (tx, reply) in acks {
-            let _ = tx.send(reply);
+        if !pending.is_empty() {
+            // The backlog is measured *after* the group executed: exactly
+            // the traffic that piled up while we worked. An empty backlog
+            // closes the group at once; otherwise the group stays open —
+            // serving the backlog *is* the coalescing window — until the
+            // adaptive deadline passes.
+            let depth = lane_depth(&lanes);
+            if depth == 0 || opened.elapsed() >= adaptive_window(env.commit_flush, depth) {
+                release_acks(&mut pending);
+            }
         }
     }
+    // Shutdown closes the open group before failing the stragglers: the
+    // held acks are *completed* transactions and must reach their clients.
+    release_acks(&mut pending);
+    fail_lanes(&mut run, &mut lanes);
     shard
+}
+
+/// Shutdown teardown: calls swept but not yet executed, plus everything
+/// still buffered in the lanes, fail cleanly — the client racing shutdown
+/// gets an error rather than silence (its abandoned-lane watchdog is only
+/// the backstop for a message discarded between push and sweep).
+fn fail_lanes<S>(run: &mut Vec<SingleMsg<S>>, lanes: &mut [ring::Consumer<SingleMsg<S>>]) {
+    let dead = |m: SingleMsg<S>| {
+        m.reply.put(SingleReply::Fatal(Error::Other("runtime shut down".into())));
+    };
+    run.drain(..).for_each(&dead);
+    for lane in lanes.iter_mut() {
+        while let Some(m) = lane.pop() {
+            dead(m);
+        }
+    }
 }
 
 /// What one fast-path execution produced: the client reply plus what the
 /// speculation machinery needs to classify it (see [`speculate`]).
 struct SingleOutcome<S> {
     reply: SingleReply<S>,
+    /// The request, returned to the worker for cascade routing — `None`
+    /// when the reply itself carries it (`Mispredict`/`Cascaded`).
+    req: Option<Request>,
     /// The commit's undo log, retained only when executed speculatively
     /// (for the shard's [`SpeculationStack`]).
     spec_undo: Option<UndoLog>,
@@ -598,8 +937,15 @@ struct SingleOutcome<S> {
 }
 
 impl<S> SingleOutcome<S> {
-    fn plain(reply: SingleReply<S>) -> Self {
-        SingleOutcome { reply, spec_undo: None, touched_tables: 0, wrote_tables: 0, est_us: 0.0 }
+    fn plain(reply: SingleReply<S>, req: Option<Request>) -> Self {
+        SingleOutcome {
+            reply,
+            req,
+            spec_undo: None,
+            touched_tables: 0,
+            wrote_tables: 0,
+            est_us: 0.0,
+        }
     }
 
     /// Whether this transaction's group needs a commit flush: it committed
@@ -617,16 +963,14 @@ fn us_since(t: Instant) -> f64 {
 }
 
 /// Stamps the worker-side stage timings (queue wait, advisor share,
-/// execution) onto a fast-path reply; `t_exec` is when execution started.
-fn stamp_times<S>(out: &mut SingleOutcome<S>, queued_us: f64, t_exec: Instant) {
-    let times = StageTimes {
-        queued_us,
-        est_us: out.est_us,
-        exec_us: (us_since(t_exec) - out.est_us).max(0.0),
-    };
+/// execution) onto a fast-path reply; `span_us` is the transaction's
+/// whole execution span as the caller's clock batching measured it.
+fn stamp_times<S>(out: &mut SingleOutcome<S>, queued_us: f64, span_us: f64) {
+    let times =
+        StageTimes { queued_us, est_us: out.est_us, exec_us: (span_us - out.est_us).max(0.0) };
     match &mut out.reply {
         SingleReply::Done { times: t, .. } | SingleReply::Mispredict { times: t, .. } => *t = times,
-        SingleReply::Cascaded | SingleReply::Fatal(_) => {}
+        SingleReply::Cascaded { .. } | SingleReply::Fatal(_) => {}
     }
 }
 
@@ -643,7 +987,7 @@ fn stamp_times<S>(out: &mut SingleOutcome<S>, queued_us: f64, t_exec: Instant) {
 fn run_single<A: LiveAdvisor>(
     shard: &mut Shard,
     env: &Shared<A>,
-    req: &Request,
+    req: Request,
     plan: &TxnPlan,
     mut session: A::Session,
     speculating: bool,
@@ -685,19 +1029,24 @@ fn run_single<A: LiveAdvisor>(
                 }
                 if violation {
                     if !undo.can_rollback() {
-                        return SingleOutcome::plain(SingleReply::Fatal(
-                            Error::UnrecoverableAbort { txn: u64::from(req.proc) + 1000 },
-                        ));
+                        return SingleOutcome::plain(
+                            SingleReply::Fatal(Error::UnrecoverableAbort {
+                                txn: u64::from(req.proc) + 1000,
+                            }),
+                            Some(req),
+                        );
                     }
                     if let Err(e) = shard.rollback(&mut undo) {
-                        return SingleOutcome::plain(SingleReply::Fatal(e));
+                        return SingleOutcome::plain(SingleReply::Fatal(e), Some(req));
                     }
                     return SingleOutcome {
                         reply: SingleReply::Mispredict {
+                            req,
                             observed: accessed.union(seen),
                             session,
                             times: StageTimes::default(),
                         },
+                        req: None,
                         spec_undo: None,
                         touched_tables,
                         wrote_tables,
@@ -714,7 +1063,7 @@ fn run_single<A: LiveAdvisor>(
                             pending_abort = Some(msg);
                             break;
                         }
-                        Err(e) => return SingleOutcome::plain(SingleReply::Fatal(e)),
+                        Err(e) => return SingleOutcome::plain(SingleReply::Fatal(e), Some(req)),
                     };
                     accessed.insert(me);
                     *access_counts.entry(me).or_insert(0) += 1;
@@ -768,6 +1117,7 @@ fn run_single<A: LiveAdvisor>(
                     );
                     return SingleOutcome {
                         reply,
+                        req: Some(req),
                         spec_undo: Some(undo),
                         touched_tables,
                         wrote_tables,
@@ -777,6 +1127,7 @@ fn run_single<A: LiveAdvisor>(
                 undo.clear();
                 return SingleOutcome {
                     reply,
+                    req: Some(req),
                     spec_undo: None,
                     touched_tables,
                     wrote_tables,
@@ -785,12 +1136,13 @@ fn run_single<A: LiveAdvisor>(
             }
             Step::Abort(_) => {
                 if !undo.can_rollback() {
-                    return SingleOutcome::plain(SingleReply::Fatal(Error::UnrecoverableAbort {
-                        txn: u64::from(req.proc),
-                    }));
+                    return SingleOutcome::plain(
+                        SingleReply::Fatal(Error::UnrecoverableAbort { txn: u64::from(req.proc) }),
+                        Some(req),
+                    );
                 }
                 if let Err(e) = shard.rollback(&mut undo) {
-                    return SingleOutcome::plain(SingleReply::Fatal(e));
+                    return SingleOutcome::plain(SingleReply::Fatal(e), Some(req));
                 }
                 return SingleOutcome {
                     reply: SingleReply::Done {
@@ -802,6 +1154,7 @@ fn run_single<A: LiveAdvisor>(
                         speculative: speculating,
                         times: StageTimes::default(),
                     },
+                    req: Some(req),
                     // Aborted effects are already rolled back; nothing for
                     // the stack, but the masks still classify conflicts.
                     spec_undo: None,
@@ -872,7 +1225,11 @@ fn serve_reservation<A: LiveAdvisor>(
                 // Early prepare of a written fragment: flush now — the
                 // unsolicited commit vote, overlapping the rest of the
                 // transaction — and open the speculation window over this
-                // fragment's undo.
+                // fragment's undo. Participant flushes are ungrouped (one
+                // distributed transaction, one flush), so unlike the fast
+                // path's adaptive group commit they always pay the full
+                // `commit_flush_us` cap — the OP4 ablation measures
+                // exactly this serialization.
                 if wrote_tables != 0 {
                     flush(env.commit_flush);
                 }
@@ -891,6 +1248,8 @@ fn serve_reservation<A: LiveAdvisor>(
                 // because the vote is always yes.
                 flush(env.msg_delay);
                 let reply = if commit {
+                    // Ungrouped participant flush: full cap, same as the
+                    // early-prepare vote above.
                     if wrote_tables != 0 {
                         flush(env.commit_flush);
                     }
@@ -913,52 +1272,57 @@ fn serve_reservation<A: LiveAdvisor>(
     }
 }
 
-/// Runs the worker through one speculation window: queued single-partition
+/// Runs the worker through one speculation window: swept single-partition
 /// transactions execute speculatively (deferred acknowledgement, undo
-/// force-enabled) and new reservations are parked in `pending` until the
-/// early-prepared transaction's 2PC outcome arrives. The queue is drained
-/// in runs exactly like [`worker_loop`] — one group flush covers a run's
-/// speculative commits (they must be durable before any acknowledgement,
-/// immediate or deferred, goes out), and non-conflicting acknowledgements
-/// leave as a group. Messages left in `backlog` when the window resolves
-/// (queued behind the outcome) are served by the caller afterwards, in
-/// order. Returns true if a shutdown was observed while speculating.
+/// force-enabled) and new reservations are parked in `resv` until the
+/// early-prepared transaction's 2PC outcome arrives. Work is collected in
+/// runs exactly like [`worker_loop`] — control channel first, then a fair
+/// lane sweep — and one adaptive group flush covers a run's speculative
+/// commits (they must be durable before any acknowledgement, immediate or
+/// deferred, goes out), with non-conflicting acknowledgements leaving as
+/// a group. The control channel is gathered *before* each sweep, so an
+/// outcome already buffered ends the window before any further singles
+/// are admitted — they execute non-speculatively after it, a schedule the
+/// racing clients cannot distinguish. Returns true if a shutdown was
+/// observed while speculating (the window still resolves first).
 fn speculate<A: LiveAdvisor>(
     shard: &mut Shard,
     env: &Shared<A>,
-    rx: &Receiver<WorkerMsg<A::Session>>,
+    ctrl: &Receiver<CtrlMsg<A::Session>>,
+    bell: &Doorbell,
+    lanes: &mut Vec<ring::Consumer<SingleMsg<A::Session>>>,
+    resv: &mut VecDeque<Reserve>,
     mut spec: SpecSession,
-    pending: &mut VecDeque<Reserve>,
-    backlog: &mut VecDeque<WorkerMsg<A::Session>>,
 ) -> bool {
-    type Deferred<S> = (Sender<SingleReply<S>>, SingleReply<S>);
+    // A deferred completion: the client's slot, the reply, and — unless
+    // the reply carries it itself — the request, needed to route the
+    // `Cascaded` retry if the window aborts.
+    type Deferred<S> = (Arc<ReplySlot<S>>, SingleReply<S>, Option<Request>);
     let mut deferred: Vec<Deferred<A::Session>> = Vec::new();
+    let mut run: Vec<SingleMsg<A::Session>> = Vec::new();
     let mut shutdown = false;
     // `None` = the coordinator disappeared without an outcome (it unwound);
     // the window resolves exactly like an abort.
     let outcome: Option<bool> = 'window: loop {
-        if backlog.is_empty() {
-            match rx.recv_timeout(SPEC_WATCHDOG) {
-                Ok(m) => {
-                    backlog.push_back(m);
-                    while let Ok(m) = rx.try_recv() {
-                        backlog.push_back(m);
-                    }
-                }
-                Err(e) => {
-                    if e == RecvTimeoutError::Disconnected {
-                        // Teardown: the sleep keeps the disconnect-
-                        // resolution loop from spinning while the
-                        // coordinator unwinds.
-                        shutdown = true;
-                        std::thread::sleep(SPEC_WATCHDOG);
-                    }
-                    // Watchdog: the outcome is pushed on the main queue, so
-                    // an empty 25 ms is only expected for a long-running
-                    // coordinator — unless it died (its reservation channel
-                    // disconnects without a buffered outcome) or it still
-                    // speaks the reservation-channel protocol (tests,
-                    // legacy).
+        let mut finish: Option<bool> = None;
+        gather_ctrl(ctrl, lanes, resv, &mut shutdown, Some(&mut finish));
+        if finish.is_none() {
+            sweep_lanes(lanes, &mut run);
+        }
+        if run.is_empty() && finish.is_none() {
+            // Idle: park under the doorbell protocol, but with the
+            // watchdog timeout — the outcome normally arrives as a rung
+            // control message, so an empty 25 ms is only expected for a
+            // long-running coordinator, unless it died (its reservation
+            // channel disconnects without a buffered outcome) or it still
+            // speaks the reservation-channel protocol (tests, legacy).
+            let token = bell.prepare_park();
+            gather_ctrl(ctrl, lanes, resv, &mut shutdown, Some(&mut finish));
+            if finish.is_none() {
+                sweep_lanes(lanes, &mut run);
+            }
+            if run.is_empty() && finish.is_none() {
+                if bell.park_timeout(token, SPEC_WATCHDOG) {
                     loop {
                         match spec.frags.try_recv() {
                             Ok(FragCmd::VoteFinish { commit }) => break 'window Some(commit),
@@ -976,68 +1340,54 @@ fn speculate<A: LiveAdvisor>(
                             Err(TryRecvError::Disconnected) => break 'window None,
                         }
                     }
-                    continue 'window;
                 }
+                continue 'window;
+            }
+            bell.cancel_park();
+        }
+        // Serve the swept run, same group structure as the non-speculating
+        // loop; an outcome gathered above ends the window after this run.
+        let mut acks: Vec<DeferredAck<A::Session>> = Vec::new();
+        let mut t_cursor = Instant::now();
+        for msg in run.drain(..) {
+            let SingleMsg { req, plan, session, reply, enqueued } = msg;
+            let queued_us = t_cursor.duration_since(enqueued).as_secs_f64() * 1e6;
+            let mut out = run_single(shard, env, req, &plan, session, true);
+            let t_done = Instant::now();
+            stamp_times(&mut out, queued_us, (t_done - t_cursor).as_secs_f64() * 1e6);
+            t_cursor = t_done;
+            // Same conflict rule as the simulator (§2 OP4): contingent
+            // means having touched a table written inside the window — by
+            // the early-prepared fragment or by a deferred speculative
+            // commit. A non-conflicting transaction read nothing
+            // contingent, so its outcome is final whatever the 2PC
+            // decides, and even its *writes* are safe to keep off the
+            // stack: on a cascade, the deferred transactions' row-level
+            // pre-images restore around them (their tables are disjoint
+            // from everything the cascade undoes up to their own later —
+            // also undone — overwrites).
+            let conflict = out.touched_tables & spec.written_tables != 0;
+            match out.spec_undo {
+                Some(u) if conflict => {
+                    // A contingent commit: effects join the window (and
+                    // its conflict mask), the ack waits.
+                    spec.stack.push_commit(u);
+                    spec.written_tables |= out.wrote_tables;
+                    deferred.push((reply, out.reply, out.req));
+                }
+                None if conflict => deferred.push((reply, out.reply, out.req)),
+                // Non-conflicting (commit, user abort, or mispredict):
+                // acknowledge with the group, effects (if any) are final.
+                Some(_) | None => acks.push((reply, out.reply)),
             }
         }
-        // Serve the drained run front-to-back, same group structure as the
-        // non-speculating loop; the 2PC outcome ends the run (everything
-        // behind it stays in `backlog` for after the window).
-        let mut acks: Vec<Deferred<A::Session>> = Vec::new();
-        let mut group_wrote = false;
-        let mut finish: Option<bool> = None;
-        while let Some(msg) = backlog.pop_front() {
-            match msg {
-                WorkerMsg::SpecFinish { commit } => {
-                    finish = Some(commit);
-                    break;
-                }
-                WorkerMsg::Single { req, plan, session, reply, enqueued } => {
-                    let queued_us = us_since(enqueued);
-                    let t_exec = Instant::now();
-                    let mut out = run_single(shard, env, &req, &plan, session, true);
-                    group_wrote |= out.needs_flush();
-                    stamp_times(&mut out, queued_us, t_exec);
-                    // Same conflict rule as the simulator (§2 OP4):
-                    // contingent means having touched a table written
-                    // inside the window — by the early-prepared fragment or
-                    // by a deferred speculative commit. A non-conflicting
-                    // transaction read nothing contingent, so its outcome
-                    // is final whatever the 2PC decides, and even its
-                    // *writes* are safe to keep off the stack: on a
-                    // cascade, the deferred transactions' row-level
-                    // pre-images restore around them (their tables are
-                    // disjoint from everything the cascade undoes up to
-                    // their own later — also undone — overwrites).
-                    let conflict = out.touched_tables & spec.written_tables != 0;
-                    match out.spec_undo {
-                        Some(u) if conflict => {
-                            // A contingent commit: effects join the window
-                            // (and its conflict mask), the ack waits.
-                            spec.stack.push_commit(u);
-                            spec.written_tables |= out.wrote_tables;
-                            deferred.push((reply, out.reply));
-                        }
-                        None if conflict => deferred.push((reply, out.reply)),
-                        // Non-conflicting (commit, user abort, or
-                        // mispredict): acknowledge with the group, effects
-                        // (if any) are final.
-                        Some(_) | None => acks.push((reply, out.reply)),
-                    }
-                }
-                WorkerMsg::Reserve(r) => pending.push_back(r),
-                WorkerMsg::Shutdown => shutdown = true,
-            }
-        }
-        // Speculative commits must be durable before *any* acknowledgement
-        // tied to them leaves — flush the group first, then release the
-        // non-conflicting acks (deferred ones wait for the outcome, which
-        // arrives strictly later).
-        if group_wrote {
-            flush(env.commit_flush);
-        }
-        for (tx, reply) in acks {
-            let _ = tx.send(reply);
+        // Non-conflicting acks leave now: their effects are disjoint from
+        // the window's, and their group-commit window is the run that just
+        // served them — the in-flight 2PC round trip this window spans is
+        // the widest coalescing period the adaptive policy can produce.
+        // Deferred acks wait for the outcome, which arrives strictly later.
+        for (slot, reply) in acks {
+            slot.put(reply);
         }
         if let Some(commit) = finish {
             break 'window Some(commit);
@@ -1046,8 +1396,8 @@ fn speculate<A: LiveAdvisor>(
     if outcome == Some(true) {
         // Speculative work becomes final: acknowledge in completion order.
         spec.stack.commit();
-        for (tx, reply) in deferred {
-            let _ = tx.send(reply);
+        for (slot, reply, _) in deferred {
+            slot.put(reply);
         }
         let _ = spec.results.send(FragReply::Finished);
     } else {
@@ -1057,8 +1407,14 @@ fn speculate<A: LiveAdvisor>(
             Ok(_) => FragReply::Finished,
             Err(e) => FragReply::Fatal(e),
         };
-        for (tx, _) in deferred {
-            let _ = tx.send(SingleReply::Cascaded);
+        for (slot, dropped, req) in deferred {
+            // The rolled-back attempt's request routes the transparent
+            // retry; a Mispredict reply carries it itself.
+            let req = match dropped {
+                SingleReply::Mispredict { req, .. } => req,
+                _ => req.expect("deferred completion retains its request"),
+            };
+            slot.put(SingleReply::Cascaded { req });
         }
         if outcome.is_some() {
             let _ = spec.results.send(reply);
@@ -1112,16 +1468,17 @@ impl StageAcc {
 }
 
 /// Records one lock-hold sample (acquisition → now) for every partition
-/// still held in `lock_set` minus `released`.
+/// still held in `lock_set` minus `released`, into the client's reused
+/// sample buffer (folded under the metrics lock once per call).
 fn record_remaining_hold(
-    metrics: &mut RunMetrics,
+    samples: &mut Vec<f64>,
     lock_set: PartitionSet,
     released: PartitionSet,
     t_locked: Instant,
 ) {
     let us = t_locked.elapsed().as_secs_f64() * 1e6;
     for _ in lock_set.difference(released).iter() {
-        metrics.lock_hold.record_us(us);
+        samples.push(us);
     }
 }
 
@@ -1134,7 +1491,7 @@ fn run_distributed<A: LiveAdvisor>(
     req: &Request,
     plan: &TxnPlan,
     mut session: A::Session,
-    metrics: &mut RunMetrics,
+    lock_holds: &mut Vec<f64>,
     acc: &mut StageAcc,
 ) -> Attempt<A::Session> {
     let workers = &env.workers;
@@ -1168,13 +1525,10 @@ fn run_distributed<A: LiveAdvisor>(
         let (rtx, rrx) = channel();
         frag_tx[p as usize] = Some(ftx);
         res_rx[p as usize] = Some(rrx);
-        if workers[p as usize]
-            .send(WorkerMsg::Reserve(Reserve { frags: frx, results: rtx }))
-            .is_err()
-        {
+        if !workers[p as usize].send_ctrl(CtrlMsg::Reserve(Reserve { frags: frx, results: rtx })) {
             // Locks were already acquired: this release path records hold
             // time like every other (the guard drop does the release).
-            record_remaining_hold(metrics, lock_set, released, t_locked);
+            record_remaining_hold(lock_holds, lock_set, released, t_locked);
             return Attempt::Fatal(Error::Other(format!("worker {p} is gone")));
         }
     }
@@ -1184,9 +1538,9 @@ fn run_distributed<A: LiveAdvisor>(
     // after all fragment effects are durable (commit) or undone (abort).
     // Read-only released participants hear nothing (they are already out
     // of the transaction); windowed ones take the outcome on their
-    // worker's main queue (the speculating worker blocks there); the rest
-    // on their reservation channel. The latter two ack on the reservation
-    // result channel.
+    // worker's control channel (the speculating worker parks on its
+    // doorbell); the rest on their reservation channel. The latter two
+    // ack on the reservation result channel.
     let finish_all = |frag_tx: &[Option<Sender<FragCmd>>],
                       res_rx: &[Option<Receiver<FragReply>>],
                       released: PartitionSet,
@@ -1200,14 +1554,14 @@ fn run_distributed<A: LiveAdvisor>(
         // vote yes; fragment errors surfaced at execution), only an extra
         // message round of lock-hold time per participant. Early prepares
         // already voted, unsolicited, off the critical path; windowed
-        // participants take the outcome on their worker's main queue (the
-        // speculating worker blocks there); read-only released
+        // participants take the outcome on their worker's control channel
+        // (the speculating worker parks on its doorbell); read-only released
         // participants hear nothing (they are already out). All sends go
         // out before any acknowledgement is awaited, so participant-side
         // flushes and modeled delays overlap in wall-clock time.
         for p in lock_set.iter() {
             if windowed.contains(p) {
-                let _ = workers[p as usize].send(WorkerMsg::SpecFinish { commit });
+                workers[p as usize].send_ctrl(CtrlMsg::SpecFinish { commit });
             } else if !released.contains(p) {
                 let _ = frag_tx[p as usize]
                     .as_ref()
@@ -1264,7 +1618,7 @@ fn run_distributed<A: LiveAdvisor>(
                     let t_fin = Instant::now();
                     let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
                     acc.coord_us += us_since(t_fin);
-                    record_remaining_hold(metrics, lock_set, released, t_locked);
+                    record_remaining_hold(lock_holds, lock_set, released, t_locked);
                     return match fin {
                         Ok(()) => Attempt::Mispredict { observed: accessed.union(seen), session },
                         Err(e) => Attempt::Fatal(e),
@@ -1304,7 +1658,7 @@ fn run_distributed<A: LiveAdvisor>(
                         let t_fin = Instant::now();
                         let _ = finish_all(&frag_tx, &res_rx, released, windowed, false);
                         acc.coord_us += us_since(t_fin);
-                        record_remaining_hold(metrics, lock_set, released, t_locked);
+                        record_remaining_hold(lock_holds, lock_set, released, t_locked);
                         return Attempt::Fatal(e);
                     }
                     accessed = accessed.union(targets);
@@ -1367,14 +1721,14 @@ fn run_distributed<A: LiveAdvisor>(
                         // record the hold time for those partitions like
                         // every other release path (this partition's slot
                         // is still held too: `released` not yet updated).
-                        record_remaining_hold(metrics, lock_set, released, t_locked);
+                        record_remaining_hold(lock_holds, lock_set, released, t_locked);
                         return Attempt::Fatal(Error::Other(format!("worker {p} is gone")));
                     }
                     released.insert(p);
                     if speculate {
                         windowed.insert(p);
                     }
-                    metrics.lock_hold.record_us(t_locked.elapsed().as_secs_f64() * 1e6);
+                    lock_holds.push(t_locked.elapsed().as_secs_f64() * 1e6);
                     locks_held.release_early(p);
                 }
                 results = Some(batch_results);
@@ -1389,7 +1743,7 @@ fn run_distributed<A: LiveAdvisor>(
                 let t_fin = Instant::now();
                 let fin = finish_all(&frag_tx, &res_rx, released, windowed, true);
                 acc.coord_us += us_since(t_fin);
-                record_remaining_hold(metrics, lock_set, released, t_locked);
+                record_remaining_hold(lock_holds, lock_set, released, t_locked);
                 return match fin {
                     Ok(()) => Attempt::Done {
                         committed: true,
@@ -1407,7 +1761,7 @@ fn run_distributed<A: LiveAdvisor>(
                 let t_fin = Instant::now();
                 let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
                 acc.coord_us += us_since(t_fin);
-                record_remaining_hold(metrics, lock_set, released, t_locked);
+                record_remaining_hold(lock_holds, lock_set, released, t_locked);
                 return match fin {
                     Ok(()) => Attempt::Done {
                         committed: false,
@@ -1430,13 +1784,13 @@ fn run_distributed<A: LiveAdvisor>(
 /// keeps the client's acknowledgement latency independent of maintenance:
 /// a full channel sheds the record and bumps the drop counter.
 fn emit_feedback(
-    metrics: &mut RunMetrics,
+    dropped: &mut u64,
     fb_tx: Option<&SyncSender<FeedbackMsg>>,
     record: Option<TxnFeedback>,
 ) {
     if let (Some(tx), Some(rec)) = (fb_tx, record) {
         if tx.try_send(FeedbackMsg::Record(rec)).is_err() {
-            metrics.feedback_dropped += 1;
+            *dropped += 1;
         }
     }
 }
@@ -1456,6 +1810,62 @@ pub struct Client<A: LiveAdvisor + 'static> {
     shared: Arc<Shared<A>>,
     id: u64,
     rng: SmallRng,
+    /// One SPSC fast-path lane per worker this handle has talked to,
+    /// created lazily on the first call routed to that partition.
+    lanes: Vec<Option<ring::Producer<SingleMsg<A::Session>>>>,
+    /// The reusable reply mailbox every fast-path call blocks on (an
+    /// `Arc` clone travels inside each message; never reallocated).
+    reply: Arc<ReplySlot<A::Session>>,
+    /// Reclaimed advisor sessions, one spare per procedure: the next call
+    /// to the same procedure reuses the session's plan scratch instead of
+    /// allocating fresh (see [`LiveAdvisor::plan_live_reusing`]).
+    spare: FxHashMap<ProcId, A::Session>,
+    /// Reused buffer of lock-hold samples from distributed attempts,
+    /// folded under the metrics lock once per call.
+    lock_holds: Vec<f64>,
+}
+
+/// Commit-time details [`Client::call`] stashes at the `Done` arm for the
+/// single end-of-call metrics fold.
+struct DoneStats {
+    latency_us: f64,
+    base_partition: PartitionId,
+    lock_set: PartitionSet,
+    accessed: PartitionSet,
+    access_counts: FxHashMap<PartitionId, u32>,
+    undo_disabled_ever: bool,
+    speculative: bool,
+    early_released: bool,
+}
+
+/// Pushes one fast-path message onto this client's lane to worker `base`,
+/// creating and registering the lane on first use, then rings the
+/// worker's doorbell (the push-then-ring order the doorbell protocol
+/// requires).
+fn send_on_lane<S>(
+    lanes: &mut [Option<ring::Producer<SingleMsg<S>>>],
+    workers: &[WorkerGate<S>],
+    base: usize,
+    msg: SingleMsg<S>,
+) -> Result<()> {
+    if lanes[base].is_none() {
+        let (tx, rx) = ring::spsc(LANE_CAPACITY);
+        if !workers[base].send_ctrl(CtrlMsg::Lane(rx)) {
+            return Err(Error::Other(format!("worker {base} is gone")));
+        }
+        lanes[base] = Some(tx);
+    }
+    let lane = lanes[base].as_mut().expect("lane just ensured");
+    match lane.push(msg) {
+        Ok(()) => {
+            workers[base].bell.ring();
+            Ok(())
+        }
+        Err(PushError::Disconnected(_)) => Err(Error::Other(format!("worker {base} is gone"))),
+        // Unreachable for a blocking client (≤ 1 call in flight per lane,
+        // capacity LANE_CAPACITY); report rather than spin, defensively.
+        Err(PushError::Full(_)) => Err(Error::Other(format!("lane to worker {base} overflowed"))),
+    }
 }
 
 impl<A: LiveAdvisor + 'static> Client<A> {
@@ -1484,10 +1894,20 @@ impl<A: LiveAdvisor + 'static> Client<A> {
     /// returns, so [`LiveRuntime::metrics`] sees it immediately.
     #[allow(clippy::too_many_lines)]
     pub fn call(&mut self, proc: ProcId, args: Vec<Value>) -> Result<TxnOutcome> {
-        let env = &*self.shared;
+        let env = Arc::clone(&self.shared);
+        let env = &*env;
         let fb_tx = env.fb_tx.as_ref();
-        let mut metrics = RunMetrics::default();
-        let req = Request { proc, args, origin_node: 0 };
+        // Per-call tallies live in cheap locals (plus this handle's reused
+        // sample buffer) and fold into the shared RunMetrics once, under a
+        // single lock section at the end — the fast path allocates no
+        // per-call metrics scratch.
+        let mut fb_dropped = 0u64;
+        let mut restarts = 0u64;
+        let mut cascaded_aborts = 0u64;
+        self.lock_holds.clear();
+        // The request is `None` only while a fast-path message is in
+        // flight — `Mispredict`/`Cascaded` replies hand it back.
+        let mut req = Some(Request { proc, args, origin_node: 0 });
         let ctx = PlanContext {
             catalog: &env.catalog,
             num_partitions: env.num_partitions,
@@ -1495,36 +1915,43 @@ impl<A: LiveAdvisor + 'static> Client<A> {
         };
         let t0 = Instant::now();
         let mut acc = StageAcc::default();
-        let (mut plan, mut session) = env.advisor.plan_live(&req, &ctx);
+        let (mut plan, mut session) = env.advisor.plan_live_reusing(
+            req.as_ref().expect("request in hand"),
+            &ctx,
+            self.spare.remove(&proc),
+        );
         acc.est_us += us_since(t0);
         let mut attempt = 0u32;
         let mut cascades = 0u32;
         let mut last_observed = PartitionSet::EMPTY;
+        let mut done: Option<DoneStats> = None;
         let result = loop {
             plan.lock_set.insert(plan.base_partition);
             let outcome = if plan.lock_set.is_single() {
                 let base = plan.base_partition as usize;
-                // The reply sender travels *inside* the message (no clone
-                // kept here): if the worker exits with this message still
-                // queued behind the shutdown sentinel, dropping the queue
-                // disconnects the channel and the recv below turns into a
-                // clean error instead of blocking forever.
-                let (reply_tx, reply_rx) = channel();
+                // The request, plan, and session all *move* into the
+                // message (the plan is `Copy`, the reply slot an `Arc`
+                // clone): the steady-state send is allocation-free.
                 let t_send = Instant::now();
-                if env.workers[base]
-                    .send(WorkerMsg::Single {
-                        req: req.clone(),
-                        plan: plan.clone(),
-                        session,
-                        reply: reply_tx,
-                        enqueued: t_send,
-                    })
-                    .is_err()
-                {
-                    break Err(Error::Other(format!("worker {base} is gone")));
+                let msg = SingleMsg {
+                    req: req.take().expect("request in hand"),
+                    plan,
+                    session,
+                    reply: Arc::clone(&self.reply),
+                    enqueued: t_send,
+                };
+                if let Err(e) = send_on_lane(&mut self.lanes, &env.workers, base, msg) {
+                    break Err(e);
                 }
-                match reply_rx.recv() {
-                    Ok(SingleReply::Done {
+                let got = {
+                    let lane = self.lanes[base].as_ref().expect("lane just used");
+                    // If the worker retired this lane at shutdown with the
+                    // message still buffered, no reply ever comes — the
+                    // abandoned check turns that race into a clean error.
+                    self.reply.take_or_abandon(|| lane.is_closed())
+                };
+                match got {
+                    Some(SingleReply::Done {
                         committed,
                         session,
                         accessed,
@@ -1544,18 +1971,29 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                             session,
                         }
                     }
-                    Ok(SingleReply::Mispredict { observed, session, times }) => {
+                    Some(SingleReply::Mispredict { req: r, observed, session, times }) => {
                         acc.fold_reply(times, us_since(t_send));
+                        req = Some(r);
                         Attempt::Mispredict { observed, session }
                     }
                     // A cascaded attempt's worker time was discarded with
                     // its effects; it lands in the call's Other residual.
-                    Ok(SingleReply::Cascaded) => Attempt::Cascaded,
-                    Ok(SingleReply::Fatal(e)) => Attempt::Fatal(e),
-                    Err(_) => Attempt::Fatal(Error::Other(format!("worker {base} hung up"))),
+                    Some(SingleReply::Cascaded { req: r }) => {
+                        req = Some(r);
+                        Attempt::Cascaded
+                    }
+                    Some(SingleReply::Fatal(e)) => Attempt::Fatal(e),
+                    None => Attempt::Fatal(Error::Other(format!("worker {base} hung up"))),
                 }
             } else {
-                run_distributed(env, &req, &plan, session, &mut metrics, &mut acc)
+                run_distributed(
+                    env,
+                    req.as_ref().expect("request in hand"),
+                    &plan,
+                    session,
+                    &mut self.lock_holds,
+                    &mut acc,
+                )
             };
             match outcome {
                 Attempt::Done {
@@ -1567,60 +2005,55 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                     early_released,
                     session: s,
                 } => {
-                    let record = env.advisor.on_end_live(
+                    let (record, reclaimed) = env.advisor.end_live_reclaim(
                         s,
                         if committed { TxnOutcome::Committed } else { TxnOutcome::UserAborted },
                     );
-                    emit_feedback(&mut metrics, fb_tx, record);
+                    emit_feedback(&mut fb_dropped, fb_tx, record);
+                    if let Some(r) = reclaimed {
+                        self.spare.insert(proc, r);
+                    }
                     if committed {
-                        metrics.committed += 1;
-                        *metrics.committed_by_proc.entry(proc).or_insert(0) += 1;
-                        let us = t0.elapsed().as_secs_f64() * 1e6;
-                        metrics.record_latency(proc, us);
-                        if plan.lock_set.is_single() {
-                            metrics.single_partition += 1;
-                        } else {
-                            metrics.distributed += 1;
-                        }
-                        if undo_disabled_ever {
-                            metrics.no_undo += 1;
-                        }
-                        if speculative {
-                            metrics.speculative += 1;
-                        }
-                        metrics.tally_ops(
-                            proc,
-                            plan.base_partition,
-                            plan.lock_set,
+                        done = Some(DoneStats {
+                            latency_us: us_since(t0),
+                            base_partition: plan.base_partition,
+                            lock_set: plan.lock_set,
                             accessed,
-                            &access_counts,
-                            env.num_partitions,
+                            access_counts,
                             undo_disabled_ever,
                             speculative,
                             early_released,
-                        );
+                        });
                         break Ok(TxnOutcome::Committed);
                     }
-                    metrics.user_aborts += 1;
                     break Ok(TxnOutcome::UserAborted);
                 }
                 Attempt::Mispredict { observed, session: s } => {
                     attempt += 1;
-                    metrics.restarts += 1;
+                    restarts += 1;
                     last_observed = observed;
+                    // The superseded session's executed prefix is
+                    // maintenance signal (the sim path records it the same
+                    // way, §4.5) before the replan replaces it; its plan
+                    // scratch is reclaimed for the retry's session.
+                    let (record, reclaimed) =
+                        env.advisor.end_live_reclaim(s, TxnOutcome::Mispredicted);
+                    emit_feedback(&mut fb_dropped, fb_tx, record);
+                    if let Some(r) = reclaimed {
+                        self.spare.insert(proc, r);
+                    }
+                    let r = req.as_ref().expect("request survives a mispredict");
                     if attempt > env.cfg.max_restarts {
                         // Forced fallback: the *plan* is lock-all without
                         // consulting the advisor — exactly like the
                         // simulator past `max_restarts`, guaranteeing
-                        // termination for any advisor. The aborted
-                        // attempt's session is torn down like any other
-                        // (its prefix is maintenance signal); riding it
-                        // into the retry would concatenate two walks into
-                        // one feedback path and intern phantom states.
-                        let record = env.advisor.on_end_live(s, TxnOutcome::Mispredicted);
-                        emit_feedback(&mut metrics, fb_tx, record);
+                        // termination for any advisor. (The aborted
+                        // attempt's session was torn down above like any
+                        // other; riding it into the retry would
+                        // concatenate two walks into one feedback path and
+                        // intern phantom states.)
                         let t_est = Instant::now();
-                        let (_, ns) = env.advisor.replan_live(&req, observed, attempt, &ctx);
+                        let (_, ns) = env.advisor.replan_live(r, observed, attempt, &ctx);
                         acc.est_us += us_since(t_est);
                         plan = TxnPlan::lock_all(
                             observed.first().unwrap_or(plan.base_partition),
@@ -1628,13 +2061,8 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                         );
                         session = ns;
                     } else {
-                        // The superseded session's executed prefix is
-                        // maintenance signal (the sim path records it the
-                        // same way, §4.5) before the replan replaces it.
-                        let record = env.advisor.on_end_live(s, TxnOutcome::Mispredicted);
-                        emit_feedback(&mut metrics, fb_tx, record);
                         let t_est = Instant::now();
-                        let (p, ns) = env.advisor.replan_live(&req, observed, attempt, &ctx);
+                        let (p, ns) = env.advisor.replan_live(r, observed, attempt, &ctx);
                         acc.est_us += us_since(t_est);
                         plan = p;
                         session = ns;
@@ -1648,8 +2076,9 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                     // ran with; if a maintenance epoch swapped in between,
                     // the retry simply runs under the newer (equally valid)
                     // plan — target validation catches any mispredict.
-                    metrics.cascaded_aborts += 1;
+                    cascaded_aborts += 1;
                     cascades += 1;
+                    let r = req.as_ref().expect("request survives a cascade");
                     let t_est = Instant::now();
                     let (p, ns) = if cascades > MAX_CASCADE_RETRIES {
                         // Liveness backstop: a hot partition whose windows
@@ -1657,12 +2086,12 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                         // indefinitely. Lock-all runs distributed — never
                         // speculative — so it terminates. (Not counted as a
                         // restart: the plan never mispredicted.)
-                        let (_, ns) = env.advisor.plan_live(&req, &ctx);
+                        let (_, ns) = env.advisor.plan_live(r, &ctx);
                         (TxnPlan::lock_all(plan.base_partition, env.num_partitions), ns)
                     } else if attempt == 0 {
-                        env.advisor.plan_live(&req, &ctx)
+                        env.advisor.plan_live(r, &ctx)
                     } else {
-                        env.advisor.replan_live(&req, last_observed, attempt, &ctx)
+                        env.advisor.replan_live(r, last_observed, attempt, &ctx)
                     };
                     acc.est_us += us_since(t_est);
                     plan = p;
@@ -1671,13 +2100,55 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                 Attempt::Fatal(e) => break Err(e),
             }
         };
-        // Fold this transaction's partial into the run-wide counters even
+        // Fold this transaction's tallies into the run-wide counters even
         // on an error path: restarts and cascades that happened are real.
         // Per-stage attribution (Fig. 11): whatever the staged accumulators
         // didn't claim of the call's wall time — cascaded attempts, channel
         // hops outside a timed region, fatal-path teardown — is `Other`.
+        // One lock section; a worker that panicked mid-call poisons this
+        // mutex, but the counters stay consistent (all updates additive)
+        // and calls racing a teardown must not turn one panic into many.
         let total_us = us_since(t0);
-        let p = &mut metrics.profile;
+        let mut m = env.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        m.restarts += restarts;
+        m.cascaded_aborts += cascaded_aborts;
+        m.feedback_dropped += fb_dropped;
+        for &us in &self.lock_holds {
+            m.lock_hold.record_us(us);
+        }
+        match &result {
+            Ok(TxnOutcome::Committed) => {
+                let d = done.take().expect("commit recorded its stats");
+                m.committed += 1;
+                *m.committed_by_proc.entry(proc).or_insert(0) += 1;
+                m.record_latency(proc, d.latency_us);
+                if d.lock_set.is_single() {
+                    m.single_partition += 1;
+                } else {
+                    m.distributed += 1;
+                }
+                if d.undo_disabled_ever {
+                    m.no_undo += 1;
+                }
+                if d.speculative {
+                    m.speculative += 1;
+                }
+                m.tally_ops(
+                    proc,
+                    d.base_partition,
+                    d.lock_set,
+                    d.accessed,
+                    &d.access_counts,
+                    env.num_partitions,
+                    d.undo_disabled_ever,
+                    d.speculative,
+                    d.early_released,
+                );
+            }
+            Ok(_) => m.user_aborts += 1,
+            Err(_) => {}
+        }
+        let p = &mut m.profile;
         p.add(proc, Bucket::Estimation, acc.est_us);
         p.add(proc, Bucket::Execution, acc.exec_us);
         p.add(proc, Bucket::Coordination, acc.coord_us);
@@ -1685,11 +2156,23 @@ impl<A: LiveAdvisor + 'static> Client<A> {
         let known = acc.est_us + acc.exec_us + acc.coord_us + acc.queue_us;
         p.add(proc, Bucket::Other, (total_us - known).max(0.0));
         p.finish_txn(proc);
-        // A worker that panicked mid-call poisons this mutex; the counters
-        // themselves are still consistent (absorb is additive), and calls
-        // racing a teardown must not turn one panic into many.
-        env.metrics.lock().unwrap_or_else(PoisonError::into_inner).absorb(&metrics);
+        drop(m);
         result
+    }
+}
+
+impl<A: LiveAdvisor + 'static> Drop for Client<A> {
+    /// Retires this handle's lanes: dropping a producer marks the lane
+    /// closed, and the follow-up ring gives a parked worker the wake-up
+    /// it needs to observe that and drop its consumer — the drop
+    /// handshake the ring model checks (drop strictly before ring).
+    fn drop(&mut self) {
+        for (p, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(producer) = lane.take() {
+                drop(producer);
+                self.shared.workers[p].bell.ring();
+            }
+        }
     }
 }
 
@@ -1745,11 +2228,11 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
         } else {
             (None, None)
         };
-        let mut worker_tx: Vec<Sender<WorkerMsg<A::Session>>> = Vec::new();
-        let mut worker_rx: Vec<Receiver<WorkerMsg<A::Session>>> = Vec::new();
+        let mut gates: Vec<WorkerGate<A::Session>> = Vec::new();
+        let mut worker_rx: Vec<Receiver<CtrlMsg<A::Session>>> = Vec::new();
         for _ in 0..num_partitions {
             let (tx, rx) = channel();
-            worker_tx.push(tx);
+            gates.push(WorkerGate { ctrl: tx, bell: Doorbell::new() });
             worker_rx.push(rx);
         }
         let shared = Arc::new(Shared {
@@ -1760,7 +2243,7 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
             advisor,
             cfg,
             num_partitions,
-            workers: worker_tx,
+            workers: gates,
             locks: LockManager::new(num_partitions),
             metrics: Mutex::new(RunMetrics::default()),
             fb_tx,
@@ -1775,7 +2258,7 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("partition-{p}"))
-                    .spawn(move || worker_loop::<A>(shard, &rx, &shared))
+                    .spawn(move || worker_loop::<A>(shard, &rx, &shared, p))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -1820,6 +2303,10 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
         let id = self.shared.next_client.fetch_add(1, Ordering::Relaxed);
         Client {
             rng: seeded_rng(derive_seed(self.shared.cfg.seed, 0xC11E47 ^ id)),
+            lanes: (0..self.shared.num_partitions as usize).map(|_| None).collect(),
+            reply: Arc::new(ReplySlot::new()),
+            spare: FxHashMap::default(),
+            lock_holds: Vec::new(),
             shared: Arc::clone(&self.shared),
             id,
         }
@@ -1850,12 +2337,12 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
         m
     }
 
-    /// Stops the runtime: drains in-flight work (worker queues are FIFO,
-    /// so every transaction already accepted completes — including
-    /// distributed transactions whose reservations are still being
-    /// served), joins every owned thread, folds the maintenance report
-    /// into the final metrics, and reassembles the [`Database`] from the
-    /// workers' shards.
+    /// Stops the runtime: every in-flight call resolves (workers finish
+    /// the run they are executing and reservations still being served
+    /// complete; clients block per call, so a quiesced application has
+    /// nothing buffered), joins every owned thread, folds the maintenance
+    /// report into the final metrics, and reassembles the [`Database`]
+    /// from the workers' shards.
     ///
     /// Outstanding [`Client`] handles stay valid as objects but their
     /// subsequent [`Client::call`]s return `Err`; calls racing the
@@ -1873,11 +2360,13 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
     /// the process and mask the original error.
     fn teardown(&mut self) -> Option<(RunMetrics, Vec<Shard>)> {
         let running = self.running.take()?;
-        // Workers first: their queues drain every message accepted before
-        // the Shutdown sentinel, so in-flight transactions complete and
-        // their feedback records get a chance to precede the Stop below.
-        for tx in &self.shared.workers {
-            let _ = tx.send(WorkerMsg::Shutdown);
+        // Workers first: each finishes its current run (and resolves any
+        // open speculation window) before observing the sentinel, so
+        // in-flight transactions complete and their feedback records get
+        // a chance to precede the Stop below. Calls still buffered in a
+        // lane when its worker exits fail cleanly (see [`fail_lanes`]).
+        for gate in &self.shared.workers {
+            gate.send_ctrl(CtrlMsg::Shutdown);
         }
         let mut thread_panic: Option<Box<dyn std::any::Any + Send>> = None;
         let mut shards: Vec<Shard> = Vec::with_capacity(running.workers.len());
@@ -2111,12 +2600,13 @@ mod tests {
 
     /// Hand-drives the worker protocol through one speculation window:
     /// reserve → fragment → early prepare → speculative single → 2PC
-    /// outcome. Deterministic: the worker processes its queue in order;
-    /// with `expect_deferred` the deferral assertion doubles as the
-    /// processed-before-outcome sync (non-conflicting replies instead
-    /// arrive before the outcome is even sent). Channels live inside the
-    /// scope so a failed assertion disconnects the worker rather than
-    /// deadlocking the join. Returns (reply, post snapshot, pre snapshot).
+    /// outcome. Deterministic: the worker drains ctrl then sweeps lanes
+    /// each round; with `expect_deferred` the deferral assertion doubles
+    /// as the processed-before-outcome sync (non-conflicting replies
+    /// instead arrive before the outcome is even sent). Channels and the
+    /// lane producer live inside the scope so a failed assertion
+    /// disconnects the worker rather than deadlocking the join.
+    /// Returns (reply, post snapshot, pre snapshot).
     #[allow(clippy::type_complexity)]
     fn drive_speculation(
         commit: bool,
@@ -2126,8 +2616,10 @@ mod tests {
         let db = kv_database(2, 8);
         let reg = kv_registry();
         let catalog = reg.catalog();
-        // A worker-only Shared: no clients are minted, so the worker-queue
-        // senders, lock manager, and feedback plumbing stay unused.
+        let (ctrl_tx, ctrl_rx) = channel::<CtrlMsg<()>>();
+        // A single-gate Shared: the test drives worker 0's control channel
+        // and one hand-made SPSC lane directly; the lock manager and
+        // feedback plumbing stay unused.
         let env = Shared {
             catalog,
             registry: reg,
@@ -2136,7 +2628,7 @@ mod tests {
             num_partitions: 2,
             commit_flush: Duration::ZERO,
             msg_delay: Duration::ZERO,
-            workers: Vec::new(),
+            workers: vec![WorkerGate { ctrl: ctrl_tx, bell: Doorbell::new() }],
             locks: LockManager::new(2),
             metrics: Mutex::new(RunMetrics::default()),
             fb_tx: None,
@@ -2149,13 +2641,14 @@ mod tests {
         let before = table_snapshot(&shard, 0);
         let (shard, reply) = std::thread::scope(|s| {
             let env = &env;
-            let (tx, rx) = channel::<WorkerMsg<()>>();
-            let h = s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &rx, env));
+            let h = s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &ctrl_rx, env, 0));
             // Reserve partition 0 for a "distributed" transaction and run
             // one write fragment there: bump id 0 by 10.
             let (ftx, frx) = channel();
             let (rtx, rrx) = channel();
-            tx.send(WorkerMsg::Reserve(Reserve { frags: frx, results: rtx })).unwrap();
+            assert!(
+                env.workers[0].send_ctrl(CtrlMsg::Reserve(Reserve { frags: frx, results: rtx }))
+            );
             ftx.send(FragCmd::Exec {
                 proc: 0,
                 query: 1,
@@ -2164,12 +2657,15 @@ mod tests {
             .unwrap();
             assert!(matches!(rrx.recv().unwrap(), FragReply::Rows(r) if r.len() == 1));
             // Early prepare: unacknowledged; the worker is parked on the
-            // reservation channel, so the window opens before it reads any
-            // main-queue message sent afterwards.
+            // reservation channel, so the window opens before it observes
+            // any lane or ctrl message sent afterwards.
             ftx.send(FragCmd::Prepare { speculate: true }).unwrap();
-            // A single-partition transaction arrives mid-window. Its plan
-            // asks for OP3 (disable_undo) — speculation must override it.
-            let (srtx, srrx) = channel();
+            // A single-partition transaction arrives mid-window on a fresh
+            // lane. Its plan asks for OP3 (disable_undo) — speculation must
+            // override it.
+            let (mut ltx, lrx) = ring::spsc::<SingleMsg<()>>(LANE_CAPACITY);
+            assert!(env.workers[0].send_ctrl(CtrlMsg::Lane(lrx)));
+            let slot = Arc::new(ReplySlot::new());
             let plan = TxnPlan {
                 base_partition: 0,
                 lock_set: PartitionSet::single(0),
@@ -2177,20 +2673,22 @@ mod tests {
                 early_prepare: false,
                 estimate_cost_us: 0.0,
             };
-            tx.send(WorkerMsg::Single {
-                req: Request { proc: 0, args: spec_args, origin_node: 0 },
-                plan,
-                session: (),
-                reply: srtx,
-                enqueued: Instant::now(),
-            })
-            .unwrap();
-            // Outcome delivery: commits take the pushed main-queue route
-            // the coordinator uses; aborts take the reservation-channel
-            // route so the disconnect watchdog's legacy arm stays covered.
+            assert!(ltx
+                .push(SingleMsg {
+                    req: Request { proc: 0, args: spec_args, origin_node: 0 },
+                    plan,
+                    session: (),
+                    reply: Arc::clone(&slot),
+                    enqueued: Instant::now(),
+                })
+                .is_ok());
+            env.workers[0].bell.ring();
+            // Outcome delivery: commits take the ctrl route the coordinator
+            // uses; aborts take the reservation-channel route so the
+            // disconnect watchdog's legacy arm stays covered.
             let send_outcome = || {
                 if commit {
-                    tx.send(WorkerMsg::SpecFinish { commit }).unwrap();
+                    assert!(env.workers[0].send_ctrl(CtrlMsg::SpecFinish { commit }));
                 } else {
                     ftx.send(FragCmd::VoteFinish { commit }).unwrap();
                 }
@@ -2198,20 +2696,20 @@ mod tests {
             let reply = if expect_deferred {
                 // The acknowledgement must wait for the outcome.
                 assert!(
-                    srrx.recv_timeout(Duration::from_millis(200)).is_err(),
+                    slot.take_within(Duration::from_millis(200)).is_none(),
                     "conflicting speculative ack leaked before the 2PC outcome"
                 );
                 send_outcome();
                 assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
-                srrx.recv_timeout(Duration::from_secs(30)).expect("deferred ack")
+                slot.take_within(Duration::from_secs(30)).expect("deferred ack")
             } else {
                 // Non-conflicting: acknowledged before any outcome exists.
-                let reply = srrx.recv_timeout(Duration::from_secs(30)).expect("immediate ack");
+                let reply = slot.take_within(Duration::from_secs(30)).expect("immediate ack");
                 send_outcome();
                 assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
                 reply
             };
-            tx.send(WorkerMsg::Shutdown).unwrap();
+            assert!(env.workers[0].send_ctrl(CtrlMsg::Shutdown));
             (h.join().unwrap(), reply)
         });
         (reply, table_snapshot(&shard, 0), before)
@@ -2243,7 +2741,7 @@ mod tests {
         let (reply, after, before) =
             drive_speculation(false, vec![Value::Array(vec![Value::Int(0)])], true);
         assert!(
-            matches!(reply, SingleReply::Cascaded),
+            matches!(reply, SingleReply::Cascaded { .. }),
             "cascaded speculative txn must be told to retry"
         );
         assert_eq!(after, before, "cascading rollback must restore the shard byte-for-byte");
@@ -2341,16 +2839,17 @@ mod tests {
     /// singles, a reservation whose fragment reads the bumped row, then two
     /// more singles — and returns (reply shapes in send order, the row
     /// value the fragment observed, final table snapshot). With `batched`
-    /// every message (and the reservation's whole fragment script) is
-    /// queued before the worker thread starts, so the sequence is served
-    /// out of backlog drains: one group flush and group ack ahead of the
-    /// reservation, another behind it. Without it each message waits for
+    /// the lane, its three singles, and the reservation (with its whole
+    /// fragment script) are buffered before the worker thread starts, so
+    /// the sequence is served out of backlog drains: one group flush and
+    /// group ack ahead of the reservation. Without it each call waits for
     /// its reply before the next is sent — the one-message-at-a-time
     /// schedule batching must be indistinguishable from.
     #[allow(clippy::type_complexity)]
     fn drive_batched_drain(batched: bool) -> (Vec<(bool, bool)>, i64, Vec<(Vec<Value>, Row)>) {
         let reg = kv_registry();
         let catalog = reg.catalog();
+        let (ctrl_tx, ctrl_rx) = channel::<CtrlMsg<()>>();
         let env = Shared {
             catalog,
             registry: reg,
@@ -2359,7 +2858,7 @@ mod tests {
             num_partitions: 1,
             commit_flush: Duration::from_micros(100),
             msg_delay: Duration::ZERO,
-            workers: Vec::new(),
+            workers: vec![WorkerGate { ctrl: ctrl_tx, bell: Doorbell::new() }],
             locks: LockManager::new(1),
             metrics: Mutex::new(RunMetrics::default()),
             fb_tx: None,
@@ -2375,18 +2874,18 @@ mod tests {
             early_prepare: false,
             estimate_cost_us: 0.0,
         };
-        let mk_single = |reply| WorkerMsg::Single {
+        let mk_single = |reply: &Arc<ReplySlot<()>>| SingleMsg {
             req: Request { proc: 0, args: vec![Value::Array(vec![Value::Int(0)])], origin_node: 0 },
-            plan: single_plan.clone(),
+            plan: single_plan,
             session: (),
-            reply,
+            reply: Arc::clone(reply),
             enqueued: Instant::now(),
         };
         let mut observed = 0i64;
         let mut replies = Vec::new();
         let shard = std::thread::scope(|s| {
             let env = &env;
-            let (tx, rx) = channel::<WorkerMsg<()>>();
+            let (mut ltx, lrx) = ring::spsc::<SingleMsg<()>>(LANE_CAPACITY);
             let (ftx, frx) = channel();
             let (rtx, rrx) = channel();
             let exec = FragCmd::Exec { proc: 0, query: 0, params: vec![Value::Int(0)] };
@@ -2394,46 +2893,62 @@ mod tests {
                 SingleReply::Done { committed, speculative, .. } => (committed, speculative),
                 _ => panic!("expected Done"),
             };
+            let take = |slot: &Arc<ReplySlot<()>>| {
+                done_shape(slot.take_within(Duration::from_secs(30)).expect("single ack"))
+            };
             if batched {
-                let mut reply_rx = Vec::new();
+                // Everything below is buffered before the worker starts:
+                // its first ctrl drain registers the lane and parks the
+                // reservation, and the lane sweep picks the three singles
+                // up as one group — executed, flushed, and acknowledged
+                // ahead of the reservation.
+                assert!(env.workers[0].send_ctrl(CtrlMsg::Lane(lrx)));
+                let mut slots = Vec::new();
                 for _ in 0..3 {
-                    let (srtx, srrx) = channel();
-                    tx.send(mk_single(srtx)).unwrap();
-                    reply_rx.push(srrx);
+                    let slot = Arc::new(ReplySlot::new());
+                    assert!(ltx.push(mk_single(&slot)).is_ok());
+                    slots.push(slot);
                 }
-                tx.send(WorkerMsg::Reserve(Reserve { frags: frx, results: rtx })).unwrap();
+                assert!(env.workers[0]
+                    .send_ctrl(CtrlMsg::Reserve(Reserve { frags: frx, results: rtx })));
                 ftx.send(exec).unwrap();
                 ftx.send(FragCmd::VoteFinish { commit: true }).unwrap();
-                for _ in 0..2 {
-                    let (srtx, srrx) = channel();
-                    tx.send(mk_single(srtx)).unwrap();
-                    reply_rx.push(srrx);
-                }
-                tx.send(WorkerMsg::Shutdown).unwrap();
-                // Everything above is already buffered: the worker's first
-                // blocking recv plus its try_recv drain picks the whole
-                // sequence up as one backlog.
-                let h = s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &rx, env));
+                let h =
+                    s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &ctrl_rx, env, 0));
                 match rrx.recv().unwrap() {
                     FragReply::Rows(rows) => observed = rows[0][2].expect_int(),
                     _ => panic!("expected rows"),
                 }
                 assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
-                for srx in &reply_rx {
-                    replies.push(done_shape(srx.recv().unwrap()));
+                for slot in &slots {
+                    replies.push(take(slot));
                 }
+                // The trailing pair goes out only once the reservation has
+                // resolved: under lane dispatch an earlier push could race
+                // into the first group, which the old global FIFO forbade.
+                for _ in 0..2 {
+                    let slot = Arc::new(ReplySlot::new());
+                    assert!(ltx.push(mk_single(&slot)).is_ok());
+                    env.workers[0].bell.ring();
+                    replies.push(take(&slot));
+                }
+                assert!(env.workers[0].send_ctrl(CtrlMsg::Shutdown));
                 h.join().unwrap()
             } else {
-                let h = s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &rx, env));
-                let serve_single = || {
-                    let (srtx, srrx) = channel();
-                    tx.send(mk_single(srtx)).unwrap();
-                    done_shape(srrx.recv().unwrap())
+                let h =
+                    s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &ctrl_rx, env, 0));
+                assert!(env.workers[0].send_ctrl(CtrlMsg::Lane(lrx)));
+                let mut serve_single = || {
+                    let slot = Arc::new(ReplySlot::new());
+                    assert!(ltx.push(mk_single(&slot)).is_ok());
+                    env.workers[0].bell.ring();
+                    take(&slot)
                 };
                 for _ in 0..3 {
                     replies.push(serve_single());
                 }
-                tx.send(WorkerMsg::Reserve(Reserve { frags: frx, results: rtx })).unwrap();
+                assert!(env.workers[0]
+                    .send_ctrl(CtrlMsg::Reserve(Reserve { frags: frx, results: rtx })));
                 ftx.send(exec).unwrap();
                 match rrx.recv().unwrap() {
                     FragReply::Rows(rows) => observed = rows[0][2].expect_int(),
@@ -2444,7 +2959,7 @@ mod tests {
                 for _ in 0..2 {
                     replies.push(serve_single());
                 }
-                tx.send(WorkerMsg::Shutdown).unwrap();
+                assert!(env.workers[0].send_ctrl(CtrlMsg::Shutdown));
                 h.join().unwrap()
             }
         });

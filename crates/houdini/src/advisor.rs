@@ -573,6 +573,32 @@ pub struct LiveTxn {
 }
 
 impl Houdini {
+    /// Teardown feedback (§4.5), shared by `on_end_live` and
+    /// `end_live_reclaim`: takes the executed path out of the session (the
+    /// maintenance thread owns it from here) and leaves the rest intact so
+    /// the reclaim path can recycle the session's buffers.
+    fn feedback_from(&self, session: &mut LiveTxn, outcome: TxnOutcome) -> Option<TxnFeedback> {
+        if !self.cfg.maintenance || session.core.passive {
+            return None;
+        }
+        let terminal = match outcome {
+            TxnOutcome::Committed => Some(true),
+            TxnOutcome::UserAborted | TxnOutcome::Failed => Some(false),
+            // A mispredict-aborted attempt: the executed prefix is real
+            // signal, but no commit/abort edge was taken.
+            TxnOutcome::Mispredicted => None,
+        };
+        Some(TxnFeedback {
+            proc: session.proc,
+            model: session.model_idx as u32,
+            epoch: session.epoch,
+            path: std::mem::take(&mut session.steps),
+            terminal,
+            deviated: session.core.deviated,
+            predicted: session.core.lock_set,
+        })
+    }
+
     /// Live twin of `passive_plan`: conservative lock-all with tracking
     /// unless the procedure is disabled outright.
     fn passive_live(
@@ -691,29 +717,47 @@ impl LiveAdvisor for Houdini {
         self.passive_live(epoch, &procs, req.proc, &req.args, base)
     }
 
-    fn on_end_live(&self, session: LiveTxn, outcome: TxnOutcome) -> Option<TxnFeedback> {
+    fn on_end_live(&self, mut session: LiveTxn, outcome: TxnOutcome) -> Option<TxnFeedback> {
         // Model maintenance (§4.5) runs on the runtime's background
         // thread: hand back the executed path so it can update accuracy
         // windows and rebuild drifted models into the next epoch.
-        if !self.cfg.maintenance || session.core.passive {
-            return None;
+        self.feedback_from(&mut session, outcome)
+    }
+
+    fn plan_live_reusing(
+        &self,
+        req: &Request,
+        ctx: &PlanContext<'_>,
+        spare: Option<LiveTxn>,
+    ) -> (TxnPlan, LiveTxn) {
+        let (plan, mut session) = self.plan_live(req, ctx);
+        if let Some(mut old) = spare {
+            // Graft only raw capacity into the fresh session: the counter
+            // map and step vector are cleared, and every prediction field
+            // (epoch snapshot, vertex walk, core decisions) was already
+            // rebuilt by `plan_live` against the current epoch, so no
+            // stale state can survive. This is what makes the repeat-proc
+            // fast path allocation-free in steady state.
+            old.counters.clear();
+            session.counters = std::mem::take(&mut old.counters);
+            old.steps.clear();
+            session.steps = std::mem::take(&mut old.steps);
         }
-        let terminal = match outcome {
-            TxnOutcome::Committed => Some(true),
-            TxnOutcome::UserAborted | TxnOutcome::Failed => Some(false),
-            // A mispredict-aborted attempt: the executed prefix is real
-            // signal, but no commit/abort edge was taken.
-            TxnOutcome::Mispredicted => None,
-        };
-        Some(TxnFeedback {
-            proc: session.proc,
-            model: session.model_idx as u32,
-            epoch: session.epoch,
-            path: session.steps,
-            terminal,
-            deviated: session.core.deviated,
-            predicted: session.core.lock_set,
-        })
+        (plan, session)
+    }
+
+    fn end_live_reclaim(
+        &self,
+        mut session: LiveTxn,
+        outcome: TxnOutcome,
+    ) -> (Option<TxnFeedback>, Option<LiveTxn>) {
+        let fb = self.feedback_from(&mut session, outcome);
+        // The session goes back to the client's per-procedure cache. When
+        // feedback was emitted, `steps` left with it (the maintenance
+        // thread owns the path), so only the counter map's capacity is
+        // recycled on that path; with maintenance off, both buffers
+        // survive.
+        (fb, Some(session))
     }
 
     fn maintainer(&self) -> Option<Box<dyn LiveMaintainer + '_>> {
