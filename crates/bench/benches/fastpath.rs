@@ -11,7 +11,7 @@
 use bench::trained_houdini;
 use common::Value;
 use criterion::{criterion_group, criterion_main, Criterion};
-use engine::baselines::AssumeSinglePartition;
+use engine::baselines::{AssumeDistributed, AssumeSinglePartition};
 use engine::{Client, LiveAdvisor, LiveConfig, LiveRuntime};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -53,5 +53,34 @@ fn fastpath_houdini(c: &mut Criterion) {
     call_loop(c, "fastpath/call_houdini", houdini);
 }
 
-criterion_group!(fastpath, fastpath_asp, fastpath_houdini);
+/// One steady-state *distributed* round trip: a two-partition lock-all
+/// coordination through the fragment lanes — lock acquire, one `ExecBatch`
+/// ship + merge, coalesced `VoteFinish` 2PC, reply. The spread over
+/// `fastpath/call_asp` is the coordination overhead the fragment-lane and
+/// allocation-diet work keeps off the per-call path.
+fn distributed_roundtrip(c: &mut Criterion) {
+    let bench = Bench::Tatp;
+    let db = bench.database(2);
+    let registry = bench.registry();
+    let proc = registry.catalog().proc_id("GetSubscriber").expect("TATP proc");
+    let cfg = LiveConfig { seed: 23, ..LiveConfig::default() };
+    let rt = LiveRuntime::start(db, registry, AssumeDistributed::new(), cfg);
+    let mut client: Client<AssumeDistributed> = rt.client();
+    // Warm the fragment-lane registry and session cache off the measured
+    // path (the first call per worker registers the lane).
+    for s in 0..64 {
+        client.call(proc, vec![Value::Int(s % SUBS)]).expect("warm-up call");
+    }
+    let mut s = 0i64;
+    c.bench_function("fastpath/call_distributed", |b| {
+        b.iter(|| {
+            s = (s + 13) % SUBS;
+            black_box(client.call(proc, vec![Value::Int(s)]).expect("runtime alive"))
+        })
+    });
+    drop(client);
+    rt.shutdown();
+}
+
+criterion_group!(fastpath, fastpath_asp, fastpath_houdini, distributed_roundtrip);
 criterion_main!(fastpath);

@@ -8,7 +8,9 @@ use crate::setup::{
 };
 use common::{derive_seed, Value};
 use engine::baselines::{AssumeDistributed, AssumeSinglePartition, Oracle};
-use engine::{Bucket, CostModel, LiveConfig, RequestGenerator, RunMetrics, Simulation, TxnAdvisor};
+use engine::{
+    Bucket, CoordSub, CostModel, LiveConfig, RequestGenerator, RunMetrics, Simulation, TxnAdvisor,
+};
 use houdini::{
     evaluate_accuracy, train, AccuracyReport, CatalogRule, Houdini, HoudiniConfig, ModelSet,
     TrainingConfig,
@@ -771,7 +773,8 @@ fn render_rows_section(rows: &[LiveRow]) -> String {
              \"throughput_tps\": {:.1}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
              \"committed\": {}, \"user_aborts\": {}, \"restarts\": {}, \"distributed\": {}, \
              \"speculative\": {}, \"cascaded_aborts\": {}, \"lock_hold_mean_ms\": {}, \
-             \"lock_hold_p95_ms\": {}, \"model_swaps\": {}, \"feedback_dropped\": {}}}",
+             \"lock_hold_p95_ms\": {}, \"model_swaps\": {}, \"feedback_dropped\": {}, \
+             \"flushes_total\": {}, \"flushes_coalesced\": {}}}",
             r.bench,
             r.advisor,
             r.workers,
@@ -789,6 +792,8 @@ fn render_rows_section(rows: &[LiveRow]) -> String {
             fmt_opt(m.lock_hold.p95_ms()),
             m.model_swaps,
             m.feedback_dropped,
+            sum.flushes_total,
+            sum.flushes_coalesced,
         );
         s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
@@ -865,10 +870,12 @@ fn render_drift_section(rows: &[DriftRow]) -> String {
     s
 }
 
-/// Renders the `"profile"` section of `BENCH_live.json` (schema 5): the
+/// Renders the `"profile"` section of `BENCH_live.json` (schema 6): the
 /// live runtime's Fig. 11 breakdown — per-stage shares of the attributed
-/// call wall time, plus the mean attributed microseconds per resolved
-/// call, per measured configuration.
+/// call wall time, the `Coordination` sub-bucket split (lock wait / 2PC /
+/// sequenced commit flush, same denominator, so the three sum to at most
+/// `coord_pct`), plus the mean attributed microseconds per resolved call,
+/// per measured configuration.
 fn render_profile_section(rows: &[LiveRow]) -> String {
     let mut s = String::from("  \"profile\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -876,10 +883,12 @@ fn render_profile_section(rows: &[LiveRow]) -> String {
         let txns = p.total_txns();
         let mean_call_us = if txns > 0 { p.grand_total_us() / txns as f64 } else { 0.0 };
         let pct = |b: Bucket| 100.0 * p.overall_share(b);
+        let sub = |c: CoordSub| 100.0 * p.overall_coord_share(c);
         let _ = write!(
             s,
             "    {{\"bench\": \"{}\", \"advisor\": \"{}\", \"workers\": {}, \"txns\": {}, \
              \"est_pct\": {:.2}, \"exec_pct\": {:.2}, \"coord_pct\": {:.2}, \
+             \"lock_pct\": {:.2}, \"twopc_pct\": {:.2}, \"flush_pct\": {:.2}, \
              \"queue_pct\": {:.2}, \"other_pct\": {:.2}, \"mean_call_us\": {:.1}}}",
             r.bench,
             r.advisor,
@@ -888,6 +897,9 @@ fn render_profile_section(rows: &[LiveRow]) -> String {
             pct(Bucket::Estimation),
             pct(Bucket::Execution),
             pct(Bucket::Coordination),
+            sub(CoordSub::LockWait),
+            sub(CoordSub::TwoPc),
+            sub(CoordSub::Flush),
             pct(Bucket::Queueing),
             pct(Bucket::Other),
             mean_call_us,
@@ -903,7 +915,8 @@ fn render_profile_section(rows: &[LiveRow]) -> String {
 fn render_profile_table<'a>(rows: impl IntoIterator<Item = &'a LiveRow>) -> String {
     let mut out = String::from(
         "# Live Fig. 11: % of attributed call time per stage (wall clock)\n\
-         bench   advisor          workers   est%  exec%  coord%  queue%  other%  mean-call-us    txns\n",
+         # lock/2pc/flush split the coord% total (distributed path only)\n\
+         bench   advisor          workers   est%  exec%  coord%  lock%  2pc%  flush%  queue%  other%  mean-call-us    txns\n",
     );
     for r in rows {
         let p = &r.metrics.profile;
@@ -911,13 +924,16 @@ fn render_profile_table<'a>(rows: impl IntoIterator<Item = &'a LiveRow>) -> Stri
         let mean_call_us = if txns > 0 { p.grand_total_us() / txns as f64 } else { 0.0 };
         let _ = writeln!(
             out,
-            "{:<7} {:<16} {:7}  {:5.1}  {:5.1}  {:6.1}  {:6.1}  {:6.1}  {:12.1}  {:6}",
+            "{:<7} {:<16} {:7}  {:5.1}  {:5.1}  {:6.1}  {:5.1}  {:4.1}  {:6.1}  {:6.1}  {:6.1}  {:12.1}  {:6}",
             r.bench,
             r.advisor,
             r.workers,
             100.0 * p.overall_share(Bucket::Estimation),
             100.0 * p.overall_share(Bucket::Execution),
             100.0 * p.overall_share(Bucket::Coordination),
+            100.0 * p.overall_coord_share(CoordSub::LockWait),
+            100.0 * p.overall_coord_share(CoordSub::TwoPc),
+            100.0 * p.overall_coord_share(CoordSub::Flush),
             100.0 * p.overall_share(Bucket::Queueing),
             100.0 * p.overall_share(Bucket::Other),
             mean_call_us,
@@ -969,7 +985,9 @@ fn host_section() -> String {
 
 /// Machine-readable form of the live measurements, for tracking the perf
 /// trajectory across PRs (flat JSON, no serde dependency needed for a
-/// fixed schema). Schema 5: `host` (the commit, core count, and date the
+/// fixed schema). Schema 6 (adds per-row coalesced-flush counters to
+/// `rows` and the Coordination sub-bucket split to `profile`): `host`
+/// (the commit, core count, and date the
 /// numbers were measured at — regenerated on every write), `rows`
 /// (scaling/ablation sweeps, written by `live`), `latency` (the open-loop
 /// offered-load sweep, written by `live` and `live-latency`), `drift`
@@ -1009,7 +1027,7 @@ pub fn bench_live_json(
             .and_then(|e| extract_section(e, "profile"))
             .unwrap_or_else(|| String::from("  \"profile\": []")),
     };
-    let mut s = String::from("{\n  \"schema\": 5,\n");
+    let mut s = String::from("{\n  \"schema\": 6,\n");
     let _ =
         writeln!(s, "  \"scale\": \"{}\",", if scale == Scale::Full { "full" } else { "quick" });
     s.push_str(&host_section());
@@ -1091,7 +1109,8 @@ pub fn live(scale: Scale) -> String {
     let q = |v: Option<f64>| v.map_or_else(|| "      -".into(), |x| format!("{x:7.2}"));
     let mut out = String::from(
         "# Live runtime: wall-clock TATP throughput (txn/s), one worker thread per partition\n\
-         workers  houdini  asp      lock-all  h-p50ms  h-p95ms  h-p99ms  h-commit  h-abort  h-restart  h-spec\n",
+         # h-lockms is `-` when no transaction held a multi-partition lock set\n\
+         workers  houdini  asp      lock-all  h-p50ms  h-p95ms  h-p99ms  h-commit  h-abort  h-restart  h-spec  h-lockms  h-flush(coal)\n",
     );
     for parts in LIVE_WORKER_COUNTS {
         let hm = get("TATP", "houdini", parts);
@@ -1100,7 +1119,7 @@ pub fn live(scale: Scale) -> String {
         let dm = get("TATP", "lock-all", parts);
         let _ = writeln!(
             out,
-            "{parts:7}  {:7.0}  {:7.0}  {:8.0}  {}  {}  {}  {:8}  {:7}  {:9}  {:6}",
+            "{parts:7}  {:7.0}  {:7.0}  {:8.0}  {}  {}  {}  {:8}  {:7}  {:9}  {:6}  {:>8}  {:6} ({})",
             hs.throughput_tps,
             am.throughput_tps(),
             dm.throughput_tps(),
@@ -1111,6 +1130,9 @@ pub fn live(scale: Scale) -> String {
             hs.user_aborts,
             hs.restarts,
             hm.speculative,
+            q(hm.lock_hold.mean_us().map(|us| us / 1000.0)),
+            hs.flushes_total,
+            hs.flushes_coalesced,
         );
     }
     let _ = writeln!(
@@ -1369,6 +1391,77 @@ pub fn check_live_profile(scale: Scale) -> String {
     )
 }
 
+/// `check-dist-profile` — the CI smoke gate for the distributed-path
+/// work: runs the 2-worker TATP live sweep configuration (the regime that
+/// collapsed to ~15.3k tps under per-transaction fragment channels and
+/// participant-side flush sleeps) and fails the process if the median
+/// throughput of three runs drops back under the committed floor, or if
+/// the commit/abort counts drift — outcomes are deterministic per seed,
+/// batching and coalescing may only change *timing*. Quick scale also
+/// pins the exact counts the committed `BENCH_live.json` rows carry. A
+/// gate, not a measurement: it never writes `BENCH_live.json`.
+pub fn check_dist_profile(scale: Scale) -> String {
+    /// Committed floor (tps): the pre-fragment-lane runtime measured
+    /// 15.3k on this configuration; the lane + coalesced-flush runtime
+    /// (with the durability wait off the lock-hold path) clears ~50k on
+    /// the same host, so the floor splits the two regimes with wide
+    /// margin for scheduler noise.
+    const DIST_FLOOR_TPS: f64 = 30_000.0;
+    /// The quick-scale run's deterministic outcome counts (2 workers × 4
+    /// clients × 250 requests, measure seed 73): byte-identical to the
+    /// unbatched per-query path and to the committed BENCH rows.
+    const QUICK_COMMITTED: u64 = 1_955;
+    const QUICK_USER_ABORTS: u64 = 45;
+    let houdini = Arc::new(trained_houdini(Bench::Tatp, 2, scale.trace_len(), true, 0.5, 71));
+    let cfg = live_config(scale, 71, 250, 0);
+    let runs: Vec<RunMetrics> =
+        (0..3).map(|_| measure_once(Bench::Tatp, "houdini", 2, &houdini, &cfg, 73)).collect();
+    for m in &runs {
+        assert_eq!(
+            (m.committed, m.user_aborts),
+            (runs[0].committed, runs[0].user_aborts),
+            "distributed outcomes must be deterministic per seed"
+        );
+        if scale == Scale::Quick {
+            assert_eq!(
+                (m.committed, m.user_aborts),
+                (QUICK_COMMITTED, QUICK_USER_ABORTS),
+                "2-worker TATP quick counts drifted from the committed baseline"
+            );
+        }
+    }
+    let mut tps: Vec<f64> = runs.iter().map(RunMetrics::throughput_tps).collect();
+    tps.sort_by(f64::total_cmp);
+    let median = tps[1];
+    assert!(
+        median > DIST_FLOOR_TPS,
+        "live distributed path regressed: 2-worker TATP {median:.0} tps <= \
+         {DIST_FLOOR_TPS:.0} floor (runs: {tps:?})"
+    );
+    let coalesced: u64 = runs.iter().map(|m| m.flushes_coalesced).sum();
+    let p = &runs[0].profile;
+    format!(
+        "# check-dist-profile: 2-worker TATP {median:.0} tps \
+         (gate: > {DIST_FLOOR_TPS:.0}; runs {:?}; committed {} / aborts {} per run; \
+         {coalesced} coalesced flushes over 3 runs)\n\
+         # run 0 attribution: est {:.1}% exec {:.1}% coord {:.1}% \
+         (lock {:.1}% / 2pc {:.1}% / flush {:.1}%) queue {:.1}% other {:.1}%, \
+         mean call {:.1} us\n",
+        tps.iter().map(|t| t.round()).collect::<Vec<_>>(),
+        runs[0].committed,
+        runs[0].user_aborts,
+        100.0 * p.overall_share(Bucket::Estimation),
+        100.0 * p.overall_share(Bucket::Execution),
+        100.0 * p.overall_share(Bucket::Coordination),
+        100.0 * p.overall_coord_share(CoordSub::LockWait),
+        100.0 * p.overall_coord_share(CoordSub::TwoPc),
+        100.0 * p.overall_coord_share(CoordSub::Flush),
+        100.0 * p.overall_share(Bucket::Queueing),
+        100.0 * p.overall_share(Bucket::Other),
+        if p.total_txns() > 0 { p.grand_total_us() / p.total_txns() as f64 } else { 0.0 },
+    )
+}
+
 /// Runs one experiment by id (`fig3`, `table3`, ...; `all` runs everything).
 pub fn run_experiment(id: &str, scale: Scale) -> String {
     match id {
@@ -1389,6 +1482,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> String {
         "live-drift" => live_drift(scale),
         "live-profile" => live_profile(scale),
         "check-live-profile" => check_live_profile(scale),
+        "check-dist-profile" => check_dist_profile(scale),
         "all" => {
             let ids = [
                 "fig3",
@@ -1427,10 +1521,14 @@ mod tests {
         };
         let first =
             bench_live_json(Some(std::slice::from_ref(&row)), None, None, None, Scale::Quick, None);
-        assert!(first.contains("\"schema\": 5"));
+        assert!(first.contains("\"schema\": 6"));
         assert!(first.contains("\"host\": {"), "host metadata missing: {first}");
         assert!(first.contains("\"cores\": "));
         assert!(first.contains("\"rows\": [\n"));
+        assert!(
+            first.contains("\"flushes_total\": 0, \"flushes_coalesced\": 0"),
+            "rows must carry the coalesced-flush counters: {first}"
+        );
         assert!(first.contains("\"latency\": []"));
         assert!(first.contains("\"drift\": []"));
         assert!(first.contains("\"profile\": []"));
@@ -1480,6 +1578,9 @@ mod tests {
         let mut prof_metrics = RunMetrics::default();
         prof_metrics.profile.add(0, Bucket::Execution, 75.0);
         prof_metrics.profile.add(0, Bucket::Coordination, 25.0);
+        prof_metrics.profile.add_coord(0, CoordSub::LockWait, 5.0);
+        prof_metrics.profile.add_coord(0, CoordSub::TwoPc, 15.0);
+        prof_metrics.profile.add_coord(0, CoordSub::Flush, 5.0);
         prof_metrics.profile.finish_txn(0);
         let prof = LiveRow { bench: "TATP", advisor: "houdini", workers: 4, metrics: prof_metrics };
         let fourth = bench_live_json(
@@ -1491,6 +1592,12 @@ mod tests {
             Some(&third),
         );
         assert!(fourth.contains("\"exec_pct\": 75.00"), "profile missing: {fourth}");
+        assert!(
+            fourth.contains("\"lock_pct\": 5.00")
+                && fourth.contains("\"twopc_pct\": 15.00")
+                && fourth.contains("\"flush_pct\": 5.00"),
+            "profile must carry the Coordination sub-bucket split: {fourth}"
+        );
         assert!(fourth.contains("\"offered_tps\": 1000.0"), "latency lost: {fourth}");
         assert!(fourth.contains("\"houdini-maint\""), "drift lost: {fourth}");
         // And re-writing rows preserves latency + drift + profile.

@@ -7,6 +7,7 @@
 
 pub mod epoch;
 pub mod error;
+pub mod flush;
 pub mod fxhash;
 pub mod ids;
 pub mod ring;

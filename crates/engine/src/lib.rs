@@ -44,6 +44,6 @@ pub use metrics::{
     EpochAccuracy, LatencyHistogram, MaintenanceReport, MetricsSummary, OpCounters, RunMetrics,
 };
 pub use procedure::{ProcInstance, Procedure, ProcedureRegistry, QueryInvocation, Step};
-pub use profiler::{Bucket, Profiler};
+pub use profiler::{Bucket, CoordSub, Profiler};
 pub use runtime::{run_live, Client, LiveConfig, LiveRuntime};
 pub use sim::{RequestGenerator, SimConfig, Simulation};

@@ -317,6 +317,14 @@ pub struct RunMetrics {
     /// planning / coordination / queueing / other) per procedure —
     /// simulated µs in the simulator, wall-clock µs in the live runtime.
     pub profile: Profiler,
+    /// Commit-flush demands registered with the shared flush sequencer
+    /// (worker group closes + coordinator 2PC durability waits); live
+    /// runtime only, filled from the sequencer at snapshot/teardown.
+    pub flushes_total: u64,
+    /// The subset of `flushes_total` satisfied by a device operation some
+    /// other worker or coordinator led — cross-thread commit-flush
+    /// coalescing at work (0 with `commit_flush_us = 0`).
+    pub flushes_coalesced: u64,
 }
 
 /// The headline numbers of one run, extracted by [`RunMetrics::summary`]:
@@ -341,6 +349,11 @@ pub struct MetricsSummary {
     pub p99_ms: Option<f64>,
     /// Mean client-visible latency (ms).
     pub mean_latency_ms: Option<f64>,
+    /// Commit-flush demands registered with the shared flush sequencer.
+    pub flushes_total: u64,
+    /// Flush demands satisfied by riding another thread's device
+    /// operation (see [`RunMetrics::flushes_coalesced`]).
+    pub flushes_coalesced: u64,
 }
 
 impl std::fmt::Display for MetricsSummary {
@@ -350,7 +363,7 @@ impl std::fmt::Display for MetricsSummary {
         write!(
             f,
             "{:.0} tps, {} committed / {} aborted / {} restarts, \
-             p50/p95/p99 {}/{}/{} ms",
+             p50/p95/p99 {}/{}/{} ms, flushes {} ({} coalesced)",
             self.throughput_tps,
             self.committed,
             self.user_aborts,
@@ -358,6 +371,8 @@ impl std::fmt::Display for MetricsSummary {
             q(self.p50_ms),
             q(self.p95_ms),
             q(self.p99_ms),
+            self.flushes_total,
+            self.flushes_coalesced,
         )
     }
 }
@@ -383,6 +398,8 @@ impl RunMetrics {
             p95_ms: self.latency.p95_ms(),
             p99_ms: self.latency.p99_ms(),
             mean_latency_ms: self.mean_latency_ms(),
+            flushes_total: self.flushes_total,
+            flushes_coalesced: self.flushes_coalesced,
         }
     }
 
@@ -452,6 +469,8 @@ impl RunMetrics {
         self.model_swaps += other.model_swaps;
         self.feedback_records += other.feedback_records;
         self.feedback_dropped += other.feedback_dropped;
+        self.flushes_total += other.flushes_total;
+        self.flushes_coalesced += other.flushes_coalesced;
         for e in &other.epoch_accuracy {
             self.record_epoch_accuracy(e.epoch, e.observed, e.matched);
         }

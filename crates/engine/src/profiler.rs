@@ -57,9 +57,39 @@ impl Bucket {
     }
 }
 
+/// Sub-buckets *of* [`Bucket::Coordination`]: where the distributed
+/// path's coordination time actually goes. Each recorded amount is also
+/// part of the `Coordination` total (the sub-buckets never exceed it —
+/// the fast path's residual coordination lands in none of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoordSub {
+    /// Blocked acquiring the transaction's partition-lock set.
+    LockWait,
+    /// The 2PC finish round: outcome sends plus every participant ack.
+    TwoPc,
+    /// Waiting on the shared commit-flush sequencer for durability.
+    Flush,
+}
+
+impl CoordSub {
+    /// All sub-buckets, in report order.
+    pub const ALL: [CoordSub; 3] = [CoordSub::LockWait, CoordSub::TwoPc, CoordSub::Flush];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoordSub::LockWait => "LockWait",
+            CoordSub::TwoPc => "TwoPC",
+            CoordSub::Flush => "Flush",
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct ProcTimes {
     us: [f64; 6],
+    /// Coordination sub-bucket times, parallel to `us[Coordination]`.
+    coord: [f64; 3],
     txns: u64,
 }
 
@@ -83,6 +113,15 @@ impl Profiler {
         entry.us[bucket as usize] += us;
     }
 
+    /// Adds `us` microseconds to a [`Bucket::Coordination`] sub-bucket for
+    /// `proc`. The caller records the same time under `Coordination` too —
+    /// this only refines how that total splits.
+    pub fn add_coord(&mut self, proc: ProcId, sub: CoordSub, us: f64) {
+        debug_assert!(us >= 0.0, "negative time {us}");
+        let entry = self.per_proc.entry(proc).or_default();
+        entry.coord[sub as usize] += us;
+    }
+
     /// Marks one completed transaction of `proc` (for averaging).
     pub fn finish_txn(&mut self, proc: ProcId) {
         self.per_proc.entry(proc).or_default().txns += 1;
@@ -94,6 +133,9 @@ impl Profiler {
         for (proc, times) in &other.per_proc {
             let entry = self.per_proc.entry(*proc).or_default();
             for (acc, us) in entry.us.iter_mut().zip(times.us.iter()) {
+                *acc += us;
+            }
+            for (acc, us) in entry.coord.iter_mut().zip(times.coord.iter()) {
                 *acc += us;
             }
             entry.txns += times.txns;
@@ -131,6 +173,34 @@ impl Profiler {
             Some(t) if t.txns > 0 => t.us[bucket as usize] / t.txns as f64,
             _ => 0.0,
         }
+    }
+
+    /// Total recorded microseconds for `proc` in a coordination
+    /// sub-bucket.
+    pub fn coord_us(&self, proc: ProcId, sub: CoordSub) -> f64 {
+        self.per_proc.get(&proc).map(|t| t.coord[sub as usize]).unwrap_or(0.0)
+    }
+
+    /// Fraction of `proc`'s recorded time in a coordination sub-bucket
+    /// (same denominator as [`Profiler::share`], so the three sub-shares
+    /// sum to at most the `Coordination` share).
+    pub fn coord_share(&self, proc: ProcId, sub: CoordSub) -> f64 {
+        let total = self.total_us(proc);
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.coord_us(proc, sub) / total
+    }
+
+    /// Run-weighted coordination sub-bucket share across all procedures
+    /// (denominator: grand total, as in [`Profiler::overall_share`]).
+    pub fn overall_coord_share(&self, sub: CoordSub) -> f64 {
+        let total = self.grand_total_us();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let b: f64 = self.per_proc.values().map(|t| t.coord[sub as usize]).sum();
+        b / total
     }
 
     /// Transactions recorded for `proc`.
@@ -210,6 +280,23 @@ mod tests {
         assert_eq!(a.total_txns(), 3);
         assert!((a.grand_total_us() - 115.0).abs() < 1e-12);
         assert_eq!(a.procs(), vec![0, 2]);
+    }
+
+    #[test]
+    fn coord_sub_buckets_split_the_coordination_total() {
+        let mut p = Profiler::new();
+        p.add(0, Bucket::Execution, 50.0);
+        p.add(0, Bucket::Coordination, 50.0);
+        p.add_coord(0, CoordSub::LockWait, 10.0);
+        p.add_coord(0, CoordSub::TwoPc, 25.0);
+        p.add_coord(0, CoordSub::Flush, 5.0);
+        let sub_sum: f64 = CoordSub::ALL.iter().map(|&s| p.coord_share(0, s)).sum();
+        assert!(sub_sum <= p.share(0, Bucket::Coordination) + 1e-12);
+        assert!((p.coord_share(0, CoordSub::TwoPc) - 0.25).abs() < 1e-12);
+        assert!((p.overall_coord_share(CoordSub::LockWait) - 0.10).abs() < 1e-12);
+        let mut q = Profiler::new();
+        q.merge(&p);
+        assert!((q.coord_us(0, CoordSub::Flush) - 5.0).abs() < 1e-12);
     }
 
     #[test]

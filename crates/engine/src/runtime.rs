@@ -46,10 +46,14 @@
 //!   application thread) plan each request via the shared advisor, then
 //!   either hand the whole transaction to its base partition's worker, or
 //!   — for a multi-partition lock set — become the transaction's
-//!   *coordinator*: they acquire the cluster lock atomically, reserve
-//!   every participating worker, drive the control code themselves, and
-//!   ship per-partition query fragments over per-transaction channels (the
-//!   blocking base-partition coordination path).
+//!   *coordinator*: they acquire the cluster lock atomically, drive the
+//!   control code themselves, and ship query fragments over reusable
+//!   per-(client, worker) SPSC *fragment lanes* (`FragConn`, registered
+//!   once like the fast path's lanes), batched per participant per query
+//!   batch (`FragCmd::ExecBatch`). Holding a partition's lock entitles
+//!   the client to push on its lane — the lock *is* the reservation, so
+//!   the steady state has no per-transaction channel setup and no
+//!   reservation round trip at all.
 //! * **The lock manager** is sharded by partition: one FIFO ticket queue
 //!   and condvar per partition, claimed in ascending partition order —
 //!   distributed transactions on disjoint shards never touch the same
@@ -74,10 +78,17 @@
 //! one `VoteFinish` message carrying the flush-and-vote *and* the decision
 //! together and awaits one acknowledgement — halving the per-participant
 //! round trips and the modeled network hops of the split `Vote` + `Finish`
-//! rounds while keeping identical outcomes. `LiveConfig::msg_delay_us`
-//! optionally sleeps at the participant before each fragment command — the
-//! live twin of `CostModel::remote_msg_us` — so 2PC costs wall-clock
-//! lock-hold time as it would over a network.
+//! rounds while keeping identical outcomes. Commit durability is paid
+//! once per distributed write transaction, *by the coordinator*: after
+//! every participant acked it waits on the shared cross-worker
+//! [`common::flush::FlushSequencer`], whose epoch tickets let concurrent
+//! coordinators (and worker group commits) coalesce into one device
+//! operation — participants never sleep a flush on their own thread, so a
+//! distributed commit no longer stalls its partitions' fast paths.
+//! `LiveConfig::msg_delay_us` optionally sleeps at the participant before
+//! each fragment *message* (a whole `ExecBatch` counts once) — the live
+//! twin of `CostModel::remote_msg_us` — so 2PC costs wall-clock lock-hold
+//! time as it would over a network.
 //!
 //! ## Early prepare + speculative execution (OP4, §2/§4.4)
 //!
@@ -86,14 +97,14 @@
 //! coordinator sends those workers an early-prepare at the end of the
 //! batch and releases their slots in the lock manager at once — the
 //! prepare *is* the unsolicited 2PC vote, nothing is awaited, and the
-//! worker (parked on the reservation channel) is guaranteed to observe it
-//! before any later main-queue message. Unlike the simulator's engine the
-//! base partition is releasable too: live control code runs on the
-//! coordinating client, so the base is just another fragment executor. A
-//! *read-only* participant simply drops the reservation — nothing to
-//! flush, undo, or decide (the classic 2PC read-only optimization). A
-//! participant whose fragment *wrote* flushes (its early vote), keeps the
-//! fragment's undo log as the base of a [`storage::SpeculationStack`], and
+//! worker (serving this lane's commands in order) is guaranteed to
+//! observe it before anything a later lock holder pushes. Unlike the
+//! simulator's engine the base partition is releasable too: live control
+//! code runs on the coordinating client, so the base is just another
+//! fragment executor. A *read-only* participant simply drops the
+//! reservation — nothing to flush, undo, or decide (the classic 2PC
+//! read-only optimization). A participant whose fragment *wrote* keeps
+//! the fragment's undo log as the base of a [`storage::SpeculationStack`], and
 //! opens a speculation window: until the 2PC outcome arrives — pushed on
 //! the worker's control channel as `CtrlMsg::SpecFinish` — queued
 //! single-partition transactions execute *speculatively*, with undo
@@ -138,11 +149,13 @@
 //! Every [`Client::call`] attributes its wall time across the paper's
 //! Fig. 11 buckets into `RunMetrics::profile`: advisor planning/updates →
 //! `Estimation`; fragment/control-code execution → `Execution`; lock
-//! acquisition, reservation setup, and 2PC → `Coordination`; time a
-//! fast-path message sat on the worker queue → `Queueing`; the
-//! unattributed remainder (channel hops, group-commit waits measured at
-//! the worker, cascade retries) → `Other`. `Planning` stays a sim-only
-//! bucket — the live runtime ships pre-compiled fragments.
+//! acquisition, 2PC, and the sequenced commit flush → `Coordination`,
+//! further split into `CoordSub::{LockWait, TwoPc, Flush}` sub-buckets on
+//! the distributed path; time a fast-path message sat on the worker queue
+//! → `Queueing`; the unattributed remainder (channel hops, group-commit
+//! waits measured at the worker, cascade retries) → `Other`. `Planning`
+//! stays a sim-only bucket — the live runtime ships pre-compiled
+//! fragments.
 
 use crate::advisor::{
     LiveAdvisor, LiveMaintainer, PlanContext, Request, TxnFeedback, TxnOutcome, TxnPlan,
@@ -151,8 +164,9 @@ use crate::catalog::Catalog;
 use crate::exec::{execute_fragment, ExecutedQuery};
 use crate::metrics::RunMetrics;
 use crate::procedure::{ProcedureRegistry, Step};
-use crate::profiler::Bucket;
+use crate::profiler::{Bucket, CoordSub};
 use crate::sim::RequestGenerator;
+use common::flush::FlushSequencer;
 use common::ring::{self, Doorbell, PushError};
 use common::sync::atomic::{AtomicU64, Ordering};
 use common::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
@@ -243,17 +257,18 @@ pub struct LiveConfig {
     /// open, scaled by the backlog observed as the group runs — zero when
     /// no one is waiting (the group cannot grow, so flush immediately),
     /// the full cap under deep backlog (see `adaptive_window`) — and
-    /// the window elapses under useful work, never as a sleep. 2PC
-    /// participant flushes are ungrouped and pay the full cap as a real
-    /// sleep, which also makes worker-count scaling observable on
-    /// machines with fewer cores than partitions: flushes on different
-    /// partitions overlap in wall-clock time while CPU work cannot.
+    /// the window elapses under useful work, never as a sleep. A
+    /// distributed write commit pays this cap once, as the coordinator's
+    /// wait on the shared [`common::flush::FlushSequencer`], where
+    /// concurrent coordinators and worker group closes coalesce into one
+    /// device operation instead of sleeping per participant.
     pub commit_flush_us: u64,
     /// One-way coordinator→participant message latency (µs of real sleep at
-    /// the participant before it processes a fragment command, 0 = off) —
-    /// the live twin of `CostModel::remote_msg_us`. In-process channels are
-    /// otherwise near-instant, which would hide exactly the cost OP4
-    /// eliminates: the 2PC rounds a reserved partition sits through.
+    /// the participant before it processes a fragment *message*, 0 = off;
+    /// a whole `FragCmd::ExecBatch` counts once) — the live twin of
+    /// `CostModel::remote_msg_us`. In-process lanes are otherwise
+    /// near-instant, which would hide exactly the cost OP4 eliminates:
+    /// the 2PC rounds a reserved partition sits through.
     pub msg_delay_us: u64,
     /// Bound of the session-teardown → maintenance-thread feedback channel
     /// (§4.5). Clients never block on maintenance: a full channel drops the
@@ -392,8 +407,21 @@ impl Drop for LockGuard<'_> {
 
 /// A fragment command sent to a reserved worker.
 enum FragCmd {
-    /// Execute this partition's slice of one query invocation.
+    /// Execute this partition's slice of one query invocation. Legacy:
+    /// production coordinators ship [`FragCmd::ExecBatch`]; workers keep
+    /// serving `Exec` for hand-driven protocol tests (hence the allow —
+    /// only `cfg(test)` code constructs it).
+    #[allow(dead_code)]
     Exec { proc: ProcId, query: QueryId, params: Vec<Value> },
+    /// Every fragment this partition owes for one query batch, shipped as
+    /// a single message (one lane push, one modeled network hop, one
+    /// reply) instead of one `Exec` round trip per query. Items execute
+    /// in batch order; the participant stops at its own first constraint
+    /// violation — the coordinator re-derives the batch-global abort
+    /// point from the merged per-item outcomes ([`FragReply::Batch`]),
+    /// and the transaction rollback makes any item executed past it
+    /// invisible, so outcomes are byte-identical to the unbatched path.
+    ExecBatch { proc: ProcId, queries: Vec<(QueryId, Vec<Value>)> },
     /// Early prepare (OP4): the transaction is finished with this partition.
     /// With `speculate` (the fragment wrote here) the worker flushes — the
     /// unsolicited commit vote — keeps the fragment undo as a speculation
@@ -415,16 +443,50 @@ enum FragCmd {
 
 /// A reserved worker's answer to a fragment command.
 enum FragReply {
+    /// One [`FragCmd::Exec`]'s rows (legacy path; read by test drivers).
+    #[allow(dead_code)]
     Rows(Vec<Row>),
+    /// Per-item outcomes of an [`FragCmd::ExecBatch`], in item order. A
+    /// participant that hit a constraint stops there, so the vector may be
+    /// shorter than the batch it answers; the coordinator only ever reads
+    /// items up to the batch-global abort point, which is covered on every
+    /// target (see `run_distributed`).
+    Batch(Vec<BatchItem>),
+    /// One [`FragCmd::Exec`]'s constraint violation (legacy path).
+    #[allow(dead_code)]
     Constraint(String),
     Finished,
     Fatal(Error),
 }
 
-/// Reservation of one worker by a distributed transaction's coordinator.
+/// One query's outcome inside a [`FragReply::Batch`]. Fatal errors abort
+/// the whole reply ([`FragReply::Fatal`]) rather than appearing per item.
+enum BatchItem {
+    Rows(Vec<Row>),
+    Constraint(String),
+}
+
+/// Reservation of one worker by a distributed transaction's coordinator —
+/// the *legacy* per-transaction channel pair, kept alongside the reusable
+/// fragment lanes ([`FragConn`]) for hand-driven protocol tests and
+/// embedders predating lanes. Production coordination registers one
+/// [`CtrlMsg::FragLane`] per (client, worker) pair instead and reuses it
+/// for every distributed transaction after: the partition lock *is* the
+/// reservation, so the lock holder's first lane push opens service.
 struct Reserve {
     frags: Receiver<FragCmd>,
     results: Sender<FragReply>,
+}
+
+/// One client's distributed-path connection at the worker: a reusable
+/// bounded SPSC fragment lane plus the client's reusable fragment reply
+/// slot — registered once per (client, worker) pair over the control
+/// channel (mirroring the fast path's `CtrlMsg::Lane`) and reused by every
+/// distributed transaction after, replacing two fresh channel allocations
+/// per participant per transaction.
+struct FragConn {
+    frags: ring::Consumer<FragCmd>,
+    replies: Arc<ReplySlot<FragReply>>,
 }
 
 /// Wall-clock stage timings measured at the worker for one fast-path
@@ -480,7 +542,7 @@ struct SingleMsg<S> {
     session: S,
     /// The client's reusable reply mailbox (one per client, every call
     /// reuses it — a blocking client has one call in flight at a time).
-    reply: Arc<ReplySlot<S>>,
+    reply: Arc<SingleSlot<S>>,
     /// When the client enqueued the message — the worker derives the
     /// queue-wait time (Fig. 11 `Queueing`) at pickup.
     enqueued: Instant,
@@ -491,6 +553,14 @@ struct SingleMsg<S> {
 enum CtrlMsg<S> {
     /// A client registered a new fast-path lane with this worker.
     Lane(ring::Consumer<SingleMsg<S>>),
+    /// A client registered its distributed-path fragment lane with this
+    /// worker (once per (client, worker) pair, like `Lane`). Fragment
+    /// commands arrive on the lane afterwards — only the partition-lock
+    /// holder pushes, so the lock itself serializes transactions on it.
+    FragLane(FragConn),
+    /// Legacy per-transaction reservation (see [`Reserve`]); constructed
+    /// by hand-driven protocol tests only, still served by every worker.
+    #[allow(dead_code)]
     Reserve(Reserve),
     /// 2PC outcome for the speculation window this worker has open — sent
     /// on the control channel (not the reservation channel) so a
@@ -502,11 +572,18 @@ enum CtrlMsg<S> {
     Shutdown,
 }
 
+/// A client's fast-path reply mailbox payload (the reply slot is generic
+/// so the same machinery serves fragment replies — see [`FragConn`]).
+type SingleSlot<S> = ReplySlot<SingleReply<S>>;
+
 /// A client's reusable one-shot reply mailbox: the worker fills it, the
 /// client sleeps on the condvar. Replaces a fresh channel per call — the
-/// `Arc` is cloned into each message but never reallocated.
-struct ReplySlot<S> {
-    state: Mutex<Option<SingleReply<S>>>,
+/// `Arc` is cloned into each message but never reallocated. One slot per
+/// (client, payload kind): fast-path calls block on a [`SingleSlot`],
+/// distributed coordination keeps one `ReplySlot<FragReply>` per worker —
+/// either way at most one reply is outstanding per slot (ping-pong).
+struct ReplySlot<T> {
+    state: Mutex<Option<T>>,
     cv: Condvar,
     /// 1 while the owning client is blocked in a condvar wait (it spins
     /// first — see [`ReplySlot::take_or_abandon`]). Lets [`ReplySlot::put`]
@@ -515,14 +592,14 @@ struct ReplySlot<S> {
     sleeper: AtomicU64,
 }
 
-impl<S> ReplySlot<S> {
+impl<T> ReplySlot<T> {
     fn new() -> Self {
         ReplySlot { state: Mutex::new(None), cv: Condvar::new(), sleeper: AtomicU64::new(0) }
     }
 
     /// Fills the slot and wakes the waiting client. Empty by contract:
     /// the owning client blocks for each call's reply before reusing it.
-    fn put(&self, reply: SingleReply<S>) {
+    fn put(&self, reply: T) {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         debug_assert!(st.is_none(), "reply slot already full");
         *st = Some(reply);
@@ -543,7 +620,7 @@ impl<S> ReplySlot<S> {
     /// ticks: once it reports true (the worker retired this client's lane
     /// — possibly discarding the buffered call at shutdown) and the slot
     /// is still empty, no reply can ever arrive, so give up with `None`.
-    fn take_or_abandon(&self, abandoned: impl Fn() -> bool) -> Option<SingleReply<S>> {
+    fn take_or_abandon(&self, abandoned: impl Fn() -> bool) -> Option<T> {
         // Fast-path replies land within microseconds of the doorbell ring,
         // so a bounded yield-spin usually collects them without paying the
         // condvar's futex sleep/wake round trip — which would otherwise
@@ -583,7 +660,7 @@ impl<S> ReplySlot<S> {
 
     /// Waits up to `dur` for a reply — test hook for deferred-ack checks.
     #[cfg(test)]
-    fn take_within(&self, dur: Duration) -> Option<SingleReply<S>> {
+    fn take_within(&self, dur: Duration) -> Option<T> {
         let deadline = Instant::now() + dur;
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         // ordering: Relaxed — published by the mutex, as in
@@ -652,6 +729,13 @@ struct Shared<A: LiveAdvisor> {
     /// client's SPSC lane and only rings the gate's bell.
     workers: Vec<WorkerGate<A::Session>>,
     locks: LockManager,
+    /// Cross-worker commit-flush sequencer for the shared log device:
+    /// worker group commits and coordinator 2PC durability waits all go
+    /// through it, so concurrent flush demands — from *different* workers
+    /// and coordinators — coalesce into one device operation (epoch-
+    /// ticketed; see [`common::flush`]). A no-op when `commit_flush` is
+    /// zero.
+    seq: FlushSequencer,
     /// Run-wide counters: [`Client::call`] folds each transaction's
     /// tallies in here *once, at the end of the call* — per-call scratch
     /// lives in cheap locals on the client, so the fast path touches this
@@ -675,7 +759,7 @@ fn flush(d: Duration) {
 
 /// A fast-path reply held back until its group's commit flush completes
 /// (group commit: one flush covers every write in the group).
-type DeferredAck<S> = (Arc<ReplySlot<S>>, SingleReply<S>);
+type DeferredAck<S> = (Arc<SingleSlot<S>>, SingleReply<S>);
 
 /// Drains the control channel: registers new lanes, parks reservations,
 /// records shutdown. With `window_finish` set (a speculation window is
@@ -687,6 +771,7 @@ type DeferredAck<S> = (Arc<ReplySlot<S>>, SingleReply<S>);
 fn gather_ctrl<S>(
     ctrl: &Receiver<CtrlMsg<S>>,
     lanes: &mut Vec<ring::Consumer<SingleMsg<S>>>,
+    frag_lanes: &mut Vec<FragConn>,
     resv: &mut VecDeque<Reserve>,
     shutdown: &mut bool,
     mut window_finish: Option<&mut Option<bool>>,
@@ -694,6 +779,7 @@ fn gather_ctrl<S>(
     while let Ok(m) = ctrl.try_recv() {
         match m {
             CtrlMsg::Lane(l) => lanes.push(l),
+            CtrlMsg::FragLane(c) => frag_lanes.push(c),
             CtrlMsg::Reserve(r) => resv.push_back(r),
             CtrlMsg::SpecFinish { commit } => {
                 if let Some(slot) = window_finish.as_deref_mut() {
@@ -752,15 +838,30 @@ fn adaptive_window(cap: Duration, depth: usize) -> Duration {
     cap * k / FLUSH_KNEE as u32
 }
 
-/// Closes the current commit group: the held acknowledgements go out in
+/// Releases the held acknowledgements of a closing commit group in
 /// completion order (group ack). The group's one flush is the adaptive
 /// window that just elapsed — spent serving, not sleeping (see
-/// [`adaptive_window`]); participant flushes on the 2PC path still pay
-/// the full cap in real time.
+/// [`adaptive_window`]). 2PC durability is not paid here either: the
+/// *coordinator* waits once per distributed commit through the shared
+/// [`FlushSequencer`], covering every participant's writes.
 fn release_acks<S>(pending: &mut Vec<DeferredAck<S>>) {
     for (slot, reply) in pending.drain(..) {
         slot.put(reply);
     }
+}
+
+/// Closes the open commit group: registers its flush demand with the
+/// shared sequencer (a non-empty group always contains a durable write —
+/// acks are only deferred from the first unflushed commit on), then
+/// releases the held acks. The sequencer call is pure accounting on this
+/// path — the group's flush already elapsed as the adaptive window — but
+/// it lets `RunMetrics` report how many group closes coalesced with a
+/// flush another worker or coordinator had in flight.
+fn close_group<A: LiveAdvisor>(env: &Shared<A>, pending: &mut Vec<DeferredAck<A::Session>>) {
+    if !pending.is_empty() && !env.commit_flush.is_zero() {
+        env.seq.commit_group();
+    }
+    release_acks(pending);
 }
 
 /// One partition's server loop: collect work *in runs* until shutdown,
@@ -796,6 +897,7 @@ fn worker_loop<A: LiveAdvisor>(
 ) -> Shard {
     let bell = &env.workers[me].bell;
     let mut lanes: Vec<ring::Consumer<SingleMsg<A::Session>>> = Vec::new();
+    let mut frag_lanes: Vec<FragConn> = Vec::new();
     let mut resv: VecDeque<Reserve> = VecDeque::new();
     let mut run: Vec<SingleMsg<A::Session>> = Vec::new();
     // Held acknowledgements of the open commit group, plus when its
@@ -808,22 +910,54 @@ fn worker_loop<A: LiveAdvisor>(
         if let Some(r) = resv.pop_front() {
             // The reservation closes the open group: flush and ack before
             // the distributed transaction reads anything.
-            release_acks(&mut pending);
-            if let Some(spec) = serve_reservation(&mut shard, env, r) {
-                shutdown = speculate(&mut shard, env, ctrl, bell, &mut lanes, &mut resv, spec);
+            close_group(env, &mut pending);
+            if let Some(spec) = serve_reservation(&mut shard, env, FragSource::Legacy(r)) {
+                shutdown = speculate(
+                    &mut shard,
+                    env,
+                    ctrl,
+                    bell,
+                    &mut lanes,
+                    &mut frag_lanes,
+                    &mut resv,
+                    spec,
+                );
             }
             continue;
         }
-        gather_ctrl(ctrl, &mut lanes, &mut resv, &mut shutdown, None);
+        // A non-empty fragment lane is a reservation: its client holds
+        // this partition's lock and pushed the transaction's first
+        // command. At most one lane holds a live transaction (the lock is
+        // exclusive); a closed lane's leftovers come from a coordinator
+        // that died mid-transaction and are rolled back inside serve.
+        if let Some(i) = frag_lanes.iter().position(|c| !c.frags.is_empty()) {
+            close_group(env, &mut pending);
+            let src = FragSource::Lane { conns: &mut frag_lanes, i, bell };
+            if let Some(spec) = serve_reservation(&mut shard, env, src) {
+                shutdown = speculate(
+                    &mut shard,
+                    env,
+                    ctrl,
+                    bell,
+                    &mut lanes,
+                    &mut frag_lanes,
+                    &mut resv,
+                    spec,
+                );
+            }
+            continue;
+        }
+        frag_lanes.retain(|c| !c.frags.is_closed());
+        gather_ctrl(ctrl, &mut lanes, &mut frag_lanes, &mut resv, &mut shutdown, None);
         sweep_lanes(&mut lanes, &mut run);
         if shutdown {
             break;
         }
-        if run.is_empty() && resv.is_empty() {
+        if run.is_empty() && resv.is_empty() && !has_frags(&frag_lanes) {
             // No work means no backlog: close the group (normally already
             // closed by the post-run check below — this is the backstop
             // for a group left open by a race with an emptying lane).
-            release_acks(&mut pending);
+            close_group(env, &mut pending);
             // Closed-loop clients resubmit within microseconds of their
             // acks, so a bounded yield-spin re-sweep usually catches the
             // next batch without a futex park/wake cycle (whose scheduler
@@ -832,9 +966,9 @@ fn worker_loop<A: LiveAdvisor>(
             let mut found = false;
             for _ in 0..IDLE_SPIN {
                 std::thread::yield_now();
-                gather_ctrl(ctrl, &mut lanes, &mut resv, &mut shutdown, None);
+                gather_ctrl(ctrl, &mut lanes, &mut frag_lanes, &mut resv, &mut shutdown, None);
                 sweep_lanes(&mut lanes, &mut run);
-                if !run.is_empty() || !resv.is_empty() || shutdown {
+                if !run.is_empty() || !resv.is_empty() || has_frags(&frag_lanes) || shutdown {
                     found = true;
                     break;
                 }
@@ -846,9 +980,9 @@ fn worker_loop<A: LiveAdvisor>(
             // second look — a ring that landed before the parked bit went
             // up is only visible here — and only then sleep.
             let token = bell.prepare_park();
-            gather_ctrl(ctrl, &mut lanes, &mut resv, &mut shutdown, None);
+            gather_ctrl(ctrl, &mut lanes, &mut frag_lanes, &mut resv, &mut shutdown, None);
             sweep_lanes(&mut lanes, &mut run);
-            if run.is_empty() && resv.is_empty() && !shutdown {
+            if run.is_empty() && resv.is_empty() && !has_frags(&frag_lanes) && !shutdown {
                 bell.park(token);
             } else {
                 bell.cancel_park();
@@ -888,18 +1022,31 @@ fn worker_loop<A: LiveAdvisor>(
             // the traffic that piled up while we worked. An empty backlog
             // closes the group at once; otherwise the group stays open —
             // serving the backlog *is* the coalescing window — until the
-            // adaptive deadline passes.
+            // adaptive deadline passes. A flush another worker or
+            // coordinator has in flight also closes the group early: the
+            // shared device is being written *right now*, so riding that
+            // operation beats waiting for a window that would demand a
+            // fresh one (the adaptive window, made cross-worker).
             let depth = lane_depth(&lanes);
-            if depth == 0 || opened.elapsed() >= adaptive_window(env.commit_flush, depth) {
-                release_acks(&mut pending);
+            if depth == 0
+                || opened.elapsed() >= adaptive_window(env.commit_flush, depth)
+                || env.seq.flush_in_progress()
+            {
+                close_group(env, &mut pending);
             }
         }
     }
     // Shutdown closes the open group before failing the stragglers: the
     // held acks are *completed* transactions and must reach their clients.
-    release_acks(&mut pending);
+    close_group(env, &mut pending);
     fail_lanes(&mut run, &mut lanes);
     shard
+}
+
+/// Whether any registered fragment lane has a command buffered — a
+/// distributed transaction is waiting to be served.
+fn has_frags(frag_lanes: &[FragConn]) -> bool {
+    frag_lanes.iter().any(|c| !c.frags.is_empty())
 }
 
 /// Shutdown teardown: calls swept but not yet executed, plus everything
@@ -1167,12 +1314,90 @@ fn run_single<A: LiveAdvisor>(
     }
 }
 
+/// Where a reservation's fragment commands come from and where its
+/// replies go: the client's registered fragment lane (production — the
+/// partition lock *is* the reservation, so the lock holder's first push
+/// opens service), or the legacy per-transaction channel pair
+/// ([`CtrlMsg::Reserve`] — hand-driven protocol tests and embedders
+/// predating lanes).
+enum FragSource<'a> {
+    Lane { conns: &'a mut Vec<FragConn>, i: usize, bell: &'a Doorbell },
+    Legacy(Reserve),
+}
+
+impl FragSource<'_> {
+    /// Blocks for the next fragment command; `None` when the coordinator
+    /// is gone (producer dropped / channel disconnected). Lane waits park
+    /// on the worker's own doorbell — the coordinator rings it after every
+    /// push; stray rings from other clients just cost a re-check.
+    fn recv(&mut self) -> Option<FragCmd> {
+        match self {
+            FragSource::Legacy(r) => r.frags.recv().ok(),
+            FragSource::Lane { conns, i, bell } => {
+                let lane = &mut conns[*i].frags;
+                loop {
+                    if let Some(cmd) = lane.pop() {
+                        return Some(cmd);
+                    }
+                    if lane.is_closed() {
+                        return None;
+                    }
+                    // Doorbell protocol: announce intent, MANDATORY second
+                    // look (a push-and-ring that landed before the parked
+                    // bit went up is only visible here), then sleep.
+                    let token = bell.prepare_park();
+                    if lane.is_empty() && !lane.is_closed() {
+                        bell.park(token);
+                    } else {
+                        bell.cancel_park();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers a reply to the coordinator; false if it is gone.
+    fn send(&mut self, reply: FragReply) -> bool {
+        match self {
+            FragSource::Legacy(r) => r.results.send(reply).is_ok(),
+            FragSource::Lane { conns, i, .. } => {
+                let conn = &conns[*i];
+                // A closed lane's coordinator died: nobody will ever take
+                // this reply, so leave the slot reusable-empty instead.
+                if conn.frags.is_closed() {
+                    return false;
+                }
+                conn.replies.put(reply);
+                true
+            }
+        }
+    }
+
+    /// Consumes the source into the channel handle a speculation window
+    /// keeps (a lane itself stays registered at the worker).
+    fn into_spec_channel(self) -> SpecChannel {
+        match self {
+            FragSource::Legacy(r) => SpecChannel::Legacy { frags: r.frags, results: r.results },
+            FragSource::Lane { i, .. } => SpecChannel::Lane(i),
+        }
+    }
+}
+
+/// The channel a speculation window keeps toward its coordinator: the
+/// index of the client's fragment lane in the worker's `frag_lanes`
+/// (stable — lanes are only retired between transactions, never while a
+/// window is open), or the legacy per-transaction endpoints moved out of
+/// the reservation.
+enum SpecChannel {
+    Lane(usize),
+    Legacy { frags: Receiver<FragCmd>, results: Sender<FragReply> },
+}
+
 /// A speculation window opened by an early-prepared distributed
-/// transaction: its reservation channels (the 2PC outcome arrives on
-/// `frags`) plus the shard's undo stack and the conflict mask.
+/// transaction: its coordinator channel plus the shard's undo stack and
+/// the conflict mask.
 struct SpecSession {
-    frags: Receiver<FragCmd>,
-    results: Sender<FragReply>,
+    chan: SpecChannel,
     stack: SpeculationStack,
     /// [`crate::sim::table_bit`] mask of tables written inside the window
     /// so far: the early-prepared fragment's writes plus every deferred
@@ -1188,13 +1413,13 @@ struct SpecSession {
 fn serve_reservation<A: LiveAdvisor>(
     shard: &mut Shard,
     env: &Shared<A>,
-    r: Reserve,
+    mut src: FragSource<'_>,
 ) -> Option<SpecSession> {
     let mut undo = UndoLog::new();
     let mut wrote_tables = 0u64;
     loop {
-        match r.frags.recv() {
-            Ok(FragCmd::Exec { proc, query, params }) => {
+        match src.recv() {
+            Some(FragCmd::Exec { proc, query, params }) => {
                 flush(env.msg_delay);
                 let def = env.catalog.proc(proc).query(query);
                 let reply = match execute_fragment(shard, def, &params, &mut undo) {
@@ -1207,13 +1432,51 @@ fn serve_reservation<A: LiveAdvisor>(
                     Err(Error::Constraint(msg)) => FragReply::Constraint(msg),
                     Err(e) => FragReply::Fatal(e),
                 };
-                if r.results.send(reply).is_err() {
+                if !src.send(reply) {
                     // Coordinator vanished: restore the shard and move on.
                     let _ = shard.rollback(&mut undo);
                     return None;
                 }
             }
-            Ok(FragCmd::Prepare { speculate }) => {
+            Some(FragCmd::ExecBatch { proc, queries }) => {
+                // One modeled network hop covers the whole sub-batch —
+                // exactly the per-query message cost batching removes.
+                flush(env.msg_delay);
+                let mut items = Vec::with_capacity(queries.len());
+                let mut fatal = None;
+                for (query, params) in queries {
+                    let def = env.catalog.proc(proc).query(query);
+                    match execute_fragment(shard, def, &params, &mut undo) {
+                        Ok(rows) => {
+                            if def.is_write() {
+                                wrote_tables |= crate::sim::table_bit(def.table);
+                            }
+                            items.push(BatchItem::Rows(rows));
+                        }
+                        Err(Error::Constraint(msg)) => {
+                            // Stop at the first local constraint: the
+                            // coordinator aborts at the batch-global first
+                            // constraint anyway, and the rollback erases
+                            // anything executed past it.
+                            items.push(BatchItem::Constraint(msg));
+                            break;
+                        }
+                        Err(e) => {
+                            fatal = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let reply = match fatal {
+                    Some(e) => FragReply::Fatal(e),
+                    None => FragReply::Batch(items),
+                };
+                if !src.send(reply) {
+                    let _ = shard.rollback(&mut undo);
+                    return None;
+                }
+            }
+            Some(FragCmd::Prepare { speculate }) => {
                 flush(env.msg_delay);
                 if !speculate {
                     // Read-only participant: no effects to keep or undo, no
@@ -1222,37 +1485,29 @@ fn serve_reservation<A: LiveAdvisor>(
                     debug_assert!(undo.is_empty(), "read-only fragment logged undo");
                     return None;
                 }
-                // Early prepare of a written fragment: flush now — the
-                // unsolicited commit vote, overlapping the rest of the
-                // transaction — and open the speculation window over this
-                // fragment's undo. Participant flushes are ungrouped (one
-                // distributed transaction, one flush), so unlike the fast
-                // path's adaptive group commit they always pay the full
-                // `commit_flush_us` cap — the OP4 ablation measures
-                // exactly this serialization.
-                if wrote_tables != 0 {
-                    flush(env.commit_flush);
-                }
+                // Early prepare of a written fragment: open the speculation
+                // window over this fragment's undo. Its durability is the
+                // *coordinator's* debt — one wait on the shared
+                // [`FlushSequencer`] after all Finished acks, with a ticket
+                // that covers this fragment's log records (the acks order
+                // the writes before the wait). No sleep here: the old
+                // ungrouped per-participant flush stalled this partition's
+                // whole fast path behind every distributed writer.
                 let stack = SpeculationStack::new(undo);
                 return Some(SpecSession {
-                    frags: r.frags,
-                    results: r.results,
+                    chan: src.into_spec_channel(),
                     stack,
                     written_tables: wrote_tables,
                 });
             }
-            Ok(FragCmd::VoteFinish { commit }) => {
+            Some(FragCmd::VoteFinish { commit }) => {
                 // Coalesced 2PC: flush-and-vote plus the decision in one
-                // message — one modeled network hop, one durability flush,
-                // one acknowledgement. Outcome-identical to Vote + Finish
-                // because the vote is always yes.
+                // message — one modeled network hop, one acknowledgement.
+                // Outcome-identical to Vote + Finish because the vote is
+                // always yes. Commit durability is the coordinator's one
+                // sequenced flush (see the Prepare arm above).
                 flush(env.msg_delay);
                 let reply = if commit {
-                    // Ungrouped participant flush: full cap, same as the
-                    // early-prepare vote above.
-                    if wrote_tables != 0 {
-                        flush(env.commit_flush);
-                    }
                     undo.clear();
                     FragReply::Finished
                 } else {
@@ -1261,10 +1516,10 @@ fn serve_reservation<A: LiveAdvisor>(
                         Err(e) => FragReply::Fatal(e),
                     }
                 };
-                let _ = r.results.send(reply);
+                let _ = src.send(reply);
                 return None;
             }
-            Err(_) => {
+            None => {
                 let _ = shard.rollback(&mut undo);
                 return None;
             }
@@ -1285,19 +1540,21 @@ fn serve_reservation<A: LiveAdvisor>(
 /// are admitted — they execute non-speculatively after it, a schedule the
 /// racing clients cannot distinguish. Returns true if a shutdown was
 /// observed while speculating (the window still resolves first).
+#[allow(clippy::too_many_arguments)]
 fn speculate<A: LiveAdvisor>(
     shard: &mut Shard,
     env: &Shared<A>,
     ctrl: &Receiver<CtrlMsg<A::Session>>,
     bell: &Doorbell,
     lanes: &mut Vec<ring::Consumer<SingleMsg<A::Session>>>,
+    frag_lanes: &mut Vec<FragConn>,
     resv: &mut VecDeque<Reserve>,
     mut spec: SpecSession,
 ) -> bool {
     // A deferred completion: the client's slot, the reply, and — unless
     // the reply carries it itself — the request, needed to route the
     // `Cascaded` retry if the window aborts.
-    type Deferred<S> = (Arc<ReplySlot<S>>, SingleReply<S>, Option<Request>);
+    type Deferred<S> = (Arc<SingleSlot<S>>, SingleReply<S>, Option<Request>);
     let mut deferred: Vec<Deferred<A::Session>> = Vec::new();
     let mut run: Vec<SingleMsg<A::Session>> = Vec::new();
     let mut shutdown = false;
@@ -1305,7 +1562,7 @@ fn speculate<A: LiveAdvisor>(
     // the window resolves exactly like an abort.
     let outcome: Option<bool> = 'window: loop {
         let mut finish: Option<bool> = None;
-        gather_ctrl(ctrl, lanes, resv, &mut shutdown, Some(&mut finish));
+        gather_ctrl(ctrl, lanes, frag_lanes, resv, &mut shutdown, Some(&mut finish));
         if finish.is_none() {
             sweep_lanes(lanes, &mut run);
         }
@@ -1313,31 +1570,57 @@ fn speculate<A: LiveAdvisor>(
             // Idle: park under the doorbell protocol, but with the
             // watchdog timeout — the outcome normally arrives as a rung
             // control message, so an empty 25 ms is only expected for a
-            // long-running coordinator, unless it died (its reservation
-            // channel disconnects without a buffered outcome) or it still
-            // speaks the reservation-channel protocol (tests, legacy).
+            // long-running coordinator, unless it died (its fragment lane
+            // or reservation channel disconnects without a buffered
+            // outcome) or it still speaks the reservation-channel
+            // protocol's in-band VoteFinish (tests, legacy).
             let token = bell.prepare_park();
-            gather_ctrl(ctrl, lanes, resv, &mut shutdown, Some(&mut finish));
+            gather_ctrl(ctrl, lanes, frag_lanes, resv, &mut shutdown, Some(&mut finish));
             if finish.is_none() {
                 sweep_lanes(lanes, &mut run);
             }
             if run.is_empty() && finish.is_none() {
                 if bell.park_timeout(token, SPEC_WATCHDOG) {
-                    loop {
-                        match spec.frags.try_recv() {
-                            Ok(FragCmd::VoteFinish { commit }) => break 'window Some(commit),
-                            Ok(FragCmd::Prepare { .. }) => {} // duplicate: already prepared
-                            Ok(FragCmd::Exec { .. }) => {
-                                // The coordinator treats a batch that
-                                // re-targets a released partition as a
-                                // mispredict before shipping anything:
-                                // protocol violation.
-                                let _ = spec.results.send(FragReply::Fatal(Error::Other(
-                                    "fragment shipped to an early-prepared partition".into(),
-                                )));
+                    match &spec.chan {
+                        SpecChannel::Legacy { frags, results } => loop {
+                            match frags.try_recv() {
+                                Ok(FragCmd::VoteFinish { commit }) => break 'window Some(commit),
+                                Ok(FragCmd::Prepare { .. }) => {} // duplicate: already prepared
+                                Ok(FragCmd::Exec { .. } | FragCmd::ExecBatch { .. }) => {
+                                    // The coordinator treats a batch that
+                                    // re-targets a released partition as a
+                                    // mispredict before shipping anything:
+                                    // protocol violation.
+                                    let _ = results.send(FragReply::Fatal(Error::Other(
+                                        "fragment shipped to an early-prepared partition".into(),
+                                    )));
+                                }
+                                Err(TryRecvError::Empty) => break,
+                                Err(TryRecvError::Disconnected) => break 'window None,
                             }
-                            Err(TryRecvError::Empty) => break,
-                            Err(TryRecvError::Disconnected) => break 'window None,
+                        },
+                        SpecChannel::Lane(i) => {
+                            // Production coordinators deliver the outcome on
+                            // the control channel; the lane matters here only
+                            // as the liveness signal. Anything buffered in it
+                            // belongs to the *next* transaction of a client
+                            // that reacquired after an early release — never
+                            // popped here. A closed (drained, producer
+                            // dropped) lane means the coordinator died; one
+                            // final control drain closes the race where it
+                            // sent the outcome just before dropping.
+                            if frag_lanes[*i].frags.is_closed() {
+                                let mut last: Option<bool> = None;
+                                gather_ctrl(
+                                    ctrl,
+                                    lanes,
+                                    frag_lanes,
+                                    resv,
+                                    &mut shutdown,
+                                    Some(&mut last),
+                                );
+                                break 'window last;
+                            }
                         }
                     }
                 }
@@ -1348,11 +1631,13 @@ fn speculate<A: LiveAdvisor>(
         // Serve the swept run, same group structure as the non-speculating
         // loop; an outcome gathered above ends the window after this run.
         let mut acks: Vec<DeferredAck<A::Session>> = Vec::new();
+        let mut group_wrote = false;
         let mut t_cursor = Instant::now();
         for msg in run.drain(..) {
             let SingleMsg { req, plan, session, reply, enqueued } = msg;
             let queued_us = t_cursor.duration_since(enqueued).as_secs_f64() * 1e6;
             let mut out = run_single(shard, env, req, &plan, session, true);
+            let durable = out.needs_flush();
             let t_done = Instant::now();
             stamp_times(&mut out, queued_us, (t_done - t_cursor).as_secs_f64() * 1e6);
             t_cursor = t_done;
@@ -1378,7 +1663,10 @@ fn speculate<A: LiveAdvisor>(
                 None if conflict => deferred.push((reply, out.reply, out.req)),
                 // Non-conflicting (commit, user abort, or mispredict):
                 // acknowledge with the group, effects (if any) are final.
-                Some(_) | None => acks.push((reply, out.reply)),
+                Some(_) | None => {
+                    group_wrote |= durable;
+                    acks.push((reply, out.reply));
+                }
             }
         }
         // Non-conflicting acks leave now: their effects are disjoint from
@@ -1386,6 +1674,11 @@ fn speculate<A: LiveAdvisor>(
         // served them — the in-flight 2PC round trip this window spans is
         // the widest coalescing period the adaptive policy can produce.
         // Deferred acks wait for the outcome, which arrives strictly later.
+        // The group's flush demand is registered with the shared sequencer
+        // (accounting, as in [`close_group`]) when any of them wrote.
+        if group_wrote && !env.commit_flush.is_zero() {
+            env.seq.commit_group();
+        }
         for (slot, reply) in acks {
             slot.put(reply);
         }
@@ -1399,7 +1692,7 @@ fn speculate<A: LiveAdvisor>(
         for (slot, reply, _) in deferred {
             slot.put(reply);
         }
-        let _ = spec.results.send(FragReply::Finished);
+        spec_reply(frag_lanes, &spec.chan, FragReply::Finished);
     } else {
         // Cascading rollback (LIFO) of every speculative commit, then the
         // fragment itself; deferred clients retry transparently.
@@ -1417,10 +1710,27 @@ fn speculate<A: LiveAdvisor>(
             slot.put(SingleReply::Cascaded { req });
         }
         if outcome.is_some() {
-            let _ = spec.results.send(reply);
+            spec_reply(frag_lanes, &spec.chan, reply);
         }
     }
     shutdown
+}
+
+/// Delivers a speculation window's final participant acknowledgement over
+/// its coordinator channel; dropped when the coordinator is already gone
+/// (a closed lane's reply slot must stay reusable-empty).
+fn spec_reply(frag_lanes: &[FragConn], chan: &SpecChannel, reply: FragReply) {
+    match chan {
+        SpecChannel::Legacy { results, .. } => {
+            let _ = results.send(reply);
+        }
+        SpecChannel::Lane(i) => {
+            let conn = &frag_lanes[*i];
+            if !conn.frags.is_closed() {
+                conn.replies.put(reply);
+            }
+        }
+    }
 }
 
 /// How one execution attempt ended, from the client's point of view.
@@ -1453,6 +1763,16 @@ struct StageAcc {
     exec_us: f64,
     coord_us: f64,
     queue_us: f64,
+    /// Sub-buckets *of* `coord_us` (each amount below is also added to
+    /// `coord_us`), splitting the distributed path's coordination cost the
+    /// way Fig. 11's analysis needs it: time blocked acquiring the lock
+    /// set, time in the 2PC finish round (outcome sends + acks), and time
+    /// waiting on the shared commit-flush sequencer. The fast path's
+    /// residual coordination (group flush waits, channel hops) lands in
+    /// none of them.
+    lock_us: f64,
+    twopc_us: f64,
+    flush_us: f64,
 }
 
 impl StageAcc {
@@ -1482,9 +1802,66 @@ fn record_remaining_hold(
     }
 }
 
+/// The client-side half of one [`FragConn`]: the producer of this
+/// client's fragment lane to one worker plus the reusable reply slot that
+/// worker fills. Registered lazily on the client's first distributed use
+/// of the partition, then reused by every later distributed transaction —
+/// the per-transaction channel pairs (and their reservation round trip)
+/// are gone from the steady state entirely.
+struct FragPort {
+    tx: ring::Producer<FragCmd>,
+    replies: Arc<ReplySlot<FragReply>>,
+}
+
+/// Bounded yield-retry on a full fragment lane before declaring the
+/// worker wedged. Fragment shipping is ping-pong per worker (at most an
+/// unacknowledged `Prepare` plus the next transaction's opening command
+/// sit in a lane), so the retry only guards a protocol bug, never a real
+/// backlog.
+const FRAG_PUSH_RETRY: u32 = 1 << 16;
+
+/// Ensures this client's fragment lane to worker `p` exists (registering
+/// it over the control channel on first use), pushes one command, and
+/// rings the worker's doorbell.
+fn push_frag<S>(
+    ports: &mut [Option<FragPort>],
+    workers: &[WorkerGate<S>],
+    p: usize,
+    cmd: FragCmd,
+) -> Result<()> {
+    if ports[p].is_none() {
+        let (tx, rx) = ring::spsc(LANE_CAPACITY);
+        let replies = Arc::new(ReplySlot::new());
+        if !workers[p]
+            .send_ctrl(CtrlMsg::FragLane(FragConn { frags: rx, replies: Arc::clone(&replies) }))
+        {
+            return Err(Error::Other(format!("worker {p} is gone")));
+        }
+        ports[p] = Some(FragPort { tx, replies });
+    }
+    let port = ports[p].as_mut().expect("port just ensured");
+    let mut cmd = cmd;
+    for _ in 0..FRAG_PUSH_RETRY {
+        match port.tx.push(cmd) {
+            Ok(()) => {
+                workers[p].bell.ring();
+                return Ok(());
+            }
+            Err(ring::PushError::Disconnected(_)) => {
+                return Err(Error::Other(format!("worker {p} is gone")));
+            }
+            Err(ring::PushError::Full(c)) => {
+                cmd = c;
+                std::thread::yield_now();
+            }
+        }
+    }
+    Err(Error::Other(format!("fragment lane to worker {p} wedged")))
+}
+
 /// Coordinates one distributed transaction from the client thread: atomic
-/// lock acquisition, worker reservation, fragment shipping, early prepares
-/// (OP4), 2PC outcome.
+/// lock acquisition, batched fragment shipping over the reusable lanes,
+/// early prepares (OP4), 2PC outcome, and the one sequenced commit flush.
 #[allow(clippy::too_many_lines)]
 fn run_distributed<A: LiveAdvisor>(
     env: &Shared<A>,
@@ -1492,17 +1869,20 @@ fn run_distributed<A: LiveAdvisor>(
     plan: &TxnPlan,
     mut session: A::Session,
     lock_holds: &mut Vec<f64>,
+    ports: &mut [Option<FragPort>],
     acc: &mut StageAcc,
 ) -> Attempt<A::Session> {
     let workers = &env.workers;
     let lock_set = plan.lock_set;
     // Held for the whole coordination; the drop guard also releases on an
-    // unwind, so a panicking coordinator cannot wedge later transactions.
-    // Declared before the fragment channels so an unwind closes those first
-    // (parked workers roll back their fragments) and releases locks last.
+    // unwind, so a panicking coordinator cannot wedge later transactions
+    // (an unwinding client also drops its lane producers, and workers roll
+    // back fragments of a closed lane).
     let t_acquire = Instant::now();
     let mut locks_held = env.locks.guard(lock_set);
-    acc.coord_us += us_since(t_acquire);
+    let lock_wait = us_since(t_acquire);
+    acc.coord_us += lock_wait;
+    acc.lock_us += lock_wait;
     let t_locked = Instant::now();
     // Early-released partitions: `released` is the union the mispredict
     // rule and metrics see; `windowed` is the subset whose fragment wrote
@@ -1514,67 +1894,55 @@ fn run_distributed<A: LiveAdvisor>(
     // which fragments are contingent — same catalog knowledge the workers
     // have, so the two sides always agree on whether a window opens).
     let mut wrote_parts = PartitionSet::EMPTY;
-    // Reserve every participant (including the base partition — the control
-    // code runs here on the coordinator, so the base is a fragment executor
-    // like the others).
+    // No reservation step: holding a partition's lock entitles this client
+    // to push on its (lazily registered) fragment lane, and the first push
+    // opens service at the worker. The base partition is a fragment
+    // executor like the others — control code runs here on the
+    // coordinator.
     let n = env.num_partitions as usize;
-    let mut frag_tx: Vec<Option<Sender<FragCmd>>> = (0..n).map(|_| None).collect();
-    let mut res_rx: Vec<Option<Receiver<FragReply>>> = (0..n).map(|_| None).collect();
-    for p in lock_set.iter() {
-        let (ftx, frx) = channel();
-        let (rtx, rrx) = channel();
-        frag_tx[p as usize] = Some(ftx);
-        res_rx[p as usize] = Some(rrx);
-        if !workers[p as usize].send_ctrl(CtrlMsg::Reserve(Reserve { frags: frx, results: rtx })) {
-            // Locks were already acquired: this release path records hold
-            // time like every other (the guard drop does the release).
-            record_remaining_hold(lock_holds, lock_set, released, t_locked);
-            return Attempt::Fatal(Error::Other(format!("worker {p} is gone")));
-        }
-    }
-    acc.coord_us += us_since(t_locked);
     // Sends the 2PC outcome everywhere and waits for every ack; every call
     // site returns immediately afterwards, so the lock guard releases only
-    // after all fragment effects are durable (commit) or undone (abort).
-    // Read-only released participants hear nothing (they are already out
-    // of the transaction); windowed ones take the outcome on their
-    // worker's control channel (the speculating worker parks on its
-    // doorbell); the rest on their reservation channel. The latter two
-    // ack on the reservation result channel.
-    let finish_all = |frag_tx: &[Option<Sender<FragCmd>>],
-                      res_rx: &[Option<Receiver<FragReply>>],
+    // after all fragment effects are final (abort: undone; commit: kept —
+    // durability is the caller's sequenced flush after this returns).
+    // Coalesced 2PC (§2): each still-reserved participant gets one
+    // `VoteFinish` carrying the flush-and-vote *and* the decision — the
+    // split Vote round bought no information (participants always vote
+    // yes; fragment errors surfaced at execution), only an extra message
+    // round of lock-hold time per participant. Early prepares already
+    // voted, unsolicited, off the critical path; windowed participants
+    // take the outcome on their worker's control channel (the speculating
+    // worker parks on its doorbell); read-only released participants hear
+    // nothing (they are already out). All sends go out before any
+    // acknowledgement is awaited, so participant-side work and modeled
+    // delays overlap in wall-clock time.
+    let finish_all = |ports: &mut [Option<FragPort>],
                       released: PartitionSet,
                       windowed: PartitionSet,
                       commit: bool|
      -> Result<()> {
         let mut failure = None;
-        // Coalesced 2PC (§2): each still-reserved participant gets one
-        // `VoteFinish` carrying the flush-and-vote *and* the decision —
-        // the split Vote round bought no information (participants always
-        // vote yes; fragment errors surfaced at execution), only an extra
-        // message round of lock-hold time per participant. Early prepares
-        // already voted, unsolicited, off the critical path; windowed
-        // participants take the outcome on their worker's control channel
-        // (the speculating worker parks on its doorbell); read-only released
-        // participants hear nothing (they are already out). All sends go
-        // out before any acknowledgement is awaited, so participant-side
-        // flushes and modeled delays overlap in wall-clock time.
         for p in lock_set.iter() {
             if windowed.contains(p) {
                 workers[p as usize].send_ctrl(CtrlMsg::SpecFinish { commit });
             } else if !released.contains(p) {
-                let _ = frag_tx[p as usize]
-                    .as_ref()
-                    .expect("reserved")
-                    .send(FragCmd::VoteFinish { commit });
+                if let Err(e) =
+                    push_frag(ports, workers, p as usize, FragCmd::VoteFinish { commit })
+                {
+                    failure = Some(e);
+                }
             }
         }
         for p in lock_set.difference(released).union(windowed).iter() {
-            match res_rx[p as usize].as_ref().expect("reserved").recv() {
-                Ok(FragReply::Finished) => {}
-                Ok(FragReply::Fatal(e)) => failure = Some(e),
-                Ok(_) => failure = Some(Error::Other("fragment protocol violation".into())),
-                Err(_) => failure = Some(Error::Other(format!("worker {p} hung up"))),
+            let Some(port) = ports[p as usize].as_ref() else {
+                // The lane registration itself failed above: worker gone.
+                failure = Some(Error::Other(format!("worker {p} is gone")));
+                continue;
+            };
+            match port.replies.take_or_abandon(|| port.tx.is_closed()) {
+                Some(FragReply::Finished) => {}
+                Some(FragReply::Fatal(e)) => failure = Some(e),
+                Some(_) => failure = Some(Error::Other("fragment protocol violation".into())),
+                None => failure = Some(Error::Other(format!("worker {p} hung up"))),
             }
         }
         match failure {
@@ -1588,6 +1956,9 @@ fn run_distributed<A: LiveAdvisor>(
     let mut accessed = PartitionSet::EMPTY;
     let mut access_counts: FxHashMap<PartitionId, u32> = FxHashMap::default();
     let mut pending_abort: Option<String> = None;
+    // Per-participant reply cursors for the current batch, reused across
+    // batch steps (entries are taken by the merge and cleared after it).
+    let mut per_part: Vec<Option<std::vec::IntoIter<BatchItem>>> = (0..n).map(|_| None).collect();
     loop {
         // Control code runs here on the coordinator: Execution time.
         let t_step = Instant::now();
@@ -1602,6 +1973,7 @@ fn run_distributed<A: LiveAdvisor>(
                 let mut batch_est_us = 0.0f64;
                 let mut seen = PartitionSet::EMPTY;
                 let mut violation = false;
+                let mut q_targets: Vec<PartitionSet> = Vec::with_capacity(batch.len());
                 for inv in &batch {
                     let def = env.catalog.proc(req.proc).query(inv.query);
                     let targets = def.estimate_partitions_n(env.num_partitions, &inv.params);
@@ -1613,53 +1985,103 @@ fn run_distributed<A: LiveAdvisor>(
                         violation = true;
                         break;
                     }
+                    q_targets.push(targets);
                 }
                 if violation {
                     let t_fin = Instant::now();
-                    let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
-                    acc.coord_us += us_since(t_fin);
+                    let fin = finish_all(ports, released, windowed, false);
+                    let tw = us_since(t_fin);
+                    acc.coord_us += tw;
+                    acc.twopc_us += tw;
                     record_remaining_hold(lock_holds, lock_set, released, t_locked);
                     return match fin {
                         Ok(()) => Attempt::Mispredict { observed: accessed.union(seen), session },
                         Err(e) => Attempt::Fatal(e),
                     };
                 }
+                // Ship each participant's share of the batch as ONE
+                // `ExecBatch` — one lane push, one modeled network hop and
+                // one reply per participant per batch step, where the
+                // per-query path paid all three per query. Participants
+                // execute their sub-batches concurrently, each stopping at
+                // its own first constraint violation; all pushes go out
+                // before any reply is awaited.
+                let mut to_ship: Vec<Vec<(QueryId, Vec<Value>)>> = vec![Vec::new(); n];
+                for (inv, targets) in batch.iter().zip(&q_targets) {
+                    for p in targets.iter() {
+                        to_ship[p as usize].push((inv.query, inv.params.clone()));
+                    }
+                }
+                let mut fatal: Option<Error> = None;
+                let mut shipped = PartitionSet::EMPTY;
+                for p in lock_set.iter() {
+                    let queries = std::mem::take(&mut to_ship[p as usize]);
+                    if queries.is_empty() {
+                        continue;
+                    }
+                    match push_frag(
+                        ports,
+                        workers,
+                        p as usize,
+                        FragCmd::ExecBatch { proc: req.proc, queries },
+                    ) {
+                        Ok(()) => shipped.insert(p),
+                        // Keep shipping to the survivors: their replies and
+                        // rollbacks still need collecting below.
+                        Err(e) => fatal = Some(e),
+                    }
+                }
+                // One reply per shipped participant, ascending partition
+                // order; each is the participant's item list for its whole
+                // sub-batch.
+                for p in shipped.iter() {
+                    let port = ports[p as usize].as_ref().expect("shipped over this port");
+                    match port.replies.take_or_abandon(|| port.tx.is_closed()) {
+                        Some(FragReply::Batch(items)) => {
+                            per_part[p as usize] = Some(items.into_iter());
+                        }
+                        Some(FragReply::Fatal(e)) => fatal = Some(e),
+                        Some(_) => {
+                            fatal = Some(Error::Other("fragment protocol violation".into()));
+                        }
+                        None => fatal = Some(Error::Other(format!("worker {p} hung up"))),
+                    }
+                }
+                if let Some(e) = fatal {
+                    let t_fin = Instant::now();
+                    let _ = finish_all(ports, released, windowed, false);
+                    let tw = us_since(t_fin);
+                    acc.coord_us += tw;
+                    acc.twopc_us += tw;
+                    record_remaining_hold(lock_holds, lock_set, released, t_locked);
+                    return Attempt::Fatal(e);
+                }
+                // Merge per query in ascending partition order — identical
+                // row order and abort choice to the per-query path. The
+                // first query with any constraint reply is the batch-global
+                // abort point: no participant stopped before it (an earlier
+                // local constraint would be an earlier global one), so
+                // every target of every query up to and including it
+                // reports an item, and items past it stay unread — the 2PC
+                // rollback erases whatever a participant over-executed.
                 let mut pending_release = PartitionSet::EMPTY;
                 let mut batch_results = Vec::with_capacity(batch.len());
-                for inv in batch {
+                for (inv, targets) in batch.into_iter().zip(q_targets) {
                     let def = env.catalog.proc(req.proc).query(inv.query);
                     let is_write = def.is_write();
-                    let targets = def.estimate_partitions_n(env.num_partitions, &inv.params);
-                    // Ship this query's fragment to every target partition,
-                    // then merge replies in ascending partition order —
-                    // identical row order to the single-threaded executor.
-                    for p in targets.iter() {
-                        let _ = frag_tx[p as usize].as_ref().expect("locked").send(FragCmd::Exec {
-                            proc: req.proc,
-                            query: inv.query,
-                            params: inv.params.clone(),
-                        });
-                    }
                     let mut rows = Vec::new();
                     let mut constraint: Option<String> = None;
-                    let mut fatal: Option<Error> = None;
                     for p in targets.iter() {
-                        match res_rx[p as usize].as_ref().expect("locked").recv() {
-                            Ok(FragReply::Rows(mut r)) => rows.append(&mut r),
-                            Ok(FragReply::Constraint(msg)) => constraint = Some(msg),
-                            Ok(FragReply::Fatal(e)) => fatal = Some(e),
-                            Ok(FragReply::Finished) => {
-                                fatal = Some(Error::Other("fragment protocol violation".into()));
+                        match per_part[p as usize].as_mut().and_then(Iterator::next) {
+                            Some(BatchItem::Rows(mut r)) => rows.append(&mut r),
+                            Some(BatchItem::Constraint(msg)) => constraint = Some(msg),
+                            None => {
+                                // Unreachable by the argument above; kept
+                                // defensive so a protocol bug aborts the
+                                // transaction instead of desyncing cursors.
+                                constraint = Some("fragment batch underrun".into());
                             }
-                            Err(_) => fatal = Some(Error::Other(format!("worker {p} hung up"))),
                         }
-                    }
-                    if let Some(e) = fatal {
-                        let t_fin = Instant::now();
-                        let _ = finish_all(&frag_tx, &res_rx, released, windowed, false);
-                        acc.coord_us += us_since(t_fin);
-                        record_remaining_hold(lock_holds, lock_set, released, t_locked);
-                        return Attempt::Fatal(e);
                     }
                     accessed = accessed.union(targets);
                     if is_write {
@@ -1691,38 +2113,38 @@ fn run_distributed<A: LiveAdvisor>(
                     }
                     batch_results.push(rows);
                 }
+                for leftover in &mut per_part {
+                    *leftover = None;
+                }
                 // Early prepare (OP4): release finished partitions at batch
                 // granularity — the same point the simulator applies
                 // `pending_release`, so a later query in this batch never
                 // sees a partition released mid-batch there but live here.
-                // All prepares ship before any ack is awaited, so the
-                // prepare-time flushes overlap in wall-clock time. Unlike
-                // the simulator, the *base* partition is releasable too:
-                // live control code runs on the coordinating client, so the
-                // base is just another fragment executor (the simulator's
-                // base runs the control code and stays busy to commit).
+                // Unlike the simulator, the *base* partition is releasable
+                // too: live control code runs on the coordinating client,
+                // so the base is just another fragment executor (the
+                // simulator's base runs the control code and stays busy to
+                // commit).
                 let to_release = pending_release.difference(released).intersect(lock_set);
                 for p in to_release.iter() {
                     // Unacknowledged by design (the paper's unsolicited
-                    // vote): the worker is parked on this reservation
-                    // channel, so it observes the prepare before it reads
-                    // anything else — releasing the slot immediately is
-                    // safe, and not blocking here keeps the coordinator off
-                    // the scheduler's critical path (one ack round trip per
-                    // released partition is measurable on small hosts).
+                    // vote): the worker serves this lane's commands in
+                    // order, so it observes the prepare before anything a
+                    // later lock holder pushes — releasing the lock
+                    // immediately after the push is safe, and not blocking
+                    // here keeps the coordinator off the scheduler's
+                    // critical path (one ack round trip per released
+                    // partition is measurable on small hosts).
                     let speculate = wrote_parts.contains(p);
-                    if frag_tx[p as usize]
-                        .as_ref()
-                        .expect("locked")
-                        .send(FragCmd::Prepare { speculate })
-                        .is_err()
+                    if let Err(e) =
+                        push_frag(ports, workers, p as usize, FragCmd::Prepare { speculate })
                     {
                         // The guard drop releases everything still held —
                         // record the hold time for those partitions like
-                        // every other release path (this partition's slot
-                        // is still held too: `released` not yet updated).
+                        // every other release path (this partition is still
+                        // held too: `released` not yet updated).
                         record_remaining_hold(lock_holds, lock_set, released, t_locked);
-                        return Attempt::Fatal(Error::Other(format!("worker {p} is gone")));
+                        return Attempt::Fatal(e);
                     }
                     released.insert(p);
                     if speculate {
@@ -1741,9 +2163,39 @@ fn run_distributed<A: LiveAdvisor>(
             }
             Step::Commit => {
                 let t_fin = Instant::now();
-                let fin = finish_all(&frag_tx, &res_rx, released, windowed, true);
-                acc.coord_us += us_since(t_fin);
+                let fin = finish_all(ports, released, windowed, true);
+                let tw = us_since(t_fin);
+                acc.coord_us += tw;
+                acc.twopc_us += tw;
+                // One durability wait per distributed write commit,
+                // through the shared sequencer — and *after* the lock
+                // guard drops. The ticket is taken first, while every
+                // participant's ack is in hand (their log writes
+                // happen-before it), so one device operation covers all
+                // of them; the wait itself is group commit: effects are
+                // visible the moment the locks release, only this
+                // client's acknowledgement stalls on the device. Holding
+                // the lock set through the sleep instead serializes every
+                // other coordinator behind a 200 µs hold (measured: lock
+                // wait was 82% of 2-worker TATP call time) — and any
+                // later transaction that needs this commit durable
+                // enqueues a ticket at least as large, so releasing early
+                // never reorders durability. This replaces one full-cap
+                // sleep per writing participant *on the participant's own
+                // thread*, which stalled that partition's entire fast
+                // path for the duration.
+                let ticket =
+                    (fin.is_ok() && !wrote_parts.is_empty() && !env.commit_flush.is_zero())
+                        .then(|| env.seq.enqueue());
                 record_remaining_hold(lock_holds, lock_set, released, t_locked);
+                drop(locks_held);
+                if let Some(t) = ticket {
+                    let t_flush = Instant::now();
+                    env.seq.wait_durable(t, env.commit_flush);
+                    let fw = us_since(t_flush);
+                    acc.coord_us += fw;
+                    acc.flush_us += fw;
+                }
                 return match fin {
                     Ok(()) => Attempt::Done {
                         committed: true,
@@ -1759,8 +2211,10 @@ fn run_distributed<A: LiveAdvisor>(
             }
             Step::Abort(_) => {
                 let t_fin = Instant::now();
-                let fin = finish_all(&frag_tx, &res_rx, released, windowed, false);
-                acc.coord_us += us_since(t_fin);
+                let fin = finish_all(ports, released, windowed, false);
+                let tw = us_since(t_fin);
+                acc.coord_us += tw;
+                acc.twopc_us += tw;
                 record_remaining_hold(lock_holds, lock_set, released, t_locked);
                 return match fin {
                     Ok(()) => Attempt::Done {
@@ -1813,9 +2267,14 @@ pub struct Client<A: LiveAdvisor + 'static> {
     /// One SPSC fast-path lane per worker this handle has talked to,
     /// created lazily on the first call routed to that partition.
     lanes: Vec<Option<ring::Producer<SingleMsg<A::Session>>>>,
+    /// One fragment lane + reply slot per worker this handle has
+    /// coordinated a distributed transaction against, registered lazily
+    /// and reused forever after — the distributed path's analogue of
+    /// `lanes` (see [`FragPort`]).
+    frag_ports: Vec<Option<FragPort>>,
     /// The reusable reply mailbox every fast-path call blocks on (an
     /// `Arc` clone travels inside each message; never reallocated).
-    reply: Arc<ReplySlot<A::Session>>,
+    reply: Arc<SingleSlot<A::Session>>,
     /// Reclaimed advisor sessions, one spare per procedure: the next call
     /// to the same procedure reuses the session's plan scratch instead of
     /// allocating fresh (see [`LiveAdvisor::plan_live_reusing`]).
@@ -1992,6 +2451,7 @@ impl<A: LiveAdvisor + 'static> Client<A> {
                     &plan,
                     session,
                     &mut self.lock_holds,
+                    &mut self.frag_ports,
                     &mut acc,
                 )
             };
@@ -2152,6 +2612,9 @@ impl<A: LiveAdvisor + 'static> Client<A> {
         p.add(proc, Bucket::Estimation, acc.est_us);
         p.add(proc, Bucket::Execution, acc.exec_us);
         p.add(proc, Bucket::Coordination, acc.coord_us);
+        p.add_coord(proc, CoordSub::LockWait, acc.lock_us);
+        p.add_coord(proc, CoordSub::TwoPc, acc.twopc_us);
+        p.add_coord(proc, CoordSub::Flush, acc.flush_us);
         p.add(proc, Bucket::Queueing, acc.queue_us);
         let known = acc.est_us + acc.exec_us + acc.coord_us + acc.queue_us;
         p.add(proc, Bucket::Other, (total_us - known).max(0.0));
@@ -2170,6 +2633,12 @@ impl<A: LiveAdvisor + 'static> Drop for Client<A> {
         for (p, lane) in self.lanes.iter_mut().enumerate() {
             if let Some(producer) = lane.take() {
                 drop(producer);
+                self.shared.workers[p].bell.ring();
+            }
+        }
+        for (p, port) in self.frag_ports.iter_mut().enumerate() {
+            if let Some(port) = port.take() {
+                drop(port);
                 self.shared.workers[p].bell.ring();
             }
         }
@@ -2245,6 +2714,7 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
             num_partitions,
             workers: gates,
             locks: LockManager::new(num_partitions),
+            seq: FlushSequencer::new(),
             metrics: Mutex::new(RunMetrics::default()),
             fb_tx,
             next_client: AtomicU64::new(0),
@@ -2304,6 +2774,7 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
         Client {
             rng: seeded_rng(derive_seed(self.shared.cfg.seed, 0xC11E47 ^ id)),
             lanes: (0..self.shared.num_partitions as usize).map(|_| None).collect(),
+            frag_ports: (0..self.shared.num_partitions as usize).map(|_| None).collect(),
             reply: Arc::new(ReplySlot::new()),
             spare: FxHashMap::default(),
             lock_holds: Vec::new(),
@@ -2334,6 +2805,9 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
         // a way a reader could misread).
         let mut m = self.shared.metrics.lock().unwrap_or_else(PoisonError::into_inner).clone();
         m.window_us = self.shared.started.elapsed().as_secs_f64() * 1e6;
+        let (ft, fc) = self.shared.seq.counters();
+        m.flushes_total = ft;
+        m.flushes_coalesced = fc;
         m
     }
 
@@ -2411,6 +2885,9 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
             metrics.absorb_maintenance(&report);
         }
         metrics.window_us = window_us;
+        let (ft, fc) = self.shared.seq.counters();
+        metrics.flushes_total = ft;
+        metrics.flushes_coalesced = fc;
         Some((metrics, shards))
     }
 }
@@ -2630,6 +3107,7 @@ mod tests {
             msg_delay: Duration::ZERO,
             workers: vec![WorkerGate { ctrl: ctrl_tx, bell: Doorbell::new() }],
             locks: LockManager::new(2),
+            seq: FlushSequencer::new(),
             metrics: Mutex::new(RunMetrics::default()),
             fb_tx: None,
             next_client: AtomicU64::new(0),
@@ -2860,6 +3338,7 @@ mod tests {
             msg_delay: Duration::ZERO,
             workers: vec![WorkerGate { ctrl: ctrl_tx, bell: Doorbell::new() }],
             locks: LockManager::new(1),
+            seq: FlushSequencer::new(),
             metrics: Mutex::new(RunMetrics::default()),
             fb_tx: None,
             next_client: AtomicU64::new(0),
@@ -2874,7 +3353,7 @@ mod tests {
             early_prepare: false,
             estimate_cost_us: 0.0,
         };
-        let mk_single = |reply: &Arc<ReplySlot<()>>| SingleMsg {
+        let mk_single = |reply: &Arc<SingleSlot<()>>| SingleMsg {
             req: Request { proc: 0, args: vec![Value::Array(vec![Value::Int(0)])], origin_node: 0 },
             plan: single_plan,
             session: (),
@@ -2893,7 +3372,7 @@ mod tests {
                 SingleReply::Done { committed, speculative, .. } => (committed, speculative),
                 _ => panic!("expected Done"),
             };
-            let take = |slot: &Arc<ReplySlot<()>>| {
+            let take = |slot: &Arc<SingleSlot<()>>| {
                 done_shape(slot.take_within(Duration::from_secs(30)).expect("single ack"))
             };
             if batched {
@@ -2978,6 +3457,112 @@ mod tests {
         assert_eq!(b_state, s_state, "final shard state must be byte-identical");
         let id0 = b_state.iter().find(|(k, _)| k[0] == Value::Int(0)).unwrap();
         assert_eq!(id0.1[2], Value::Int(5), "all five bumps are durable");
+    }
+
+    /// Runs one worker over the same four-query fragment script — bump id
+    /// 0 by 7, read it back, bump a missing id (zero rows), read id 3 —
+    /// then commits via `VoteFinish`. With `batched` the script ships as
+    /// one [`FragCmd::ExecBatch`] on a registered fragment lane (the
+    /// production protocol); without it each query goes out as a legacy
+    /// [`FragCmd::Exec`] over a per-transaction [`Reserve`] pair. Returns
+    /// (per-query result rows in script order, final table snapshot) —
+    /// batching must be indistinguishable from the one-command-at-a-time
+    /// schedule.
+    #[allow(clippy::type_complexity)]
+    fn drive_fragment_script(batched: bool) -> (Vec<Vec<Row>>, Vec<(Vec<Value>, Row)>) {
+        let reg = kv_registry();
+        let catalog = reg.catalog();
+        let (ctrl_tx, ctrl_rx) = channel::<CtrlMsg<()>>();
+        let env = Shared {
+            catalog,
+            registry: reg,
+            advisor: AssumeSinglePartition::new(),
+            cfg: LiveConfig::default(),
+            num_partitions: 1,
+            commit_flush: Duration::ZERO,
+            msg_delay: Duration::ZERO,
+            workers: vec![WorkerGate { ctrl: ctrl_tx, bell: Doorbell::new() }],
+            locks: LockManager::new(1),
+            seq: FlushSequencer::new(),
+            metrics: Mutex::new(RunMetrics::default()),
+            fb_tx: None,
+            next_client: AtomicU64::new(0),
+            started: Instant::now(),
+        };
+        let mut shards = kv_database(1, 8).into_shards();
+        let shard = shards.pop().unwrap();
+        let script: Vec<(QueryId, Vec<Value>)> = vec![
+            (1, vec![Value::Int(0), Value::Int(7)]),
+            (0, vec![Value::Int(0)]),
+            (1, vec![Value::Int(99), Value::Int(1)]),
+            (0, vec![Value::Int(3)]),
+        ];
+        let mut rows_out: Vec<Vec<Row>> = Vec::new();
+        let shard = std::thread::scope(|s| {
+            let env = &env;
+            let h = s.spawn(move || worker_loop::<AssumeSinglePartition>(shard, &ctrl_rx, env, 0));
+            if batched {
+                let (mut ftx, frx) = ring::spsc::<FragCmd>(LANE_CAPACITY);
+                let slot = Arc::new(ReplySlot::<FragReply>::new());
+                assert!(env.workers[0].send_ctrl(CtrlMsg::FragLane(FragConn {
+                    frags: frx,
+                    replies: Arc::clone(&slot),
+                })));
+                assert!(ftx.push(FragCmd::ExecBatch { proc: 0, queries: script }).is_ok());
+                env.workers[0].bell.ring();
+                match slot.take_within(Duration::from_secs(30)).expect("batch reply") {
+                    FragReply::Batch(items) => {
+                        for item in items {
+                            match item {
+                                BatchItem::Rows(rows) => rows_out.push(rows),
+                                BatchItem::Constraint(msg) => panic!("constraint: {msg}"),
+                            }
+                        }
+                    }
+                    _ => panic!("expected a Batch reply"),
+                }
+                assert!(ftx.push(FragCmd::VoteFinish { commit: true }).is_ok());
+                env.workers[0].bell.ring();
+                assert!(matches!(
+                    slot.take_within(Duration::from_secs(30)).expect("finish ack"),
+                    FragReply::Finished
+                ));
+            } else {
+                let (ftx, frx) = channel();
+                let (rtx, rrx) = channel();
+                assert!(env.workers[0]
+                    .send_ctrl(CtrlMsg::Reserve(Reserve { frags: frx, results: rtx })));
+                for (query, params) in script {
+                    ftx.send(FragCmd::Exec { proc: 0, query, params }).unwrap();
+                    match rrx.recv().unwrap() {
+                        FragReply::Rows(rows) => rows_out.push(rows),
+                        _ => panic!("expected rows"),
+                    }
+                }
+                ftx.send(FragCmd::VoteFinish { commit: true }).unwrap();
+                assert!(matches!(rrx.recv().unwrap(), FragReply::Finished));
+            }
+            assert!(env.workers[0].send_ctrl(CtrlMsg::Shutdown));
+            h.join().unwrap()
+        });
+        (rows_out, table_snapshot(&shard, 0))
+    }
+
+    #[test]
+    fn fragment_batching_matches_per_query_commands() {
+        let (batch_rows, batch_state) = drive_fragment_script(true);
+        let (serial_rows, serial_state) = drive_fragment_script(false);
+        assert_eq!(batch_rows, serial_rows, "per-query results must match in order and content");
+        assert_eq!(batch_state, serial_state, "final shard state must be byte-identical");
+        // Shape sanity: the bump returned the updated row, the read saw
+        // it, the missing id affected nothing, the last read hit id 3.
+        assert_eq!(batch_rows.len(), 4);
+        assert_eq!(batch_rows[0][0][2], Value::Int(7));
+        assert_eq!(batch_rows[1][0][2], Value::Int(7));
+        assert!(batch_rows[2].is_empty(), "missing id must affect zero rows");
+        assert_eq!(batch_rows[3][0][0], Value::Int(3));
+        let id0 = batch_state.iter().find(|(k, _)| k[0] == Value::Int(0)).unwrap();
+        assert_eq!(id0.1[2], Value::Int(7), "committed bump is durable");
     }
 
     #[test]
