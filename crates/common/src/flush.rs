@@ -39,6 +39,40 @@ use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+/// The pluggable device operation behind a flush epoch: whatever makes the
+/// log writes issued before the flush started durable. The sequencer calls
+/// [`FlushDevice::flush`] exactly once per led epoch, outside its lock, so
+/// implementations may block (an `fwrite+fsync` pass, a modeled sleep).
+pub trait FlushDevice: Send + Sync {
+    /// Performs one device flush for `epoch`. On return, every log write
+    /// made before this flush started must be durable.
+    fn flush(&self, epoch: u64);
+
+    /// True when durability is free (flushing is a no-op): waits against
+    /// this device return immediately without touching the sequencer or
+    /// its counters — the historical `Duration::ZERO` fast path.
+    fn is_free(&self) -> bool {
+        false
+    }
+}
+
+/// The seed behavior as a device: durability modeled as a fixed-latency
+/// sleep per device flush. A zero duration means "durability is free" —
+/// [`FlushSequencer::wait_durable_dev`] returns immediately, uncounted,
+/// exactly as [`FlushSequencer::wait_durable`] always has.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedDevice(pub Duration);
+
+impl FlushDevice for SimulatedDevice {
+    fn flush(&self, _epoch: u64) {
+        std::thread::sleep(self.0);
+    }
+
+    fn is_free(&self) -> bool {
+        self.0.is_zero()
+    }
+}
+
 /// Shared flush state, all under one mutex (held only for bookkeeping —
 /// the leader drops it for the device operation itself).
 #[derive(Debug)]
@@ -66,6 +100,10 @@ pub struct FlushSequencer {
     /// Lock-free mirror of `State::flushing` so workers can consult the
     /// group-close policy without taking the mutex.
     busy: AtomicU64,
+    /// Lock-free monotonic mirror of `State::durable` so workers can ask
+    /// "is this ticket durable yet?" without taking the mutex (see
+    /// [`FlushSequencer::durable_epoch`]).
+    durable_lo: AtomicU64,
 }
 
 impl Default for FlushSequencer {
@@ -86,6 +124,7 @@ impl FlushSequencer {
             }),
             cv: Condvar::new(),
             busy: AtomicU64::new(0),
+            durable_lo: AtomicU64::new(0),
         }
     }
 
@@ -101,10 +140,7 @@ impl FlushSequencer {
     /// zero `device` models "durability is free" and returns immediately
     /// without touching the counters.
     pub fn wait_durable(&self, ticket: u64, device: Duration) {
-        if device.is_zero() {
-            return;
-        }
-        self.wait_durable_with(ticket, |_epoch| std::thread::sleep(device));
+        self.wait_durable_dev(ticket, &SimulatedDevice(device));
     }
 
     /// Ticket + wait in one step: the coordinator-side "flush my commit"
@@ -115,6 +151,18 @@ impl FlushSequencer {
         }
         let ticket = self.enqueue();
         self.wait_durable_with(ticket, |_epoch| std::thread::sleep(device));
+    }
+
+    /// [`wait_durable`](Self::wait_durable) against a pluggable
+    /// [`FlushDevice`]: blocks until `ticket` is durable, leading one real
+    /// device flush if none is in flight. A free device (see
+    /// [`FlushDevice::is_free`]) returns immediately without touching the
+    /// counters. Returns `true` iff this caller led the device flush.
+    pub fn wait_durable_dev(&self, ticket: u64, device: &dyn FlushDevice) -> bool {
+        if device.is_free() {
+            return false;
+        }
+        self.wait_durable_with(ticket, |epoch| device.flush(epoch))
     }
 
     /// The injectable-device core of [`wait_durable`](Self::wait_durable):
@@ -154,9 +202,76 @@ impl FlushSequencer {
             s.flushing = false;
             if s.durable < epoch {
                 s.durable = epoch;
+                // ordering: Relaxed — monotonic mirror of `durable` for the
+                // lock-free `durable_epoch` peek. A reader that sees a stale
+                // (lower) value merely treats a durable ticket as still
+                // pending and takes the conservative path; it can never see
+                // a value ahead of a completed device flush, because this
+                // store only happens after `device(epoch)` returned.
+                self.durable_lo.store(epoch, Ordering::Relaxed);
             }
             self.cv.notify_all();
             return true;
+        }
+    }
+
+    /// Block until `ticket` is durable, *preferring to ride a device flush
+    /// someone else performs* — the dedicated flusher thread's windowed
+    /// group commit, or a concurrent waiter's — and leading one itself
+    /// only after `patience` passes with no flush in flight. Durable-mode
+    /// 2PC coordinators use this instead of
+    /// [`wait_durable_dev`](Self::wait_durable_dev): an eager leader per
+    /// commit drives the fsync rate up to the commit rate, while patient
+    /// waiters fold into the flusher's accumulation window so one fsync
+    /// covers every commit that lands inside it. Deadlock-free by
+    /// construction: patience expiring always makes this caller the
+    /// leader, so no external flush is ever *required*. Returns `true`
+    /// iff this caller led the device flush.
+    pub fn wait_covered(&self, ticket: u64, device: &dyn FlushDevice, patience: Duration) -> bool {
+        if device.is_free() {
+            return false;
+        }
+        let deadline = std::time::Instant::now() + patience;
+        let mut s = self.state.lock().unwrap();
+        s.total += 1;
+        loop {
+            if s.durable >= ticket {
+                s.coalesced += 1;
+                return false;
+            }
+            if s.flushing {
+                // A leader is inside the device op; ride it (it will
+                // notify_all), then re-check coverage.
+                s = self.cv.wait(s).unwrap();
+                continue;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                // Patience exhausted with no flush in flight: lead one,
+                // exactly as `wait_durable_with` would.
+                let epoch = s.next_epoch;
+                s.next_epoch += 1;
+                s.flushing = true;
+                // ordering: Relaxed — advisory mirror of `flushing`; see
+                // `wait_durable_with`.
+                self.busy.store(1, Ordering::Relaxed);
+                drop(s);
+                device.flush(epoch);
+                s = self.state.lock().unwrap();
+                // ordering: Relaxed — advisory mirror; see `wait_durable_with`.
+                self.busy.store(0, Ordering::Relaxed);
+                s.flushing = false;
+                if s.durable < epoch {
+                    s.durable = epoch;
+                    // ordering: Relaxed — monotonic mirror of `durable`;
+                    // see `wait_durable_with`.
+                    self.durable_lo.store(epoch, Ordering::Relaxed);
+                }
+                self.cv.notify_all();
+                return true;
+            }
+            let (guard, _) = self.cv.wait_timeout(s, deadline - now).unwrap();
+            s = guard;
         }
     }
 
@@ -186,6 +301,17 @@ impl FlushSequencer {
         self.busy.load(Ordering::Relaxed) == 1
     }
 
+    /// Lock-free peek at the highest epoch whose device flush has
+    /// completed: a ticket `t` is durable iff `durable_epoch() >= t`. The
+    /// value may lag the truth (never lead it), so callers using it to
+    /// *skip* a wait are safe and callers seeing "not yet durable" must
+    /// fall back to a real [`wait_durable_dev`](Self::wait_durable_dev).
+    pub fn durable_epoch(&self) -> u64 {
+        // ordering: Relaxed — monotonic, write-once-per-epoch mirror; see
+        // the store in `wait_durable_with` for the staleness argument.
+        self.durable_lo.load(Ordering::Relaxed)
+    }
+
     /// `(flushes_total, flushes_coalesced)` snapshot.
     pub fn counters(&self) -> (u64, u64) {
         let s = self.state.lock().unwrap();
@@ -206,6 +332,45 @@ mod tests {
         seq.wait_durable(7, Duration::ZERO);
         assert_eq!(seq.counters(), (0, 0));
         assert!(!seq.flush_in_progress());
+    }
+
+    #[test]
+    fn free_device_is_uncounted_like_a_zero_duration() {
+        let seq = FlushSequencer::new();
+        assert!(!seq.wait_durable_dev(7, &SimulatedDevice(Duration::ZERO)));
+        assert_eq!(seq.counters(), (0, 0));
+    }
+
+    /// A recording device: proves `wait_durable_dev` drives the exact
+    /// protocol `wait_durable_with` does (same epochs, same counters).
+    struct Recorder(StdAtomicU64);
+
+    impl FlushDevice for Recorder {
+        fn flush(&self, epoch: u64) {
+            self.0.store(epoch, StdOrdering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn device_waits_lead_and_coalesce_like_the_closure_path() {
+        let seq = FlushSequencer::new();
+        let dev = Recorder(StdAtomicU64::new(0));
+        let t = seq.enqueue();
+        assert!(seq.wait_durable_dev(t, &dev), "sole waiter must lead");
+        assert_eq!(dev.0.load(StdOrdering::SeqCst), t, "device saw the claimed epoch");
+        assert!(!seq.wait_durable_dev(t, &dev), "durable ticket coalesces");
+        assert_eq!(seq.counters(), (2, 1));
+    }
+
+    #[test]
+    fn durable_epoch_mirror_tracks_completed_flushes() {
+        let seq = FlushSequencer::new();
+        assert_eq!(seq.durable_epoch(), 0);
+        let t = seq.enqueue();
+        seq.wait_durable_with(t, |_| {});
+        assert!(seq.durable_epoch() >= t);
+        let t2 = seq.enqueue();
+        assert!(seq.durable_epoch() < t2, "a fresh ticket is not durable yet");
     }
 
     #[test]

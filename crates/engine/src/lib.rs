@@ -26,6 +26,7 @@ pub mod advisor;
 pub mod baselines;
 pub mod catalog;
 pub mod cost;
+pub mod durability;
 pub mod exec;
 pub mod metrics;
 pub mod procedure;
@@ -39,6 +40,7 @@ pub use advisor::{
 };
 pub use catalog::{Catalog, CatalogResolver, ColumnOp, PartitionHint, ProcDef, QueryDef, QueryOp};
 pub use cost::CostModel;
+pub use durability::{DurabilityConfig, RecoveryReport};
 pub use exec::{run_offline, ExecutedQuery, OfflineOutcome};
 pub use metrics::{
     EpochAccuracy, LatencyHistogram, MaintenanceReport, MetricsSummary, OpCounters, RunMetrics,

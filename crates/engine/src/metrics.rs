@@ -325,6 +325,15 @@ pub struct RunMetrics {
     /// other worker or coordinator led — cross-thread commit-flush
     /// coalescing at work (0 with `commit_flush_us = 0`).
     pub flushes_coalesced: u64,
+    /// Command-log records appended (durable mode only; 0 otherwise).
+    pub log_records: u64,
+    /// Command-log bytes appended (durable mode only).
+    pub log_bytes_written: u64,
+    /// Transaction-consistent snapshot generations published this run.
+    pub snapshots_taken: u64,
+    /// Milliseconds [`crate::runtime::LiveRuntime::recover`] spent before
+    /// this run started serving; 0 for a fresh boot.
+    pub recovery_ms: f64,
 }
 
 /// The headline numbers of one run, extracted by [`RunMetrics::summary`]:
@@ -354,6 +363,14 @@ pub struct MetricsSummary {
     /// Flush demands satisfied by riding another thread's device
     /// operation (see [`RunMetrics::flushes_coalesced`]).
     pub flushes_coalesced: u64,
+    /// Command-log records appended (durable mode only).
+    pub log_records: u64,
+    /// Command-log bytes appended (durable mode only).
+    pub log_bytes_written: u64,
+    /// Snapshot generations published during the run.
+    pub snapshots_taken: u64,
+    /// Recovery time before this run served traffic (ms); 0 fresh boot.
+    pub recovery_ms: f64,
 }
 
 impl std::fmt::Display for MetricsSummary {
@@ -373,7 +390,18 @@ impl std::fmt::Display for MetricsSummary {
             q(self.p99_ms),
             self.flushes_total,
             self.flushes_coalesced,
-        )
+        )?;
+        if self.log_records > 0 || self.snapshots_taken > 0 {
+            write!(
+                f,
+                ", wal {} recs / {} B, {} snapshots",
+                self.log_records, self.log_bytes_written, self.snapshots_taken
+            )?;
+        }
+        if self.recovery_ms > 0.0 {
+            write!(f, ", recovered in {:.1} ms", self.recovery_ms)?;
+        }
+        Ok(())
     }
 }
 
@@ -400,6 +428,10 @@ impl RunMetrics {
             mean_latency_ms: self.mean_latency_ms(),
             flushes_total: self.flushes_total,
             flushes_coalesced: self.flushes_coalesced,
+            log_records: self.log_records,
+            log_bytes_written: self.log_bytes_written,
+            snapshots_taken: self.snapshots_taken,
+            recovery_ms: self.recovery_ms,
         }
     }
 
@@ -471,6 +503,10 @@ impl RunMetrics {
         self.feedback_dropped += other.feedback_dropped;
         self.flushes_total += other.flushes_total;
         self.flushes_coalesced += other.flushes_coalesced;
+        self.log_records += other.log_records;
+        self.log_bytes_written += other.log_bytes_written;
+        self.snapshots_taken += other.snapshots_taken;
+        self.recovery_ms = self.recovery_ms.max(other.recovery_ms);
         for e in &other.epoch_accuracy {
             self.record_epoch_accuracy(e.epoch, e.observed, e.matched);
         }

@@ -161,6 +161,7 @@ use crate::advisor::{
     LiveAdvisor, LiveMaintainer, PlanContext, Request, TxnFeedback, TxnOutcome, TxnPlan,
 };
 use crate::catalog::Catalog;
+use crate::durability::{DurabilityConfig, RecoveryReport};
 use crate::exec::{execute_fragment, ExecutedQuery};
 use crate::metrics::RunMetrics;
 use crate::procedure::{ProcedureRegistry, Step};
@@ -181,6 +182,7 @@ use std::collections::VecDeque;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use storage::{Database, Row, Shard, SpeculationStack, UndoLog};
+use wal::{FileDevice, LogRecord, LogSet};
 
 use crate::metrics::MaintenanceReport;
 
@@ -275,6 +277,13 @@ pub struct LiveConfig {
     /// record (counted in `RunMetrics::feedback_dropped`) and the
     /// transaction's acknowledgement proceeds untouched.
     pub feedback_capacity: usize,
+    /// Real durability (DESIGN.md §7): when set, every committed writer is
+    /// command-logged under the configured directory and its
+    /// acknowledgement is withheld until a real `write+fsync` covers it
+    /// (group commit via the shared [`FlushSequencer`], the fsync itself
+    /// off-worker on a dedicated flusher thread). `None` keeps the seed
+    /// behavior: `commit_flush_us` *models* the device as a sleep.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for LiveConfig {
@@ -287,6 +296,7 @@ impl Default for LiveConfig {
             commit_flush_us: 0,
             msg_delay_us: 0,
             feedback_capacity: 4096,
+            durability: None,
         }
     }
 }
@@ -431,6 +441,16 @@ enum FragCmd {
     /// or decide — the worker drops the reservation outright and never
     /// hears from this transaction again.
     Prepare { speculate: bool },
+    /// Durable-mode preamble (DESIGN.md §7): the coordinator's first
+    /// command to each participant, positioning the transaction's
+    /// [`wal::LogRecord::DistBegin`] in that partition's command log
+    /// *before* any of its fragments execute there — per-partition file
+    /// order is the replay order, so the begin must precede every effect
+    /// it covers. Carries the full request so replay can re-execute the
+    /// procedure. No reply, no modeled network delay (it rides the same
+    /// lane push cycle as the batch that follows it). Never sent when
+    /// durability is off.
+    LogBegin { txn_id: u64, proc: ProcId, args: Vec<Value> },
     /// Both 2PC rounds coalesced into one message per (coordinator,
     /// participant) pair: flush-and-vote plus the decision together.
     /// Outcome-equivalent to a split prepare/decide exchange because
@@ -568,6 +588,17 @@ enum CtrlMsg<S> {
     /// receivers.
     SpecFinish {
         commit: bool,
+    },
+    /// Snapshot fence (durability): rotate this partition's command log to
+    /// segment `gen` and serialize the shard's rows — at this worker's own
+    /// main-loop service point, i.e. at a partition-transaction boundary —
+    /// then reply on `done`. Sent by [`snapshot_cluster`] while it holds
+    /// every partition's lock slot, so no distributed transaction spans
+    /// the cut (fast-path singles stay live; each worker's rotation *is*
+    /// its cut).
+    Snapshot {
+        gen: u64,
+        done: Sender<()>,
     },
     Shutdown,
 }
@@ -749,6 +780,115 @@ struct Shared<A: LiveAdvisor> {
     /// Next [`Client`] id — also selects the client's RNG stream.
     next_client: AtomicU64,
     started: Instant,
+    /// Real-durability state ([`LiveConfig::durability`]): the open
+    /// command-log segments, the txn-id allocator, snapshot bookkeeping,
+    /// and the flusher-thread intake. `None` keeps the seed's simulated
+    /// device.
+    durable: Option<Durable<A::Session>>,
+}
+
+/// Live durability state (DESIGN.md §7), shared by workers, coordinators,
+/// the flusher thread, and the snapshotter.
+struct Durable<S> {
+    logs: Arc<LogSet>,
+    /// Next command-log transaction id. Ids only need global uniqueness —
+    /// replay order comes from per-partition file order, never from ids.
+    next_txn_id: AtomicU64,
+    /// Snapshot generations completed (marker written).
+    snapshots_taken: AtomicU64,
+    /// Generation the open segments belong to; a snapshot fence bumps it.
+    active_gen: AtomicU64,
+    /// Milliseconds [`LiveRuntime::recover`] spent before this runtime
+    /// started serving; zero for a fresh boot.
+    recovery_ms: f64,
+    /// Intake of the dedicated flusher thread ([`flusher_loop`]): closed
+    /// durable commit groups ride here with their sequencer ticket, so the
+    /// real fsync happens off every worker's serving path.
+    flusher: Sender<FlushJob<S>>,
+    /// Group-commit accumulation window
+    /// ([`DurabilityConfig::group_commit_window`]): how long the flusher
+    /// lets further groups pile in behind the first before one device
+    /// flush covers them all.
+    group_window: Duration,
+    /// Strict read fence ([`DurabilityConfig::read_fence`]): hold
+    /// read-only fast-path acks behind the covering flush when their
+    /// partition has not-yet-durable writes.
+    read_fence: bool,
+}
+
+impl<S> Durable<S> {
+    fn next_id(&self) -> u64 {
+        // ordering: Relaxed — ids only need uniqueness (see field docs);
+        // every use is published through a channel or the log mutex.
+        self.next_txn_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Command-logs one committed single-partition writer at its service
+    /// position in `p`'s log.
+    fn append_local(&self, p: PartitionId, req: &Request) {
+        let record =
+            LogRecord::Local { txn_id: self.next_id(), proc: req.proc, args: req.args.clone() };
+        self.logs.append(p, &record);
+    }
+}
+
+/// One unit of flusher-thread work: a closed commit group whose held acks
+/// may only be released once the device flush covering `ticket` completed.
+enum FlushJob<S> {
+    Group { ticket: u64, acks: Vec<DeferredAck<S>> },
+    Stop,
+}
+
+/// The dedicated flusher thread (durable mode only): receives closed
+/// commit groups from every worker, coalesces whatever else is already
+/// queued (one device wait at the max ticket covers every earlier one —
+/// the sequencer's epoch argument), performs the real `write+fsync`
+/// through the shared [`FlushSequencer`], and releases the held acks.
+/// Workers never fsync on their serving path; distributed coordinators
+/// wait on the same sequencer from their client threads, so both demand
+/// streams coalesce into the same device operations.
+fn flusher_loop<A: LiveAdvisor>(env: &Shared<A>, rx: &Receiver<FlushJob<A::Session>>) {
+    let durable = env.durable.as_ref().expect("flusher thread requires durability state");
+    let device = FileDevice(Arc::clone(&durable.logs));
+    let mut last_flush: Option<Instant> = None;
+    while let Ok(job) = rx.recv() {
+        let FlushJob::Group { mut ticket, mut acks } = job else { return };
+        // Group-commit pacing: bound the fsync rate by 1/window without
+        // taxing an idle device. A group arriving on the heels of the
+        // previous flush sleeps only the *remainder* of the window,
+        // letting concurrently closing groups land behind it so the drain
+        // below folds them into the same device flush — on a loaded (or
+        // single-core) host the sub-window groups arrive one at a time,
+        // and flushing eagerly would pay one fsync each. A group arriving
+        // after a quiet spell flushes immediately: its coalescing already
+        // happened, nothing else is coming.
+        if let Some(t0) = last_flush {
+            let elapsed = t0.elapsed();
+            if elapsed < durable.group_window {
+                flush(durable.group_window - elapsed);
+            }
+        }
+        let mut stop = false;
+        loop {
+            match rx.try_recv() {
+                Ok(FlushJob::Group { ticket: t, acks: mut more }) => {
+                    ticket = ticket.max(t);
+                    acks.append(&mut more);
+                }
+                Ok(FlushJob::Stop) => {
+                    stop = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        last_flush = Some(Instant::now());
+        env.seq.wait_durable_dev(ticket, &device);
+        release_acks(&mut acks);
+        if stop {
+            return;
+        }
+    }
 }
 
 fn flush(d: Duration) {
@@ -773,6 +913,7 @@ fn gather_ctrl<S>(
     lanes: &mut Vec<ring::Consumer<SingleMsg<S>>>,
     frag_lanes: &mut Vec<FragConn>,
     resv: &mut VecDeque<Reserve>,
+    snaps: &mut Vec<(u64, Sender<()>)>,
     shutdown: &mut bool,
     mut window_finish: Option<&mut Option<bool>>,
 ) {
@@ -781,6 +922,7 @@ fn gather_ctrl<S>(
             CtrlMsg::Lane(l) => lanes.push(l),
             CtrlMsg::FragLane(c) => frag_lanes.push(c),
             CtrlMsg::Reserve(r) => resv.push_back(r),
+            CtrlMsg::Snapshot { gen, done } => snaps.push((gen, done)),
             CtrlMsg::SpecFinish { commit } => {
                 if let Some(slot) = window_finish.as_deref_mut() {
                     *slot = Some(commit);
@@ -853,15 +995,104 @@ fn release_acks<S>(pending: &mut Vec<DeferredAck<S>>) {
 /// Closes the open commit group: registers its flush demand with the
 /// shared sequencer (a non-empty group always contains a durable write —
 /// acks are only deferred from the first unflushed commit on), then
-/// releases the held acks. The sequencer call is pure accounting on this
-/// path — the group's flush already elapsed as the adaptive window — but
-/// it lets `RunMetrics` report how many group closes coalesced with a
-/// flush another worker or coordinator had in flight.
-fn close_group<A: LiveAdvisor>(env: &Shared<A>, pending: &mut Vec<DeferredAck<A::Session>>) {
-    if !pending.is_empty() && !env.commit_flush.is_zero() {
-        env.seq.commit_group();
+/// releases the held acks. On the simulated device the sequencer call is
+/// pure accounting — the group's flush already elapsed as the adaptive
+/// window — but it lets `RunMetrics` report how many group closes
+/// coalesced with a flush another worker or coordinator had in flight.
+/// In durable mode the group instead rides the flusher thread
+/// ([`release_group`]); the returned ticket becomes the worker's new
+/// `last_ticket` high-water mark.
+fn close_group<A: LiveAdvisor>(
+    env: &Shared<A>,
+    pending: &mut Vec<DeferredAck<A::Session>>,
+    last_ticket: u64,
+) -> Option<u64> {
+    if pending.is_empty() {
+        return None;
     }
-    release_acks(pending);
+    release_group(env, std::mem::take(pending), true, last_ticket)
+}
+
+/// Releases one closed commit group under the configured durability
+/// regime. Simulated device: the adaptive window already "was" the flush,
+/// so register the demand and ack inline (the seed's behavior,
+/// byte-for-byte). Durable mode: the group's acks may only go out after a
+/// real `write+fsync` covers its log records, so the group is handed to
+/// the flusher thread with a sequencer ticket — `wrote` groups get a
+/// fresh ticket; read-only groups (a read that observed a closed-but-
+/// unflushed group's writes) ride `last_ticket`, the ticket of the last
+/// group this worker routed, which the flusher's FIFO guarantees is
+/// already durable by the time the job is seen, so no extra device
+/// operation results. Returns the ticket the group rides, if any.
+fn release_group<A: LiveAdvisor>(
+    env: &Shared<A>,
+    mut acks: Vec<DeferredAck<A::Session>>,
+    wrote: bool,
+    last_ticket: u64,
+) -> Option<u64> {
+    let Some(d) = &env.durable else {
+        if wrote && !env.commit_flush.is_zero() {
+            env.seq.commit_group();
+        }
+        release_acks(&mut acks);
+        return None;
+    };
+    let ticket = if wrote {
+        env.seq.enqueue()
+    } else if last_ticket > env.seq.durable_epoch() {
+        last_ticket
+    } else {
+        // Everything this worker ever routed is already durable: the
+        // read-only replies depend on durable state only. Ack inline.
+        release_acks(&mut acks);
+        return None;
+    };
+    if let Err(err) = d.flusher.send(FlushJob::Group { ticket, acks }) {
+        // Flusher already stopped (teardown race): flush synchronously
+        // and release here — held acks must never be dropped.
+        let FlushJob::Group { ticket, mut acks } = err.0 else { return Some(ticket) };
+        env.seq.wait_durable_dev(ticket, &FileDevice(Arc::clone(&d.logs)));
+        release_acks(&mut acks);
+    }
+    Some(ticket)
+}
+
+/// Takes a transaction-consistent snapshot of the whole cluster: fences
+/// every partition through the lock manager (no distributed transaction
+/// can straddle the cut — every rotation completes before any new lock
+/// grant), has each worker rotate its command log to generation `gen` and
+/// serialize its shard, then publishes the generation's completion marker
+/// and truncates segments below it. Returns the published generation, or
+/// `None` when durability is off or a worker died mid-snapshot (no
+/// marker ⇒ recovery ignores the partial generation).
+fn snapshot_cluster<A: LiveAdvisor>(env: &Shared<A>) -> Option<u64> {
+    let d = env.durable.as_ref()?;
+    // ordering: Relaxed — the lock fence below serializes the bump against
+    // every worker's rotation; the counter only names the generation.
+    let gen = d.active_gen.fetch_add(1, Ordering::Relaxed) + 1;
+    let guard = env.locks.guard(PartitionSet::all(env.num_partitions));
+    let (done_tx, done_rx) = channel();
+    let mut sent = 0usize;
+    for gate in env.workers.iter() {
+        if gate.send_ctrl(CtrlMsg::Snapshot { gen, done: done_tx.clone() }) {
+            sent += 1;
+        }
+    }
+    drop(done_tx);
+    if sent != env.num_partitions as usize {
+        return None;
+    }
+    for _ in 0..sent {
+        if done_rx.recv().is_err() {
+            return None;
+        }
+    }
+    drop(guard);
+    wal::write_marker(d.logs.dir(), gen).expect("write snapshot marker");
+    // ordering: Relaxed — metrics-only counter.
+    d.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+    let _ = wal::truncate_below(d.logs.dir(), gen);
+    Some(gen)
 }
 
 /// One partition's server loop: collect work *in runs* until shutdown,
@@ -904,13 +1135,37 @@ fn worker_loop<A: LiveAdvisor>(
     // oldest unflushed commit completed (the coalescing deadline's
     // anchor).
     let mut pending: Vec<DeferredAck<A::Session>> = Vec::new();
+    // Pending cluster-snapshot requests (served only here, at the main
+    // loop's top — never inside a speculation window), and the ticket of
+    // the last commit group this worker routed to the flusher (durable
+    // mode's read-ordering high-water mark; see [`release_group`]).
+    let mut snaps: Vec<(u64, Sender<()>)> = Vec::new();
+    let mut last_ticket = 0u64;
     let mut opened = Instant::now();
     let mut shutdown = false;
     while !shutdown {
+        while let Some((gen, done)) = snaps.pop() {
+            // The snapshot fence holds every partition lock, so this shard
+            // is at a transaction boundary: close the group, rotate the
+            // command log to the new generation (the rotation makes the
+            // old segment durable first), and serialize the shard. The
+            // `expect`s fire *before* the completion send — the
+            // snapshotter abandons the generation if this worker dies.
+            if let Some(t) = close_group(env, &mut pending, last_ticket) {
+                last_ticket = t;
+            }
+            let d = env.durable.as_ref().expect("snapshot request requires durability state");
+            d.logs.rotate(shard.partition(), gen).expect("rotate command log");
+            wal::write_snapshot(d.logs.dir(), shard.partition(), gen, &shard.snapshot_rows())
+                .expect("write snapshot");
+            let _ = done.send(());
+        }
         if let Some(r) = resv.pop_front() {
             // The reservation closes the open group: flush and ack before
             // the distributed transaction reads anything.
-            close_group(env, &mut pending);
+            if let Some(t) = close_group(env, &mut pending, last_ticket) {
+                last_ticket = t;
+            }
             if let Some(spec) = serve_reservation(&mut shard, env, FragSource::Legacy(r)) {
                 shutdown = speculate(
                     &mut shard,
@@ -920,6 +1175,8 @@ fn worker_loop<A: LiveAdvisor>(
                     &mut lanes,
                     &mut frag_lanes,
                     &mut resv,
+                    &mut snaps,
+                    &mut last_ticket,
                     spec,
                 );
             }
@@ -931,7 +1188,9 @@ fn worker_loop<A: LiveAdvisor>(
         // exclusive); a closed lane's leftovers come from a coordinator
         // that died mid-transaction and are rolled back inside serve.
         if let Some(i) = frag_lanes.iter().position(|c| !c.frags.is_empty()) {
-            close_group(env, &mut pending);
+            if let Some(t) = close_group(env, &mut pending, last_ticket) {
+                last_ticket = t;
+            }
             let src = FragSource::Lane { conns: &mut frag_lanes, i, bell };
             if let Some(spec) = serve_reservation(&mut shard, env, src) {
                 shutdown = speculate(
@@ -942,22 +1201,26 @@ fn worker_loop<A: LiveAdvisor>(
                     &mut lanes,
                     &mut frag_lanes,
                     &mut resv,
+                    &mut snaps,
+                    &mut last_ticket,
                     spec,
                 );
             }
             continue;
         }
         frag_lanes.retain(|c| !c.frags.is_closed());
-        gather_ctrl(ctrl, &mut lanes, &mut frag_lanes, &mut resv, &mut shutdown, None);
+        gather_ctrl(ctrl, &mut lanes, &mut frag_lanes, &mut resv, &mut snaps, &mut shutdown, None);
         sweep_lanes(&mut lanes, &mut run);
         if shutdown {
             break;
         }
-        if run.is_empty() && resv.is_empty() && !has_frags(&frag_lanes) {
+        if run.is_empty() && resv.is_empty() && !has_frags(&frag_lanes) && snaps.is_empty() {
             // No work means no backlog: close the group (normally already
             // closed by the post-run check below — this is the backstop
             // for a group left open by a race with an emptying lane).
-            close_group(env, &mut pending);
+            if let Some(t) = close_group(env, &mut pending, last_ticket) {
+                last_ticket = t;
+            }
             // Closed-loop clients resubmit within microseconds of their
             // acks, so a bounded yield-spin re-sweep usually catches the
             // next batch without a futex park/wake cycle (whose scheduler
@@ -966,9 +1229,22 @@ fn worker_loop<A: LiveAdvisor>(
             let mut found = false;
             for _ in 0..IDLE_SPIN {
                 std::thread::yield_now();
-                gather_ctrl(ctrl, &mut lanes, &mut frag_lanes, &mut resv, &mut shutdown, None);
+                gather_ctrl(
+                    ctrl,
+                    &mut lanes,
+                    &mut frag_lanes,
+                    &mut resv,
+                    &mut snaps,
+                    &mut shutdown,
+                    None,
+                );
                 sweep_lanes(&mut lanes, &mut run);
-                if !run.is_empty() || !resv.is_empty() || has_frags(&frag_lanes) || shutdown {
+                if !run.is_empty()
+                    || !resv.is_empty()
+                    || has_frags(&frag_lanes)
+                    || !snaps.is_empty()
+                    || shutdown
+                {
                     found = true;
                     break;
                 }
@@ -980,9 +1256,22 @@ fn worker_loop<A: LiveAdvisor>(
             // second look — a ring that landed before the parked bit went
             // up is only visible here — and only then sleep.
             let token = bell.prepare_park();
-            gather_ctrl(ctrl, &mut lanes, &mut frag_lanes, &mut resv, &mut shutdown, None);
+            gather_ctrl(
+                ctrl,
+                &mut lanes,
+                &mut frag_lanes,
+                &mut resv,
+                &mut snaps,
+                &mut shutdown,
+                None,
+            );
             sweep_lanes(&mut lanes, &mut run);
-            if run.is_empty() && resv.is_empty() && !has_frags(&frag_lanes) && !shutdown {
+            if run.is_empty()
+                && resv.is_empty()
+                && !has_frags(&frag_lanes)
+                && snaps.is_empty()
+                && !shutdown
+            {
                 bell.park(token);
             } else {
                 bell.cancel_park();
@@ -1006,10 +1295,41 @@ fn worker_loop<A: LiveAdvisor>(
                 // From the first unflushed durable write onward every
                 // reply waits for the group flush: later transactions may
                 // have observed the unflushed writes.
+                if out.needs_flush() {
+                    if let Some(d) = &env.durable {
+                        // Command-log the committed writer at its service
+                        // position, before its ack can be grouped.
+                        let req =
+                            out.req.as_ref().expect("committed fast path retains its request");
+                        d.append_local(shard.partition(), req);
+                    }
+                }
                 if pending.is_empty() {
                     opened = t_done;
                 }
                 pending.push((reply, out.reply));
+                if env.durable.is_some() {
+                    // Durable mode: close at the writer itself. The
+                    // flusher's accumulation window does the cross-writer
+                    // coalescing, so holding the group open through the
+                    // rest of the drain would only add batch time to the
+                    // writer's ack latency — and drag every read served
+                    // behind it into the fence.
+                    if let Some(t) = close_group(env, &mut pending, last_ticket) {
+                        last_ticket = t;
+                    }
+                }
+            } else if env.durable.as_ref().is_some_and(|d| d.read_fence)
+                && last_ticket > env.seq.durable_epoch()
+            {
+                // Strict read fence: an earlier group this worker closed
+                // may still be in the flusher's hands — and this reply may
+                // depend on its writes. Ride the prior ticket through the
+                // flusher (FIFO makes the release a no-wait, no new
+                // device operation) instead of acking un-durable state.
+                if let Some(t) = release_group(env, vec![(reply, out.reply)], false, last_ticket) {
+                    last_ticket = t;
+                }
             } else {
                 // Nothing unflushed precedes this one in the group, so its
                 // result depends on durable state only — ack now, at the
@@ -1032,13 +1352,15 @@ fn worker_loop<A: LiveAdvisor>(
                 || opened.elapsed() >= adaptive_window(env.commit_flush, depth)
                 || env.seq.flush_in_progress()
             {
-                close_group(env, &mut pending);
+                if let Some(t) = close_group(env, &mut pending, last_ticket) {
+                    last_ticket = t;
+                }
             }
         }
     }
     // Shutdown closes the open group before failing the stragglers: the
     // held acks are *completed* transactions and must reach their clients.
-    close_group(env, &mut pending);
+    close_group(env, &mut pending, last_ticket);
     fail_lanes(&mut run, &mut lanes);
     shard
 }
@@ -1404,6 +1726,10 @@ struct SpecSession {
     /// speculative commit's. A speculative transaction whose touched set is
     /// disjoint from this cannot depend on contingent state (§2 OP4).
     written_tables: u64,
+    /// The distributed transaction's command-log id (durable mode): its
+    /// `DistBegin` is already on this partition's log, and the window's
+    /// resolution appends the matching `Decision`.
+    dist_id: Option<u64>,
 }
 
 /// Parks the worker for one distributed transaction: execute its fragments
@@ -1417,8 +1743,21 @@ fn serve_reservation<A: LiveAdvisor>(
 ) -> Option<SpecSession> {
     let mut undo = UndoLog::new();
     let mut wrote_tables = 0u64;
+    let mut dist_id: Option<u64> = None;
     loop {
         match src.recv() {
+            Some(FragCmd::LogBegin { txn_id, proc, args }) => {
+                // Durable mode only (never sent otherwise): record the
+                // distributed transaction's begin at its service position —
+                // before any of its fragments execute here. No reply, no
+                // modeled delay: this is durability bookkeeping, not one of
+                // the paper's network messages.
+                if let Some(d) = &env.durable {
+                    let rec = LogRecord::DistBegin { txn_id, proc, args };
+                    d.logs.append(shard.partition(), &rec);
+                }
+                dist_id = Some(txn_id);
+            }
             Some(FragCmd::Exec { proc, query, params }) => {
                 flush(env.msg_delay);
                 let def = env.catalog.proc(proc).query(query);
@@ -1498,6 +1837,7 @@ fn serve_reservation<A: LiveAdvisor>(
                     chan: src.into_spec_channel(),
                     stack,
                     written_tables: wrote_tables,
+                    dist_id,
                 });
             }
             Some(FragCmd::VoteFinish { commit }) => {
@@ -1507,6 +1847,12 @@ fn serve_reservation<A: LiveAdvisor>(
                 // always yes. Commit durability is the coordinator's one
                 // sequenced flush (see the Prepare arm above).
                 flush(env.msg_delay);
+                if let (Some(d), Some(id)) = (&env.durable, dist_id) {
+                    // Appended before the Finished reply: the coordinator's
+                    // one real flush (after all Finished acks) covers it.
+                    let rec = LogRecord::Decision { txn_id: id, commit };
+                    d.logs.append(shard.partition(), &rec);
+                }
                 let reply = if commit {
                     undo.clear();
                     FragReply::Finished
@@ -1549,12 +1895,17 @@ fn speculate<A: LiveAdvisor>(
     lanes: &mut Vec<ring::Consumer<SingleMsg<A::Session>>>,
     frag_lanes: &mut Vec<FragConn>,
     resv: &mut VecDeque<Reserve>,
+    snaps: &mut Vec<(u64, Sender<()>)>,
+    last_ticket: &mut u64,
     mut spec: SpecSession,
 ) -> bool {
-    // A deferred completion: the client's slot, the reply, and — unless
-    // the reply carries it itself — the request, needed to route the
-    // `Cascaded` retry if the window aborts.
-    type Deferred<S> = (Arc<SingleSlot<S>>, SingleReply<S>, Option<Request>);
+    // A deferred completion: the client's slot, the reply, the request
+    // (unless the reply carries it itself — needed to route the `Cascaded`
+    // retry if the window aborts), and the command-log id of its contingent
+    // `DistBegin` record (durable mode, conflicting commits only — the
+    // window's resolution appends the matching `Decision`, or nothing on
+    // abort, so replay skips it).
+    type Deferred<S> = (Arc<SingleSlot<S>>, SingleReply<S>, Option<Request>, Option<u64>);
     let mut deferred: Vec<Deferred<A::Session>> = Vec::new();
     let mut run: Vec<SingleMsg<A::Session>> = Vec::new();
     let mut shutdown = false;
@@ -1562,7 +1913,7 @@ fn speculate<A: LiveAdvisor>(
     // the window resolves exactly like an abort.
     let outcome: Option<bool> = 'window: loop {
         let mut finish: Option<bool> = None;
-        gather_ctrl(ctrl, lanes, frag_lanes, resv, &mut shutdown, Some(&mut finish));
+        gather_ctrl(ctrl, lanes, frag_lanes, resv, snaps, &mut shutdown, Some(&mut finish));
         if finish.is_none() {
             sweep_lanes(lanes, &mut run);
         }
@@ -1575,7 +1926,7 @@ fn speculate<A: LiveAdvisor>(
             // outcome) or it still speaks the reservation-channel
             // protocol's in-band VoteFinish (tests, legacy).
             let token = bell.prepare_park();
-            gather_ctrl(ctrl, lanes, frag_lanes, resv, &mut shutdown, Some(&mut finish));
+            gather_ctrl(ctrl, lanes, frag_lanes, resv, snaps, &mut shutdown, Some(&mut finish));
             if finish.is_none() {
                 sweep_lanes(lanes, &mut run);
             }
@@ -1586,6 +1937,7 @@ fn speculate<A: LiveAdvisor>(
                             match frags.try_recv() {
                                 Ok(FragCmd::VoteFinish { commit }) => break 'window Some(commit),
                                 Ok(FragCmd::Prepare { .. }) => {} // duplicate: already prepared
+                                Ok(FragCmd::LogBegin { .. }) => {} // begin already logged
                                 Ok(FragCmd::Exec { .. } | FragCmd::ExecBatch { .. }) => {
                                     // The coordinator treats a batch that
                                     // re-targets a released partition as a
@@ -1616,6 +1968,7 @@ fn speculate<A: LiveAdvisor>(
                                     lanes,
                                     frag_lanes,
                                     resv,
+                                    snaps,
                                     &mut shutdown,
                                     Some(&mut last),
                                 );
@@ -1655,15 +2008,38 @@ fn speculate<A: LiveAdvisor>(
             match out.spec_undo {
                 Some(u) if conflict => {
                     // A contingent commit: effects join the window (and
-                    // its conflict mask), the ack waits.
+                    // its conflict mask), the ack waits. Durable mode logs
+                    // it *here*, at its true serialization position, as a
+                    // single-participant `DistBegin` — contingent on the
+                    // `Decision` the window's resolution appends (commit)
+                    // or withholds (abort ⇒ replay skips; the client's
+                    // transparent retry re-logs the new attempt).
+                    let log_id = env.durable.as_ref().map(|d| {
+                        let txn_id = d.next_id();
+                        let req =
+                            out.req.as_ref().expect("deferred completion retains its request");
+                        let rec =
+                            LogRecord::DistBegin { txn_id, proc: req.proc, args: req.args.clone() };
+                        d.logs.append(shard.partition(), &rec);
+                        txn_id
+                    });
                     spec.stack.push_commit(u);
                     spec.written_tables |= out.wrote_tables;
-                    deferred.push((reply, out.reply, out.req));
+                    deferred.push((reply, out.reply, out.req, log_id));
                 }
-                None if conflict => deferred.push((reply, out.reply, out.req)),
+                None if conflict => deferred.push((reply, out.reply, out.req, None)),
                 // Non-conflicting (commit, user abort, or mispredict):
                 // acknowledge with the group, effects (if any) are final.
                 Some(_) | None => {
+                    if durable {
+                        if let Some(d) = &env.durable {
+                            // Final whatever the 2PC decides: a plain
+                            // command-log record, like the fast path's.
+                            let req =
+                                out.req.as_ref().expect("committed fast path retains its request");
+                            d.append_local(shard.partition(), req);
+                        }
+                    }
                     group_wrote |= durable;
                     acks.push((reply, out.reply));
                 }
@@ -1675,12 +2051,12 @@ fn speculate<A: LiveAdvisor>(
         // the widest coalescing period the adaptive policy can produce.
         // Deferred acks wait for the outcome, which arrives strictly later.
         // The group's flush demand is registered with the shared sequencer
-        // (accounting, as in [`close_group`]) when any of them wrote.
-        if group_wrote && !env.commit_flush.is_zero() {
-            env.seq.commit_group();
-        }
-        for (slot, reply) in acks {
-            slot.put(reply);
+        // (accounting on the simulated device, a real flusher hand-off in
+        // durable mode) when any of them wrote.
+        if !acks.is_empty() {
+            if let Some(t) = release_group(env, acks, group_wrote, *last_ticket) {
+                *last_ticket = t;
+            }
         }
         if let Some(commit) = finish {
             break 'window Some(commit);
@@ -1689,18 +2065,47 @@ fn speculate<A: LiveAdvisor>(
     if outcome == Some(true) {
         // Speculative work becomes final: acknowledge in completion order.
         spec.stack.commit();
-        for (slot, reply, _) in deferred {
-            slot.put(reply);
+        if let Some(d) = &env.durable {
+            // The window's decision, then each contingent commit's — all
+            // appended before the Finished ack below, so the coordinator's
+            // one sequenced flush covers them; the deferred acks ride a
+            // flusher ticket of their own rather than wait for it.
+            if let Some(id) = spec.dist_id {
+                d.logs.append(shard.partition(), &LogRecord::Decision { txn_id: id, commit: true });
+            }
+            for (_, _, _, log_id) in &deferred {
+                if let Some(id) = *log_id {
+                    d.logs.append(
+                        shard.partition(),
+                        &LogRecord::Decision { txn_id: id, commit: true },
+                    );
+                }
+            }
+            if !deferred.is_empty() {
+                let acks = deferred.into_iter().map(|(slot, reply, _, _)| (slot, reply)).collect();
+                if let Some(t) = release_group(env, acks, true, *last_ticket) {
+                    *last_ticket = t;
+                }
+            }
+        } else {
+            for (slot, reply, _, _) in deferred {
+                slot.put(reply);
+            }
         }
         spec_reply(frag_lanes, &spec.chan, FragReply::Finished);
     } else {
         // Cascading rollback (LIFO) of every speculative commit, then the
-        // fragment itself; deferred clients retry transparently.
+        // fragment itself; deferred clients retry transparently. Durable
+        // mode appends the window's abort decision (the contingent
+        // `DistBegin`s get nothing — no decision ⇒ replay skips them).
+        if let (Some(d), Some(id)) = (&env.durable, spec.dist_id) {
+            d.logs.append(shard.partition(), &LogRecord::Decision { txn_id: id, commit: false });
+        }
         let reply = match shard.rollback_speculation(spec.stack) {
             Ok(_) => FragReply::Finished,
             Err(e) => FragReply::Fatal(e),
         };
-        for (slot, dropped, req) in deferred {
+        for (slot, dropped, req, _) in deferred {
             // The rolled-back attempt's request routes the transparent
             // retry; a Mispredict reply carries it itself.
             let req = match dropped {
@@ -1894,6 +2299,11 @@ fn run_distributed<A: LiveAdvisor>(
     // which fragments are contingent — same catalog knowledge the workers
     // have, so the two sides always agree on whether a window opens).
     let mut wrote_parts = PartitionSet::EMPTY;
+    // Durable mode: this transaction's command-log id, and the participants
+    // whose logs already hold its `DistBegin` (shipped once per partition,
+    // before its first fragment).
+    let dist_id = env.durable.as_ref().map(Durable::next_id);
+    let mut began = PartitionSet::EMPTY;
     // No reservation step: holding a partition's lock entitles this client
     // to push on its (lazily registered) fragment lane, and the first push
     // opens service at the worker. The base partition is a fragment
@@ -2018,6 +2428,24 @@ fn run_distributed<A: LiveAdvisor>(
                     let queries = std::mem::take(&mut to_ship[p as usize]);
                     if queries.is_empty() {
                         continue;
+                    }
+                    if let Some(id) = dist_id {
+                        if !began.contains(p) {
+                            // The begin record precedes the partition's
+                            // first fragment in lane order, so the worker
+                            // logs it at exactly the position the fragments
+                            // serialize at.
+                            let begin = FragCmd::LogBegin {
+                                txn_id: id,
+                                proc: req.proc,
+                                args: req.args.clone(),
+                            };
+                            if let Err(e) = push_frag(ports, workers, p as usize, begin) {
+                                fatal = Some(e);
+                                continue;
+                            }
+                            began.insert(p);
+                        }
                     }
                     match push_frag(
                         ports,
@@ -2184,14 +2612,33 @@ fn run_distributed<A: LiveAdvisor>(
                 // sleep per writing participant *on the participant's own
                 // thread*, which stalled that partition's entire fast
                 // path for the duration.
-                let ticket =
-                    (fin.is_ok() && !wrote_parts.is_empty() && !env.commit_flush.is_zero())
-                        .then(|| env.seq.enqueue());
+                let ticket = (fin.is_ok()
+                    && !wrote_parts.is_empty()
+                    && (env.durable.is_some() || !env.commit_flush.is_zero()))
+                .then(|| env.seq.enqueue());
                 record_remaining_hold(lock_holds, lock_set, released, t_locked);
                 drop(locks_held);
                 if let Some(t) = ticket {
                     let t_flush = Instant::now();
-                    env.seq.wait_durable(t, env.commit_flush);
+                    match &env.durable {
+                        // Real device: every participant's begin and
+                        // decision records are on their logs (the Finished
+                        // acks above happen-after the appends), so one
+                        // sequenced `write+fsync` makes the whole
+                        // transaction durable. Ride the flusher's windowed
+                        // group commit rather than leading eagerly —
+                        // leading here would pin the fsync rate to the
+                        // distributed-commit rate and collapse throughput
+                        // to the device.
+                        Some(d) => {
+                            env.seq.wait_covered(
+                                t,
+                                &FileDevice(Arc::clone(&d.logs)),
+                                d.group_window,
+                            );
+                        }
+                        None => env.seq.wait_durable(t, env.commit_flush),
+                    }
                     let fw = us_since(t_flush);
                     acc.coord_us += fw;
                     acc.flush_us += fw;
@@ -2649,6 +3096,24 @@ impl<A: LiveAdvisor + 'static> Drop for Client<A> {
 struct Running {
     workers: Vec<JoinHandle<Shard>>,
     maintenance: Option<JoinHandle<MaintenanceReport>>,
+    /// Durable mode's dedicated fsync thread (see [`flusher_loop`]).
+    flusher: Option<JoinHandle<()>>,
+    /// Background snapshotter: its stop flag (0 = run, 1 = stop) and
+    /// handle. The thread sleeps via `park_timeout`, so teardown stores
+    /// the flag and unparks.
+    snapshotter: Option<(Arc<AtomicU64>, JoinHandle<()>)>,
+}
+
+/// What a recovered boot seeds [`LiveRuntime`]'s durability state with.
+struct RecoverySeed {
+    /// Generation the fresh log segments open at — strictly above every
+    /// generation found on disk, because appending to a segment whose tail
+    /// holds a torn frame would put the new records behind it, invisible
+    /// to the decoder.
+    gen: u64,
+    /// First transaction id the recovered runtime may allocate.
+    next_txn_id: u64,
+    recovery_ms: f64,
 }
 
 /// An embeddable, running instance of the live partition runtime — the
@@ -2685,9 +3150,81 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
     /// background maintenance thread. Returns immediately; the server is
     /// ready for [`Client::call`] traffic as soon as this returns.
     pub fn start(db: Database, registry: ProcedureRegistry, advisor: A, cfg: LiveConfig) -> Self {
+        Self::start_inner(db, registry, advisor, cfg, None)
+    }
+
+    /// Boots the runtime after a crash: loads the newest complete snapshot
+    /// set from `cfg.durability.dir` (if any), replays each partition's
+    /// command log ([`crate::durability`]), and starts serving on the
+    /// recovered state with fresh log segments. Returns the running
+    /// runtime plus a [`RecoveryReport`]. Panics if `cfg.durability` is
+    /// `None` or the log directory is unreadable.
+    pub fn recover(
+        db: Database,
+        registry: ProcedureRegistry,
+        advisor: A,
+        cfg: LiveConfig,
+    ) -> (Self, RecoveryReport) {
+        let dc = cfg.durability.as_ref().expect("recover requires LiveConfig::durability");
+        let t0 = Instant::now();
+        let mut state = wal::scan(&dc.dir, db.num_partitions()).expect("scan durability dir");
+        let mut db = db;
+        if let Some(rows) = state.snapshot.take() {
+            let mut shards = db.into_shards();
+            for (shard, tables) in shards.iter_mut().zip(rows) {
+                shard.restore_tables(tables);
+            }
+            db = Database::from_shards(shards);
+        }
+        let catalog = registry.catalog();
+        let (replayed, skipped) = crate::durability::replay(&mut db, &registry, &catalog, &state);
+        let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let report = RecoveryReport {
+            recovery_ms,
+            snapshot_gen: state.snapshot_gen,
+            replayed,
+            skipped,
+            log_records_scanned: state.log_records_scanned,
+        };
+        let seed = RecoverySeed {
+            gen: state.max_gen + 1,
+            next_txn_id: crate::durability::max_txn_id(&state) + 1,
+            recovery_ms,
+        };
+        (Self::start_inner(db, registry, advisor, cfg, Some(seed)), report)
+    }
+
+    fn start_inner(
+        db: Database,
+        registry: ProcedureRegistry,
+        advisor: A,
+        cfg: LiveConfig,
+        recovered: Option<RecoverySeed>,
+    ) -> Self {
         let num_partitions = db.num_partitions();
         let catalog = registry.catalog();
         let shards = db.into_shards();
+        // Durable mode: open the command-log segments (a recovered boot
+        // starts a fresh generation above everything on disk) and the
+        // flusher intake before any worker can serve.
+        let seed = recovered.unwrap_or(RecoverySeed { gen: 0, next_txn_id: 1, recovery_ms: 0.0 });
+        let mut flusher_rx: Option<Receiver<FlushJob<A::Session>>> = None;
+        let durable = cfg.durability.as_ref().map(|dc| {
+            let logs = LogSet::open(&dc.dir, num_partitions, seed.gen)
+                .expect("open command-log directory");
+            let (tx, rx) = channel();
+            flusher_rx = Some(rx);
+            Durable {
+                logs: Arc::new(logs),
+                next_txn_id: AtomicU64::new(seed.next_txn_id),
+                snapshots_taken: AtomicU64::new(0),
+                active_gen: AtomicU64::new(seed.gen),
+                recovery_ms: seed.recovery_ms,
+                flusher: tx,
+                group_window: dc.group_commit_window,
+                read_fence: dc.read_fence,
+            }
+        });
         // The §4.5 feedback pipeline exists only when the advisor can
         // learn: a bounded channel from session teardown to one background
         // maintenance thread that owns the advisor's `LiveMaintainer`.
@@ -2719,7 +3256,37 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
             fb_tx,
             next_client: AtomicU64::new(0),
             started: Instant::now(),
+            durable,
         });
+        let flusher = flusher_rx.map(|rx| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wal-flusher".into())
+                .spawn(move || flusher_loop::<A>(&shared, &rx))
+                .expect("spawn flusher thread")
+        });
+        let snapshotter =
+            shared.cfg.durability.as_ref().and_then(|dc| dc.snapshot_every).map(|every| {
+                let stop = Arc::new(AtomicU64::new(0));
+                let flag = Arc::clone(&stop);
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("snapshotter".into())
+                    .spawn(move || {
+                        loop {
+                            std::thread::park_timeout(every);
+                            // ordering: Relaxed — the join in teardown is
+                            // the only consumer of this thread's effects; a
+                            // spurious early wake just snapshots early.
+                            if flag.load(Ordering::Relaxed) != 0 {
+                                return;
+                            }
+                            snapshot_cluster(&shared);
+                        }
+                    })
+                    .expect("spawn snapshotter thread");
+                (stop, handle)
+            });
         let workers = shards
             .into_iter()
             .zip(worker_rx)
@@ -2760,7 +3327,19 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
                 })
                 .expect("spawn maintenance thread")
         });
-        LiveRuntime { shared, running: Some(Running { workers, maintenance }) }
+        LiveRuntime {
+            shared,
+            running: Some(Running { workers, maintenance, flusher, snapshotter }),
+        }
+    }
+
+    /// Takes a transaction-consistent snapshot of every partition right
+    /// now (durable mode only): fences the cluster, rotates every command
+    /// log, serializes every shard, publishes the generation marker, and
+    /// truncates obsolete segments. Returns the published generation, or
+    /// `None` when durability is off or the snapshot was abandoned.
+    pub fn snapshot_now(&self) -> Option<u64> {
+        snapshot_cluster(&self.shared)
     }
 
     /// Mints a new [`Client`] handle. Handles are `Send`, independent, and
@@ -2808,6 +3387,7 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
         let (ft, fc) = self.shared.seq.counters();
         m.flushes_total = ft;
         m.flushes_coalesced = fc;
+        absorb_durability(&mut m, self.shared.durable.as_ref());
         m
     }
 
@@ -2834,7 +3414,16 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
     /// the process and mask the original error.
     fn teardown(&mut self) -> Option<(RunMetrics, Vec<Shard>)> {
         let running = self.running.take()?;
-        // Workers first: each finishes its current run (and resolves any
+        // Snapshotter first: a fence racing shutdown would wait on worker
+        // completions that will never come.
+        if let Some((stop, handle)) = running.snapshotter {
+            // ordering: Relaxed — the unpark and join below synchronize
+            // the thread's exit; the flag only requests it.
+            stop.store(1, Ordering::Relaxed);
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+        // Workers next: each finishes its current run (and resolves any
         // open speculation window) before observing the sentinel, so
         // in-flight transactions complete and their feedback records get
         // a chance to precede the Stop below. Calls still buffered in a
@@ -2848,6 +3437,22 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
             match h.join() {
                 Ok(shard) => shards.push(shard),
                 Err(p) => thread_panic = Some(p),
+            }
+        }
+        // Flusher after the workers: their shutdown-path group closes are
+        // already queued ahead of the Stop, so every held ack drains and
+        // flushes before the join; the final flush_all makes any buffered
+        // shutdown stragglers durable too.
+        if let Some(h) = running.flusher {
+            if let Some(d) = &self.shared.durable {
+                let _ = d.flusher.send(FlushJob::Stop);
+            }
+            match h.join() {
+                Ok(()) => {}
+                Err(p) => thread_panic = Some(p),
+            }
+            if let Some(d) = &self.shared.durable {
+                d.logs.flush_all();
             }
         }
         // Pin the measurement window at drain completion: every accepted
@@ -2888,8 +3493,20 @@ impl<A: LiveAdvisor + 'static> LiveRuntime<A> {
         let (ft, fc) = self.shared.seq.counters();
         metrics.flushes_total = ft;
         metrics.flushes_coalesced = fc;
+        absorb_durability(&mut metrics, self.shared.durable.as_ref());
         Some((metrics, shards))
     }
+}
+
+/// Folds the durability subsystem's counters into a metrics snapshot.
+fn absorb_durability<S>(m: &mut RunMetrics, durable: Option<&Durable<S>>) {
+    let Some(d) = durable else { return };
+    let (records, bytes) = d.logs.counters();
+    m.log_records = records;
+    m.log_bytes_written = bytes;
+    // ordering: Relaxed — metrics-only counter.
+    m.snapshots_taken = d.snapshots_taken.load(Ordering::Relaxed);
+    m.recovery_ms = d.recovery_ms;
 }
 
 impl<A: LiveAdvisor + 'static> Drop for LiveRuntime<A> {
@@ -3112,6 +3729,7 @@ mod tests {
             fb_tx: None,
             next_client: AtomicU64::new(0),
             started: Instant::now(),
+            durable: None,
         };
         let mut shards = db.into_shards();
         shards.truncate(1); // partition 0's worker only
@@ -3343,6 +3961,7 @@ mod tests {
             fb_tx: None,
             next_client: AtomicU64::new(0),
             started: Instant::now(),
+            durable: None,
         };
         let mut shards = kv_database(1, 8).into_shards();
         let shard = shards.pop().unwrap();
@@ -3488,6 +4107,7 @@ mod tests {
             fb_tx: None,
             next_client: AtomicU64::new(0),
             started: Instant::now(),
+            durable: None,
         };
         let mut shards = kv_database(1, 8).into_shards();
         let shard = shards.pop().unwrap();
@@ -3841,5 +4461,178 @@ mod tests {
         );
         let sum: f64 = Bucket::ALL.iter().map(|&b| m.profile.overall_share(b)).sum();
         assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Fresh (deleted) per-test durability directory under the system
+    /// temp dir.
+    fn durability_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("engine-dur-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Sorted `(key, row)` contents of table 0 on every partition — the
+    /// byte-identical-state comparator for recovery tests.
+    fn sorted_tables(db: &Database, parts: u32) -> Vec<Vec<(Vec<Value>, Row)>> {
+        (0..parts)
+            .map(|p| {
+                let mut rows: Vec<(Vec<Value>, Row)> =
+                    db.table(p, 0).iter().map(|(k, r)| (k.clone(), r.clone())).collect();
+                rows.sort();
+                rows
+            })
+            .collect()
+    }
+
+    #[test]
+    fn durable_log_replay_reproduces_fast_path_state() {
+        let dir = durability_dir("fast");
+        let cfg = LiveConfig {
+            requests_per_client: 30,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Default::default()
+        };
+        let (m, db) = live_run(AssumeSinglePartition::new(), 1, 4, &cfg);
+        assert!(m.log_records > 0, "committed writers must be command-logged");
+        assert!(m.log_bytes_written > 0);
+        assert_eq!(m.snapshots_taken, 0);
+        // Replay the log against a pristine database: every committed
+        // writer re-executes, reproducing the exact table contents.
+        let (rt, report) = LiveRuntime::recover(
+            kv_database(4, 8),
+            kv_registry(),
+            AssumeSinglePartition::new(),
+            cfg,
+        );
+        let (m2, db2) = rt.shutdown();
+        assert_eq!(report.replayed, m.committed);
+        assert_eq!(report.skipped, 0, "clean shutdown leaves no undecided work");
+        assert_eq!(report.snapshot_gen, None);
+        assert!(m2.recovery_ms > 0.0, "recovery time must be reported");
+        assert_eq!(sorted_tables(&db, 4), sorted_tables(&db2, 4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strict_read_fence_serves_reads_and_replays_identically() {
+        let dir = durability_dir("fence");
+        let cfg = LiveConfig {
+            durability: Some(DurabilityConfig::new(&dir).read_fence()),
+            ..Default::default()
+        };
+        let rt = LiveRuntime::start(
+            kv_database(2, 8),
+            kv_registry(),
+            AssumeSinglePartition::new(),
+            cfg.clone(),
+        );
+        let mut client = rt.client();
+        let (mut committed, mut aborted) = (0u64, 0u64);
+        for i in 0..60i64 {
+            // Alternate a committing write with a read-shaped call: a
+            // missing id aborts before writing anything, so its reply
+            // takes the read path — and under the strict fence must wait
+            // out the covering flush whenever the preceding write's group
+            // is still in the flusher's hands.
+            let id = if i % 2 == 0 { i % 16 } else { 1_000 };
+            match client.call(0, vec![Value::Array(vec![Value::Int(id)])]).unwrap() {
+                TxnOutcome::Committed => committed += 1,
+                TxnOutcome::UserAborted => aborted += 1,
+                other => panic!("client calls resolve: {other:?}"),
+            }
+        }
+        drop(client);
+        let (m, db) = rt.shutdown();
+        assert_eq!((committed, aborted), (30, 30));
+        assert_eq!((m.committed, m.user_aborts), (30, 30));
+        assert_eq!(m.log_records, 30, "only committed writers are logged");
+        let (rt2, report) = LiveRuntime::recover(
+            kv_database(2, 8),
+            kv_registry(),
+            AssumeSinglePartition::new(),
+            cfg,
+        );
+        let (_, db2) = rt2.shutdown();
+        assert_eq!(report.replayed, 30);
+        assert_eq!(sorted_tables(&db, 2), sorted_tables(&db2, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_log_replay_reproduces_distributed_state() {
+        let dir = durability_dir("dist");
+        let cfg = LiveConfig {
+            requests_per_client: 30,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Default::default()
+        };
+        let (m, db) = live_run(AssumeDistributed::new(), 2, 4, &cfg);
+        assert!(m.distributed > 0, "lock-all traffic is distributed");
+        let (rt, report) =
+            LiveRuntime::recover(kv_database(4, 8), kv_registry(), AssumeDistributed::new(), cfg);
+        let (_, db2) = rt.shutdown();
+        assert_eq!(report.replayed, m.committed, "each 2PC commit replays exactly once");
+        assert_eq!(report.skipped, 0);
+        assert_eq!(sorted_tables(&db, 4), sorted_tables(&db2, 4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_bounds_replay_and_recovery_matches() {
+        let dir = durability_dir("snap");
+        let cfg =
+            LiveConfig { durability: Some(DurabilityConfig::new(&dir)), ..Default::default() };
+        let rt = LiveRuntime::start(
+            kv_database(4, 8),
+            kv_registry(),
+            AssumeSinglePartition::new(),
+            cfg.clone(),
+        );
+        let mut client = rt.client();
+        for i in 0..50i64 {
+            client.call(0, vec![Value::Array(vec![Value::Int(i % 32)])]).unwrap();
+        }
+        let gen = rt.snapshot_now().expect("snapshot under live traffic pauses");
+        for i in 0..40i64 {
+            client.call(0, vec![Value::Array(vec![Value::Int((i * 3) % 32)])]).unwrap();
+        }
+        drop(client);
+        let (m, db) = rt.shutdown();
+        assert_eq!(m.committed, 90);
+        assert_eq!(m.snapshots_taken, 1);
+        let (rt2, report) = LiveRuntime::recover(
+            kv_database(4, 8),
+            kv_registry(),
+            AssumeSinglePartition::new(),
+            cfg,
+        );
+        let (_, db2) = rt2.shutdown();
+        assert_eq!(report.snapshot_gen, Some(gen));
+        assert_eq!(report.replayed, 40, "only post-snapshot commits replay");
+        assert_eq!(sorted_tables(&db, 4), sorted_tables(&db2, 4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_snapshotter_publishes_generations() {
+        let dir = durability_dir("bg-snap");
+        let cfg = LiveConfig {
+            durability: Some(DurabilityConfig::new(&dir).snapshot_every(Duration::from_millis(25))),
+            ..Default::default()
+        };
+        let rt =
+            LiveRuntime::start(kv_database(2, 8), kv_registry(), AssumeSinglePartition::new(), cfg);
+        let mut client = rt.client();
+        let t0 = Instant::now();
+        let mut calls = 0u64;
+        while t0.elapsed() < Duration::from_millis(120) {
+            client.call(0, vec![Value::Array(vec![Value::Int((calls % 16) as i64)])]).unwrap();
+            calls += 1;
+        }
+        drop(client);
+        let (m, _) = rt.shutdown();
+        assert_eq!(m.committed, calls);
+        assert!(m.snapshots_taken >= 1, "25 ms cadence over 120 ms must snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -141,6 +141,22 @@ impl Shard {
         Ok(())
     }
 
+    /// Every table's rows, cloned in sorted order: the shard's snapshot
+    /// payload, deterministic for a given shard state.
+    pub fn snapshot_rows(&self) -> Vec<Vec<Row>> {
+        self.tables.iter().map(Table::sorted_rows).collect()
+    }
+
+    /// Replaces every table's contents with the given rows, rebuilding
+    /// secondary indexes (recovery: load a snapshot image under this
+    /// shard's existing catalog).
+    pub fn restore_tables(&mut self, tables: Vec<Vec<Row>>) {
+        assert_eq!(tables.len(), self.tables.len(), "snapshot table count mismatch");
+        for (id, rows) in tables.into_iter().enumerate() {
+            self.tables[id].restore(&self.meta.schemas[id], rows);
+        }
+    }
+
     /// Cascading rollback of a whole speculation window (live OP4): unwinds
     /// the stack LIFO — every speculatively-committed transaction newest-
     /// first, then the early-prepared transaction's own fragment undo —

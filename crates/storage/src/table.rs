@@ -137,6 +137,29 @@ impl Table {
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &Row)> {
         self.rows.iter()
     }
+
+    /// All rows cloned in sorted order — the deterministic serialization
+    /// a snapshot writes.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut rows: Vec<Row> = self.rows.values().cloned().collect();
+        rows.sort();
+        rows
+    }
+
+    /// Replaces this slice's contents wholesale with `rows`, rebuilding
+    /// every secondary index from scratch (snapshot restore).
+    pub fn restore(&mut self, schema: &Schema, rows: Vec<Row>) {
+        self.rows.clear();
+        let columns: Vec<usize> = self.secondary.iter().map(SecondaryIndex::column).collect();
+        self.secondary = columns.into_iter().map(SecondaryIndex::new).collect();
+        for row in rows {
+            let key = Self::key_of(schema, &row);
+            for idx in &mut self.secondary {
+                idx.insert(&row, &key);
+            }
+            self.rows.insert(key, row);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,256 @@
+//! The compact binary codec for log records and snapshots.
+//!
+//! Everything durable goes through two tiny primitives: a [`Writer`] that
+//! appends fixed-width little-endian scalars and tagged [`Value`]s to a
+//! byte buffer, and a [`Reader`] that decodes them back, failing softly
+//! (never panicking) on any malformed input — the property recovery leans
+//! on to treat a torn tail as "end of log" rather than a crash.
+//!
+//! Integrity is a 64-bit FNV-1a checksum over each framed payload (see
+//! [`crate::record`] and [`crate::snapshot`] for the framings). FNV is not
+//! cryptographic, but torn writes and bit rot are the threat model here,
+//! and it needs no external dependency.
+
+use common::Value;
+
+/// Decode failure: the input is truncated or structurally invalid. Carries
+/// a human-readable reason for diagnostics; recovery treats any decode
+/// error as the end of the valid prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends little-endian scalars and tagged values to a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// One tagged [`Value`]: tag byte, then the payload.
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.put_u8(0),
+            Value::Int(i) => {
+                self.put_u8(1);
+                self.put_i64(*i);
+            }
+            Value::Str(s) => {
+                self.put_u8(2);
+                self.put_bytes(s.as_bytes());
+            }
+            Value::Array(items) => {
+                self.put_u8(3);
+                self.put_u32(items.len() as u32);
+                for item in items {
+                    self.put_value(item);
+                }
+            }
+        }
+    }
+
+    /// A length-prefixed sequence of values (procedure args, a row).
+    pub fn put_values(&mut self, vs: &[Value]) {
+        self.put_u32(vs.len() as u32);
+        for v in vs {
+            self.put_value(v);
+        }
+    }
+}
+
+/// Sanity ceiling on any decoded length prefix: no legitimate record or
+/// row in this engine holds a billion elements, so a larger prefix is
+/// corruption — rejecting it early keeps a flipped length byte from
+/// turning into a gigabyte allocation.
+const MAX_LEN: u32 = 1 << 24;
+
+/// Decodes what [`Writer`] wrote; every method fails softly on truncation
+/// or malformed tags.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError(format!("need {n} bytes, have {}", self.remaining())));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn get_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.get_u32()?;
+        if n > MAX_LEN {
+            return Err(CodecError(format!("length {n} exceeds sanity cap")));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_len()?;
+        self.take(n)
+    }
+
+    pub fn get_value(&mut self) -> Result<Value, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.get_i64()?)),
+            2 => {
+                let bytes = self.get_bytes()?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|e| CodecError(format!("invalid utf-8 in Str: {e}")))?;
+                Ok(Value::Str(s.to_string()))
+            }
+            3 => {
+                let n = self.get_len()?;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(self.get_value()?);
+                }
+                Ok(Value::Array(items))
+            }
+            t => Err(CodecError(format!("unknown Value tag {t}"))),
+        }
+    }
+
+    pub fn get_values(&mut self) -> Result<Vec<Value>, CodecError> {
+        let n = self.get_len()?;
+        let mut vs = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            vs.push(self.get_value()?);
+        }
+        Ok(vs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_value_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        w.put_value(&Value::Null);
+        w.put_value(&Value::Int(-7));
+        w.put_value(&Value::Str("héllo".into()));
+        w.put_value(&Value::Array(vec![Value::Int(1), Value::Str(String::new())]));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 42);
+        assert_eq!(r.get_value().unwrap(), Value::Null);
+        assert_eq!(r.get_value().unwrap(), Value::Int(-7));
+        assert_eq!(r.get_value().unwrap(), Value::Str("héllo".into()));
+        assert_eq!(
+            r.get_value().unwrap(),
+            Value::Array(vec![Value::Int(1), Value::Str(String::new())])
+        );
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_fail_softly() {
+        let mut w = Writer::new();
+        w.put_value(&Value::Str("payload".into()));
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Reader::new(&bytes[..cut]).get_value().is_err(), "cut at {cut}");
+        }
+        assert!(Reader::new(&[9]).get_value().is_err(), "unknown tag");
+        // A length prefix past the sanity cap is corruption, not an alloc.
+        let mut w = Writer::new();
+        w.put_u8(3);
+        w.put_u32(u32::MAX);
+        assert!(Reader::new(w.bytes()).get_value().is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}
